@@ -1,0 +1,74 @@
+// Ablation: the §4.1 architecture-independence claim.
+//
+// "The test architecture is independent of the actual implementation, and
+// can be used with different technological choices, with a carry look-ahead
+// implementation of an adder, as well as with a ripple carry
+// implementation."
+//
+// We run the checked-addition campaign on three adder architectures (each
+// with its own cell structure and fault universe) and compare coverage.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "fault/campaign.h"
+#include "fault/trials.h"
+#include "hw/carry_lookahead_adder.h"
+#include "hw/carry_select_adder.h"
+#include "hw/carry_skip_adder.h"
+#include "hw/ripple_carry_adder.h"
+
+namespace {
+
+using sck::TextTable;
+using sck::fault::Technique;
+
+template <typename Adder>
+void run_rows(TextTable& table, const char* name) {
+  for (const int width : {4, 8}) {
+    Adder adder(width);
+    std::vector<sck::hw::FaultableUnit*> units{&adder};
+    // 4-bit: exhaustive. 8-bit: seeded Monte-Carlo (the flattened lookahead
+    // cones make an exhaustive 8-bit sweep needlessly slow for a bench).
+    const bool exhaustive = width <= 4;
+    std::vector<std::string> row{name, std::to_string(width),
+                                 std::to_string(adder.fault_universe().size())};
+    for (const Technique t :
+         {Technique::kTech1, Technique::kTech2, Technique::kBoth}) {
+      const sck::fault::AddTrial<Adder> trial{adder, t};
+      const auto result =
+          exhaustive
+              ? run_exhaustive(std::span<sck::hw::FaultableUnit* const>(units),
+                               width, trial)
+              : run_sampled(std::span<sck::hw::FaultableUnit* const>(units),
+                            width, trial, 2'000'000, 0xADDE);
+      row.push_back(sck::format_percent(result.aggregate.coverage()));
+    }
+    table.add_row(std::move(row));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: adder architecture vs checked-add coverage\n"
+            << "(worst case: nominal + control on the same faulty unit)\n\n";
+
+  TextTable table(
+      "operator + (4-bit exhaustive, 8-bit seeded Monte-Carlo)");
+  table.set_header({"architecture", "bits", "fault universe", "Tech1", "Tech2",
+                    "Tech1&2"});
+  run_rows<sck::hw::RippleCarryAdder>(table, "ripple-carry");
+  run_rows<sck::hw::CarryLookaheadAdder>(table, "carry-lookahead");
+  run_rows<sck::hw::CarrySelectAdder>(table, "carry-select");
+  run_rows<sck::hw::CarrySkipAdder>(table, "carry-skip");
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: coverage stays in the same band across\n"
+            << "architectures (the paper's independence claim), with small\n"
+            << "differences because each structure exposes different\n"
+            << "fault sites (lookahead carry cones, speculative chains and\n"
+            << "selection muxes vs plain ripple cells).\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Ablation: the §2.1 allocation/scheduling claim.
+//
+// "Using a multi functional resource system and a proper allocation/
+// scheduling policy it is possible to achieve a 100% fault coverage if
+// different functional units perform the two operations. On the other
+// hand, a software implementation on a monoprocessor system ... could lead
+// to a solution where the same functional unit could perform both
+// operations."
+//
+// This bench runs the complete SCK mechanism (class template + HwOps
+// backend + AluPool) under the three allocation policies and measures the
+// coverage of each — distinct units must reach exactly 100%.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/sck_trials.h"
+#include "fault/campaign.h"
+
+namespace {
+
+using sck::AllocationPolicy;
+using sck::AluPool;
+using sck::TechniqueProfile;
+using sck::TextTable;
+using sck::UnitKind;
+using sck::fault::CampaignOptions;
+using sck::fault::Technique;
+
+template <TechniqueProfile P>
+double coverage_for(AllocationPolicy policy, int width, bool mul_op) {
+  AluPool pool(width, policy);
+  std::vector<sck::hw::FaultableUnit*> units;
+  sck::fault::CampaignResult result;
+  if (mul_op) {
+    units = {&pool.primary(UnitKind::kMultiplier)};
+    const sck::SckMulTrial<P> trial{pool};
+    result = run_exhaustive(std::span<sck::hw::FaultableUnit* const>(units),
+                            width, trial, CampaignOptions{});
+  } else {
+    units = {&pool.primary(UnitKind::kAdder)};
+    const sck::SckAddTrial<P> trial{pool};
+    result = run_exhaustive(std::span<sck::hw::FaultableUnit* const>(units),
+                            width, trial, CampaignOptions{});
+  }
+  return result.aggregate.coverage();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: allocation policy vs achieved fault coverage\n"
+            << "(full SCK mechanism: class template + hardware backend)\n\n";
+
+  constexpr TechniqueProfile kT1{};
+  constexpr TechniqueProfile kT2{Technique::kTech2, Technique::kTech2,
+                                 Technique::kTech2, Technique::kTech2, true,
+                                 true};
+  constexpr TechniqueProfile kBoth{Technique::kBoth, Technique::kBoth,
+                                   Technique::kBoth, Technique::kBoth, true,
+                                   true};
+
+  const int width = 6;
+  TextTable table("operator + (6-bit exhaustive) and x (6-bit exhaustive)");
+  table.set_header({"allocation policy", "op", "Tech1", "Tech2", "Tech1&2"});
+  for (const AllocationPolicy policy :
+       {AllocationPolicy::kSharedSingle, AllocationPolicy::kDistinct,
+        AllocationPolicy::kRoundRobin}) {
+    table.add_row({std::string(to_string(policy)), "+",
+                   sck::format_percent(coverage_for<kT1>(policy, width, false)),
+                   sck::format_percent(coverage_for<kT2>(policy, width, false)),
+                   sck::format_percent(
+                       coverage_for<kBoth>(policy, width, false))});
+    table.add_row({"", "x",
+                   sck::format_percent(coverage_for<kT1>(policy, width, true)),
+                   sck::format_percent(coverage_for<kT2>(policy, width, true)),
+                   sck::format_percent(
+                       coverage_for<kBoth>(policy, width, true))});
+    table.add_separator();
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape (paper §2.1/§4): distinct units = 100%;\n"
+            << "a shared single unit loses a few percent to error\n"
+            << "compensation; round-robin sits at or near 100% because the\n"
+            << "two operations of a checked operator naturally alternate\n"
+            << "onto different instances.\n";
+  return 0;
+}

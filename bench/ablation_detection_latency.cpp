@@ -1,0 +1,66 @@
+// Ablation: detection latency and the early-warning benefit.
+//
+// §4: detecting the fault "independently of the fact that it produces an
+// erroneous result or not ... allows the reduction of the probability of
+// having a second fault occur before the first one is detected". This
+// bench measures, per injected fault, how many random checked operations
+// pass before the check first fires vs before the first erroneous result —
+// and how often detection arrives strictly earlier (an early warning no
+// classical self-checking circuit, which reacts only to observable errors,
+// can give).
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "fault/latency.h"
+#include "fault/trials.h"
+#include "hw/ripple_carry_adder.h"
+
+namespace {
+
+using sck::TextTable;
+using sck::fault::AddTrial;
+using sck::fault::LatencyStats;
+using sck::fault::Technique;
+using sck::hw::RippleCarryAdder;
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: detection latency, checked operator +, 8-bit\n"
+            << "ripple-carry adder, random operand stream per fault\n\n";
+
+  const int n = 8;
+  const int horizon = 4096;
+  RippleCarryAdder adder(n);
+
+  TextTable table("operations until first detection vs first error");
+  table.set_header({"technique", "faults", "detected", "mean ops to detect",
+                    "mean ops to 1st error", "early warnings"});
+  for (const Technique t :
+       {Technique::kTech1, Technique::kTech2, Technique::kBoth,
+        Technique::kResidue3}) {
+    const AddTrial<RippleCarryAdder> trial{adder, t};
+    const LatencyStats s = measure_detection_latency(
+        adder, trial, n, horizon, /*seed=*/0x1A7E & 0xFFFF, /*stride=*/1);
+    table.add_row({std::string(to_string(t)),
+                   std::to_string(s.faults_measured),
+                   std::to_string(s.detected_runs),
+                   sck::format_fixed(s.mean_ops_to_detection, 2),
+                   sck::format_fixed(s.mean_ops_to_first_error, 2),
+                   std::to_string(s.early_warning_runs)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: for the inverse-operation controls, detection arrives\n"
+      << "no later — and usually earlier — than the first erroneous result:\n"
+      << "the hidden control often flags a latent fault on an operation\n"
+      << "whose visible result is still correct, shrinking the window in\n"
+      << "which a second fault could defeat the single-fault assumption.\n"
+      << "The residue control is the counterpoint: it (almost) only fires\n"
+      << "when the result itself is wrong, so it offers no early warning.\n"
+      << "(Runs capped at " << horizon << " operations; undetected runs\n"
+      << "are faults that are unexcitable or unobservable under +.)\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation: fault duration (§2's "permanent and transient and intermittent
+// faults are covered" claim).
+//
+// The §4 worst case assumes a permanent fault shared by the nominal
+// operation and its control. A transient fault that decays before the
+// control executes is caught whenever it is observable (the check runs on
+// effectively healthy hardware), and an intermittent fault interpolates:
+// masking needs the fault active during the nominal operation *and*
+// compensating during the check.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "fault/campaign.h"
+#include "fault/duration.h"
+#include "hw/ripple_carry_adder.h"
+
+namespace {
+
+using sck::TextTable;
+using sck::fault::DurationAddTrial;
+using sck::fault::FaultDuration;
+using sck::fault::Technique;
+using sck::hw::RippleCarryAdder;
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: fault duration vs achieved coverage\n"
+            << "checked operator +, 6-bit ripple-carry adder, exhaustive\n\n";
+
+  const int n = 6;
+  RippleCarryAdder adder(n);
+  std::vector<sck::hw::FaultableUnit*> units{&adder};
+  sck::Xoshiro256 rng(0xD07A);
+
+  TextTable table("coverage per fault-duration model");
+  table.set_header({"duration", "duty", "Tech1", "Tech2", "Tech1&2"});
+
+  const auto row = [&](FaultDuration d, std::uint32_t duty,
+                       const std::string& label) {
+    std::vector<std::string> cells{std::string(to_string(d)), label};
+    for (const Technique t :
+         {Technique::kTech1, Technique::kTech2, Technique::kBoth}) {
+      const DurationAddTrial<RippleCarryAdder> trial{adder, t, d, &rng, duty};
+      const auto r = run_exhaustive(
+          std::span<sck::hw::FaultableUnit* const>(units), n, trial);
+      cells.push_back(sck::format_percent(r.aggregate.coverage()));
+    }
+    table.add_row(std::move(cells));
+  };
+
+  row(FaultDuration::kPermanent, 1000, "always");
+  row(FaultDuration::kIntermittent, 750, "75%");
+  row(FaultDuration::kIntermittent, 500, "50%");
+  row(FaultDuration::kIntermittent, 250, "25%");
+  row(FaultDuration::kTransient, 0, "nominal only");
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: permanent = the Table 2 worst case;\n"
+            << "coverage rises monotonically as the duty cycle falls and\n"
+            << "reaches exactly 100% for transient faults (the check then\n"
+            << "runs on healthy hardware — the same mechanism that makes\n"
+            << "distinct-unit allocation complete).\n";
+  return 0;
+}

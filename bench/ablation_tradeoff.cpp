@@ -1,0 +1,124 @@
+// Ablation / future work: the cost-coverage trade-off catalogue.
+//
+// The paper's concluding remarks promise "a trade-off between fault
+// coverage and costs, in order to allow the designer to select the desired
+// level of reliability". The OperatorLibrary implements that selector; this
+// bench recalibrates it with live campaign measurements and prints the
+// per-operator Pareto frontiers plus example selections.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/op_library.h"
+#include "fault/campaign.h"
+#include "fault/trials.h"
+#include "hw/array_multiplier.h"
+#include "hw/restoring_divider.h"
+#include "hw/ripple_carry_adder.h"
+
+namespace {
+
+using sck::OperatorLibrary;
+using sck::TextTable;
+using sck::fault::OpKind;
+using sck::fault::Technique;
+using sck::hw::FaultableUnit;
+
+double measure(OpKind op, Technique tech, int width) {
+  sck::hw::RippleCarryAdder adder(width);
+  sck::hw::ArrayMultiplier mult(width);
+  sck::hw::RestoringDivider divider(width);
+  std::vector<FaultableUnit*> units;
+  sck::fault::CampaignOptions opt;
+  sck::fault::CampaignResult r;
+  switch (op) {
+    case OpKind::kAdd: {
+      units = {&adder};
+      r = run_exhaustive(std::span<FaultableUnit* const>(units), width,
+                         sck::fault::AddTrial<sck::hw::RippleCarryAdder>{
+                             adder, tech},
+                         opt);
+      break;
+    }
+    case OpKind::kSub: {
+      units = {&adder};
+      r = run_exhaustive(std::span<FaultableUnit* const>(units), width,
+                         sck::fault::SubTrial<sck::hw::RippleCarryAdder>{
+                             adder, tech},
+                         opt);
+      break;
+    }
+    case OpKind::kMul: {
+      units = {&mult};
+      r = run_exhaustive(std::span<FaultableUnit* const>(units), width,
+                         sck::fault::MulTrial<sck::hw::RippleCarryAdder>{
+                             mult, adder, tech},
+                         opt);
+      break;
+    }
+    case OpKind::kDiv: {
+      units = {&divider};
+      opt.skip_b_zero = true;
+      r = run_exhaustive(std::span<FaultableUnit* const>(units), width,
+                         sck::fault::DivTrial<sck::hw::RippleCarryAdder>{
+                             divider, mult, adder, tech},
+                         opt);
+      break;
+    }
+  }
+  return r.aggregate.coverage();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: cost/coverage trade-off catalogue (the paper's\n"
+            << "stated future work), recalibrated from live 6-bit campaigns\n\n";
+
+  OperatorLibrary lib = OperatorLibrary::with_default_characterization();
+  const int width = 6;
+  for (const OpKind op :
+       {OpKind::kAdd, OpKind::kSub, OpKind::kMul, OpKind::kDiv}) {
+    for (const Technique t :
+         {Technique::kTech1, Technique::kTech2, Technique::kBoth}) {
+      lib.set_coverage(op, t, measure(op, t, width));
+    }
+  }
+  lib.set_coverage(OpKind::kAdd, Technique::kResidue3,
+                   measure(OpKind::kAdd, Technique::kResidue3, width));
+  lib.set_coverage(OpKind::kSub, Technique::kResidue3,
+                   measure(OpKind::kSub, Technique::kResidue3, width));
+
+  TextTable table("Pareto frontier per operator (cost = extra ops per use)");
+  table.set_header({"Operator", "technique", "sw extra ops", "hw extra FUs",
+                    "coverage"});
+  for (const OpKind op :
+       {OpKind::kAdd, OpKind::kSub, OpKind::kMul, OpKind::kDiv}) {
+    bool first = true;
+    for (const auto& e : lib.pareto_frontier(op)) {
+      table.add_row({first ? std::string(to_string(op)) : std::string(),
+                     std::string(to_string(e.tech)),
+                     std::to_string(e.sw_extra_ops),
+                     std::to_string(e.hw_extra_fus),
+                     sck::format_percent(e.coverage)});
+      first = false;
+    }
+    table.add_separator();
+  }
+  table.print(std::cout);
+
+  std::cout << "\nSelector examples:\n";
+  for (const double target : {0.90, 0.95, 0.99}) {
+    std::cout << "  cheapest technique with coverage >= "
+              << sck::format_percent(target, 0) << ":";
+    for (const OpKind op :
+         {OpKind::kAdd, OpKind::kSub, OpKind::kMul, OpKind::kDiv}) {
+      const auto choice = lib.cheapest_meeting(op, target);
+      std::cout << "  " << to_string(op) << "="
+                << (choice ? std::string(to_string(*choice)) : "none");
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Ablation: multiplier and divider architectures.
+//
+// Companion to ablation_adder_arch for the other two operators: the
+// ripple-accumulate vs carry-save multiplier arrays, and the restoring vs
+// non-restoring dividers. Same checked operations, same fault model,
+// different internal structures — the coverage band should persist (the
+// §4.1 architecture-independence claim) while the masking profiles shift.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "fault/campaign.h"
+#include "fault/trials.h"
+#include "hw/array_multiplier.h"
+#include "hw/carry_save_multiplier.h"
+#include "hw/non_restoring_divider.h"
+#include "hw/restoring_divider.h"
+#include "hw/ripple_carry_adder.h"
+
+namespace {
+
+using sck::TextTable;
+using sck::fault::CampaignOptions;
+using sck::fault::Technique;
+using sck::hw::FaultableUnit;
+using sck::hw::RippleCarryAdder;
+
+/// Generic multiplier trial: both products on the (faulty) multiplier,
+/// negation and closing addition on a healthy adder.
+template <typename Mult>
+struct MulTrialFor {
+  const Mult& mult;
+  const RippleCarryAdder& adder;
+  Technique tech;
+
+  [[nodiscard]] sck::fault::Outcome operator()(sck::Word a,
+                                               sck::Word b) const {
+    const int n = adder.width();
+    const sck::Word golden = sck::mul(a, b, n);
+    const sck::Word ris = mult.mul(a, b);
+    bool ok = true;
+    if (uses_tech1(tech)) {
+      const sck::Word risp = mult.mul(adder.negate(a), b);
+      ok = ok && sck::hw::is_zero(adder.add(ris, risp), n);
+    }
+    if (uses_tech2(tech)) {
+      const sck::Word risp = mult.mul(a, adder.negate(b));
+      ok = ok && sck::hw::is_zero(adder.add(ris, risp), n);
+    }
+    return sck::fault::classify(ris != golden, ok);
+  }
+};
+
+/// Generic divider trial (Tech1 rebuild check on healthy units).
+template <typename Div>
+struct DivTrialFor {
+  const Div& divider;
+  Technique tech;
+
+  [[nodiscard]] sck::fault::Outcome operator()(sck::Word a,
+                                               sck::Word b) const {
+    const int n = divider.width();
+    const sck::hw::DivResult dr = divider.divide(a, b);
+    const sck::Word q = sck::trunc(dr.quotient, n);
+    const sck::Word r = sck::trunc(dr.remainder, n);
+    const bool wrong = q != a / b || r != a % b;
+    bool ok = true;
+    if (uses_tech1(tech) || uses_tech2(tech)) {
+      ok = sck::trunc(q * b + r, n) == a;  // healthy mult/add units
+    }
+    return sck::fault::classify(wrong, ok);
+  }
+};
+
+template <typename Mult>
+void mult_rows(TextTable& table, const char* name, int n) {
+  Mult mult(n);
+  RippleCarryAdder adder(n);
+  std::vector<FaultableUnit*> units{&mult};
+  std::vector<std::string> row{name, std::to_string(n),
+                               std::to_string(mult.fault_universe().size())};
+  for (const Technique t :
+       {Technique::kTech1, Technique::kTech2, Technique::kBoth}) {
+    const MulTrialFor<Mult> trial{mult, adder, t};
+    const auto r = run_exhaustive(std::span<FaultableUnit* const>(units), n,
+                                  trial, CampaignOptions{});
+    row.push_back(sck::format_percent(r.aggregate.coverage()));
+  }
+  table.add_row(std::move(row));
+}
+
+template <typename Div>
+void div_rows(TextTable& table, const char* name, int n) {
+  Div divider(n);
+  std::vector<FaultableUnit*> units{&divider};
+  CampaignOptions opt;
+  opt.skip_b_zero = true;
+  const DivTrialFor<Div> trial{divider, Technique::kTech1};
+  const auto r =
+      run_exhaustive(std::span<FaultableUnit* const>(units), n, trial, opt);
+  table.add_row({name, std::to_string(n),
+                 std::to_string(divider.fault_universe().size()),
+                 sck::format_percent(r.aggregate.coverage())});
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: multiplier and divider architectures vs coverage\n"
+            << "(worst case: nominal and control products share one unit)\n\n";
+
+  TextTable mul_table("operator x, 6-bit exhaustive");
+  mul_table.set_header({"architecture", "bits", "fault universe", "Tech1",
+                        "Tech2", "Tech1&2"});
+  mult_rows<sck::hw::ArrayMultiplier>(mul_table, "ripple-accumulate", 6);
+  mult_rows<sck::hw::CarrySaveMultiplier>(mul_table, "carry-save", 6);
+  mul_table.print(std::cout);
+
+  TextTable div_table("operator /, 6-bit exhaustive, Tech1 rebuild check");
+  div_table.set_header({"architecture", "bits", "fault universe", "coverage"});
+  div_rows<sck::hw::RestoringDivider>(div_table, "restoring", 6);
+  div_rows<sck::hw::NonRestoringDivider>(div_table, "non-restoring", 6);
+  div_table.print(std::cout);
+
+  std::cout << "\nExpected shape: both multipliers and both dividers stay in\n"
+            << "the same coverage band; the deferred-carry routing and the\n"
+            << "sign-steered division recurrence shift the masked sets\n"
+            << "without breaking the method (§4.1's independence claim).\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// System-level coverage of the final realization — the tool the paper
+// says does not exist.
+//
+// §3: "there is no available tool for evaluating the fault coverage of the
+// final realization with respect to the on-line fault detection
+// properties, yet the local fault coverage analysis ... can be used as an
+// estimation of the reliability level that will be achieved." This bench
+// provides the missing measurement for our substrate: it synthesizes the
+// three FIR variants, sweeps the complete stuck-at universe of every
+// functional unit of each *netlist*, and reports the realization-level
+// coverage — which can then be compared against the paper's local
+// (per-operator) estimates from Table 1/Table 2.
+#include <iostream>
+#include <string>
+
+#include "codesign/flow.h"
+#include "common/table.h"
+#include "hls/builder.h"
+#include "hls/expand_sck.h"
+#include "hls/netlist_campaign.h"
+
+namespace {
+
+using namespace sck::hls;
+using sck::codesign::Variant;
+
+Dfg graph_for(const FirSpec& spec, Variant v) {
+  Dfg g = build_fir(spec);
+  if (v == Variant::kPlain) return g;
+  CedOptions opt;
+  opt.style = v == Variant::kSck ? CedStyle::kClassBased : CedStyle::kEmbedded;
+  return insert_ced(g, opt);
+}
+
+}  // namespace
+
+int main() {
+  std::cout
+      << "System-level fault coverage of the synthesized FIR variants\n"
+      << "(5 taps, 12-bit data path, min-area synthesis; every stuck-at\n"
+      << "fault of every datapath FU, 48 random samples per fault)\n\n";
+
+  const FirSpec spec{{3, -5, 7, -5, 3}, 12};
+  NetlistCampaignOptions opt;
+  opt.samples_per_fault = 48;
+  opt.seed = 0x51C0;
+
+  sck::TextTable table("final-realization coverage per variant");
+  table.set_header({"variant", "faults", "erroneous samples", "detected",
+                    "masked", "error detection rate", "coverage"});
+  for (const Variant v :
+       {Variant::kPlain, Variant::kSck, Variant::kEmbedded}) {
+    const Dfg graph = graph_for(spec, v);
+    const auto design = sck::codesign::synthesize_fir(spec, v, true);
+    const auto r = run_netlist_campaign(graph, design.netlist, opt);
+    const double detection_rate =
+        r.aggregate.observable_errors() == 0
+            ? 1.0
+            : static_cast<double>(r.aggregate.detected_erroneous) /
+                  static_cast<double>(r.aggregate.observable_errors());
+    table.add_row({std::string(to_string(v)),
+                   std::to_string(r.fault_universe_size),
+                   std::to_string(r.aggregate.observable_errors()),
+                   std::to_string(r.aggregate.detected_erroneous),
+                   std::to_string(r.aggregate.masked),
+                   sck::format_percent(detection_rate),
+                   sck::format_percent(r.aggregate.coverage())});
+  }
+  table.print(std::cout);
+
+  // Per-unit breakdown for the class-based variant: the shared nominal
+  // units are fully covered (checks run on private units), so residual
+  // masking concentrates in the private check clusters themselves.
+  {
+    const Dfg graph = graph_for(spec, Variant::kSck);
+    const auto design =
+        sck::codesign::synthesize_fir(spec, Variant::kSck, true);
+    const auto r = run_netlist_campaign(graph, design.netlist, opt);
+    sck::TextTable per_unit("FIR with SCK: per-unit breakdown");
+    per_unit.set_header({"functional unit", "faults", "erroneous", "masked",
+                         "false alarms", "coverage"});
+    for (const auto& u : r.per_unit) {
+      per_unit.add_row({u.fu_name, std::to_string(u.faults),
+                        std::to_string(u.stats.observable_errors()),
+                        std::to_string(u.stats.masked),
+                        std::to_string(u.stats.detected_correct),
+                        sck::format_percent(u.stats.coverage())});
+    }
+    std::cout << "\n";
+    per_unit.print(std::cout);
+  }
+
+  std::cout
+      << "\nReading:\n"
+      << " * plain FIR has no error output: every erroneous sample counts\n"
+      << "   as masked (coverage = fraction of silent-correct samples);\n"
+      << " * the class-based variant detects essentially everything the\n"
+      << "   shared datapath units can get wrong (checks run on private,\n"
+      << "   healthy units) — the realization-level counterpart of the\n"
+      << "   paper's 'complete for hardware implementation' claim;\n"
+      << " * the embedded variant covers the accumulation but not the\n"
+      << "   multipliers — the documented trade-off, now quantified at\n"
+      << "   the final-realization level the paper could not measure.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Reproduces paper Table 3: "Application of the proposed methodology to the
+// FIR" — the cost of the three FIR variants (plain / with SCK / embedded
+// SCK) in hardware (latency formula, clock, CLB slices via our synthesis
+// substrate and area model) and in software (execution time and a static
+// code-size proxy on this host).
+//
+// The paper's testbed was OFFIS SystemC-Plus -> Synopsys CoCentric -> a
+// Xilinx device, and a 2005-era g++ host; we regenerate the table's *shape*
+// (who costs what relative to whom) — see EXPERIMENTS.md for the mapping.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "codesign/flow.h"
+#include "common/table.h"
+
+namespace {
+
+using sck::TextTable;
+using sck::codesign::FlowReport;
+using sck::codesign::HwDesign;
+using sck::codesign::SwReport;
+
+}  // namespace
+
+int main() {
+  std::cout << "Reproduction of Bolchini et al. (DATE 2005), Table 3\n"
+            << "FIR case study: 5 taps, 16-bit data path.\n\n";
+
+  const sck::hls::FirSpec spec{{3, -5, 7, -5, 3}, 16};
+  constexpr std::size_t kSwSamples = 40'000'000;
+  const FlowReport flow = sck::codesign::run_fir_flow(spec, kSwSamples);
+
+  TextTable hw("Table 3 (hardware): latency and area");
+  hw.set_header({"Implementation", "objective", "latency (cycles)",
+                 "data-ready", "clock (MHz)", "CLB slices"});
+  for (const HwDesign& d : flow.hardware) {
+    hw.add_row({std::string(to_string(d.variant)),
+                d.min_area ? "min area" : "min latency",
+                d.report.latency_formula,
+                "2 + " + std::to_string(d.report.data_ready_step) + "n",
+                sck::format_fixed(d.report.fmax_mhz, 2),
+                sck::format_fixed(d.report.slices, 0)});
+  }
+  hw.print(std::cout);
+  std::cout
+      << "\nPaper reference (hardware):\n"
+      << "  FIR              min area 2+7n  @20.00MHz   412 slices\n"
+      << "                   min lat. 2+5n  @20.00MHz   477 slices\n"
+      << "  FIR with SCK     min area 2+10n @16.67MHz  1926 slices\n"
+      << "                   min lat. 2+5n  @20.00MHz  1593 slices\n"
+      << "  FIR embedded SCK min area 2+9n  @15.38MHz   634 slices\n"
+      << "                   min lat. 2+5n  @20.00MHz   861 slices\n"
+      << "  (our 'latency' counts the full FSM iteration including the\n"
+      << "   error-bit tail; 'data-ready' counts until y is valid, which\n"
+      << "   is what the paper's latency formula tracks)\n\n";
+
+  TextTable sw("Table 3 (software): execution time and size");
+  sw.set_header({"Implementation", "exe time (s)", "ratio vs plain",
+                 "ops/sample (size proxy)"});
+  for (const SwReport& r : flow.software) {
+    sw.add_row({std::string(to_string(r.variant)),
+                sck::format_fixed(r.seconds, 2),
+                sck::format_fixed(r.ratio_vs_plain, 2) + "x",
+                std::to_string(r.ops_per_sample)});
+  }
+  sw.print(std::cout);
+  std::cout
+      << "\nPaper reference (software):\n"
+      << "  FIR               6.83 s (1.00x)   889 KB\n"
+      << "  FIR with SCK     10.02 s (1.47x)   893 KB\n"
+      << "  FIR embedded SCK  7.90 s (1.16x)   889 KB\n"
+      << "  (absolute seconds depend on the host and workload size; the\n"
+      << "   ratios are the comparable quantity. Binary sizes in the paper\n"
+      << "   are runtime-dominated and nearly equal; our static op counts\n"
+      << "   proxy the data-path code growth.)\n\n";
+
+  std::cout << "Area ordering check: plain < embedded << class-based "
+            << "(min-area rows): "
+            << flow.hardware[0].report.slices << " < "
+            << flow.hardware[4].report.slices << " < "
+            << flow.hardware[2].report.slices << "\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Exploring the co-design space of the reliable FIR.
+//
+// The paper's flow (Fig. 3) feeds one specification into both synthesis
+// legs. This example sweeps the hardware design space — CED style x
+// resource constraints — and prints an area/latency map a designer would
+// use to pick an implementation, plus the software measurements for the
+// same specification.
+//
+// Build & run:  ./build/examples/codesign_explorer
+#include <iostream>
+#include <vector>
+
+#include "codesign/flow.h"
+#include "common/table.h"
+#include "hls/bind.h"
+#include "hls/expand_sck.h"
+#include "hls/schedule.h"
+
+using namespace sck::hls;
+
+int main() {
+  const FirSpec spec{{3, -5, 7, -5, 3}, 16};
+  const Dfg plain = build_fir(spec);
+  CedOptions embedded_opt;
+  embedded_opt.style = CedStyle::kEmbedded;
+  CedOptions class_opt;
+  class_opt.style = CedStyle::kClassBased;
+  const Dfg embedded = insert_ced(plain, embedded_opt);
+  const Dfg class_based = insert_ced(plain, class_opt);
+
+  sck::TextTable table("FIR design space: units vs area/latency");
+  table.set_header({"variant", "addsub", "mul", "slices", "II", "data-ready",
+                    "fmax (MHz)"});
+  const struct {
+    const char* name;
+    const Dfg* graph;
+  } variants[] = {{"plain", &plain},
+                  {"embedded SCK", &embedded},
+                  {"class-based SCK", &class_based}};
+  for (const auto& v : variants) {
+    for (const int addsub : {1, 2}) {
+      for (const int mul : {1, 2}) {
+        ResourceConstraints rc;
+        rc.addsub = addsub;
+        rc.mul = mul;
+        rc.cmp = 1;
+        rc.divrem = 1;
+        const Schedule s = schedule_list(*v.graph, rc);
+        const Binding b = bind(*v.graph, s, rc);
+        const Netlist nl = generate_netlist(*v.graph, s, b, "fir");
+        const HwReport r = evaluate_netlist(nl);
+        table.add_row({v.name, std::to_string(addsub), std::to_string(mul),
+                       sck::format_fixed(r.slices, 0),
+                       std::to_string(r.steps),
+                       std::to_string(r.data_ready_step),
+                       sck::format_fixed(r.fmax_mhz, 1)});
+      }
+    }
+    table.add_separator();
+  }
+  table.print(std::cout);
+
+  std::cout << "\nSoftware leg (same specification, this host):\n";
+  const auto sw = sck::codesign::measure_fir_sw({3, -5, 7, -5, 3}, 10'000'000);
+  for (const auto& r : sw) {
+    std::cout << "  " << to_string(r.variant) << ": "
+              << sck::format_fixed(r.seconds, 3) << " s ("
+              << sck::format_fixed(r.ratio_vs_plain, 2) << "x), "
+              << r.ops_per_sample << " ops/sample\n";
+  }
+  std::cout << "\nReading the map: a second multiplier shortens every\n"
+            << "variant (the products are the bottleneck), while a second\n"
+            << "adder/subtractor helps none of them — the embedded check is\n"
+            << "a *serial* running difference (dependency-bound, not\n"
+            << "resource-bound), and the class-based checks already run on\n"
+            << "private units. Slices differ across CED styles exactly as\n"
+            << "in Table 3.\n";
+  return 0;
+}

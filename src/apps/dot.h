@@ -1,0 +1,36 @@
+// Dot product and matrix kernels, templated over the element type.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace sck::apps {
+
+template <typename T>
+[[nodiscard]] T dot(std::span<const T> a, std::span<const T> b) {
+  SCK_EXPECTS(a.size() == b.size());
+  SCK_EXPECTS(!a.empty());
+  T acc = a[0] * b[0];
+  for (std::size_t i = 1; i < a.size(); ++i) acc = acc + a[i] * b[i];
+  return acc;
+}
+
+/// Dense row-major matrix-matrix product: c(m x p) = a(m x n) * b(n x p).
+template <typename T>
+void matmul(std::span<const T> a, std::span<const T> b, std::span<T> c,
+            std::size_t m, std::size_t n, std::size_t p) {
+  SCK_EXPECTS(a.size() == m * n && b.size() == n * p && c.size() == m * p);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < p; ++j) {
+      T acc = a[i * n] * b[j];
+      for (std::size_t k = 1; k < n; ++k) {
+        acc = acc + a[i * n + k] * b[k * p + j];
+      }
+      c[i * p + j] = acc;
+    }
+  }
+}
+
+}  // namespace sck::apps

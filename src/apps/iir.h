@@ -1,0 +1,30 @@
+// Direct-form-I IIR biquad, templated over the element type (one of the
+// "other circuits now taken into consideration" in §5.1).
+#pragma once
+
+namespace sck::apps {
+
+template <typename T>
+class IirBiquad {
+ public:
+  IirBiquad(T b0, T b1, T b2, T a1, T a2)
+      : b0_(b0), b1_(b1), b2_(b2), a1_(a1), a2_(a2) {}
+
+  /// y[k] = b0 x[k] + b1 x[k-1] + b2 x[k-2] - a1 y[k-1] - a2 y[k-2]
+  T step(T x) {
+    const T y = b0_ * x + b1_ * x1_ + b2_ * x2_ - (a1_ * y1_ + a2_ * y2_);
+    x2_ = x1_;
+    x1_ = x;
+    y2_ = y1_;
+    y1_ = y;
+    return y;
+  }
+
+  void reset() { x1_ = x2_ = y1_ = y2_ = T{}; }
+
+ private:
+  T b0_, b1_, b2_, a1_, a2_;
+  T x1_{}, x2_{}, y1_{}, y2_{};
+};
+
+}  // namespace sck::apps

@@ -1,0 +1,173 @@
+#include "codesign/flow.h"
+
+#include <chrono>
+
+#include "apps/fir.h"
+#include "common/assert.h"
+#include "core/sck.h"
+#include "hls/bind.h"
+#include "hls/expand_sck.h"
+#include "hls/schedule.h"
+
+namespace sck::codesign {
+
+namespace {
+
+hls::Dfg variant_graph(const hls::FirSpec& spec, Variant variant) {
+  const hls::Dfg plain = hls::build_fir(spec);
+  switch (variant) {
+    case Variant::kPlain:
+      return plain;
+    case Variant::kSck: {
+      hls::CedOptions opt;
+      opt.style = hls::CedStyle::kClassBased;
+      return hls::insert_ced(plain, opt);
+    }
+    case Variant::kEmbedded: {
+      hls::CedOptions opt;
+      opt.style = hls::CedStyle::kEmbedded;
+      return hls::insert_ced(plain, opt);
+    }
+  }
+  return plain;
+}
+
+template <typename F>
+double time_seconds(F&& body) {
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+/// Deterministic input stream (cheap LCG so generation cost is negligible
+/// against the filter work).
+class InputStream {
+ public:
+  [[nodiscard]] int next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<int>(state_ >> 40) - (1 << 23);
+  }
+
+ private:
+  unsigned long long state_ = 0x5CADA7A5ULL;
+};
+
+}  // namespace
+
+HwDesign synthesize_fir(const hls::FirSpec& spec, Variant variant,
+                        bool min_area) {
+  const hls::Dfg g = variant_graph(spec, variant);
+  const hls::ResourceConstraints rc = min_area
+                                          ? hls::ResourceConstraints::min_area()
+                                          : hls::ResourceConstraints::min_latency();
+  const hls::Schedule s =
+      min_area ? hls::schedule_list(g, rc) : hls::schedule_asap(g);
+  hls::validate_schedule(g, s, rc);
+  const hls::Binding b = hls::bind(g, s, rc);
+  hls::validate_binding(g, s, b);
+
+  HwDesign design;
+  design.variant = variant;
+  design.min_area = min_area;
+  std::string name = "fir";
+  if (variant == Variant::kSck) name += "_sck";
+  if (variant == Variant::kEmbedded) name += "_embedded";
+  name += min_area ? "_min_area" : "_min_latency";
+  design.netlist = hls::generate_netlist(g, s, b, name);
+  design.report = hls::evaluate_netlist(design.netlist);
+  return design;
+}
+
+std::vector<SwReport> measure_fir_sw(const std::vector<int>& coeffs,
+                                     std::size_t samples) {
+  SCK_EXPECTS(!coeffs.empty());
+  const int taps = static_cast<int>(coeffs.size());
+  std::vector<SwReport> reports;
+
+  // ---- plain -----------------------------------------------------------
+  {
+    apps::Fir<int> fir(coeffs);
+    InputStream in;
+    unsigned checksum = 0;
+    SwReport r;
+    r.variant = Variant::kPlain;
+    r.seconds = time_seconds([&] {
+      for (std::size_t k = 0; k < samples; ++k) {
+        checksum += static_cast<unsigned>(fir.step(in.next()));
+      }
+    });
+    r.checksum = checksum;
+    r.ops_per_sample = 2 * taps - 1;  // taps muls + (taps-1) adds
+    reports.push_back(r);
+  }
+
+  // ---- with SCK --------------------------------------------------------
+  {
+    std::vector<SCK<int>> sck_coeffs(coeffs.begin(), coeffs.end());
+    apps::Fir<SCK<int>> fir(sck_coeffs);
+    InputStream in;
+    unsigned checksum = 0;
+    bool any_error = false;
+    SwReport r;
+    r.variant = Variant::kSck;
+    r.seconds = time_seconds([&] {
+      for (std::size_t k = 0; k < samples; ++k) {
+        const SCK<int> y = fir.step(SCK<int>(in.next()));
+        checksum += static_cast<unsigned>(y.GetID());
+        any_error = any_error || y.GetError();
+      }
+    });
+    SCK_ASSERT(!any_error && "SCK flagged an error on a fault-free host");
+    r.checksum = checksum;
+    // Tech1: each mul gains neg+mul+add+cmp, each add gains sub+cmp.
+    r.ops_per_sample = (2 * taps - 1) + 4 * taps + 2 * (taps - 1);
+    reports.push_back(r);
+  }
+
+  // ---- embedded --------------------------------------------------------
+  {
+    apps::EmbeddedCheckedFir fir(coeffs);
+    InputStream in;
+    unsigned checksum = 0;
+    bool any_error = false;
+    SwReport r;
+    r.variant = Variant::kEmbedded;
+    r.seconds = time_seconds([&] {
+      for (std::size_t k = 0; k < samples; ++k) {
+        const apps::CheckedSample y = fir.step(in.next());
+        checksum += static_cast<unsigned>(y.y);
+        any_error = any_error || y.error;
+      }
+    });
+    SCK_ASSERT(!any_error && "embedded check fired on a fault-free host");
+    r.checksum = checksum;
+    r.ops_per_sample = (2 * taps - 1) + taps + 1;  // + taps subs + zero test
+    reports.push_back(r);
+  }
+
+  // All variants must compute the same stream.
+  SCK_ASSERT(reports[0].checksum == reports[1].checksum);
+  SCK_ASSERT(reports[0].checksum == reports[2].checksum);
+  for (SwReport& r : reports) {
+    r.ratio_vs_plain =
+        reports[0].seconds > 0 ? r.seconds / reports[0].seconds : 1.0;
+  }
+  return reports;
+}
+
+FlowReport run_fir_flow(const hls::FirSpec& spec, std::size_t sw_samples) {
+  FlowReport flow;
+  for (const Variant v : {Variant::kPlain, Variant::kSck, Variant::kEmbedded}) {
+    for (const bool min_area : {true, false}) {
+      flow.hardware.push_back(synthesize_fir(spec, v, min_area));
+    }
+  }
+  std::vector<int> coeffs;
+  coeffs.reserve(spec.coeffs.size());
+  for (const long long c : spec.coeffs) coeffs.push_back(static_cast<int>(c));
+  flow.software = measure_fir_sw(coeffs, sw_samples);
+  return flow;
+}
+
+}  // namespace sck::codesign

@@ -1,0 +1,71 @@
+// The reliable co-design flow of the paper's Fig. 3, end to end: from a
+// (self-checking) specification to a hardware implementation — via our
+// behavioural-synthesis substrate — and to a software implementation —
+// via the templated kernels running on the host. The flow evaluates the
+// same three FIR variants Table 3 compares:
+//
+//   kPlain     the unprotected specification,
+//   kSck       SCK<int> data types (class-based CED, transparent but
+//              expensive in hardware),
+//   kEmbedded  hand-embedded accumulation checks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/area_time.h"
+#include "hls/builder.h"
+#include "hls/netlist.h"
+
+namespace sck::codesign {
+
+enum class Variant : unsigned char { kPlain, kSck, kEmbedded };
+
+[[nodiscard]] constexpr std::string_view to_string(Variant v) {
+  switch (v) {
+    case Variant::kPlain:
+      return "FIR";
+    case Variant::kSck:
+      return "FIR with SCK";
+    case Variant::kEmbedded:
+      return "FIR embedded SCK";
+  }
+  return "?";
+}
+
+/// Hardware leg: synthesize one FIR variant under one objective.
+struct HwDesign {
+  Variant variant = Variant::kPlain;
+  bool min_area = true;
+  hls::Netlist netlist;
+  hls::HwReport report;
+};
+
+[[nodiscard]] HwDesign synthesize_fir(const hls::FirSpec& spec,
+                                      Variant variant, bool min_area);
+
+/// Software leg: run the variant on the host over a fixed workload.
+struct SwReport {
+  Variant variant = Variant::kPlain;
+  double seconds = 0.0;
+  double ratio_vs_plain = 1.0;
+  /// Static data-path operation count per sample (code-size proxy; the
+  /// paper's binary sizes are dominated by the runtime and nearly equal).
+  int ops_per_sample = 0;
+  unsigned checksum = 0;  ///< anti-DCE output fold, also a determinism check
+};
+
+[[nodiscard]] std::vector<SwReport> measure_fir_sw(
+    const std::vector<int>& coeffs, std::size_t samples);
+
+/// The full Fig. 3 flow: all six hardware designs plus the three software
+/// measurements for one FIR specification.
+struct FlowReport {
+  std::vector<HwDesign> hardware;  // 3 variants x {min-area, min-latency}
+  std::vector<SwReport> software;  // 3 variants
+};
+
+[[nodiscard]] FlowReport run_fir_flow(const hls::FirSpec& spec,
+                                      std::size_t sw_samples);
+
+}  // namespace sck::codesign

@@ -1,0 +1,33 @@
+// Lightweight contract-checking macros (Expects/Ensures style, per the C++
+// Core Guidelines I.6/I.8). Violations abort with a source location; checks
+// stay enabled in release builds because the library is a measurement tool
+// and silent corruption would invalidate every experiment downstream.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sck::detail {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "%s violated: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace sck::detail
+
+#define SCK_EXPECTS(cond)                                                     \
+  ((cond) ? static_cast<void>(0)                                              \
+          : ::sck::detail::contract_violation("Precondition", #cond, __FILE__, \
+                                              __LINE__))
+
+#define SCK_ENSURES(cond)                                                      \
+  ((cond) ? static_cast<void>(0)                                               \
+          : ::sck::detail::contract_violation("Postcondition", #cond, __FILE__, \
+                                              __LINE__))
+
+#define SCK_ASSERT(cond)                                                   \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::sck::detail::contract_violation("Invariant", #cond, __FILE__, \
+                                              __LINE__))

@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation for sampled fault-injection
+// campaigns. Every sampled experiment in the repository takes an explicit
+// seed so results are bit-reproducible across runs and machines; we use
+// SplitMix64 (Steele et al.) for seeding and xoshiro256** (Blackman/Vigna)
+// for the stream, both public-domain algorithms reimplemented here to avoid
+// any dependence on the standard library's unspecified distributions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace sck {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG with a 2^256-1 period.
+class Xoshiro256 {
+ public:
+  explicit constexpr Xoshiro256(std::uint64_t seed) : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) by Lemire's multiply-shift rejection.
+  constexpr std::uint64_t bounded(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Rejection-free fast path is fine here: bias is < 2^-32 for the bounds
+    // used by the campaigns (all far below 2^32), negligible vs sampling noise.
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * static_cast<unsigned __int128>(bound);
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace sck

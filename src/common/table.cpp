@@ -1,0 +1,93 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace sck {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), /*separator=*/false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, /*separator=*/true}); }
+
+void TextTable::print(std::ostream& os) const {
+  // Compute column widths over header and all rows.
+  std::size_t ncols = header_.size();
+  for (const Row& r : rows_) ncols = std::max(ncols, r.cells.size());
+  if (ncols == 0) return;
+
+  std::vector<std::size_t> width(ncols, 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = std::max(width[c], header_[c].size());
+  for (const Row& r : rows_)
+    for (std::size_t c = 0; c < r.cells.size(); ++c)
+      width[c] = std::max(width[c], r.cells[c].size());
+
+  const auto hline = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < ncols; ++c) {
+      for (std::size_t i = 0; i < width[c] + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string{};
+      os << ' ' << s;
+      for (std::size_t i = s.size(); i < width[c] + 1; ++i) os << ' ';
+      os << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  hline();
+  if (!header_.empty()) {
+    emit_row(header_);
+    hline();
+  }
+  for (const Row& r : rows_) {
+    if (r.separator) {
+      hline();
+    } else {
+      emit_row(r.cells);
+    }
+  }
+  hline();
+}
+
+std::string format_percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string format_count(unsigned long long value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int counter = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (counter != 0 && counter % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++counter;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace sck

@@ -1,0 +1,98 @@
+#include "core/op_library.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace sck {
+
+using fault::OpKind;
+using fault::Technique;
+
+OperatorLibrary OperatorLibrary::with_default_characterization() {
+  OperatorLibrary lib;
+  // Software cost: extra ALU operations the hidden control issues per use
+  // (comparisons included; residue generation counted as one op per datum).
+  // Hardware cost: extra functional units a naive (unshared) mapping needs.
+  // Coverage: measured by run_exhaustive / run_sampled at 8 bits with the
+  // worst-case shared-unit allocation (see bench/table1_operator_coverage);
+  // update via set_coverage() after re-running a campaign.
+  lib.entries_ = {
+      {OpKind::kAdd, Technique::kNone, 0, 0, 0.0},
+      {OpKind::kAdd, Technique::kTech1, 2, 2, 0.9805},
+      {OpKind::kAdd, Technique::kTech2, 2, 2, 0.9961},
+      {OpKind::kAdd, Technique::kBoth, 4, 4, 0.9971},
+      {OpKind::kAdd, Technique::kResidue3, 4, 3, 0.97},
+      {OpKind::kSub, Technique::kNone, 0, 0, 0.0},
+      {OpKind::kSub, Technique::kTech1, 2, 2, 0.98},
+      {OpKind::kSub, Technique::kTech2, 3, 3, 0.97},
+      {OpKind::kSub, Technique::kBoth, 5, 5, 0.995},
+      {OpKind::kSub, Technique::kResidue3, 4, 3, 0.97},
+      {OpKind::kMul, Technique::kNone, 0, 0, 0.0},
+      {OpKind::kMul, Technique::kTech1, 4, 3, 0.96},
+      {OpKind::kMul, Technique::kTech2, 4, 3, 0.96},
+      {OpKind::kMul, Technique::kBoth, 8, 6, 0.975},
+      {OpKind::kDiv, Technique::kNone, 0, 0, 0.0},
+      {OpKind::kDiv, Technique::kTech1, 3, 3, 0.94},
+      {OpKind::kDiv, Technique::kTech2, 5, 5, 0.95},
+      {OpKind::kDiv, Technique::kBoth, 8, 8, 0.96},
+  };
+  return lib;
+}
+
+void OperatorLibrary::set_coverage(OpKind op, Technique tech, double coverage) {
+  SCK_EXPECTS(coverage >= 0.0 && coverage <= 1.0);
+  for (auto& e : entries_) {
+    if (e.op == op && e.tech == tech) {
+      e.coverage = coverage;
+      return;
+    }
+  }
+  SCK_EXPECTS(false && "technique not in catalogue");
+}
+
+const TechniqueCharacterization* OperatorLibrary::find(OpKind op,
+                                                       Technique tech) const {
+  for (const auto& e : entries_) {
+    if (e.op == op && e.tech == tech) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<TechniqueCharacterization> OperatorLibrary::entries_for(
+    OpKind op) const {
+  std::vector<TechniqueCharacterization> out;
+  for (const auto& e : entries_) {
+    if (e.op == op) out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TechniqueCharacterization& a,
+               const TechniqueCharacterization& b) {
+              return a.sw_extra_ops < b.sw_extra_ops;
+            });
+  return out;
+}
+
+std::vector<TechniqueCharacterization> OperatorLibrary::pareto_frontier(
+    OpKind op) const {
+  std::vector<TechniqueCharacterization> sorted = entries_for(op);
+  std::vector<TechniqueCharacterization> frontier;
+  double best = -1.0;
+  for (const auto& e : sorted) {
+    if (e.coverage > best) {
+      frontier.push_back(e);
+      best = e.coverage;
+    }
+  }
+  return frontier;
+}
+
+std::optional<Technique> OperatorLibrary::cheapest_meeting(
+    OpKind op, double min_coverage) const {
+  for (const auto& e : entries_for(op)) {
+    if (e.coverage >= min_coverage) return e.tech;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sck

@@ -1,0 +1,68 @@
+// The "extensible reliability library" (§5.1 bullet 1 and the paper's
+// stated future work): a catalogue of self-checking operator
+// implementations, each characterised by cost and fault coverage, plus a
+// selector that picks the cheapest technique meeting a coverage target.
+//
+// Costs are static properties of the technique (how many extra data-path
+// operations the hidden control issues, and how many extra functional units
+// a naive hardware mapping instantiates); coverages are *measured* — the
+// library ships with the numbers from our 8-bit worst-case campaigns
+// (regenerate with bench/table1_operator_coverage) and can be re-calibrated
+// at runtime from any CampaignResult via set_coverage().
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fault/technique.h"
+
+namespace sck {
+
+/// One catalogue entry: an (operator, technique) pair with its cost and
+/// measured worst-case coverage.
+struct TechniqueCharacterization {
+  fault::OpKind op{};
+  fault::Technique tech{};
+  int sw_extra_ops = 0;    ///< extra ALU ops per use (software cost proxy)
+  int hw_extra_fus = 0;    ///< extra functional units in a naive HW mapping
+  double coverage = 0.0;   ///< worst-case (shared-unit) fault coverage
+};
+
+/// Queryable catalogue of the techniques shipped with the library.
+class OperatorLibrary {
+ public:
+  /// Catalogue seeded with the shipped cost model and the coverages
+  /// measured by our campaigns at 8-bit operand width.
+  [[nodiscard]] static OperatorLibrary with_default_characterization();
+
+  /// Re-calibrate one entry's coverage (e.g. from a fresh campaign at a
+  /// different width or on a different unit architecture).
+  void set_coverage(fault::OpKind op, fault::Technique tech, double coverage);
+
+  /// Entry lookup; nullptr when the pair is not in the catalogue.
+  [[nodiscard]] const TechniqueCharacterization* find(
+      fault::OpKind op, fault::Technique tech) const;
+
+  /// All entries for one operator, sorted by software cost.
+  [[nodiscard]] std::vector<TechniqueCharacterization> entries_for(
+      fault::OpKind op) const;
+
+  /// Cost/coverage Pareto frontier for one operator: entries not dominated
+  /// by a cheaper-or-equal entry with higher-or-equal coverage.
+  [[nodiscard]] std::vector<TechniqueCharacterization> pareto_frontier(
+      fault::OpKind op) const;
+
+  /// Cheapest technique whose worst-case coverage is >= min_coverage;
+  /// nullopt when no catalogued technique reaches the target.
+  [[nodiscard]] std::optional<fault::Technique> cheapest_meeting(
+      fault::OpKind op, double min_coverage) const;
+
+  [[nodiscard]] const std::vector<TechniqueCharacterization>& all() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<TechniqueCharacterization> entries_;
+};
+
+}  // namespace sck

@@ -1,0 +1,7 @@
+#include "core/ops_hw.h"
+
+namespace sck {
+
+thread_local AluPool* ScopedAluPool::current_ = nullptr;
+
+}  // namespace sck

@@ -1,0 +1,51 @@
+// Per-operator technique selection for SCK<T>.
+//
+// The paper's §3.2 envisions "an extensible reliability library … each one
+// with a cost/fault coverage characterization; the designer can select
+// different self-checking approaches depending on the trade-off". The
+// TechniqueProfile is that selection: one technique per arithmetic operator
+// plus switches for the logic/shift checks (our extension). It is a
+// structural type so it can be passed as a C++20 non-type template
+// parameter — the selection is fixed at compile time exactly like choosing
+// a different overload implementation in the paper's SystemC-Plus class.
+#pragma once
+
+#include "fault/technique.h"
+
+namespace sck {
+
+/// Compile-time selection of the hidden control used by each operator.
+struct TechniqueProfile {
+  fault::Technique add = fault::Technique::kTech1;
+  fault::Technique sub = fault::Technique::kTech1;
+  fault::Technique mul = fault::Technique::kTech1;
+  fault::Technique div = fault::Technique::kTech1;
+  bool check_logic = true;  ///< De-Morgan-dual / self-inverse checks for & | ^
+  bool check_shift = true;  ///< inverse-shift checks for << >>
+
+  friend constexpr bool operator==(const TechniqueProfile&,
+                                   const TechniqueProfile&) = default;
+};
+
+/// Paper-default profile: the single Tech1 control everywhere (Fig. 2).
+inline constexpr TechniqueProfile kDefaultProfile{};
+
+/// Maximum-coverage profile: both controls on every operator (Table 1
+/// "Both" column; division keeps Tech1&2 as well).
+inline constexpr TechniqueProfile kHighCoverageProfile{
+    fault::Technique::kBoth, fault::Technique::kBoth, fault::Technique::kBoth,
+    fault::Technique::kBoth, true, true};
+
+/// Low-cost profile: mod-3 residue checks where exact (add/sub), Tech1
+/// elsewhere, logic/shift checks off.
+inline constexpr TechniqueProfile kLowCostProfile{
+    fault::Technique::kResidue3, fault::Technique::kResidue3,
+    fault::Technique::kTech1, fault::Technique::kTech1, false, false};
+
+/// No checks at all: SCK degenerates to a plain value wrapper that still
+/// propagates the error bit (useful as the baseline in overhead benches).
+inline constexpr TechniqueProfile kUncheckedProfile{
+    fault::Technique::kNone, fault::Technique::kNone, fault::Technique::kNone,
+    fault::Technique::kNone, false, false};
+
+}  // namespace sck

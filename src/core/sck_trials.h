@@ -1,0 +1,95 @@
+// Whole-mechanism trial functors: execute SCK<T> operators end to end
+// through the hardware backend (HwOps + AluPool) and classify the outcome.
+//
+// Unlike fault/trials.h — which evaluates one check recipe against one unit
+// in isolation — these trials exercise the complete published mechanism:
+// operator overloading, error-bit management, and the allocation policy
+// that §2.1 identifies as the decisive factor ("different functional units
+// perform the two operations" => 100% coverage; same unit => the §4 worst
+// case). The campaign drivers of fault/campaign.h accept them directly.
+#pragma once
+
+#include "common/word.h"
+#include "core/alu_pool.h"
+#include "core/ops_hw.h"
+#include "core/sck.h"
+#include "fault/outcome.h"
+
+namespace sck {
+
+namespace detail {
+
+template <typename S>
+[[nodiscard]] fault::Outcome classify_sck(const S& result, Word golden,
+                                          int width) {
+  const bool wrong =
+      from_signed(result.GetID(), width) != trunc(golden, width);
+  return fault::classify(wrong, !result.GetError());
+}
+
+}  // namespace detail
+
+/// Checked addition through SCK<int, P, HwOps<int>> on the given pool.
+template <TechniqueProfile P = kDefaultProfile>
+struct SckAddTrial {
+  AluPool& pool;
+
+  [[nodiscard]] fault::Outcome operator()(Word a, Word b) const {
+    ScopedAluPool guard(pool);
+    using S = SCK<int, P, HwOps<int>>;
+    const int n = pool.width();
+    const S x = static_cast<int>(to_signed(a, n));
+    const S y = static_cast<int>(to_signed(b, n));
+    return detail::classify_sck(x + y, add(a, b, n), n);
+  }
+};
+
+template <TechniqueProfile P = kDefaultProfile>
+struct SckSubTrial {
+  AluPool& pool;
+
+  [[nodiscard]] fault::Outcome operator()(Word a, Word b) const {
+    ScopedAluPool guard(pool);
+    using S = SCK<int, P, HwOps<int>>;
+    const int n = pool.width();
+    const S x = static_cast<int>(to_signed(a, n));
+    const S y = static_cast<int>(to_signed(b, n));
+    return detail::classify_sck(x - y, sub(a, b, n), n);
+  }
+};
+
+template <TechniqueProfile P = kDefaultProfile>
+struct SckMulTrial {
+  AluPool& pool;
+
+  [[nodiscard]] fault::Outcome operator()(Word a, Word b) const {
+    ScopedAluPool guard(pool);
+    using S = SCK<int, P, HwOps<int>>;
+    const int n = pool.width();
+    const S x = static_cast<int>(to_signed(a, n));
+    const S y = static_cast<int>(to_signed(b, n));
+    return detail::classify_sck(x * y, mul(a, b, n), n);
+  }
+};
+
+/// Checked division; requires b != 0 (run campaigns with skip_b_zero).
+/// Division through HwOps is signed (magnitudes on the divider unit), so
+/// the golden model here is host signed division over the same operands.
+template <TechniqueProfile P = kDefaultProfile>
+struct SckDivTrial {
+  AluPool& pool;
+
+  [[nodiscard]] fault::Outcome operator()(Word a, Word b) const {
+    ScopedAluPool guard(pool);
+    using S = SCK<int, P, HwOps<int>>;
+    const int n = pool.width();
+    const auto sa = static_cast<int>(to_signed(a, n));
+    const auto sb = static_cast<int>(to_signed(b, n));
+    const S x = sa;
+    const S y = sb;
+    const Word golden = from_signed(sb == 0 ? 0 : sa / sb, n);
+    return detail::classify_sck(x / y, golden, n);
+  }
+};
+
+}  // namespace sck

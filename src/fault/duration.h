@@ -1,0 +1,166 @@
+// Fault-duration models: permanent, transient and intermittent faults.
+//
+// §2 of the paper: "Both permanent and transient and intermittent faults
+// are covered by our approach, the latter increasingly likely to occur in
+// any integrated device". The base trials of fault/trials.h model the
+// permanent case (the fault persists through the nominal operation and its
+// hidden control — the §4 worst case). The wrappers here re-run the same
+// checked operations while toggling the injected fault per operation phase:
+//
+//   kTransient    the fault is active during the nominal operation only
+//                 (a particle strike that has decayed by the time the
+//                 control executes). Any observable error is then caught —
+//                 coverage is exactly 100%, the same mechanism as the
+//                 distinct-unit allocation;
+//   kIntermittent the fault is active during any given operation with a
+//                 duty probability (a marginal contact, a noisy supply).
+//                 Masking needs the fault active during the nominal *and*
+//                 compensating during the check, so coverage interpolates
+//                 between the transient and permanent extremes.
+//
+// The wrappers restore the campaign's injected fault before returning, so
+// they compose with run_exhaustive / run_sampled unchanged.
+#pragma once
+
+#include "common/rng.h"
+#include "common/word.h"
+#include "fault/outcome.h"
+#include "fault/technique.h"
+#include "hw/comparator.h"
+#include "hw/fault_site.h"
+
+namespace sck::fault {
+
+/// How long the injected fault stays active.
+enum class FaultDuration : unsigned char {
+  kPermanent,
+  kTransient,
+  kIntermittent,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(FaultDuration d) {
+  switch (d) {
+    case FaultDuration::kPermanent:
+      return "permanent";
+    case FaultDuration::kTransient:
+      return "transient";
+    case FaultDuration::kIntermittent:
+      return "intermittent";
+  }
+  return "?";
+}
+
+/// Per-trial fault toggling for one unit. Captures the campaign-injected
+/// fault on construction and restores it on destruction; phase() arms or
+/// disarms the fault for the next operation according to the duration
+/// model.
+template <typename Unit>
+class FaultWindow {
+ public:
+  FaultWindow(Unit& unit, FaultDuration duration, Xoshiro256* rng,
+              std::uint32_t duty_permille)
+      : unit_(unit),
+        injected_(unit.fault()),
+        duration_(duration),
+        rng_(rng),
+        duty_permille_(duty_permille) {}
+
+  ~FaultWindow() { unit_.set_fault(injected_); }
+
+  FaultWindow(const FaultWindow&) = delete;
+  FaultWindow& operator=(const FaultWindow&) = delete;
+
+  /// Arm/disarm before an operation. `nominal` marks the nominal phase.
+  void phase(bool nominal) {
+    bool active = false;
+    switch (duration_) {
+      case FaultDuration::kPermanent:
+        active = true;
+        break;
+      case FaultDuration::kTransient:
+        active = nominal;
+        break;
+      case FaultDuration::kIntermittent:
+        active = rng_ != nullptr && rng_->bounded(1000) < duty_permille_;
+        break;
+    }
+    if (active) {
+      unit_.set_fault(injected_);
+    } else {
+      unit_.clear_fault();
+    }
+  }
+
+ private:
+  Unit& unit_;
+  hw::FaultSite injected_;
+  FaultDuration duration_;
+  Xoshiro256* rng_;
+  std::uint32_t duty_permille_;
+};
+
+/// Checked addition under a fault-duration model (Tech1/Tech2/Both only;
+/// the residue path needs the carry phase-coupled and is covered by the
+/// base trial for the permanent case).
+template <typename Adder>
+struct DurationAddTrial {
+  Adder& adder;  // toggled per phase; campaign injects the fault
+  Technique tech = Technique::kTech1;
+  FaultDuration duration = FaultDuration::kTransient;
+  Xoshiro256* rng = nullptr;        // required for kIntermittent
+  std::uint32_t duty_permille = 500;
+
+  [[nodiscard]] Outcome operator()(Word a, Word b) const {
+    SCK_EXPECTS(tech != Technique::kResidue3);
+    const int n = adder.width();
+    const Word golden = sck::add(a, b, n);
+    FaultWindow<Adder> window(adder, duration, rng, duty_permille);
+
+    window.phase(/*nominal=*/true);
+    const Word ris = adder.add(a, b);
+    bool ok = true;
+    if (uses_tech1(tech)) {
+      window.phase(false);
+      ok = ok && hw::equal(adder.sub(ris, a), b, n);
+    }
+    if (uses_tech2(tech)) {
+      window.phase(false);
+      ok = ok && hw::equal(adder.sub(ris, b), a, n);
+    }
+    return classify(ris != golden, ok);
+  }
+};
+
+/// Checked subtraction under a fault-duration model.
+template <typename Adder>
+struct DurationSubTrial {
+  Adder& adder;
+  Technique tech = Technique::kTech1;
+  FaultDuration duration = FaultDuration::kTransient;
+  Xoshiro256* rng = nullptr;
+  std::uint32_t duty_permille = 500;
+
+  [[nodiscard]] Outcome operator()(Word a, Word b) const {
+    SCK_EXPECTS(tech != Technique::kResidue3);
+    const int n = adder.width();
+    const Word golden = sck::sub(a, b, n);
+    FaultWindow<Adder> window(adder, duration, rng, duty_permille);
+
+    window.phase(true);
+    const Word ris = adder.sub(a, b);
+    bool ok = true;
+    if (uses_tech1(tech)) {
+      window.phase(false);
+      ok = ok && hw::equal(adder.add(ris, b), a, n);
+    }
+    if (uses_tech2(tech)) {
+      window.phase(false);
+      const Word risp = adder.sub(b, a);
+      window.phase(false);
+      ok = ok && hw::is_zero(adder.add(ris, risp), n);
+    }
+    return classify(ris != golden, ok);
+  }
+};
+
+}  // namespace sck::fault

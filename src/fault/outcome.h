@@ -1,0 +1,50 @@
+// Outcome classification for one fault-injection trial.
+//
+// §4 of the paper partitions the behaviour of a checked operation executed
+// on a (possibly) faulty unit into:
+//   - the result is correct and the check passes            (silent correct)
+//   - the result is correct but the check fires             (detected correct)
+//     — the paper highlights this class: unlike classical self-checking
+//     logic, the method can flag a latent fault even when the visible
+//     output happens to be right, shrinking the window for a second fault;
+//   - the result is wrong and the check fires               (detected erroneous)
+//   - the result is wrong and the check passes              (masked — §4's
+//     case 2b, the only class that hurts fault coverage).
+#pragma once
+
+#include <string_view>
+
+namespace sck::fault {
+
+/// Four-way classification of a single (fault, input) trial.
+enum class Outcome : unsigned char {
+  kSilentCorrect,
+  kDetectedCorrect,
+  kDetectedErroneous,
+  kMasked,
+};
+
+/// Classify from the two observable facts of a trial.
+[[nodiscard]] constexpr Outcome classify(bool result_erroneous,
+                                         bool check_passed) {
+  if (result_erroneous) {
+    return check_passed ? Outcome::kMasked : Outcome::kDetectedErroneous;
+  }
+  return check_passed ? Outcome::kSilentCorrect : Outcome::kDetectedCorrect;
+}
+
+[[nodiscard]] constexpr std::string_view to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kSilentCorrect:
+      return "silent-correct";
+    case Outcome::kDetectedCorrect:
+      return "detected-correct";
+    case Outcome::kDetectedErroneous:
+      return "detected-erroneous";
+    case Outcome::kMasked:
+      return "masked";
+  }
+  return "?";
+}
+
+}  // namespace sck::fault

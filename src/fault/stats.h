@@ -1,0 +1,69 @@
+// Aggregated counters over fault-injection trials and the metrics the
+// paper's tables report on top of them.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.h"
+#include "fault/outcome.h"
+
+namespace sck::fault {
+
+/// Trial counters plus the derived coverage/observability metrics.
+struct CampaignStats {
+  std::uint64_t silent_correct = 0;
+  std::uint64_t detected_correct = 0;
+  std::uint64_t detected_erroneous = 0;
+  std::uint64_t masked = 0;
+
+  constexpr void record(Outcome o) {
+    switch (o) {
+      case Outcome::kSilentCorrect:
+        ++silent_correct;
+        break;
+      case Outcome::kDetectedCorrect:
+        ++detected_correct;
+        break;
+      case Outcome::kDetectedErroneous:
+        ++detected_erroneous;
+        break;
+      case Outcome::kMasked:
+        ++masked;
+        break;
+    }
+  }
+
+  constexpr CampaignStats& operator+=(const CampaignStats& rhs) {
+    silent_correct += rhs.silent_correct;
+    detected_correct += rhs.detected_correct;
+    detected_erroneous += rhs.detected_erroneous;
+    masked += rhs.masked;
+    return *this;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t total() const {
+    return silent_correct + detected_correct + detected_erroneous + masked;
+  }
+
+  /// Table-2 "fault coverage": fraction of fault situations in which the
+  /// result is either correct or an error signal is raised (1 - masked/total).
+  [[nodiscard]] constexpr double coverage() const {
+    const std::uint64_t t = total();
+    if (t == 0) return 1.0;
+    return 1.0 - static_cast<double>(masked) / static_cast<double>(t);
+  }
+
+  /// Situations where the fault corrupted the visible result (§4's
+  /// "observable errors"; 216 for the paper's 2-bit example).
+  [[nodiscard]] constexpr std::uint64_t observable_errors() const {
+    return detected_erroneous + masked;
+  }
+
+  /// Situations where the check fired at all (including on correct outputs —
+  /// the paper's 352/384/428 side-counts for the 2-bit adder).
+  [[nodiscard]] constexpr std::uint64_t detections() const {
+    return detected_correct + detected_erroneous;
+  }
+};
+
+}  // namespace sck::fault

@@ -1,0 +1,67 @@
+// The catalogue of self-checking overloading techniques (paper Table 1).
+//
+// Tech1 / Tech2 are the paper's two inverse-operation controls per operator;
+// kBoth combines them (higher coverage, higher cost). kResidue3 is our
+// implementation of the extension the paper invites in §3.2 ("it is
+// straightforward to provide different implementations to obtain a
+// different trade-off"): a mod-3 residue check, the classic low-cost
+// arithmetic code.
+#pragma once
+
+#include <string_view>
+
+namespace sck::fault {
+
+/// Which hidden control a checked operator applies.
+enum class Technique : unsigned char {
+  kNone,      ///< no check (plain operator; error bit still propagates)
+  kTech1,     ///< first inverse-operation control of Table 1
+  kTech2,     ///< second inverse-operation control of Table 1
+  kBoth,      ///< Tech1 && Tech2
+  kResidue3,  ///< mod-3 residue code check (extension)
+};
+
+/// The four data-path operators characterised in Table 1.
+enum class OpKind : unsigned char { kAdd, kSub, kMul, kDiv };
+
+[[nodiscard]] constexpr std::string_view to_string(Technique t) {
+  switch (t) {
+    case Technique::kNone:
+      return "none";
+    case Technique::kTech1:
+      return "Tech1";
+    case Technique::kTech2:
+      return "Tech2";
+    case Technique::kBoth:
+      return "Tech1&2";
+    case Technique::kResidue3:
+      return "Residue3";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(OpKind k) {
+  switch (k) {
+    case OpKind::kAdd:
+      return "Add";
+    case OpKind::kSub:
+      return "Sub";
+    case OpKind::kMul:
+      return "Mult";
+    case OpKind::kDiv:
+      return "Div";
+  }
+  return "?";
+}
+
+/// True when the technique includes the Tech1 control.
+[[nodiscard]] constexpr bool uses_tech1(Technique t) {
+  return t == Technique::kTech1 || t == Technique::kBoth;
+}
+
+/// True when the technique includes the Tech2 control.
+[[nodiscard]] constexpr bool uses_tech2(Technique t) {
+  return t == Technique::kTech2 || t == Technique::kBoth;
+}
+
+}  // namespace sck::fault

@@ -1,0 +1,162 @@
+// Trial functors: one checked operation executed on (possibly faulty)
+// functional units, classified per fault/outcome semantics of §4.
+//
+// Worst-case allocation. Each trial models the paper's worst case — a
+// resource-limited system in which every operation of a given class runs on
+// the *same* unit instance. For operator + that means the nominal addition
+// and the inverse-subtraction control share one adder; for operator - the
+// Tech2 variant issues three operations on that one adder. The multiplier
+// and divider trials involve several unit *types* (e.g. the division check
+// needs a multiplier and an adder); under the single-functional-unit-failure
+// model exactly one of those units is faulty in any campaign step, so the
+// campaign driver iterates the fault over every involved unit while the
+// trial simply executes the data flow.
+//
+// Checker-side operations (equality / zero comparison, mod-3 residue
+// generation) are modelled fault-free, as discussed in hw/comparator.h.
+#pragma once
+
+#include "common/assert.h"
+#include "common/word.h"
+#include "fault/outcome.h"
+#include "fault/technique.h"
+#include "hw/array_multiplier.h"
+#include "hw/comparator.h"
+#include "hw/restoring_divider.h"
+
+namespace sck::fault {
+
+/// Mod-3 residue of an n-bit ring value (checker hardware, fault-free).
+[[nodiscard]] constexpr unsigned residue3(Word v) {
+  return static_cast<unsigned>(v % 3);
+}
+
+/// Mod-3 residue of 2^n (the carry-wrap correction term).
+[[nodiscard]] constexpr unsigned residue3_pow2(int n) {
+  return (n % 2 == 0) ? 1u : 2u;
+}
+
+/// Checked addition `ris = op1 + op2` (paper Fig. 2 / Table 1 "Add").
+/// Tech1: op2' = ris - op1, op2 == op2'.  Tech2: op1' = ris - op2, op1 == op1'.
+template <typename Adder>
+struct AddTrial {
+  const Adder& adder;
+  Technique tech = Technique::kTech1;
+
+  [[nodiscard]] Outcome operator()(Word a, Word b) const {
+    const int n = adder.width();
+    const Word golden = sck::add(a, b, n);
+    bool carry_out = false;
+    const Word ris = adder.add_c_out(a, b, false, carry_out);
+    bool ok = true;
+    if (uses_tech1(tech)) ok = ok && hw::equal(adder.sub(ris, a), b, n);
+    if (uses_tech2(tech)) ok = ok && hw::equal(adder.sub(ris, b), a, n);
+    if (tech == Technique::kResidue3) {
+      const unsigned lhs = (residue3(a) + residue3(b)) % 3;
+      const unsigned rhs =
+          (residue3(ris) + (carry_out ? residue3_pow2(n) : 0u)) % 3;
+      ok = lhs == rhs;
+    }
+    return classify(ris != golden, ok);
+  }
+};
+
+/// Checked subtraction `ris = op1 - op2` (Table 1 "Sub").
+/// Tech1: op1' = ris + op2, op1 == op1'.  Tech2: ris' = op2 - op1,
+/// 0 == ris + ris' (the closing addition also runs on the shared adder).
+template <typename Adder>
+struct SubTrial {
+  const Adder& adder;
+  Technique tech = Technique::kTech1;
+
+  [[nodiscard]] Outcome operator()(Word a, Word b) const {
+    const int n = adder.width();
+    const Word golden = sck::sub(a, b, n);
+    bool no_borrow = false;
+    const Word ris = adder.add_c_out(a, trunc(~b, n), true, no_borrow);
+    bool ok = true;
+    if (uses_tech1(tech)) ok = ok && hw::equal(adder.add(ris, b), a, n);
+    if (uses_tech2(tech)) {
+      const Word risp = adder.sub(b, a);
+      ok = ok && hw::is_zero(adder.add(ris, risp), n);
+    }
+    if (tech == Technique::kResidue3) {
+      // a - b = ris - (1 - carry_out) * 2^n over the integers.
+      const unsigned lhs = (residue3(a) + 3u - residue3(b)) % 3;
+      const unsigned rhs =
+          (residue3(ris) + 3u - (no_borrow ? 0u : residue3_pow2(n))) % 3;
+      ok = lhs == rhs;
+    }
+    return classify(ris != golden, ok);
+  }
+};
+
+/// Checked multiplication `ris = op1 x op2` (Table 1 "Mult").
+/// Tech1: ris' = (-op1) x op2, 0 == ris + ris'.
+/// Tech2: ris' = op1 x (-op2), 0 == ris + ris'.
+/// Negations and the closing addition run on the adder unit; the products
+/// run on the (shared) multiplier unit.
+template <typename Adder>
+struct MulTrial {
+  const hw::ArrayMultiplier& mult;
+  const Adder& adder;
+  Technique tech = Technique::kTech1;
+
+  [[nodiscard]] Outcome operator()(Word a, Word b) const {
+    SCK_EXPECTS(tech != Technique::kResidue3);  // needs the full-width product
+    const int n = adder.width();
+    const Word golden = sck::mul(a, b, n);
+    const Word ris = mult.mul(a, b);
+    bool ok = true;
+    if (uses_tech1(tech)) {
+      const Word risp = mult.mul(adder.negate(a), b);
+      ok = ok && hw::is_zero(adder.add(ris, risp), n);
+    }
+    if (uses_tech2(tech)) {
+      const Word risp = mult.mul(a, adder.negate(b));
+      ok = ok && hw::is_zero(adder.add(ris, risp), n);
+    }
+    return classify(ris != golden, ok);
+  }
+};
+
+/// Checked division `ris = op1 / op2`, remainder `op1 % op2` (Table 1 "Div").
+/// Tech1: op1' = ris x op2 + (op1 % op2), op1 == op1'.
+/// Tech2: op1' = -ris x op2 - (op1 % op2), 0 == op1 + op1'.
+/// The divider produces quotient and remainder together; the check runs on
+/// the multiplier and adder units. A faulty divider can trade quotient
+/// against remainder (q' b + r' == a with (q', r') != (q, r)) — the masking
+/// mode that makes "/" the weakest operator in Table 1.
+template <typename Adder>
+struct DivTrial {
+  const hw::RestoringDivider& divider;
+  const hw::ArrayMultiplier& mult;
+  const Adder& adder;
+  Technique tech = Technique::kTech1;
+
+  [[nodiscard]] Outcome operator()(Word a, Word b) const {
+    SCK_EXPECTS(tech != Technique::kResidue3);
+    const int n = adder.width();
+    a = trunc(a, n);
+    b = trunc(b, n);
+    SCK_EXPECTS(b != 0);
+    const Word golden_q = a / b;
+    const Word golden_r = a % b;
+    const hw::DivResult dr = divider.divide(a, b);
+    const Word q = trunc(dr.quotient, n);
+    const Word r = trunc(dr.remainder, n);  // output port is n bits wide
+    bool ok = true;
+    if (uses_tech1(tech)) {
+      const Word op1p = adder.add(mult.mul(q, b), r);
+      ok = ok && hw::equal(op1p, a, n);
+    }
+    if (uses_tech2(tech)) {
+      const Word t = mult.mul(adder.negate(q), b);
+      const Word op1p = adder.sub(t, r);
+      ok = ok && hw::is_zero(adder.add(a, op1p), n);
+    }
+    return classify(q != golden_q || r != golden_r, ok);
+  }
+};
+
+}  // namespace sck::fault

@@ -1,0 +1,132 @@
+#include "hls/area_time.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace sck::hls {
+
+namespace {
+
+double fu_slices(const FuInstance& fu, const AreaTimeParams& p) {
+  const double w = fu.width;
+  switch (fu.cls) {
+    case ResourceClass::kAddSub:
+      return p.addsub_slices_per_bit * w;
+    case ResourceClass::kMul:
+      return p.mul_slices_16bit * (w / 16.0) * (w / 16.0);
+    case ResourceClass::kDivRem:
+      return p.divrem_slices_per_bit * w;
+    case ResourceClass::kCmp:
+      return p.cmp_slices_per_bit * w;
+    case ResourceClass::kLogic:
+      return p.logic_gate_slices;
+  }
+  return 0.0;
+}
+
+double fu_delay(ResourceClass cls, const AreaTimeParams& p) {
+  switch (cls) {
+    case ResourceClass::kAddSub:
+      return p.addsub_delay_ns;
+    case ResourceClass::kMul:
+      return p.mul_delay_ns;
+    case ResourceClass::kDivRem:
+      return p.divrem_delay_ns;
+    case ResourceClass::kCmp:
+      return p.cmp_delay_ns;
+    case ResourceClass::kLogic:
+      return p.logic_delay_ns;
+  }
+  return 0.0;
+}
+
+double mux_levels(int fanin) {
+  return fanin <= 1 ? 0.0 : std::ceil(std::log2(static_cast<double>(fanin)));
+}
+
+}  // namespace
+
+HwReport evaluate_netlist(const Netlist& nl, const AreaTimeParams& p) {
+  HwReport r;
+  r.steps = nl.num_steps;
+
+  // ---- area ---------------------------------------------------------------
+  for (const FuInstance& fu : nl.fus) r.slices_fu += fu_slices(fu, p);
+
+  for (const RegisterInfo& reg : nl.regs) {
+    r.slices_reg += p.reg_slices_per_bit * reg.width;
+  }
+
+  const auto fanins = nl.fu_port_fanins();
+  for (std::size_t f = 0; f < nl.fus.size(); ++f) {
+    const int width = nl.fus[f].width;
+    for (int port = 0; port < 2; ++port) {
+      const int k = fanins[f][static_cast<std::size_t>(port)];
+      if (k > 1) r.slices_mux += (k - 1) * width * p.mux_slices_per_input_bit;
+    }
+  }
+  const auto reg_fanins = nl.reg_write_fanins();
+  for (std::size_t i = 0; i < nl.regs.size(); ++i) {
+    if (reg_fanins[i] > 1) {
+      r.slices_mux +=
+          (reg_fanins[i] - 1) * nl.regs[i].width * p.mux_slices_per_input_bit;
+    }
+  }
+
+  // Glue gates (not/and/or micro-ops without an FU).
+  int glue_gates = 0;
+  std::set<long long> distinct_consts;
+  for (const MicroOp& m : nl.micro) {
+    if (m.fu < 0) ++glue_gates;
+    for (const Operand& src : m.src) {
+      if (src.kind == Operand::Kind::kConst) distinct_consts.insert(src.value);
+    }
+  }
+  r.slices_ctrl += glue_gates * p.logic_gate_slices;
+  r.slices_ctrl += static_cast<double>(distinct_consts.size()) *
+                   p.rom_slices_per_const;
+  r.slices_ctrl += p.fsm_base_slices + p.fsm_slices_per_step * nl.num_steps;
+
+  r.slices = r.slices_fu + r.slices_reg + r.slices_mux + r.slices_ctrl;
+
+  // ---- timing ---------------------------------------------------------------
+  // Critical step: worst (mux levels + unit delay) over FUs, plus an
+  // interconnect term growing with design size, plus register setup.
+  double worst_ns = 0.0;
+  for (std::size_t f = 0; f < nl.fus.size(); ++f) {
+    const int fanin = std::max(fanins[f][0], fanins[f][1]);
+    const double path = mux_levels(fanin) * p.mux_delay_per_level_ns +
+                        fu_delay(nl.fus[f].cls, p);
+    worst_ns = std::max(worst_ns, path);
+  }
+  const double cells =
+      static_cast<double>(nl.fus.size() + nl.regs.size()) + 1.0;
+  worst_ns += p.interconnect_per_log2_cell_ns * std::log2(cells + 1.0);
+  worst_ns += p.setup_ns;
+  r.fmax_mhz = 1000.0 / worst_ns;
+
+  // ---- data-ready step ------------------------------------------------------
+  // The latest step writing a register that a data (non-"error") output or
+  // state register reads. Conservative and simple: latest micro-op step
+  // whose node value reaches an output port register.
+  int data_ready = 0;
+  std::set<int> data_regs;
+  for (const OutputPort& port : nl.outputs) {
+    if (port.name == "error") continue;
+    if (port.source.kind == Operand::Kind::kReg) {
+      data_regs.insert(port.source.index);
+    }
+  }
+  for (const MicroOp& m : nl.micro) {
+    if (m.dst_reg >= 0 && data_regs.count(m.dst_reg) != 0) {
+      data_ready = std::max(data_ready, m.step + 1);
+    }
+  }
+  r.data_ready_step = data_ready;
+
+  r.latency_formula = "2 + " + std::to_string(nl.num_steps) + "n";
+  return r;
+}
+
+}  // namespace sck::hls

@@ -1,0 +1,217 @@
+#include "hls/bind.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "common/assert.h"
+
+namespace sck::hls {
+
+namespace {
+
+/// Lifetime of a node's value in control steps: [def+1, last_use], where
+/// uses by registers' next-value inputs and by primary outputs extend the
+/// lifetime to the end of the iteration.
+struct Lifetime {
+  NodeId node = kNoNode;
+  int begin = 0;
+  int end = 0;
+};
+
+}  // namespace
+
+Binding bind(const Dfg& g, const Schedule& s,
+             const ResourceConstraints& constraints) {
+  // The schedule already respects the constraints (validate_schedule); the
+  // binder sizes each pool from the actual peak per-step usage, which can
+  // only be at or below the limits.
+  (void)constraints;
+  Binding b;
+  b.fu_of.assign(g.size(), -1);
+  b.reg_of.assign(g.size(), -1);
+
+  // ---- functional units ---------------------------------------------------
+  // Nodes grouped by (group, class); within each pool, per-step round-robin.
+  std::map<std::pair<int, int>, std::vector<NodeId>> pools;
+  for (NodeId id = 0; id < static_cast<NodeId>(g.size()); ++id) {
+    const Node& n = g.node(id);
+    if (!is_scheduled_op(n.op)) continue;
+    if (resource_class(n.op) == ResourceClass::kLogic) continue;  // glue
+    const int group =
+        (n.is_check && n.check_group != kSharedGroup) ? n.check_group
+                                                      : kSharedGroup;
+    pools[{group, static_cast<int>(resource_class(n.op))}].push_back(id);
+  }
+
+  for (auto& [key, nodes] : pools) {
+    const auto [group, cls_index] = key;
+    const auto cls = static_cast<ResourceClass>(cls_index);
+    std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId bb) {
+      if (s.step(a) != s.step(bb)) return s.step(a) < s.step(bb);
+      return a < bb;
+    });
+    // Instance count = peak concurrent use in any step.
+    int peak = 0;
+    {
+      int run = 0;
+      int run_step = -1;
+      for (const NodeId id : nodes) {
+        if (s.step(id) != run_step) {
+          run_step = s.step(id);
+          run = 0;
+        }
+        peak = std::max(peak, ++run);
+      }
+    }
+    // Pool width: comparators produce 1-bit results but process datapath
+    // operands, so size the unit by the widest value it touches.
+    int width = 1;
+    for (const NodeId id : nodes) {
+      width = std::max(width, g.node(id).width);
+      for (const NodeId in : g.node(id).ins) {
+        width = std::max(width, g.node(in).width);
+      }
+    }
+    const int first_fu = static_cast<int>(b.fus.size());
+    for (int i = 0; i < peak; ++i) {
+      FuInstance fu;
+      fu.cls = cls;
+      fu.width = width;
+      fu.group = group;
+      fu.name = std::string(to_string(cls)) +
+                (group == kSharedGroup ? "_u" : "_g" + std::to_string(group) +
+                                                    "_u") +
+                std::to_string(i);
+      b.fus.push_back(fu);
+    }
+    // Round-robin within each step.
+    int slot = 0;
+    int cur_step = -1;
+    for (const NodeId id : nodes) {
+      if (s.step(id) != cur_step) {
+        cur_step = s.step(id);
+        slot = 0;
+      }
+      b.fu_of[static_cast<std::size_t>(id)] = first_fu + slot++;
+    }
+  }
+
+  // ---- registers -----------------------------------------------------------
+  // Dedicated architectural registers first.
+  for (const NodeId r : g.state_regs()) {
+    RegisterInfo info;
+    info.width = g.node(r).width;
+    info.architectural = true;
+    info.name = g.node(r).name;
+    b.reg_of[static_cast<std::size_t>(r)] = static_cast<int>(b.regs.size());
+    b.regs.push_back(info);
+  }
+
+  // Lifetimes of scheduled values that someone consumes later.
+  std::vector<Lifetime> lifetimes;
+  for (NodeId id = 0; id < static_cast<NodeId>(g.size()); ++id) {
+    const Node& n = g.node(id);
+    if (!is_scheduled_op(n.op)) continue;
+    const int def = s.step(id);
+    int last_use = -1;
+    for (NodeId u = 0; u < static_cast<NodeId>(g.size()); ++u) {
+      const Node& user = g.node(u);
+      bool uses = false;
+      for (const NodeId in : user.ins) uses = uses || in == id;
+      if (!uses) continue;
+      if (user.op == Op::kReg || user.op == Op::kOutput) {
+        last_use = std::max(last_use, s.num_steps);  // end of iteration
+      } else if (is_scheduled_op(user.op)) {
+        last_use = std::max(last_use, s.step(u));
+      }
+    }
+    if (last_use > def) {
+      lifetimes.push_back(Lifetime{id, def + 1, last_use});
+    }
+  }
+
+  // Left-edge register allocation per width.
+  std::sort(lifetimes.begin(), lifetimes.end(),
+            [](const Lifetime& a, const Lifetime& b2) {
+              if (a.begin != b2.begin) return a.begin < b2.begin;
+              return a.node < b2.node;
+            });
+  // Shared registers: per width, track the end step of the last value.
+  struct SharedReg {
+    int reg_index;
+    int busy_until;  // last step the current value is needed
+  };
+  std::map<int, std::vector<SharedReg>> shared;  // width -> registers
+  for (const Lifetime& lt : lifetimes) {
+    const int width = g.node(lt.node).width;
+    auto& pool = shared[width];
+    int chosen = -1;
+    for (auto& r : pool) {
+      if (r.busy_until < lt.begin) {
+        chosen = r.reg_index;
+        r.busy_until = lt.end;
+        break;
+      }
+    }
+    if (chosen < 0) {
+      RegisterInfo info;
+      info.width = width;
+      info.architectural = false;
+      info.name = "r" + std::to_string(b.regs.size());
+      chosen = static_cast<int>(b.regs.size());
+      b.regs.push_back(info);
+      pool.push_back(SharedReg{chosen, lt.end});
+    }
+    b.reg_of[static_cast<std::size_t>(lt.node)] = chosen;
+  }
+
+  return b;
+}
+
+void validate_binding(const Dfg& g, const Schedule& s, const Binding& b) {
+  // No two operations on the same FU in the same step; classes match.
+  std::set<std::pair<int, int>> fu_step;
+  for (NodeId id = 0; id < static_cast<NodeId>(g.size()); ++id) {
+    const Node& n = g.node(id);
+    const int fu = b.fu(id);
+    if (fu < 0) continue;
+    SCK_ASSERT(is_scheduled_op(n.op));
+    SCK_ASSERT(b.fus[static_cast<std::size_t>(fu)].cls ==
+               resource_class(n.op));
+    const bool fresh = fu_step.insert({fu, s.step(id)}).second;
+    SCK_ASSERT(fresh && "two operations share an FU in one step");
+  }
+
+  // Register lifetimes: recompute and check for overlaps per register.
+  std::map<int, std::vector<std::pair<int, int>>> reg_intervals;
+  for (NodeId id = 0; id < static_cast<NodeId>(g.size()); ++id) {
+    const Node& n = g.node(id);
+    const int reg = b.reg(id);
+    if (reg < 0 || n.op == Op::kReg) continue;
+    const int def = s.step(id);
+    int last_use = -1;
+    for (NodeId u = 0; u < static_cast<NodeId>(g.size()); ++u) {
+      const Node& user = g.node(u);
+      bool uses = false;
+      for (const NodeId in : user.ins) uses = uses || in == id;
+      if (!uses) continue;
+      if (user.op == Op::kReg || user.op == Op::kOutput) {
+        last_use = std::max(last_use, s.num_steps);
+      } else if (is_scheduled_op(user.op)) {
+        last_use = std::max(last_use, s.step(u));
+      }
+    }
+    reg_intervals[reg].push_back({def + 1, last_use});
+  }
+  for (auto& [reg, intervals] : reg_intervals) {
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      SCK_ASSERT(intervals[i - 1].second < intervals[i].first &&
+                 "overlapping values in one register");
+    }
+  }
+}
+
+}  // namespace sck::hls

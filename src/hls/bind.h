@@ -1,0 +1,60 @@
+// Resource binding: map scheduled operations onto functional-unit
+// instances and allocate registers for values that cross control steps.
+//
+// Functional units: per resource class, the shared pool gets as many
+// instances as the schedule's peak per-step usage (never more than the
+// constraint); every class-based check group additionally gets one private
+// instance per class it uses. Operations in the same step never share an
+// instance; across steps instances are reused round-robin, which is what
+// creates the input multiplexers the area model charges for.
+//
+// Registers: every scheduled node whose value is consumed in a later step
+// (or by a register next-value / primary output) is assigned a register.
+// Registers are shared across values of the same width with disjoint
+// lifetimes using the classic left-edge algorithm. Architectural state
+// (kReg nodes) keeps dedicated registers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/dfg.h"
+#include "hls/schedule.h"
+
+namespace sck::hls {
+
+struct FuInstance {
+  ResourceClass cls{};
+  int width = 0;
+  int group = kSharedGroup;  ///< kSharedGroup = shared-pool instance
+  std::string name;
+};
+
+struct RegisterInfo {
+  int width = 0;
+  bool architectural = false;  ///< dedicated state register (kReg)
+  std::string name;
+};
+
+struct Binding {
+  std::vector<int> fu_of;   ///< per node: FU instance index, -1 if none
+  std::vector<int> reg_of;  ///< per node: register holding its result, -1
+  std::vector<FuInstance> fus;
+  std::vector<RegisterInfo> regs;
+
+  [[nodiscard]] int fu(NodeId id) const {
+    return fu_of[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] int reg(NodeId id) const {
+    return reg_of[static_cast<std::size_t>(id)];
+  }
+};
+
+[[nodiscard]] Binding bind(const Dfg& g, const Schedule& s,
+                           const ResourceConstraints& constraints);
+
+/// Sanity checks: no two ops on one FU in the same step, FU classes match
+/// node ops, register lifetimes never overlap. Aborts on violation.
+void validate_binding(const Dfg& g, const Schedule& s, const Binding& b);
+
+}  // namespace sck::hls

@@ -1,0 +1,125 @@
+#include "hls/builder.h"
+
+#include <string>
+
+#include "common/assert.h"
+
+namespace sck::hls {
+
+namespace {
+
+/// Balanced summation tree over the given operands (keeps the critical path
+/// logarithmic, which is what a behavioural scheduler would also find).
+NodeId sum_tree(Dfg& g, std::vector<NodeId> terms) {
+  SCK_EXPECTS(!terms.empty());
+  while (terms.size() > 1) {
+    std::vector<NodeId> next;
+    next.reserve(terms.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      next.push_back(g.add(terms[i], terms[i + 1]));
+    }
+    if (terms.size() % 2 != 0) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  return terms.front();
+}
+
+}  // namespace
+
+Dfg build_fir(const FirSpec& spec) {
+  SCK_EXPECTS(!spec.coeffs.empty());
+  Dfg g;
+  const int w = spec.width;
+  const NodeId x = g.input("x", w);
+
+  // Delay line: d[0] = x, d[i] = x[k-i] held in registers.
+  std::vector<NodeId> delayed;
+  delayed.push_back(x);
+  NodeId prev = x;
+  for (std::size_t i = 1; i < spec.coeffs.size(); ++i) {
+    const NodeId d = g.state_reg("d" + std::to_string(i), w);
+    g.set_reg_next(d, prev);
+    delayed.push_back(d);
+    prev = d;
+  }
+
+  std::vector<NodeId> products;
+  products.reserve(spec.coeffs.size());
+  for (std::size_t i = 0; i < spec.coeffs.size(); ++i) {
+    const NodeId c = g.constant(spec.coeffs[i], w);
+    products.push_back(g.mul(c, delayed[i]));
+  }
+
+  (void)g.output("y", sum_tree(g, std::move(products)));
+  g.validate();
+  return g;
+}
+
+Dfg build_iir_biquad(const IirBiquadSpec& spec) {
+  Dfg g;
+  const int w = spec.width;
+  const NodeId x = g.input("x", w);
+
+  const NodeId x1 = g.state_reg("x1", w);
+  const NodeId x2 = g.state_reg("x2", w);
+  const NodeId y1 = g.state_reg("y1", w);
+  const NodeId y2 = g.state_reg("y2", w);
+
+  const NodeId b0 = g.constant(spec.b0, w);
+  const NodeId b1 = g.constant(spec.b1, w);
+  const NodeId b2 = g.constant(spec.b2, w);
+  const NodeId a1 = g.constant(spec.a1, w);
+  const NodeId a2 = g.constant(spec.a2, w);
+
+  const NodeId ff = g.add(g.add(g.mul(b0, x), g.mul(b1, x1)), g.mul(b2, x2));
+  const NodeId fb = g.add(g.mul(a1, y1), g.mul(a2, y2));
+  const NodeId y = g.sub(ff, fb);
+
+  g.set_reg_next(x1, x);
+  g.set_reg_next(x2, x1);
+  g.set_reg_next(y1, y);
+  g.set_reg_next(y2, y1);
+
+  (void)g.output("y", y);
+  g.validate();
+  return g;
+}
+
+Dfg build_dot(int length, int width) {
+  SCK_EXPECTS(length >= 1);
+  Dfg g;
+  std::vector<NodeId> products;
+  products.reserve(static_cast<std::size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    const NodeId a = g.input("a" + std::to_string(i), width);
+    const NodeId b = g.input("b" + std::to_string(i), width);
+    products.push_back(g.mul(a, b));
+  }
+  (void)g.output("dot", sum_tree(g, std::move(products)));
+  g.validate();
+  return g;
+}
+
+Dfg build_matvec(const std::vector<std::vector<long long>>& m, int width) {
+  SCK_EXPECTS(!m.empty() && !m.front().empty());
+  const std::size_t cols = m.front().size();
+  Dfg g;
+  std::vector<NodeId> v;
+  v.reserve(cols);
+  for (std::size_t j = 0; j < cols; ++j) {
+    v.push_back(g.input("v" + std::to_string(j), width));
+  }
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    SCK_EXPECTS(m[i].size() == cols);
+    std::vector<NodeId> terms;
+    terms.reserve(cols);
+    for (std::size_t j = 0; j < cols; ++j) {
+      terms.push_back(g.mul(g.constant(m[i][j], width), v[j]));
+    }
+    (void)g.output("y" + std::to_string(i), sum_tree(g, std::move(terms)));
+  }
+  g.validate();
+  return g;
+}
+
+}  // namespace sck::hls

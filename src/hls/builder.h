@@ -1,0 +1,39 @@
+// Kernel frontends: construct the DFGs of the paper's case study (FIR) and
+// of the additional data-path kernels used by the extended experiments.
+#pragma once
+
+#include <vector>
+
+#include "hls/dfg.h"
+
+namespace sck::hls {
+
+/// FIR specification: y[k] = sum_i coeff[i] * x[k-i]. The DFG holds the
+/// delay line in state registers, one multiplier node per tap and a
+/// balanced adder tree (input port "x", output port "y").
+struct FirSpec {
+  std::vector<long long> coeffs;
+  int width = 16;
+};
+
+[[nodiscard]] Dfg build_fir(const FirSpec& spec);
+
+/// Direct-form-I IIR biquad:
+/// y[k] = b0 x[k] + b1 x[k-1] + b2 x[k-2] - a1 y[k-1] - a2 y[k-2].
+struct IirBiquadSpec {
+  long long b0 = 1, b1 = 0, b2 = 0, a1 = 0, a2 = 0;
+  int width = 16;
+};
+
+[[nodiscard]] Dfg build_iir_biquad(const IirBiquadSpec& spec);
+
+/// Dot product of two streamed vectors of the given length (input ports
+/// "a0..", "b0.."; output "dot"), combinational per sample.
+[[nodiscard]] Dfg build_dot(int length, int width);
+
+/// Matrix-vector product y = M v for a constant matrix M (rows x cols);
+/// input ports "v0..", outputs "y0..".
+[[nodiscard]] Dfg build_matvec(const std::vector<std::vector<long long>>& m,
+                               int width);
+
+}  // namespace sck::hls

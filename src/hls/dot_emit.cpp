@@ -1,0 +1,47 @@
+#include "hls/dot_emit.h"
+
+#include <sstream>
+
+namespace sck::hls {
+
+std::string emit_dot(const Dfg& g, const std::string& name) {
+  std::ostringstream os;
+  os << "digraph " << name << " {\n";
+  os << "  rankdir=TB;\n  node [fontname=\"monospace\"];\n";
+  for (NodeId id = 0; id < static_cast<NodeId>(g.size()); ++id) {
+    const Node& n = g.node(id);
+    std::string label{to_string(n.op)};
+    if (!n.name.empty()) label += " " + n.name;
+    if (n.op == Op::kConst) label += " " + std::to_string(n.value);
+    os << "  n" << id << " [label=\"" << label << "\"";
+    switch (n.op) {
+      case Op::kInput:
+      case Op::kOutput:
+        os << ", shape=invhouse";
+        break;
+      case Op::kReg:
+        os << ", shape=box3d";
+        break;
+      case Op::kConst:
+        os << ", shape=plaintext";
+        break;
+      default:
+        os << ", shape=ellipse";
+        break;
+    }
+    if (n.is_check) os << ", style=dashed, color=red";
+    os << "];\n";
+  }
+  for (NodeId id = 0; id < static_cast<NodeId>(g.size()); ++id) {
+    const Node& n = g.node(id);
+    for (const NodeId in : n.ins) {
+      os << "  n" << in << " -> n" << id;
+      if (n.op == Op::kReg) os << " [style=dotted, label=\"next\"]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace sck::hls

@@ -1,0 +1,14 @@
+// Graphviz emitter for dataflow graphs (documentation and debugging).
+// Check operations inserted by the CED pass are drawn dashed/red so the
+// hidden controls are visually distinct from the nominal computation.
+#pragma once
+
+#include <string>
+
+#include "hls/dfg.h"
+
+namespace sck::hls {
+
+[[nodiscard]] std::string emit_dot(const Dfg& g, const std::string& name);
+
+}  // namespace sck::hls

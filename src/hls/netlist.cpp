@@ -1,0 +1,163 @@
+#include "hls/netlist.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/assert.h"
+
+namespace sck::hls {
+
+namespace {
+
+/// Resolve where a consumer scheduled at `use_step` reads node `producer`.
+Operand resolve_operand(const Dfg& g, const Schedule& s, const Binding& b,
+                        NodeId producer, int use_step,
+                        const std::vector<int>& input_index_of) {
+  const Node& p = g.node(producer);
+  Operand op;
+  switch (p.op) {
+    case Op::kConst:
+      op.kind = Operand::Kind::kConst;
+      op.value = p.value;
+      return op;
+    case Op::kInput:
+      op.kind = Operand::Kind::kInput;
+      op.index = input_index_of[static_cast<std::size_t>(producer)];
+      return op;
+    case Op::kReg:
+      op.kind = Operand::Kind::kReg;
+      op.index = b.reg(producer);
+      return op;
+    default: {
+      SCK_ASSERT(is_scheduled_op(p.op));
+      if (s.step(producer) == use_step) {
+        // Same-step combinational chain (1-bit glue).
+        op.kind = Operand::Kind::kWire;
+        op.index = producer;
+        return op;
+      }
+      const int reg = b.reg(producer);
+      SCK_ASSERT(reg >= 0 && "consumed value was never registered");
+      op.kind = Operand::Kind::kReg;
+      op.index = reg;
+      return op;
+    }
+  }
+}
+
+}  // namespace
+
+Netlist generate_netlist(const Dfg& g, const Schedule& s, const Binding& b,
+                         std::string name) {
+  Netlist nl;
+  nl.name = std::move(name);
+  nl.num_steps = s.num_steps;
+  nl.fus = b.fus;
+  nl.regs = b.regs;
+
+  // Data width: widest node in the graph.
+  nl.data_width = 1;
+  for (NodeId id = 0; id < static_cast<NodeId>(g.size()); ++id) {
+    nl.data_width = std::max(nl.data_width, g.node(id).width);
+  }
+
+  // Input ports, in declaration order.
+  std::vector<int> input_index_of(g.size(), -1);
+  for (const NodeId in : g.inputs()) {
+    input_index_of[static_cast<std::size_t>(in)] =
+        static_cast<int>(nl.input_names.size());
+    nl.input_names.push_back(g.node(in).name);
+  }
+
+  // Microcode, in dataflow order then stably by step.
+  for (const NodeId id : g.topo_order()) {
+    const Node& n = g.node(id);
+    if (!is_scheduled_op(n.op)) continue;
+    MicroOp m;
+    m.step = s.step(id);
+    m.node = id;
+    m.op = n.op;
+    m.fu = b.fu(id);
+    for (std::size_t k = 0; k < n.ins.size() && k < 2; ++k) {
+      m.src[k] = resolve_operand(g, s, b, n.ins[k], m.step, input_index_of);
+    }
+    m.dst_reg = b.reg(id);
+    nl.micro.push_back(m);
+  }
+  std::stable_sort(nl.micro.begin(), nl.micro.end(),
+                   [](const MicroOp& a, const MicroOp& bb) {
+                     return a.step < bb.step;
+                   });
+
+  // Primary outputs read their source's register (or constant/input).
+  for (const NodeId out : g.outputs()) {
+    const Node& n = g.node(out);
+    OutputPort port;
+    port.name = n.name;
+    port.source =
+        resolve_operand(g, s, b, n.ins[0], /*use_step=*/s.num_steps,
+                        input_index_of);
+    SCK_ASSERT(port.source.kind != Operand::Kind::kWire);
+    nl.outputs.push_back(std::move(port));
+  }
+
+  // Architectural state updates at the end of the iteration.
+  for (const NodeId reg : g.state_regs()) {
+    const Node& n = g.node(reg);
+    StateLoad load;
+    load.dst_reg = b.reg(reg);
+    load.source = resolve_operand(g, s, b, n.ins[0], /*use_step=*/s.num_steps,
+                                  input_index_of);
+    SCK_ASSERT(load.source.kind != Operand::Kind::kWire);
+    nl.state_loads.push_back(load);
+  }
+
+  return nl;
+}
+
+std::vector<std::array<int, 2>> Netlist::fu_port_fanins() const {
+  std::vector<std::set<std::pair<int, long long>>> port_sources[2];
+  port_sources[0].resize(fus.size());
+  port_sources[1].resize(fus.size());
+  for (const MicroOp& m : micro) {
+    if (m.fu < 0) continue;
+    for (int p = 0; p < 2; ++p) {
+      const Operand& src = m.src[static_cast<std::size_t>(p)];
+      if (src.kind == Operand::Kind::kNone) continue;
+      const auto key = std::pair<int, long long>{
+          static_cast<int>(src.kind) * 1000000 + src.index, src.value};
+      port_sources[p][static_cast<std::size_t>(m.fu)].insert(key);
+    }
+  }
+  std::vector<std::array<int, 2>> fanins(fus.size(), {0, 0});
+  for (std::size_t f = 0; f < fus.size(); ++f) {
+    fanins[f][0] = static_cast<int>(port_sources[0][f].size());
+    fanins[f][1] = static_cast<int>(port_sources[1][f].size());
+  }
+  return fanins;
+}
+
+std::vector<int> Netlist::reg_write_fanins() const {
+  std::vector<std::set<int>> writers(regs.size());
+  for (const MicroOp& m : micro) {
+    if (m.dst_reg >= 0) {
+      // Writers are FU outputs (or glue wires, keyed by node id offset).
+      writers[static_cast<std::size_t>(m.dst_reg)].insert(
+          m.fu >= 0 ? m.fu : 1000000 + m.node);
+    }
+  }
+  for (const StateLoad& load : state_loads) {
+    if (load.dst_reg >= 0) {
+      writers[static_cast<std::size_t>(load.dst_reg)].insert(
+          2000000 + static_cast<int>(load.source.kind) * 10000 +
+          load.source.index);
+    }
+  }
+  std::vector<int> out(regs.size(), 0);
+  for (std::size_t r = 0; r < regs.size(); ++r) {
+    out[r] = static_cast<int>(writers[r].size());
+  }
+  return out;
+}
+
+}  // namespace sck::hls

@@ -1,0 +1,68 @@
+// Cycle-accurate interpreter for generated netlists.
+//
+// Executes the FSM microcode step by step exactly as the emitted RTL would:
+// inputs are latched for the iteration, FU results are registered at the
+// end of their step, same-step glue reads combinational wires, and the
+// architectural state registers load in parallel at the end of the
+// iteration.
+//
+// The simulator evaluates arithmetic functional units through the
+// functional hardware models of src/hw, so a cell fault can be injected
+// into any FU instance — this closes the loop between synthesis and the
+// fault model: synthesize a self-checking FIR, break one adder slice, and
+// watch the "error" output rise (the end-to-end CED demonstration).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/word.h"
+#include "hls/netlist.h"
+#include "hw/array_multiplier.h"
+#include "hw/fault_site.h"
+#include "hw/restoring_divider.h"
+#include "hw/ripple_carry_adder.h"
+
+namespace sck::hls {
+
+class NetlistSim {
+ public:
+  explicit NetlistSim(const Netlist& netlist);
+
+  /// Inject a cell fault into one functional-unit instance (or clear it
+  /// with an inactive FaultSite). Comparators and glue are checker-side and
+  /// accept no faults (hw/comparator.h).
+  void set_fu_fault(int fu_index, const hw::FaultSite& fault);
+
+  /// Enumerate the fault universe of one FU instance (empty for
+  /// checker-side units).
+  [[nodiscard]] std::vector<hw::FaultSite> fu_fault_universe(
+      int fu_index) const;
+
+  /// Reset architectural state to zero.
+  void reset();
+
+  /// Run one sample iteration: latch `inputs`, execute all control steps,
+  /// update state, and return the output port values.
+  [[nodiscard]] std::unordered_map<std::string, Word> step_sample(
+      const std::unordered_map<std::string, Word>& inputs);
+
+  [[nodiscard]] const Netlist& netlist() const { return netlist_; }
+
+ private:
+  [[nodiscard]] Word read_operand(const Operand& op) const;
+
+  const Netlist& netlist_;
+  std::vector<Word> reg_value_;
+  std::vector<Word> input_value_;
+  std::unordered_map<NodeId, Word> wire_value_;  // within the current step
+
+  // One functional model per FU instance (index-aligned with netlist.fus;
+  // null for checker-side classes).
+  std::vector<std::unique_ptr<hw::RippleCarryAdder>> addsub_;
+  std::vector<std::unique_ptr<hw::ArrayMultiplier>> mul_;
+  std::vector<std::unique_ptr<hw::RestoringDivider>> div_;
+};
+
+}  // namespace sck::hls

@@ -1,0 +1,212 @@
+#include "hls/schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace sck::hls {
+
+namespace {
+
+/// 1-bit error-reduction glue chains combinationally with its producers
+/// (it does not take a control step of its own relative to them).
+[[nodiscard]] constexpr bool is_chained_logic(Op op) {
+  return op == Op::kNot || op == Op::kAnd || op == Op::kOr;
+}
+
+/// Step distance required from producer `p` to consumer `c`:
+///   - chained logic consumes in the producer's own step (distance 0);
+///   - everything else consumes one step after the producer;
+///   - a producer with a release_delay holds external consumers back until
+///     its check cluster completed — members of the producer's own cluster
+///     are exempt (they *are* the cluster).
+[[nodiscard]] int edge_distance(const Node& p, const Node& c) {
+  int extra = p.release_delay;
+  if (extra > 0 && c.is_check && c.check_group != kSharedGroup &&
+      c.check_group == p.check_group) {
+    extra = 0;
+  }
+  const int base = is_chained_logic(c.op) ? 0 : 1;
+  return base + extra;
+}
+
+/// Earliest feasible step of `id` given predecessor steps (-1 = wire,
+/// available from step 0).
+int ready_step(const Dfg& g, const std::vector<int>& step_of, NodeId id) {
+  const Node& me = g.node(id);
+  int earliest = 0;
+  for (const NodeId in : me.ins) {
+    const int s = step_of[static_cast<std::size_t>(in)];
+    if (s < 0) continue;
+    earliest = std::max(earliest, s + edge_distance(g.node(in), me));
+  }
+  return earliest;
+}
+
+/// True when `n` binds to a private per-group unit rather than the shared
+/// pool (check operations of a class-based cluster).
+[[nodiscard]] bool uses_private_unit(const Node& n) {
+  return n.is_check && n.check_group != kSharedGroup;
+}
+
+}  // namespace
+
+Schedule schedule_asap(const Dfg& g) {
+  Schedule s;
+  s.step_of.assign(g.size(), -1);
+  int max_step = -1;
+  for (const NodeId id : g.topo_order()) {
+    const Node& n = g.node(id);
+    if (!is_scheduled_op(n.op)) continue;
+    const int step = ready_step(g, s.step_of, id);
+    s.step_of[static_cast<std::size_t>(id)] = step;
+    max_step = std::max(max_step, step);
+  }
+  s.num_steps = max_step + 1;
+  return s;
+}
+
+Schedule schedule_alap(const Dfg& g, int latency) {
+  const Schedule asap = schedule_asap(g);
+  SCK_EXPECTS(latency >= asap.num_steps);
+
+  Schedule s;
+  s.step_of.assign(g.size(), -1);
+  s.num_steps = latency;
+
+  std::vector<NodeId> order = g.topo_order();
+  std::reverse(order.begin(), order.end());
+  std::vector<int> latest(g.size(), latency - 1);
+  for (const NodeId id : order) {
+    const Node& n = g.node(id);
+    if (is_scheduled_op(n.op)) {
+      s.step_of[static_cast<std::size_t>(id)] =
+          latest[static_cast<std::size_t>(id)];
+      for (const NodeId in : n.ins) {
+        auto& l = latest[static_cast<std::size_t>(in)];
+        l = std::min(l, latest[static_cast<std::size_t>(id)] -
+                            edge_distance(g.node(in), n));
+      }
+    }
+    // Wires (outputs, register next-values) do not constrain producers
+    // beyond the iteration boundary, which `latency - 1` already encodes.
+  }
+  return s;
+}
+
+Schedule schedule_list(const Dfg& g, const ResourceConstraints& constraints) {
+  const Schedule asap = schedule_asap(g);
+  const Schedule alap = schedule_alap(g, asap.num_steps);
+
+  Schedule s;
+  s.step_of.assign(g.size(), -1);
+
+  std::vector<int> pending(g.size(), 0);
+  std::vector<std::vector<NodeId>> users(g.size());
+  std::vector<NodeId> work;
+  for (NodeId id = 0; id < static_cast<NodeId>(g.size()); ++id) {
+    const Node& n = g.node(id);
+    if (!is_scheduled_op(n.op)) continue;
+    work.push_back(id);
+    for (const NodeId in : n.ins) {
+      if (is_scheduled_op(g.node(in).op)) {
+        ++pending[static_cast<std::size_t>(id)];
+        users[static_cast<std::size_t>(in)].push_back(id);
+      }
+    }
+  }
+
+  std::size_t remaining = work.size();
+  int step = 0;
+  int max_used_step = -1;
+  while (remaining > 0) {
+    int shared_used[kResourceClassCount] = {};
+    std::map<std::pair<int, int>, int> group_used;  // (group, class)
+
+    std::vector<NodeId> ready;
+    for (const NodeId id : work) {
+      if (s.step_of[static_cast<std::size_t>(id)] >= 0) continue;
+      if (pending[static_cast<std::size_t>(id)] > 0) continue;
+      if (ready_step(g, s.step_of, id) <= step) ready.push_back(id);
+    }
+    std::sort(ready.begin(), ready.end(), [&](NodeId a, NodeId b) {
+      const int sa = alap.step(a);
+      const int sb = alap.step(b);
+      if (sa != sb) return sa < sb;
+      return a < b;
+    });
+
+    for (const NodeId id : ready) {
+      const Node& n = g.node(id);
+      const ResourceClass cls = resource_class(n.op);
+      const int cls_index = static_cast<int>(cls);
+      bool can_place = false;
+      if (uses_private_unit(n)) {
+        int& used = group_used[{n.check_group, cls_index}];
+        if (used < 1) {
+          ++used;
+          can_place = true;
+        }
+      } else {
+        const int limit = constraints.limit(cls);
+        if (limit < 0 || shared_used[cls_index] < limit) {
+          ++shared_used[cls_index];
+          can_place = true;
+        }
+      }
+      if (can_place) {
+        s.step_of[static_cast<std::size_t>(id)] = step;
+        max_used_step = std::max(max_used_step, step);
+        --remaining;
+        for (const NodeId u : users[static_cast<std::size_t>(id)]) {
+          --pending[static_cast<std::size_t>(u)];
+        }
+      }
+    }
+    ++step;
+    SCK_ASSERT(step < 100000 && "list scheduler failed to make progress");
+  }
+  s.num_steps = max_used_step + 1;
+  return s;
+}
+
+void validate_schedule(const Dfg& g, const Schedule& s,
+                       const ResourceConstraints& constraints) {
+  SCK_ASSERT(s.step_of.size() == g.size());
+  std::map<std::pair<int, int>, int> shared_use;       // (step, class)
+  std::map<std::tuple<int, int, int>, int> group_use;  // (step, group, class)
+  for (NodeId id = 0; id < static_cast<NodeId>(g.size()); ++id) {
+    const Node& n = g.node(id);
+    if (!is_scheduled_op(n.op)) {
+      SCK_ASSERT(s.step(id) == -1);
+      continue;
+    }
+    const int step = s.step(id);
+    SCK_ASSERT(step >= 0 && step < s.num_steps);
+    for (const NodeId in : n.ins) {
+      const int in_step = s.step(in);
+      if (in_step < 0) continue;  // wire
+      SCK_ASSERT(in_step + edge_distance(g.node(in), n) <= step &&
+                 "dependency not satisfied");
+    }
+    const int cls = static_cast<int>(resource_class(n.op));
+    if (uses_private_unit(n)) {
+      ++group_use[{step, n.check_group, cls}];
+    } else {
+      ++shared_use[{step, cls}];
+    }
+  }
+  for (const auto& [key, count] : shared_use) {
+    const int limit = constraints.limit(static_cast<ResourceClass>(key.second));
+    SCK_ASSERT(limit < 0 || count <= limit);
+  }
+  for (const auto& [key, count] : group_use) {
+    SCK_ASSERT(count <= 1);
+  }
+}
+
+}  // namespace sck::hls

@@ -1,0 +1,30 @@
+// Self-checking Verilog testbench emitter.
+//
+// Completes the netlist toolchain: generate_netlist produces the DUT,
+// NetlistSim provides golden behaviour, and this emitter freezes a
+// simulator-driven stimulus/response trace into a standalone Verilog
+// testbench, so the emitted RTL can be cross-validated in any external
+// Verilog simulator without this library in the loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hls/netlist.h"
+
+namespace sck::hls {
+
+struct TestbenchOptions {
+  int samples = 32;            ///< stimulus length
+  std::uint64_t seed = 0x7B;   ///< stimulus PRNG seed
+  std::string name_suffix = "_tb";
+};
+
+/// Emit a testbench module for `netlist`: drives `samples` random input
+/// vectors through the DUT's FSM protocol (start, one iteration of
+/// num_steps cycles, sample outputs at done) and $fatal's on the first
+/// mismatch against the responses recorded from NetlistSim.
+[[nodiscard]] std::string emit_testbench(const Netlist& netlist,
+                                         const TestbenchOptions& options = {});
+
+}  // namespace sck::hls

@@ -1,0 +1,19 @@
+// Verilog-2001 emitter for generated netlists.
+//
+// Emits one synchronous module per netlist: an FSM steps through the
+// schedule, every register assignment is annotated with the functional
+// unit the operation was bound to, and same-step error glue is inlined as
+// combinational expressions — mirroring NetlistSim's semantics statement
+// for statement. A structural summary (units, registers, mux fan-ins) is
+// emitted as a header comment.
+#pragma once
+
+#include <string>
+
+#include "hls/netlist.h"
+
+namespace sck::hls {
+
+[[nodiscard]] std::string emit_verilog(const Netlist& nl);
+
+}  // namespace sck::hls

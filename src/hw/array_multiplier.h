@@ -1,0 +1,70 @@
+// Array multiplier unit (low-word n x n product).
+//
+// Structure: partial-product AND gates feed rows of ripple full adders that
+// accumulate into the low n bits of the product (C/SystemC `int` semantics:
+// the result lives in the same width ring as the operands). Only the cells
+// that influence the low word are instantiated, so every fault in the
+// universe is at least potentially observable at the output.
+//
+// Cell indexing:
+//   AND cells first, row-major: for multiplier bit (row) i in [0, n),
+//   cells for multiplicand bits j in [0, n-i) — total n(n+1)/2.
+//   Then full-adder cells: for row i in [1, n), a chain of (n-i) adders
+//   accumulating pp_i into product bits [i, n) — total n(n-1)/2.
+#pragma once
+
+#include "common/word.h"
+#include "hw/unit.h"
+
+namespace sck::hw {
+
+/// n-bit x n-bit -> n-bit (low word) array multiplier with a cell fault.
+class ArrayMultiplier : public FaultableUnit {
+ public:
+  explicit ArrayMultiplier(int width) : FaultableUnit(width) {
+    const int n = width;
+    and_cells_ = n * (n + 1) / 2;
+    fa_cells_ = n * (n - 1) / 2;
+  }
+
+  [[nodiscard]] int cell_count() const override { return and_cells_ + fa_cells_; }
+
+  [[nodiscard]] CellKind cell_kind(int cell) const override {
+    SCK_EXPECTS(cell >= 0 && cell < cell_count());
+    return cell < and_cells_ ? CellKind::kAnd : CellKind::kFullAdder;
+  }
+
+  /// a * b in the n-bit ring, evaluated cell by cell.
+  [[nodiscard]] Word mul(Word a, Word b) const {
+    const int n = width();
+    // Row 0 initialises the accumulator with pp_0 (no adders needed).
+    Word acc = 0;
+    int and_index = 0;
+    for (int j = 0; j < n; ++j) {
+      const unsigned row = bit(a, j) | (bit(b, 0) << 1);
+      acc |= static_cast<Word>(eval_cell(and_index++, kAndLut, row) & 1u) << j;
+    }
+    int fa_index = and_cells_;
+    for (int i = 1; i < n; ++i) {
+      // Partial product of row i: bits j in [0, n-i), aligned at i+j.
+      unsigned carry = 0;
+      for (int j = 0; j < n - i; ++j) {
+        const unsigned and_row = bit(a, j) | (bit(b, i) << 1);
+        const unsigned pp = eval_cell(and_index++, kAndLut, and_row) & 1u;
+        const int pos = i + j;
+        const unsigned fa_row = bit(acc, pos) | (pp << 1) | (carry << 2);
+        const unsigned out = eval_cell(fa_index++, kFullAdderLut, fa_row);
+        acc = (acc & ~(Word{1} << pos)) | (static_cast<Word>(out & 1u) << pos);
+        carry = (out >> 1) & 1u;
+      }
+      // Carry out of the top position falls outside the low word.
+    }
+    return trunc(acc, n);
+  }
+
+ private:
+  int and_cells_ = 0;
+  int fa_cells_ = 0;
+};
+
+}  // namespace sck::hw

@@ -1,0 +1,76 @@
+// Carry-save array multiplier (second multiplier architecture).
+//
+// Same partial-product AND plane as the ripple-accumulate ArrayMultiplier,
+// but the accumulation defers carries diagonally instead of rippling them
+// horizontally: every row compresses (partial sum, partial product,
+// incoming deferred carry) with an independent full adder per position and
+// hands the carry to the *next row* one position up. For the low-word
+// product every deferred carry is consumed by a later row (the final-stage
+// carry-propagate adder a full-width multiplier needs would only produce
+// the discarded high word), so the cell count matches the ripple version
+// while the carry routing — and therefore the fault propagation — is
+// entirely different.
+//
+// Cell indexing: AND cells first (row-major, as in ArrayMultiplier), then
+// compressor full adders: for row i in [1, n), positions i..n-1.
+#pragma once
+
+#include "common/word.h"
+#include "hw/unit.h"
+
+namespace sck::hw {
+
+/// n-bit x n-bit -> n-bit (low word) carry-save multiplier with a fault.
+class CarrySaveMultiplier : public FaultableUnit {
+ public:
+  explicit CarrySaveMultiplier(int width) : FaultableUnit(width) {
+    const int n = width;
+    and_cells_ = n * (n + 1) / 2;
+    fa_cells_ = n * (n - 1) / 2;
+  }
+
+  [[nodiscard]] int cell_count() const override { return and_cells_ + fa_cells_; }
+
+  [[nodiscard]] CellKind cell_kind(int cell) const override {
+    SCK_EXPECTS(cell >= 0 && cell < cell_count());
+    return cell < and_cells_ ? CellKind::kAnd : CellKind::kFullAdder;
+  }
+
+  [[nodiscard]] Word mul(Word a, Word b) const {
+    const int n = width();
+    unsigned s[kMaxWidth] = {};
+    unsigned carry_in[kMaxWidth] = {};
+
+    // Row 0 seeds the partial sums.
+    int and_index = 0;
+    for (int j = 0; j < n; ++j) {
+      const unsigned row = bit(a, j) | (bit(b, 0) << 1);
+      s[j] = eval_cell(and_index++, kAndLut, row) & 1u;
+    }
+
+    int fa_index = and_cells_;
+    for (int i = 1; i < n; ++i) {
+      unsigned carry_out[kMaxWidth + 1] = {};
+      for (int j = 0; j < n - i; ++j) {
+        const int pos = i + j;
+        const unsigned and_row = bit(a, j) | (bit(b, i) << 1);
+        const unsigned pp = eval_cell(and_index++, kAndLut, and_row) & 1u;
+        const unsigned fa_row = s[pos] | (pp << 1) | (carry_in[pos] << 2);
+        const unsigned out = eval_cell(fa_index++, kFullAdderLut, fa_row);
+        s[pos] = out & 1u;
+        if (pos + 1 < n) carry_out[pos + 1] = (out >> 1) & 1u;
+      }
+      for (int pos = 0; pos < n; ++pos) carry_in[pos] = carry_out[pos];
+    }
+
+    Word result = 0;
+    for (int j = 0; j < n; ++j) result |= static_cast<Word>(s[j]) << j;
+    return result;
+  }
+
+ private:
+  int and_cells_ = 0;
+  int fa_cells_ = 0;
+};
+
+}  // namespace sck::hw

@@ -1,0 +1,26 @@
+// Checker-side comparators.
+//
+// The comparison that closes every self-checking operator (`op2 == op2'`,
+// `0 == ris + ris'`, ...) belongs to the *checker*, not to the data path.
+// Classical self-checking design builds checkers as totally self-checking
+// (TSC) two-rail structures whose own faults are detected by construction;
+// that literature is orthogonal to this paper, whose fault model places the
+// failure in one arithmetic functional unit. We therefore model comparators
+// as fault-free, and document the assumption here and in DESIGN.md.
+#pragma once
+
+#include "common/word.h"
+
+namespace sck::hw {
+
+/// Equality checker over n-bit words (fault-free by assumption).
+[[nodiscard]] constexpr bool equal(Word a, Word b, int width) {
+  return trunc(a, width) == trunc(b, width);
+}
+
+/// Zero checker over n-bit words (fault-free by assumption).
+[[nodiscard]] constexpr bool is_zero(Word a, int width) {
+  return trunc(a, width) == 0;
+}
+
+}  // namespace sck::hw

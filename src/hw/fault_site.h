@@ -1,0 +1,59 @@
+// Fault description for the single-functional-unit-failure model.
+//
+// A FaultSite pins one line of one cell's gate netlist to a stuck value
+// (single stuck-at fault). Units expose their complete fault universe
+// through `fault_universe()`; the size of that universe times the number of
+// input combinations gives the paper's "number of faulty situations"
+// (num_faults_1bit x n x 2^(2n) for the ripple-carry adder, Table 2, with
+// num_faults_1bit = 32 = 16 lines x 2 stuck values of the five-gate full
+// adder).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/cell.h"
+
+namespace sck::hw {
+
+/// Sentinel cell index meaning "no fault injected".
+inline constexpr int kNoFault = -1;
+
+/// One stuck line of one cell inside a unit.
+struct FaultSite {
+  int cell = kNoFault;  ///< unit-local cell index; kNoFault disables the fault
+  std::uint8_t line = 0;     ///< gate-netlist line within the cell
+  bool stuck_value = false;  ///< value the line is forced to
+
+  [[nodiscard]] bool active() const { return cell != kNoFault; }
+
+  friend bool operator==(const FaultSite&, const FaultSite&) = default;
+};
+
+/// Human-readable description, e.g. "cell 3 line 5 stuck-at-1".
+[[nodiscard]] inline std::string to_string(const FaultSite& f) {
+  if (!f.active()) return "fault-free";
+  return "cell " + std::to_string(f.cell) + " line " + std::to_string(f.line) +
+         (f.stuck_value ? " stuck-at-1" : " stuck-at-0");
+}
+
+/// Enumerate all stuck-at faults of a homogeneous run of `count` cells of
+/// `kind`, whose unit-local indices start at `first_cell`.
+[[nodiscard]] inline std::vector<FaultSite> enumerate_cell_faults(
+    CellKind kind, int first_cell, int count) {
+  std::vector<FaultSite> out;
+  out.reserve(static_cast<std::size_t>(count) *
+              static_cast<std::size_t>(cell_fault_count(kind)));
+  for (int c = 0; c < count; ++c) {
+    for (int line = 0; line < cell_line_count(kind); ++line) {
+      for (int v = 0; v < 2; ++v) {
+        out.push_back(
+            FaultSite{first_cell + c, static_cast<std::uint8_t>(line), v != 0});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sck::hw

@@ -1,0 +1,80 @@
+// Non-restoring divider (second divider architecture).
+//
+// Instead of restoring the remainder after an over-subtraction, the
+// non-restoring algorithm lets the partial remainder go negative and adds
+// the divisor back in the next iteration, deciding each quotient bit from
+// the remainder's sign; a final correction step fixes a negative remainder.
+// As in the restoring unit, one internal adder/subtractor chain is reused
+// every iteration, so a single faulty cell perturbs several steps — but the
+// perturbation pattern (sign flips steering add-vs-subtract decisions)
+// differs from the restoring unit's, giving the divider ablation a second
+// masking profile.
+//
+// Cell indexing: cells [0, n+2) are the internal chain's full adders,
+// LSB first (n+2 bits: the partial remainder is signed).
+#pragma once
+
+#include "common/word.h"
+#include "hw/restoring_divider.h"
+#include "hw/unit.h"
+
+namespace sck::hw {
+
+/// n-bit non-restoring divider with an injectable cell fault.
+class NonRestoringDivider : public FaultableUnit {
+ public:
+  explicit NonRestoringDivider(int width) : FaultableUnit(width) {
+    SCK_EXPECTS(width + 2 <= kMaxWidth);
+  }
+
+  [[nodiscard]] int cell_count() const override { return width() + 2; }
+  [[nodiscard]] CellKind cell_kind(int) const override {
+    return CellKind::kFullAdder;
+  }
+
+  /// a / b and a % b, unsigned, b != 0 (checked).
+  [[nodiscard]] DivResult divide(Word a, Word b) const {
+    const int n = width();
+    SCK_EXPECTS(trunc(b, n) != 0);
+    a = trunc(a, n);
+    b = trunc(b, n);
+    const int m = n + 2;  // signed partial remainder width
+    const Word mm = mask(m);
+    const Word sign_bit = Word{1} << (m - 1);
+
+    Word r = 0;
+    Word q = 0;
+    for (int i = n - 1; i >= 0; --i) {
+      const bool r_negative = (r & sign_bit) != 0;
+      r = trunc((r << 1) | bit(a, i), m);
+      // Negative remainder: add the divisor back; otherwise subtract.
+      r = r_negative ? chain_add(r, b, mm) : chain_sub(r, b, mm);
+      if ((r & sign_bit) == 0) q |= Word{1} << i;
+    }
+    // Final correction: a negative remainder needs one more addition.
+    if ((r & sign_bit) != 0) r = chain_add(r, b, mm);
+    return DivResult{q, trunc(r, n + 1)};
+  }
+
+ private:
+  [[nodiscard]] Word chain_add(Word x, Word y, Word mm) const {
+    return chain(x, y & mm, /*carry_in=*/false);
+  }
+  [[nodiscard]] Word chain_sub(Word x, Word y, Word mm) const {
+    return chain(x, ~y & mm, /*carry_in=*/true);
+  }
+  [[nodiscard]] Word chain(Word x, Word y, bool carry_in) const {
+    unsigned carry = carry_in ? 1u : 0u;
+    Word out = 0;
+    const int m = width() + 2;
+    for (int i = 0; i < m; ++i) {
+      const unsigned row = bit(x, i) | (bit(y, i) << 1) | (carry << 2);
+      const unsigned v = eval_cell(i, kFullAdderLut, row);
+      out |= static_cast<Word>(v & 1u) << i;
+      carry = (v >> 1) & 1u;
+    }
+    return out;
+  }
+};
+
+}  // namespace sck::hw

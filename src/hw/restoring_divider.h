@@ -1,0 +1,85 @@
+// Restoring divider unit (n-bit unsigned quotient and remainder).
+//
+// Implementation: the classic shift/subtract recurrence. One internal
+// (n+1)-bit subtractor — a ripple chain of full adders evaluating
+// r + ~b + 1 — is *reused* on every iteration, so a single faulty cell
+// perturbs several steps of the same division, exactly like real iterative
+// divider hardware with a defective slice. The restore decision is the
+// chain's carry-out (1 means r >= b).
+//
+// Faulty divisions can emit a remainder that no longer satisfies r < b (or
+// even overflows n bits, hence the (n+1)-bit remainder accessor); that is
+// precisely the q/r trade-off the inverse check `q*b + r == a` cannot see,
+// which the paper's Table 1 shows as the lowest coverage of the four
+// operators.
+//
+// Cell indexing: cells [0, n+1) are the subtractor's full adders, LSB first.
+#pragma once
+
+#include "common/word.h"
+#include "hw/unit.h"
+
+namespace sck::hw {
+
+/// Quotient/remainder pair produced by the divider. The remainder is kept
+/// at n+1 bits because a faulty division may leave it out of range.
+struct DivResult {
+  Word quotient = 0;
+  Word remainder = 0;
+};
+
+/// n-bit restoring divider with an injectable cell fault in its subtractor.
+class RestoringDivider : public FaultableUnit {
+ public:
+  explicit RestoringDivider(int width) : FaultableUnit(width) {
+    SCK_EXPECTS(width + 1 <= kMaxWidth);
+  }
+
+  [[nodiscard]] int cell_count() const override { return width() + 1; }
+  [[nodiscard]] CellKind cell_kind(int) const override {
+    return CellKind::kFullAdder;
+  }
+
+  /// a / b and a % b, unsigned, b != 0 (checked).
+  [[nodiscard]] DivResult divide(Word a, Word b) const {
+    const int n = width();
+    SCK_EXPECTS(trunc(b, n) != 0);
+    a = trunc(a, n);
+    b = trunc(b, n);
+    const int m = n + 1;  // subtractor width
+    const Word mm = mask(m);
+    Word r = 0;
+    Word q = 0;
+    for (int i = n - 1; i >= 0; --i) {
+      r = trunc((r << 1) | bit(a, i), m);
+      bool no_borrow = false;
+      const Word diff = sub_chain(r, b, mm, no_borrow);
+      if (no_borrow) {
+        r = diff;
+        q |= Word{1} << i;
+      }
+    }
+    return DivResult{q, r};
+  }
+
+ private:
+  /// r - b on the internal (n+1)-bit chain; `no_borrow` is the carry-out
+  /// (true iff r >= b in the fault-free case).
+  [[nodiscard]] Word sub_chain(Word r, Word b, Word chain_mask,
+                               bool& no_borrow) const {
+    const Word nb = ~b & chain_mask;
+    unsigned carry = 1;
+    Word diff = 0;
+    const int m = width() + 1;
+    for (int i = 0; i < m; ++i) {
+      const unsigned row = bit(r, i) | (bit(nb, i) << 1) | (carry << 2);
+      const unsigned out = eval_cell(i, kFullAdderLut, row);
+      diff |= static_cast<Word>(out & 1u) << i;
+      carry = (out >> 1) & 1u;
+    }
+    no_borrow = carry != 0;
+    return diff;
+  }
+};
+
+}  // namespace sck::hw

@@ -1,0 +1,112 @@
+// Two-rail self-checking equality comparator.
+//
+// Everywhere else in the library the comparator that closes a check is
+// assumed fault-free (hw/comparator.h). Classical self-checking design
+// discharges that assumption with totally-self-checking (TSC) checkers:
+// this module implements the standard two-rail checker tree so the
+// assumption can be quantified instead of taken on faith.
+//
+// To compare words a and b, bit i forms the rail pair (a_i, NOT b_i): the
+// pair is a valid two-rail codeword iff a_i == b_i. A tree of two-rail
+// checker (TRC) nodes
+//
+//   f = (x1 & x2) | (y1 & y2)        g = (x1 & y2) | (y1 & x2)
+//
+// compresses pairs; the final output pair is valid (f != g) iff every input
+// pair is valid, i.e. iff a == b. The TSC property: any single stuck-at
+// fault inside the checker, exercised by valid (a == b) inputs, either
+// leaves the output a correct codeword or produces the invalid 00/11 pair —
+// it can never silently report "unequal inputs" as equal *for code inputs*.
+// For non-code inputs (a != b) a checker fault can mask the mismatch; the
+// bench quantifies both behaviours.
+//
+// Cell indexing:
+//   [0, n)          inverter cells for the b rails (XOR with constant 1)
+//   [n, n + 6(n-1)) TRC nodes in tree order, 6 gates each:
+//                   AND(x1,x2) AND(y1,y2) OR->f AND(x1,y2) AND(y1,x2) OR->g
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/word.h"
+#include "hw/unit.h"
+
+namespace sck::hw {
+
+/// Output rail pair of the checker. Valid (f != g) means "all pairs valid",
+/// i.e. the compared words were equal; f == g flags either a data mismatch
+/// or an internal checker fault.
+struct RailPair {
+  unsigned f = 0;
+  unsigned g = 0;
+
+  [[nodiscard]] bool valid() const { return f != g; }
+};
+
+/// n-bit two-rail equality checker tree with an injectable cell fault.
+class TwoRailChecker : public FaultableUnit {
+ public:
+  explicit TwoRailChecker(int width) : FaultableUnit(width) {
+    SCK_EXPECTS(width >= 2);
+  }
+
+  [[nodiscard]] int cell_count() const override {
+    return width() + 6 * (width() - 1);
+  }
+
+  [[nodiscard]] CellKind cell_kind(int cell) const override {
+    SCK_EXPECTS(cell >= 0 && cell < cell_count());
+    if (cell < width()) return CellKind::kXor;  // the b-rail inverters
+    const int local = (cell - width()) % 6;
+    return (local == 2 || local == 5) ? CellKind::kOr : CellKind::kAnd;
+  }
+
+  /// Compare a and b; the result pair is valid iff a == b (fault-free).
+  [[nodiscard]] RailPair compare(Word a, Word b) const {
+    const int n = width();
+    // Rail pairs: (a_i, NOT b_i).
+    std::vector<RailPair> pairs;
+    pairs.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      RailPair p;
+      p.f = bit(a, i);
+      p.g = eval_cell(i, kXorLut, bit(b, i) | (1u << 1)) & 1u;  // XOR with 1
+      pairs.push_back(p);
+    }
+    // Balanced TRC tree.
+    int cell = n;
+    while (pairs.size() > 1) {
+      std::vector<RailPair> next;
+      next.reserve(pairs.size() / 2 + 1);
+      for (std::size_t i = 0; i + 1 < pairs.size(); i += 2) {
+        next.push_back(trc(pairs[i], pairs[i + 1], cell));
+        cell += 6;
+      }
+      if (pairs.size() % 2 != 0) next.push_back(pairs.back());
+      pairs = std::move(next);
+    }
+    SCK_ASSERT(cell == cell_count());
+    return pairs.front();
+  }
+
+ private:
+  [[nodiscard]] RailPair trc(const RailPair& p, const RailPair& q,
+                             int first_cell) const {
+    const unsigned t1 =
+        eval_cell(first_cell + 0, kAndLut, p.f | (q.f << 1)) & 1u;
+    const unsigned t2 =
+        eval_cell(first_cell + 1, kAndLut, p.g | (q.g << 1)) & 1u;
+    const unsigned f =
+        eval_cell(first_cell + 2, kOrLut, t1 | (t2 << 1)) & 1u;
+    const unsigned t3 =
+        eval_cell(first_cell + 3, kAndLut, p.f | (q.g << 1)) & 1u;
+    const unsigned t4 =
+        eval_cell(first_cell + 4, kAndLut, p.g | (q.f << 1)) & 1u;
+    const unsigned g =
+        eval_cell(first_cell + 5, kOrLut, t3 | (t4 << 1)) & 1u;
+    return RailPair{f, g};
+  }
+};
+
+}  // namespace sck::hw

@@ -1,0 +1,121 @@
+// Base class for word-level functional units with a single injectable fault.
+//
+// Concrete units (adders, multiplier, divider) derive from FaultableUnit and
+// interpret the FaultSite's unit-local cell index. The base class keeps the
+// fault plumbing uniform so the campaign framework (src/fault) can drive any
+// unit generically.
+#pragma once
+
+#include <vector>
+
+#include "common/word.h"
+#include "hw/cell.h"
+#include "hw/fault_site.h"
+
+namespace sck::hw {
+
+/// Records which truth-table rows each cell of a unit actually sees during
+/// simulation. Used for fault collapsing: a fault on a row a cell never
+/// receives (e.g. the contradictory g=p=1 rows of a lookahead carry cell,
+/// or carry-in=1 on the first adder of a chain) is provably silent.
+class CellUsageRecorder {
+ public:
+  explicit CellUsageRecorder(int cell_count)
+      : seen_(static_cast<std::size_t>(cell_count), 0u) {}
+
+  void note(int cell, unsigned row) {
+    seen_[static_cast<std::size_t>(cell)] |= 1u << row;
+  }
+
+  [[nodiscard]] bool seen(int cell, unsigned row) const {
+    return (seen_[static_cast<std::size_t>(cell)] >> row) & 1u;
+  }
+
+ private:
+  std::vector<unsigned> seen_;
+};
+
+/// A functional unit that can host at most one cell fault (the paper's
+/// single-functional-unit-failure model).
+class FaultableUnit {
+ public:
+  explicit FaultableUnit(int width) : width_(width) {
+    SCK_EXPECTS(width >= 1 && width <= kMaxWidth);
+  }
+  virtual ~FaultableUnit() = default;
+
+  FaultableUnit(const FaultableUnit&) = default;
+  FaultableUnit& operator=(const FaultableUnit&) = default;
+
+  /// Operand width in bits.
+  [[nodiscard]] int width() const { return width_; }
+
+  /// Number of addressable cells inside the unit.
+  [[nodiscard]] virtual int cell_count() const = 0;
+
+  /// Kind of cell at unit-local index `cell`.
+  [[nodiscard]] virtual CellKind cell_kind(int cell) const = 0;
+
+  /// Every fault the unit can host (the campaign denominator).
+  [[nodiscard]] std::vector<FaultSite> fault_universe() const {
+    std::vector<FaultSite> out;
+    for (int c = 0; c < cell_count(); ++c) {
+      const CellKind kind = cell_kind(c);
+      auto faults = enumerate_cell_faults(kind, c, 1);
+      out.insert(out.end(), faults.begin(), faults.end());
+    }
+    return out;
+  }
+
+  /// Inject `f` (replacing any previous fault). `FaultSite{}` restores the
+  /// fault-free unit.
+  void set_fault(const FaultSite& f) {
+    if (f.active()) {
+      SCK_EXPECTS(f.cell >= 0 && f.cell < cell_count());
+      const CellKind kind = cell_kind(f.cell);
+      SCK_EXPECTS(f.line < cell_line_count(kind));
+      faulty_lut_ = faulty_cell_lut(kind, f.line, f.stuck_value);
+    }
+    fault_ = f;
+  }
+
+  void clear_fault() { fault_ = FaultSite{}; }
+
+  [[nodiscard]] const FaultSite& fault() const { return fault_; }
+
+  /// Install (or remove, with nullptr) a usage recorder. Not owned. The
+  /// recorder must outlive its installation and must be sized to
+  /// cell_count(). Intended for fault-collapsing analyses and tests; the
+  /// hot campaign loops run without one.
+  void set_recorder(CellUsageRecorder* recorder) { recorder_ = recorder; }
+
+  /// True when the fault can change this unit's behaviour at all: the
+  /// faulty truth table must differ from the golden one in some row
+  /// (redundant stuck-at faults — e.g. an OR input stuck at 0 on a line
+  /// that is 0 whenever the other is 0 — are unexcitable).
+  [[nodiscard]] bool fault_excitable(const FaultSite& f) const {
+    SCK_EXPECTS(f.cell >= 0 && f.cell < cell_count());
+    const CellKind kind = cell_kind(f.cell);
+    return faulty_cell_lut(kind, f.line, f.stuck_value) != golden_lut(kind);
+  }
+
+ protected:
+  /// Evaluate the cell at unit-local index `cell` of kind `kind` on packed
+  /// inputs `row`, honouring the injected fault. Hot path: predictable
+  /// branches against the (usually unique) faulty cell index and the
+  /// (usually absent) recorder.
+  [[nodiscard]] unsigned eval_cell(int cell, const CellLut& golden,
+                                   unsigned row) const {
+    if (recorder_ != nullptr) recorder_->note(cell, row);
+    if (cell == fault_.cell) return faulty_lut_[row];
+    return golden[row];
+  }
+
+ private:
+  int width_;
+  FaultSite fault_{};
+  CellLut faulty_lut_{};
+  CellUsageRecorder* recorder_ = nullptr;
+};
+
+}  // namespace sck::hw

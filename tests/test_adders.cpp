@@ -1,0 +1,282 @@
+// Typed tests over the three adder architectures: fault-free equivalence
+// with reference ring arithmetic, the g-function subtraction path, fault
+// universe bookkeeping, and the effect of injected faults.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/word.h"
+#include "hw/carry_lookahead_adder.h"
+#include "hw/carry_select_adder.h"
+#include "hw/carry_skip_adder.h"
+#include "hw/ripple_carry_adder.h"
+
+namespace sck::hw {
+namespace {
+
+template <typename AdderT>
+class AdderArchitectureTest : public ::testing::Test {};
+
+using AdderTypes = ::testing::Types<RippleCarryAdder, CarryLookaheadAdder,
+                                    CarrySelectAdder, CarrySkipAdder>;
+TYPED_TEST_SUITE(AdderArchitectureTest, AdderTypes);
+
+TYPED_TEST(AdderArchitectureTest, FaultFreeAddMatchesReferenceExhaustive) {
+  for (int n = 1; n <= 6; ++n) {
+    const TypeParam adder(n);
+    const Word limit = Word{1} << n;
+    for (Word a = 0; a < limit; ++a) {
+      for (Word b = 0; b < limit; ++b) {
+        EXPECT_EQ(adder.add(a, b), add(a, b, n))
+            << "n=" << n << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TYPED_TEST(AdderArchitectureTest, FaultFreeSubMatchesReferenceExhaustive) {
+  for (int n = 1; n <= 6; ++n) {
+    const TypeParam adder(n);
+    const Word limit = Word{1} << n;
+    for (Word a = 0; a < limit; ++a) {
+      for (Word b = 0; b < limit; ++b) {
+        EXPECT_EQ(adder.sub(a, b), sub(a, b, n))
+            << "n=" << n << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TYPED_TEST(AdderArchitectureTest, FaultFreeWideWidthsSampled) {
+  Xoshiro256 rng(0x5eed01);
+  for (const int n : {8, 12, 16, 24, 32}) {
+    const TypeParam adder(n);
+    for (int i = 0; i < 2000; ++i) {
+      const Word a = rng.bounded(Word{1} << n);
+      const Word b = rng.bounded(Word{1} << n);
+      ASSERT_EQ(adder.add(a, b), add(a, b, n)) << "n=" << n;
+      ASSERT_EQ(adder.sub(a, b), sub(a, b, n)) << "n=" << n;
+      ASSERT_EQ(adder.negate(a), neg(a, n)) << "n=" << n;
+    }
+  }
+}
+
+TYPED_TEST(AdderArchitectureTest, CarryInAndCarryOut) {
+  const int n = 8;
+  const TypeParam adder(n);
+  Xoshiro256 rng(0x5eed02);
+  for (int i = 0; i < 5000; ++i) {
+    const Word a = rng.bounded(Word{1} << n);
+    const Word b = rng.bounded(Word{1} << n);
+    const bool cin = (rng.next() & 1u) != 0;
+    bool cout = false;
+    const Word s = adder.add_c_out(a, b, cin, cout);
+    const Word full = a + b + (cin ? 1 : 0);
+    EXPECT_EQ(s, trunc(full, n));
+    EXPECT_EQ(cout, (full >> n) != 0);
+  }
+}
+
+TYPED_TEST(AdderArchitectureTest, NegateIsRingNegation) {
+  const int n = 6;
+  const TypeParam adder(n);
+  for (Word x = 0; x < (Word{1} << n); ++x) {
+    EXPECT_EQ(adder.negate(x), neg(x, n));
+    EXPECT_EQ(adder.add(x, adder.negate(x)), Word{0});
+  }
+}
+
+TYPED_TEST(AdderArchitectureTest, FaultUniverseMatchesCellInventory) {
+  for (const int n : {1, 2, 4, 7, 8, 16}) {
+    const TypeParam adder(n);
+    std::size_t expected = 0;
+    for (int c = 0; c < adder.cell_count(); ++c) {
+      expected += static_cast<std::size_t>(cell_fault_count(adder.cell_kind(c)));
+    }
+    EXPECT_EQ(adder.fault_universe().size(), expected) << "n=" << n;
+  }
+}
+
+TYPED_TEST(AdderArchitectureTest, SetAndClearFaultRestoresBehaviour) {
+  const int n = 4;
+  TypeParam adder(n);
+  const auto universe = adder.fault_universe();
+  ASSERT_FALSE(universe.empty());
+  // Pick a fault, observe behaviour, clear, and verify golden behaviour.
+  adder.set_fault(universe[universe.size() / 2]);
+  EXPECT_TRUE(adder.fault().active());
+  adder.clear_fault();
+  EXPECT_FALSE(adder.fault().active());
+  const Word limit = Word{1} << n;
+  for (Word a = 0; a < limit; ++a) {
+    for (Word b = 0; b < limit; ++b) {
+      EXPECT_EQ(adder.add(a, b), add(a, b, n));
+    }
+  }
+}
+
+// Returns true when the injected fault corrupts at least one add/sub result
+// at width n (probing both carry-in paths).
+template <typename AdderT>
+bool fault_observable(AdderT& adder, const FaultSite& f, int n) {
+  adder.set_fault(f);
+  bool changed = false;
+  const Word limit = Word{1} << n;
+  for (Word a = 0; a < limit && !changed; ++a) {
+    for (Word b = 0; b < limit && !changed; ++b) {
+      changed = adder.add(a, b) != add(a, b, n) ||
+                adder.sub(a, b) != sub(a, b, n);
+    }
+  }
+  adder.clear_fault();
+  return changed;
+}
+
+// Cell *outputs* that are structurally discarded at width n, so that even a
+// reachable truth-table corruption confined to them can never surface.
+bool discarded_output(const RippleCarryAdder&, int cell, int out, int n) {
+  return cell == n - 1 && out == 1;  // carry out of the top bit
+}
+bool discarded_output(const CarryLookaheadAdder&, int cell, int out, int n) {
+  // The flattened unit builds no c_n cone, so the g output of the top PG
+  // cell feeds nothing.
+  return cell == n - 1 && out == 1;
+}
+bool discarded_output(const CarrySelectAdder& adder, int cell, int out, int) {
+  const auto& last = adder.blocks().back();
+  if (!last.duplicated) {
+    return cell == last.first_cell + last.bits - 1 && out == 1;
+  }
+  // Duplicated top block: the block carry mux output is discarded, and so
+  // are the carry outs of the last FA of each speculative chain (they feed
+  // only that mux).
+  const int mux_carry = last.first_cell + 3 * last.bits;
+  const int chain0_top = last.first_cell + last.bits - 1;
+  const int chain1_top = last.first_cell + 2 * last.bits - 1;
+  if (cell == mux_carry) return true;
+  return (cell == chain0_top || cell == chain1_top) && out == 1;
+}
+bool discarded_output(const CarrySkipAdder&, int, int, int) {
+  return false;  // unused: the exact test is skipped for this architecture
+}
+
+// Expected observability of a gate-level stuck-at fault: some row of the
+// faulty truth table must differ from the golden one on a row the cell
+// actually receives (fault-free reachability) and on an output that is not
+// structurally discarded.
+template <typename AdderT>
+bool expected_observable(const AdderT& adder, const CellUsageRecorder& usage,
+                         const FaultSite& f, int n) {
+  const CellKind kind = adder.cell_kind(f.cell);
+  const CellLut faulty = faulty_cell_lut(kind, f.line, f.stuck_value);
+  const CellLut golden = golden_lut(kind);
+  for (int row = 0; row < cell_rows(kind); ++row) {
+    const unsigned diff = faulty[static_cast<std::size_t>(row)] ^
+                          golden[static_cast<std::size_t>(row)];
+    if (diff == 0 || !usage.seen(f.cell, static_cast<unsigned>(row))) continue;
+    for (int out = 0; out < cell_outputs(kind); ++out) {
+      if (((diff >> out) & 1u) != 0 && !discarded_output(adder, f.cell, out, n)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+TYPED_TEST(AdderArchitectureTest, FaultObservabilityIsExactlyCharacterised) {
+  if constexpr (std::is_same_v<TypeParam, CarrySkipAdder>) {
+    GTEST_SKIP() << "carry-skip bypass logic is functionally redundant, so "
+                    "reachability does not characterise observability; see "
+                    "SkipNetworkFaultsAreFunctionallyRedundant";
+  }
+  for (const int n : {4, 6}) {
+    TypeParam adder(n);
+
+    CellUsageRecorder usage(adder.cell_count());
+    adder.set_recorder(&usage);
+    const Word limit = Word{1} << n;
+    for (Word a = 0; a < limit; ++a) {
+      for (Word b = 0; b < limit; ++b) {
+        (void)adder.add(a, b);
+        (void)adder.sub(a, b);
+      }
+    }
+    adder.set_recorder(nullptr);
+
+    for (const FaultSite& f : adder.fault_universe()) {
+      EXPECT_EQ(fault_observable(adder, f, n),
+                expected_observable(adder, usage, f, n))
+          << "n=" << n << " " << to_string(f);
+    }
+  }
+}
+
+TEST(RippleCarryAdder, FaultUniverseIs32PerBit) {
+  // Table 2's num_faults_1bit = 32: the RCA universe must be exactly 32*n.
+  for (const int n : {1, 2, 3, 4, 8, 16}) {
+    const RippleCarryAdder adder(n);
+    EXPECT_EQ(adder.fault_universe().size(), static_cast<std::size_t>(32 * n));
+  }
+}
+
+TEST(RippleCarryAdder, InjectedFaultMatchesManualModel) {
+  // Stick the sum output line (14) of the bit-1 full adder at 1.
+  RippleCarryAdder adder(4);
+  adder.set_fault(FaultSite{1, 14, true});
+  // 0 + 0: bit 1 sum forced to 1 -> result 0b0010; carries unaffected.
+  EXPECT_EQ(adder.add(0, 0), Word{0b0010});
+  // 1 + 1 = 2: bit 1's correct sum is already 1 -> result correct.
+  EXPECT_EQ(adder.add(1, 1), Word{2});
+
+  // Stick the a-input stem (line 0) of the bit-1 full adder at 1: additions
+  // behave as if operand a had bit 1 set.
+  adder.set_fault(FaultSite{1, 0, true});
+  EXPECT_EQ(adder.add(0, 0), Word{0b0010});
+  EXPECT_EQ(adder.add(0b0010, 0), Word{0b0010});  // a already has the bit
+  EXPECT_EQ(adder.add(1, 1), Word{4});            // carry meets forced a1
+}
+
+TEST(CarrySkipAdder, SkipNetworkFaultsCanBeFunctionallyRedundant) {
+  // A classic testability fact: the skip path only matters when it
+  // *wrongly* asserts "propagate" (skipping a generating/killing block).
+  // Faults that can only deassert block-propagate force the mux to select
+  // the chain carry — which equals the skipped carry whenever the block
+  // truly propagates — so they are functionally redundant and untestable.
+  const int n = 8;
+  CarrySkipAdder adder(n);
+  const auto& blk = adder.blocks().front();
+  // AND-chain output stuck-at-0 in the first (inner) block.
+  const int and_cell = blk.first_cell + 2 * blk.bits;  // first chain AND
+  adder.set_fault(FaultSite{and_cell, 2, false});      // out stuck-at-0
+  const Word limit = Word{1} << n;
+  for (Word a = 0; a < limit; ++a) {
+    for (Word b = 0; b < limit; ++b) {
+      ASSERT_EQ(adder.add(a, b), add(a, b, n)) << a << "+" << b;
+    }
+  }
+  adder.clear_fault();
+
+  // The dual fault — block-propagate wrongly asserted — is testable.
+  const int mux_cell = blk.first_cell + 3 * blk.bits - 1;
+  adder.set_fault(FaultSite{mux_cell, 2, true});  // select stuck-at-1
+  bool changed = false;
+  for (Word a = 0; a < limit && !changed; ++a) {
+    for (Word b = 0; b < limit && !changed; ++b) {
+      changed = adder.add(a, b) != add(a, b, n);
+    }
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(CarrySelectAdder, BlockStructureCoversAllWidths) {
+  for (int n = 1; n <= 20; ++n) {
+    const CarrySelectAdder adder(n);
+    EXPECT_GE(adder.cell_count(), n);  // at least one FA per bit
+    // Exhaustive on small widths is covered by the typed tests; here just
+    // probe the boundary inputs.
+    EXPECT_EQ(adder.add(mask(n), 1), Word{0});
+    EXPECT_EQ(adder.sub(0, 1), mask(n));
+  }
+}
+
+}  // namespace
+}  // namespace sck::hw

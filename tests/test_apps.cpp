@@ -1,0 +1,193 @@
+// Tests for the application kernels: plain-int correctness against direct
+// models, SCK transparency (same values, clean error bits), and the
+// embedded-checked FIR.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "apps/dot.h"
+#include "apps/fir.h"
+#include "apps/iir.h"
+#include "common/rng.h"
+#include "core/sck.h"
+
+namespace sck::apps {
+namespace {
+
+std::vector<int> golden_fir(const std::vector<int>& coeffs,
+                            const std::vector<int>& xs) {
+  std::vector<int> ys;
+  std::deque<int> delay(coeffs.size(), 0);
+  for (const int x : xs) {
+    delay.push_front(x);
+    delay.pop_back();
+    long long acc = 0;
+    for (std::size_t i = 0; i < coeffs.size(); ++i) {
+      acc += static_cast<long long>(coeffs[i]) * delay[i];
+    }
+    ys.push_back(static_cast<int>(acc));
+  }
+  return ys;
+}
+
+TEST(FirKernel, MatchesDirectConvolution) {
+  const std::vector<int> coeffs{3, -5, 7, -5, 3};
+  Fir<int> fir(coeffs);
+  Xoshiro256 rng(0xAA01);
+  std::vector<int> xs;
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back(static_cast<int>(rng.bounded(2000)) - 1000);
+  }
+  const auto want = golden_fir(coeffs, xs);
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    ASSERT_EQ(fir.step(xs[k]), want[k]) << "k=" << k;
+  }
+}
+
+TEST(FirKernel, ProcessEqualsRepeatedStep) {
+  const std::vector<int> coeffs{1, 2, 3};
+  Fir<int> a(coeffs);
+  Fir<int> b(coeffs);
+  std::vector<int> in{5, -3, 9, 0, 2, 7};
+  std::vector<int> out(in.size());
+  a.process(in, out);
+  for (std::size_t k = 0; k < in.size(); ++k) {
+    EXPECT_EQ(out[k], b.step(in[k]));
+  }
+}
+
+TEST(FirKernel, ResetClearsState) {
+  Fir<int> fir({1, 1});
+  (void)fir.step(10);
+  fir.reset();
+  EXPECT_EQ(fir.step(3), 3);  // no leftover x[k-1]
+}
+
+TEST(FirKernel, SckInstantiationIsTransparent) {
+  const std::vector<int> coeffs{2, -4, 6};
+  Fir<int> plain(coeffs);
+  std::vector<SCK<int>> sck_coeffs(coeffs.begin(), coeffs.end());
+  Fir<SCK<int>> checked(sck_coeffs);
+  Xoshiro256 rng(0xAA02);
+  for (int k = 0; k < 300; ++k) {
+    const int x = static_cast<int>(rng.bounded(100000)) - 50000;
+    const SCK<int> y = checked.step(SCK<int>(x));
+    ASSERT_EQ(y.GetID(), plain.step(x));
+    ASSERT_FALSE(y.GetError());
+  }
+}
+
+TEST(FirKernel, HighCoverageProfileAlsoTransparent) {
+  const std::vector<int> coeffs{1, -1, 1, -1};
+  Fir<int> plain(coeffs);
+  using S = SCK<int, kHighCoverageProfile>;
+  std::vector<S> sck_coeffs(coeffs.begin(), coeffs.end());
+  Fir<S> checked(sck_coeffs);
+  for (int x = -50; x <= 50; ++x) {
+    const S y = checked.step(S(x));
+    ASSERT_EQ(y.GetID(), plain.step(x));
+    ASSERT_FALSE(y.GetError());
+  }
+}
+
+TEST(EmbeddedFir, MatchesPlainAndStaysQuiet) {
+  const std::vector<int> coeffs{3, -5, 7, -5, 3};
+  Fir<int> plain(coeffs);
+  EmbeddedCheckedFir embedded(coeffs);
+  Xoshiro256 rng(0xAA03);
+  for (int k = 0; k < 500; ++k) {
+    const int x = static_cast<int>(rng.bounded(1u << 20)) - (1 << 19);
+    const CheckedSample y = embedded.step(x);
+    ASSERT_EQ(y.y, plain.step(x));
+    ASSERT_FALSE(y.error);
+  }
+}
+
+TEST(EmbeddedFir, ResetRestoresInitialBehaviour) {
+  EmbeddedCheckedFir fir({4, 2});
+  (void)fir.step(9);
+  fir.reset();
+  const CheckedSample y = fir.step(1);
+  EXPECT_EQ(y.y, 4);
+  EXPECT_FALSE(y.error);
+}
+
+TEST(IirKernel, MatchesDifferenceEquation) {
+  IirBiquad<int> iir(3, -2, 1, 1, -1);
+  int x1 = 0, x2 = 0, y1 = 0, y2 = 0;
+  Xoshiro256 rng(0xAA04);
+  for (int k = 0; k < 200; ++k) {
+    const int x = static_cast<int>(rng.bounded(100)) - 50;
+    const int want = 3 * x - 2 * x1 + x2 - (y1 - y2);
+    ASSERT_EQ(iir.step(x), want);
+    x2 = x1;
+    x1 = x;
+    y2 = y1;
+    y1 = want;
+  }
+}
+
+TEST(IirKernel, SckInstantiationIsTransparent) {
+  IirBiquad<int> plain(3, -2, 1, 1, -1);
+  IirBiquad<SCK<int>> checked(3, -2, 1, 1, -1);
+  for (int x = -30; x <= 30; ++x) {
+    const SCK<int> y = checked.step(SCK<int>(x));
+    ASSERT_EQ(y.GetID(), plain.step(x));
+    ASSERT_FALSE(y.GetError());
+  }
+}
+
+TEST(DotKernel, MatchesInnerProduct) {
+  const std::array<int, 5> a{1, 2, 3, 4, 5};
+  const std::array<int, 5> b{5, 4, 3, 2, 1};
+  EXPECT_EQ(dot<int>(a, b), 5 + 8 + 9 + 8 + 5);
+}
+
+TEST(DotKernel, SckInstantiationIsTransparent) {
+  const std::array<SCK<int>, 3> a{2, 3, 4};
+  const std::array<SCK<int>, 3> b{5, 6, 7};
+  const SCK<int> d = dot<SCK<int>>(a, b);
+  EXPECT_EQ(d.GetID(), 10 + 18 + 28);
+  EXPECT_FALSE(d.GetError());
+}
+
+TEST(MatmulKernel, MatchesReference) {
+  // 2x3 * 3x2
+  const std::array<int, 6> a{1, 2, 3, 4, 5, 6};
+  const std::array<int, 6> b{7, 8, 9, 10, 11, 12};
+  std::array<int, 4> c{};
+  matmul<int>(a, b, c, 2, 3, 2);
+  EXPECT_EQ(c[0], 1 * 7 + 2 * 9 + 3 * 11);
+  EXPECT_EQ(c[1], 1 * 8 + 2 * 10 + 3 * 12);
+  EXPECT_EQ(c[2], 4 * 7 + 5 * 9 + 6 * 11);
+  EXPECT_EQ(c[3], 4 * 8 + 5 * 10 + 6 * 12);
+}
+
+TEST(MatmulKernel, SckInstantiationIsTransparent) {
+  const std::array<SCK<int>, 4> a{1, 2, 3, 4};
+  const std::array<SCK<int>, 4> b{5, 6, 7, 8};
+  std::array<SCK<int>, 4> c;
+  matmul<SCK<int>>(a, b, c, 2, 2, 2);
+  EXPECT_EQ(c[0].GetID(), 19);
+  EXPECT_EQ(c[1].GetID(), 22);
+  EXPECT_EQ(c[2].GetID(), 43);
+  EXPECT_EQ(c[3].GetID(), 50);
+  for (const auto& v : c) EXPECT_FALSE(v.GetError());
+}
+
+TEST(MatmulKernel, PoisonPropagatesThroughProducts) {
+  std::array<SCK<int>, 4> a{1, 2, 3, 4};
+  const std::array<SCK<int>, 4> b{5, 6, 7, 8};
+  a[0].SetError();
+  std::array<SCK<int>, 4> c;
+  matmul<SCK<int>>(a, b, c, 2, 2, 2);
+  EXPECT_TRUE(c[0].GetError());   // row 0 uses a[0]
+  EXPECT_TRUE(c[1].GetError());
+  EXPECT_FALSE(c[2].GetError());  // row 1 does not
+  EXPECT_FALSE(c[3].GetError());
+}
+
+}  // namespace
+}  // namespace sck::apps

@@ -1,0 +1,186 @@
+// Tests for the fault-injection campaign framework: outcome classification,
+// the paper's fault-situation counting formula, coverage invariants across
+// techniques, and Monte-Carlo reproducibility.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/campaign.h"
+#include "fault/outcome.h"
+#include "fault/trials.h"
+#include "hw/ripple_carry_adder.h"
+
+namespace sck::fault {
+namespace {
+
+TEST(Outcome, ClassificationTruthTable) {
+  EXPECT_EQ(classify(false, true), Outcome::kSilentCorrect);
+  EXPECT_EQ(classify(false, false), Outcome::kDetectedCorrect);
+  EXPECT_EQ(classify(true, false), Outcome::kDetectedErroneous);
+  EXPECT_EQ(classify(true, true), Outcome::kMasked);
+}
+
+TEST(CampaignStats, MetricsFollowCounters) {
+  CampaignStats s;
+  s.record(Outcome::kSilentCorrect);
+  s.record(Outcome::kSilentCorrect);
+  s.record(Outcome::kDetectedCorrect);
+  s.record(Outcome::kDetectedErroneous);
+  s.record(Outcome::kMasked);
+  EXPECT_EQ(s.total(), 5u);
+  EXPECT_EQ(s.observable_errors(), 2u);
+  EXPECT_EQ(s.detections(), 2u);
+  EXPECT_DOUBLE_EQ(s.coverage(), 1.0 - 1.0 / 5.0);
+
+  CampaignStats t;
+  t.record(Outcome::kMasked);
+  s += t;
+  EXPECT_EQ(s.total(), 6u);
+  EXPECT_EQ(s.masked, 2u);
+}
+
+TEST(CampaignStats, EmptyStatsReportFullCoverage) {
+  const CampaignStats s;
+  EXPECT_DOUBLE_EQ(s.coverage(), 1.0);
+}
+
+// The paper's formula (Table 2): situations = 32 * n * 2^(2n).
+TEST(ExhaustiveCampaign, TrialCountMatchesPaperFormula) {
+  for (const int n : {1, 2, 3}) {
+    hw::RippleCarryAdder adder(n);
+    std::vector<hw::FaultableUnit*> units{&adder};
+    const AddTrial<hw::RippleCarryAdder> trial{adder, Technique::kTech1};
+    const CampaignResult r = run_exhaustive(units, n, trial);
+    const std::uint64_t expected =
+        32ull * static_cast<std::uint64_t>(n) * (1ull << (2 * n));
+    EXPECT_EQ(r.aggregate.total(), expected) << "n=" << n;
+    EXPECT_EQ(r.fault_universe_size, static_cast<std::uint64_t>(32 * n));
+  }
+}
+
+TEST(ExhaustiveCampaign, CombinedTechniqueDominatesEither) {
+  // Masked(Both) is a subset of Masked(T1) and Masked(T2): the combined
+  // check fails whenever either component fails.
+  for (const int n : {1, 2, 3, 4}) {
+    hw::RippleCarryAdder adder(n);
+    std::vector<hw::FaultableUnit*> units{&adder};
+    const auto run = [&](Technique t) {
+      const AddTrial<hw::RippleCarryAdder> trial{adder, t};
+      return run_exhaustive(units, n, trial).aggregate;
+    };
+    const CampaignStats t1 = run(Technique::kTech1);
+    const CampaignStats t2 = run(Technique::kTech2);
+    const CampaignStats both = run(Technique::kBoth);
+    EXPECT_LE(both.masked, t1.masked) << "n=" << n;
+    EXPECT_LE(both.masked, t2.masked) << "n=" << n;
+    EXPECT_GE(both.coverage(), t1.coverage()) << "n=" << n;
+    EXPECT_GE(both.coverage(), t2.coverage()) << "n=" << n;
+  }
+}
+
+TEST(ExhaustiveCampaign, FaultFreeTrialNeverFlagsResidue) {
+  // Fault-free runs of every technique must be silent (no false alarms) —
+  // including the residue check's wrap correction.
+  for (const int n : {3, 4, 5}) {
+    hw::RippleCarryAdder adder(n);
+    for (const Technique t : {Technique::kTech1, Technique::kTech2,
+                              Technique::kBoth, Technique::kResidue3}) {
+      const AddTrial<hw::RippleCarryAdder> add_trial{adder, t};
+      const SubTrial<hw::RippleCarryAdder> sub_trial{adder, t};
+      const Word limit = Word{1} << n;
+      for (Word a = 0; a < limit; ++a) {
+        for (Word b = 0; b < limit; ++b) {
+          ASSERT_EQ(add_trial(a, b), Outcome::kSilentCorrect)
+              << "t=" << to_string(t) << " a=" << a << " b=" << b;
+          ASSERT_EQ(sub_trial(a, b), Outcome::kSilentCorrect)
+              << "t=" << to_string(t) << " a=" << a << " b=" << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(ExhaustiveCampaign, PerFaultBreakdownSumsToAggregate) {
+  const int n = 3;
+  hw::RippleCarryAdder adder(n);
+  std::vector<hw::FaultableUnit*> units{&adder};
+  const AddTrial<hw::RippleCarryAdder> trial{adder, Technique::kTech1};
+  CampaignOptions opt;
+  opt.keep_per_fault = true;
+  const CampaignResult r = run_exhaustive(units, n, trial, opt);
+  EXPECT_EQ(r.per_fault.size(), r.fault_universe_size);
+  CampaignStats sum;
+  for (const auto& pf : r.per_fault) sum += pf.stats;
+  EXPECT_EQ(sum.total(), r.aggregate.total());
+  EXPECT_EQ(sum.masked, r.aggregate.masked);
+  EXPECT_EQ(sum.detected_correct, r.aggregate.detected_correct);
+}
+
+TEST(ExhaustiveCampaign, CoverageRangeBracketsAggregate) {
+  const int n = 4;
+  hw::RippleCarryAdder adder(n);
+  std::vector<hw::FaultableUnit*> units{&adder};
+  const AddTrial<hw::RippleCarryAdder> trial{adder, Technique::kTech1};
+  const CampaignResult r = run_exhaustive(units, n, trial);
+  ASSERT_TRUE(r.has_observable_fault);
+  EXPECT_LE(r.min_fault_coverage, r.aggregate.coverage());
+  EXPECT_LE(r.min_fault_coverage, r.max_fault_coverage);
+  EXPECT_LE(r.max_fault_coverage, 1.0);
+}
+
+TEST(SampledCampaign, SeededRunsAreReproducible) {
+  const int n = 8;
+  hw::RippleCarryAdder adder(n);
+  std::vector<hw::FaultableUnit*> units{&adder};
+  const AddTrial<hw::RippleCarryAdder> trial{adder, Technique::kTech1};
+  const CampaignResult r1 = run_sampled(units, n, trial, 20000, 42);
+  const CampaignResult r2 = run_sampled(units, n, trial, 20000, 42);
+  EXPECT_EQ(r1.aggregate.masked, r2.aggregate.masked);
+  EXPECT_EQ(r1.aggregate.silent_correct, r2.aggregate.silent_correct);
+  EXPECT_EQ(r1.aggregate.total(), 20000u);
+
+  const CampaignResult r3 = run_sampled(units, n, trial, 20000, 43);
+  EXPECT_NE(r1.aggregate.silent_correct, r3.aggregate.silent_correct);
+}
+
+TEST(SampledCampaign, ConvergesTowardExhaustiveCoverage) {
+  const int n = 4;
+  hw::RippleCarryAdder adder(n);
+  std::vector<hw::FaultableUnit*> units{&adder};
+  const AddTrial<hw::RippleCarryAdder> trial{adder, Technique::kTech1};
+  const double exact = run_exhaustive(units, n, trial).aggregate.coverage();
+  const double sampled =
+      run_sampled(units, n, trial, 400000, 7).aggregate.coverage();
+  EXPECT_NEAR(sampled, exact, 0.003);
+}
+
+TEST(SampledCampaign, SkipBZeroExcludesZeroDivisor) {
+  const int n = 4;
+  hw::RippleCarryAdder adder(n);
+  std::vector<hw::FaultableUnit*> units{&adder};
+  // A trial that asserts b != 0 would die if the option were broken.
+  struct Probe {
+    Outcome operator()(Word, Word b) const {
+      EXPECT_NE(b, Word{0});
+      return Outcome::kSilentCorrect;
+    }
+  };
+  CampaignOptions opt;
+  opt.skip_b_zero = true;
+  (void)run_sampled(units, n, Probe{}, 5000, 11, opt);
+}
+
+TEST(SampledCampaign, MultiUnitUniverseIsUnion) {
+  const int n = 4;
+  hw::RippleCarryAdder a1(n);
+  hw::RippleCarryAdder a2(n);
+  std::vector<hw::FaultableUnit*> units{&a1, &a2};
+  struct Probe {
+    Outcome operator()(Word, Word) const { return Outcome::kSilentCorrect; }
+  };
+  const CampaignResult r = run_sampled(units, n, Probe{}, 100, 1);
+  EXPECT_EQ(r.fault_universe_size, static_cast<std::uint64_t>(2 * 32 * n));
+}
+
+}  // namespace
+}  // namespace sck::fault

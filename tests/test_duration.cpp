@@ -1,0 +1,142 @@
+// Tests for the fault-duration models (§2's permanent / transient /
+// intermittent coverage claim) and the detection-latency analysis (§4's
+// early-warning argument).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/campaign.h"
+#include "fault/duration.h"
+#include "fault/latency.h"
+#include "fault/trials.h"
+#include "hw/ripple_carry_adder.h"
+
+namespace sck::fault {
+namespace {
+
+using hw::FaultableUnit;
+using hw::RippleCarryAdder;
+
+TEST(DurationTrials, PermanentMatchesBaseTrial) {
+  // The duration wrapper with kPermanent must reproduce the base trial's
+  // aggregate exactly.
+  const int n = 4;
+  RippleCarryAdder adder(n);
+  std::vector<FaultableUnit*> units{&adder};
+  for (const Technique t :
+       {Technique::kTech1, Technique::kTech2, Technique::kBoth}) {
+    const AddTrial<RippleCarryAdder> base{adder, t};
+    const DurationAddTrial<RippleCarryAdder> perm{
+        adder, t, FaultDuration::kPermanent, nullptr, 1000};
+    const auto r_base =
+        run_exhaustive(std::span<FaultableUnit* const>(units), n, base);
+    const auto r_perm =
+        run_exhaustive(std::span<FaultableUnit* const>(units), n, perm);
+    EXPECT_EQ(r_base.aggregate.masked, r_perm.aggregate.masked)
+        << to_string(t);
+    EXPECT_EQ(r_base.aggregate.detected_correct,
+              r_perm.aggregate.detected_correct)
+        << to_string(t);
+  }
+}
+
+TEST(DurationTrials, TransientFaultsAreAlwaysCaught) {
+  // §2's transient case: the fault decays before the control executes, so
+  // the check runs on healthy hardware and every observable error is
+  // detected — coverage is exactly 100%, for add and sub, all techniques.
+  for (const int n : {3, 4, 5}) {
+    RippleCarryAdder adder(n);
+    std::vector<FaultableUnit*> units{&adder};
+    for (const Technique t :
+         {Technique::kTech1, Technique::kTech2, Technique::kBoth}) {
+      const DurationAddTrial<RippleCarryAdder> add_trial{
+          adder, t, FaultDuration::kTransient, nullptr, 0};
+      const auto r =
+          run_exhaustive(std::span<FaultableUnit* const>(units), n, add_trial);
+      EXPECT_EQ(r.aggregate.masked, 0u) << "n=" << n << " " << to_string(t);
+      EXPECT_GT(r.aggregate.observable_errors(), 0u);
+
+      const DurationSubTrial<RippleCarryAdder> sub_trial{
+          adder, t, FaultDuration::kTransient, nullptr, 0};
+      const auto r2 =
+          run_exhaustive(std::span<FaultableUnit* const>(units), n, sub_trial);
+      EXPECT_EQ(r2.aggregate.masked, 0u) << "n=" << n << " " << to_string(t);
+    }
+  }
+}
+
+TEST(DurationTrials, IntermittentCoverageInterpolates) {
+  // Full duty == permanent; zero duty == fault-free (no errors at all);
+  // intermediate duty masks less than permanent.
+  const int n = 4;
+  RippleCarryAdder adder(n);
+  std::vector<FaultableUnit*> units{&adder};
+  Xoshiro256 rng(0x1234);
+
+  const auto run_duty = [&](std::uint32_t duty) {
+    const DurationAddTrial<RippleCarryAdder> trial{
+        adder, Technique::kTech1, FaultDuration::kIntermittent, &rng, duty};
+    return run_exhaustive(std::span<FaultableUnit* const>(units), n, trial)
+        .aggregate;
+  };
+
+  const CampaignStats full = run_duty(1000);
+  const CampaignStats half = run_duty(500);
+  const CampaignStats off = run_duty(0);
+
+  const AddTrial<RippleCarryAdder> base{adder, Technique::kTech1};
+  const auto perm =
+      run_exhaustive(std::span<FaultableUnit* const>(units), n, base);
+  EXPECT_EQ(full.masked, perm.aggregate.masked);
+
+  EXPECT_EQ(off.masked, 0u);
+  EXPECT_EQ(off.observable_errors(), 0u);
+
+  EXPECT_LT(half.masked, full.masked);
+  EXPECT_GT(half.observable_errors(), 0u);
+  EXPECT_GT(half.coverage(), full.coverage());
+}
+
+TEST(DurationTrials, WindowRestoresInjectedFault) {
+  RippleCarryAdder adder(4);
+  const auto universe = adder.fault_universe();
+  adder.set_fault(universe[7]);
+  {
+    const DurationAddTrial<RippleCarryAdder> trial{
+        adder, Technique::kTech1, FaultDuration::kTransient, nullptr, 0};
+    (void)trial(3, 5);
+  }
+  EXPECT_EQ(adder.fault(), universe[7]);
+}
+
+TEST(DetectionLatency, DetectionPrecedesOrMatchesFirstError) {
+  // With the Tech1 checked addition, every erroneous result is either
+  // detected at that same operation or masked; detection can also fire
+  // earlier on correct results. Hence mean ops-to-detection <= mean
+  // ops-to-first-error, and early warnings exist.
+  const int n = 6;
+  RippleCarryAdder adder(n);
+  const AddTrial<RippleCarryAdder> trial{adder, Technique::kTech1};
+  const LatencyStats stats =
+      measure_detection_latency(adder, trial, n, /*horizon=*/512,
+                                /*seed=*/0xDEL, /*stride=*/1);
+  ASSERT_GT(stats.faults_measured, 0u);
+  ASSERT_GT(stats.detected_runs, 0u);
+  EXPECT_GT(stats.early_warning_runs, 0u);
+  EXPECT_LE(stats.mean_ops_to_detection, stats.mean_ops_to_first_error + 1e-9);
+}
+
+TEST(DetectionLatency, StrideSubsamplesTheUniverse) {
+  const int n = 4;
+  RippleCarryAdder adder(n);
+  const AddTrial<RippleCarryAdder> trial{adder, Technique::kTech1};
+  const LatencyStats all =
+      measure_detection_latency(adder, trial, n, 64, 0x11, 1);
+  const LatencyStats some =
+      measure_detection_latency(adder, trial, n, 64, 0x11, 4);
+  EXPECT_EQ(all.faults_measured, adder.fault_universe().size());
+  EXPECT_EQ(some.faults_measured, (adder.fault_universe().size() + 3) / 4);
+}
+
+}  // namespace
+}  // namespace sck::fault

@@ -1,0 +1,200 @@
+// Tests for the CED expansion pass: structure of the inserted checks,
+// functional transparency (outputs unchanged, error low when fault-free),
+// and the differences between the class-based and embedded styles.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/word.h"
+#include "hls/builder.h"
+#include "hls/dfg.h"
+#include "hls/expand_sck.h"
+#include "hls/schedule.h"
+
+namespace sck::hls {
+namespace {
+
+using fault::Technique;
+using InputMap = std::unordered_map<std::string, std::uint64_t>;
+
+Dfg small_graph() {
+  Dfg g;
+  const NodeId a = g.input("a", 8);
+  const NodeId b = g.input("b", 8);
+  const NodeId s = g.add(a, b);
+  const NodeId p = g.mul(s, b);
+  (void)g.output("y", g.sub(p, a));
+  g.validate();
+  return g;
+}
+
+TEST(InsertCed, AddsErrorOutputAndChecks) {
+  const Dfg g = small_graph();
+  const Dfg ced = insert_ced(g, CedOptions{});
+  // Original nodes preserved.
+  ASSERT_GT(ced.size(), g.size());
+  for (NodeId id = 0; id < static_cast<NodeId>(g.size()); ++id) {
+    EXPECT_EQ(ced.node(id).op, g.node(id).op);
+  }
+  // New "error" output present.
+  bool has_error = false;
+  for (const NodeId out : ced.outputs()) {
+    if (ced.node(out).name == "error") has_error = true;
+  }
+  EXPECT_TRUE(has_error);
+}
+
+TEST(InsertCed, Tech1CheckCountsPerOperator) {
+  const Dfg g = small_graph();  // 1 add, 1 mul, 1 sub
+  const Dfg ced = insert_ced(g, CedOptions{});
+  const auto before = g.op_histogram();
+  const auto after = ced.op_histogram();
+  // add (T1): +1 sub, +1 eq. sub (T1): +1 add, +1 eq.
+  // mul (T1): +1 neg, +1 mul, +1 add, +1 iszero.
+  EXPECT_EQ(after.at(Op::kSub) - before.at(Op::kSub), 1);
+  EXPECT_EQ(after.at(Op::kAdd) - before.at(Op::kAdd), 2);
+  EXPECT_EQ(after.at(Op::kMul) - before.at(Op::kMul), 1);
+  EXPECT_EQ(after.at(Op::kNeg), 1);
+  EXPECT_EQ(after.at(Op::kEq), 2);
+  EXPECT_EQ(after.at(Op::kIsZero), 1);
+  // 3 checks -> 3 kNot + 2 kOr reduce.
+  EXPECT_EQ(after.at(Op::kNot), 3);
+  EXPECT_EQ(after.at(Op::kOr), 2);
+}
+
+TEST(InsertCed, BothTechniqueDoublesControls) {
+  const Dfg g = small_graph();
+  CedOptions both;
+  both.add = both.sub = both.mul = both.div = Technique::kBoth;
+  const Dfg ced = insert_ced(g, both);
+  const auto after = ced.op_histogram();
+  EXPECT_EQ(after.at(Op::kEq), 3);      // add x2, sub T1
+  EXPECT_EQ(after.at(Op::kIsZero), 3);  // sub T2, mul x2
+  EXPECT_EQ(after.at(Op::kNeg), 2);
+}
+
+TEST(InsertCed, ClassBasedTagsClustersAndReleaseDelays) {
+  const Dfg g = small_graph();
+  const Dfg ced = insert_ced(g, CedOptions{});  // class-based default
+  int owners = 0;
+  std::vector<int> groups;
+  for (NodeId id = 0; id < static_cast<NodeId>(g.size()); ++id) {
+    const Node& n = ced.node(id);
+    if (n.op == Op::kAdd || n.op == Op::kSub || n.op == Op::kMul) {
+      EXPECT_FALSE(n.is_check);
+      EXPECT_NE(n.check_group, kSharedGroup);
+      EXPECT_GT(n.release_delay, 0);
+      groups.push_back(n.check_group);
+      ++owners;
+    }
+  }
+  EXPECT_EQ(owners, 3);
+  // Cluster ids are distinct per operator instance.
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    for (std::size_t j = i + 1; j < groups.size(); ++j) {
+      EXPECT_NE(groups[i], groups[j]);
+    }
+  }
+  // Check nodes carry their owner's group.
+  for (NodeId id = static_cast<NodeId>(g.size());
+       id < static_cast<NodeId>(ced.size()); ++id) {
+    const Node& n = ced.node(id);
+    if (n.is_check && resource_class(n.op) != ResourceClass::kLogic &&
+        n.op != Op::kOr && n.op != Op::kNot) {
+      EXPECT_NE(n.check_group, kSharedGroup) << "node " << id;
+    }
+  }
+}
+
+TEST(InsertCed, EmbeddedStyleSharesResourcesAndMergesTreeChecks) {
+  const FirSpec spec{{1, 2, 3, 4, 5, 6, 7, 8}, 16};
+  const Dfg g = build_fir(spec);
+
+  CedOptions naive;
+  naive.style = CedStyle::kClassBased;
+  CedOptions embedded;
+  embedded.style = CedStyle::kEmbedded;
+
+  const Dfg ced_naive = insert_ced(g, naive);
+  const Dfg ced_embedded = insert_ced(g, embedded);
+
+  // Embedded: single zero-check for the whole 7-add tree instead of 7
+  // equality checks, and no multiplication controls (the documented
+  // coverage/cost trade-off of this style).
+  const auto hist_naive = ced_naive.op_histogram();
+  const auto hist_embedded = ced_embedded.op_histogram();
+  const auto count = [](const std::unordered_map<Op, int>& h, Op op) {
+    const auto it = h.find(op);
+    return it == h.end() ? 0 : it->second;
+  };
+  EXPECT_EQ(count(hist_naive, Op::kEq), 7);     // one per add
+  EXPECT_EQ(count(hist_embedded, Op::kEq), 0);  // merged
+  EXPECT_EQ(count(hist_embedded, Op::kIsZero), 1);  // one tree check
+  EXPECT_EQ(count(hist_embedded, Op::kNeg), 0);     // no mult controls
+  EXPECT_EQ(count(hist_naive, Op::kNeg), 8);        // one per product
+  // The embedded graph re-subtracts each of the 8 products once.
+  EXPECT_EQ(count(hist_embedded, Op::kSub), 8);
+
+  // Embedded keeps everything in the shared pool with no release delays.
+  for (NodeId id = 0; id < static_cast<NodeId>(ced_embedded.size()); ++id) {
+    EXPECT_EQ(ced_embedded.node(id).check_group, kSharedGroup);
+    EXPECT_EQ(ced_embedded.node(id).release_delay, 0);
+  }
+}
+
+TEST(InsertCed, FaultFreeSemanticsUnchangedAndErrorLow) {
+  const FirSpec spec{{2, -3, 5, 7, -1}, 16};
+  const Dfg g = build_fir(spec);
+  for (const CedStyle style : {CedStyle::kClassBased, CedStyle::kEmbedded}) {
+    for (const Technique t :
+         {Technique::kTech1, Technique::kTech2, Technique::kBoth}) {
+      CedOptions opt;
+      opt.add = opt.sub = opt.mul = opt.div = t;
+      opt.style = style;
+      const Dfg ced = insert_ced(g, opt);
+
+      Xoshiro256 rng(0xCED);
+      std::vector<std::uint64_t> state_plain(g.state_regs().size(), 0);
+      std::vector<std::uint64_t> state_ced(ced.state_regs().size(), 0);
+      for (int k = 0; k < 50; ++k) {
+        const InputMap in{{"x", rng.bounded(1u << 16)}};
+        const auto want = g.eval(in, state_plain);
+        const auto got = ced.eval(in, state_ced);
+        ASSERT_EQ(got.outputs.at("y"), want.outputs.at("y"));
+        ASSERT_EQ(got.outputs.at("error"), 0u)
+            << "false alarm, style=" << static_cast<int>(style);
+      }
+    }
+  }
+}
+
+TEST(InsertCed, DivisionGetsQuotientRemainderCrossCheck) {
+  Dfg g;
+  const NodeId a = g.input("a", 8);
+  const NodeId b = g.input("b", 8);
+  (void)g.output("q", g.op(Op::kDiv, {a, b}, 8));
+  (void)g.output("r", g.op(Op::kRem, {a, b}, 8));
+  g.validate();
+
+  const Dfg ced = insert_ced(g, CedOptions{});
+  // The div/rem pair shares one check cluster: one mul, one add, one eq.
+  const auto hist = ced.op_histogram();
+  EXPECT_EQ(hist.at(Op::kMul), 1);
+  EXPECT_EQ(hist.at(Op::kEq), 1);
+
+  // Functional check: q*b + r == a holds, error stays low.
+  std::vector<std::uint64_t> state;
+  for (Word a_val : {0u, 7u, 200u, 255u}) {
+    for (Word b_val : {1u, 3u, 16u, 255u}) {
+      const auto out = ced.eval(InputMap{{"a", a_val}, {"b", b_val}}, state);
+      ASSERT_EQ(out.outputs.at("q"), a_val / b_val);
+      ASSERT_EQ(out.outputs.at("r"), a_val % b_val);
+      ASSERT_EQ(out.outputs.at("error"), 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sck::hls

@@ -1,0 +1,132 @@
+// Unit tests for the array multiplier: fault-free equivalence with ring
+// multiplication, cell inventory, and fault observability.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/word.h"
+#include "hw/array_multiplier.h"
+
+namespace sck::hw {
+namespace {
+
+TEST(ArrayMultiplier, FaultFreeMatchesReferenceExhaustive) {
+  for (int n = 1; n <= 6; ++n) {
+    const ArrayMultiplier m(n);
+    const Word limit = Word{1} << n;
+    for (Word a = 0; a < limit; ++a) {
+      for (Word b = 0; b < limit; ++b) {
+        ASSERT_EQ(m.mul(a, b), mul(a, b, n))
+            << "n=" << n << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(ArrayMultiplier, FaultFreeWideWidthsSampled) {
+  Xoshiro256 rng(0x5eed10);
+  for (const int n : {8, 12, 16, 24, 32}) {
+    const ArrayMultiplier m(n);
+    for (int i = 0; i < 2000; ++i) {
+      const Word a = rng.bounded(Word{1} << n);
+      const Word b = rng.bounded(Word{1} << n);
+      ASSERT_EQ(m.mul(a, b), mul(a, b, n)) << "n=" << n;
+    }
+  }
+}
+
+TEST(ArrayMultiplier, SignedRingSemantics) {
+  // Two's-complement products come out right through the unsigned ring.
+  const int n = 8;
+  const ArrayMultiplier m(n);
+  EXPECT_EQ(to_signed(m.mul(from_signed(-3, n), from_signed(5, n)), n), -15);
+  EXPECT_EQ(to_signed(m.mul(from_signed(-4, n), from_signed(-6, n)), n), 24);
+}
+
+TEST(ArrayMultiplier, CellInventoryMatchesFormula) {
+  for (const int n : {1, 2, 3, 4, 8, 16}) {
+    const ArrayMultiplier m(n);
+    const int and_cells = n * (n + 1) / 2;
+    const int fa_cells = n * (n - 1) / 2;
+    EXPECT_EQ(m.cell_count(), and_cells + fa_cells) << "n=" << n;
+    EXPECT_EQ(m.fault_universe().size(),
+              static_cast<std::size_t>(6 * and_cells + 32 * fa_cells))
+        << "n=" << n;
+    for (int c = 0; c < m.cell_count(); ++c) {
+      EXPECT_EQ(m.cell_kind(c),
+                c < and_cells ? CellKind::kAnd : CellKind::kFullAdder);
+    }
+  }
+}
+
+TEST(ArrayMultiplier, ObservabilityMatchesStructure) {
+  // A fault corrupts some product iff its faulty truth table differs from
+  // the golden one on a reachable row (e.g. the first FA of each
+  // accumulation chain never sees carry-in 1) and on a non-discarded output
+  // (the carry out of the last FA of each row would feed product bit n,
+  // which the low-word product drops).
+  const int n = 4;
+  ArrayMultiplier m(n);
+  const int and_cells = n * (n + 1) / 2;
+  std::vector<int> last_fa_of_row;
+  int fa_cursor = and_cells;
+  for (int i = 1; i < n; ++i) {
+    fa_cursor += n - i;
+    last_fa_of_row.push_back(fa_cursor - 1);
+  }
+
+  CellUsageRecorder usage(m.cell_count());
+  m.set_recorder(&usage);
+  const Word limit = Word{1} << n;
+  for (Word a = 0; a < limit; ++a) {
+    for (Word b = 0; b < limit; ++b) (void)m.mul(a, b);
+  }
+  m.set_recorder(nullptr);
+
+  for (const FaultSite& f : m.fault_universe()) {
+    m.set_fault(f);
+    bool changed = false;
+    for (Word a = 0; a < limit && !changed; ++a) {
+      for (Word b = 0; b < limit && !changed; ++b) {
+        changed = m.mul(a, b) != mul(a, b, n);
+      }
+    }
+    m.clear_fault();
+
+    const CellKind kind = m.cell_kind(f.cell);
+    const CellLut faulty = faulty_cell_lut(kind, f.line, f.stuck_value);
+    const CellLut golden = golden_lut(kind);
+    const bool cout_discarded =
+        std::find(last_fa_of_row.begin(), last_fa_of_row.end(), f.cell) !=
+        last_fa_of_row.end();
+    bool expected = false;
+    for (int row = 0; row < cell_rows(kind) && !expected; ++row) {
+      const unsigned diff = faulty[static_cast<std::size_t>(row)] ^
+                            golden[static_cast<std::size_t>(row)];
+      if (diff == 0 || !usage.seen(f.cell, static_cast<unsigned>(row))) continue;
+      for (int out = 0; out < cell_outputs(kind); ++out) {
+        if (((diff >> out) & 1u) != 0 && !(out == 1 && cout_discarded)) {
+          expected = true;
+        }
+      }
+    }
+    EXPECT_EQ(changed, expected) << to_string(f);
+  }
+}
+
+TEST(ArrayMultiplier, FaultInAndGateOnlyAffectsMatchingOperandBits) {
+  // AND cell 0 computes pp00 = a0 & b0; its output line (2) stuck-at-1
+  // forces the partial product high and perturbs the product's bit 0.
+  const int n = 4;
+  ArrayMultiplier m(n);
+  // AND cells are enumerated row-major starting at row i=0, j=0.
+  m.set_fault(FaultSite{0, 2, true});  // output line stuck-at-1
+  EXPECT_EQ(m.mul(0, 0), Word{1});     // pp00 forced high
+  EXPECT_EQ(m.mul(1, 1), Word{1});     // correct product already has bit 0
+  EXPECT_EQ(m.mul(2, 2), Word{5});     // 4 plus the forced bit 0
+}
+
+}  // namespace
+}  // namespace sck::hw

@@ -1,0 +1,407 @@
+// Integration tests for binding, netlist generation, the cycle-accurate
+// simulator, and the emitters: every synthesis configuration must produce
+// a netlist whose simulation matches the reference DFG evaluation, and the
+// self-checking netlists must detect injected functional-unit faults.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "hls/area_time.h"
+#include "hls/bind.h"
+#include "hls/builder.h"
+#include "hls/dot_emit.h"
+#include "hls/expand_sck.h"
+#include "hls/netlist.h"
+#include "hls/netlist_campaign.h"
+#include "hls/netlist_sim.h"
+#include "hls/schedule.h"
+#include "hls/testbench_emit.h"
+#include "hls/verilog_emit.h"
+
+namespace sck::hls {
+namespace {
+
+using InputMap = std::unordered_map<std::string, std::uint64_t>;
+
+struct Synthesized {
+  Dfg g;
+  Schedule s;
+  Binding b;
+  Netlist nl;
+};
+
+Synthesized synthesize(Dfg g, const ResourceConstraints& rc,
+                       const std::string& name) {
+  Schedule s = (rc.addsub < 0 && rc.mul < 0 && rc.cmp < 0 && rc.divrem < 0)
+                   ? schedule_asap(g)
+                   : schedule_list(g, rc);
+  validate_schedule(g, s, rc);
+  Binding b = bind(g, s, rc);
+  validate_binding(g, s, b);
+  Netlist nl = generate_netlist(g, s, b, name);
+  return Synthesized{std::move(g), std::move(s), std::move(b), std::move(nl)};
+}
+
+/// Run `samples` random iterations through both the reference evaluator and
+/// the netlist simulator and compare every output.
+void expect_sim_matches_reference(const Dfg& g, const Netlist& nl,
+                                  int samples, std::uint64_t seed) {
+  NetlistSim sim(nl);
+  std::vector<std::uint64_t> state(g.state_regs().size(), 0);
+  Xoshiro256 rng(seed);
+  for (int k = 0; k < samples; ++k) {
+    InputMap in;
+    for (const NodeId i : g.inputs()) {
+      in[g.node(i).name] = rng.bounded(Word{1} << g.node(i).width);
+    }
+    const auto want = g.eval(in, state);
+    const auto got = sim.step_sample(in);
+    for (const auto& [name, value] : want.outputs) {
+      ASSERT_EQ(got.at(name), value) << "output " << name << " sample " << k;
+    }
+  }
+}
+
+TEST(Netlist, PlainFirMinAreaMatchesReference) {
+  const Dfg g = build_fir(FirSpec{{1, -2, 3, -4, 5, -6, 7, -8}, 16});
+  const auto syn = synthesize(g, ResourceConstraints::min_area(), "fir_area");
+  expect_sim_matches_reference(syn.g, syn.nl, 200, 0xA1);
+}
+
+TEST(Netlist, PlainFirMinLatencyMatchesReference) {
+  const Dfg g = build_fir(FirSpec{{1, -2, 3, -4, 5, -6, 7, -8}, 16});
+  const auto syn =
+      synthesize(g, ResourceConstraints::min_latency(), "fir_lat");
+  expect_sim_matches_reference(syn.g, syn.nl, 200, 0xA2);
+}
+
+TEST(Netlist, CheckedFirVariantsMatchReference) {
+  const Dfg g = build_fir(FirSpec{{2, 3, -5, 7, 11}, 16});
+  for (const CedStyle style : {CedStyle::kClassBased, CedStyle::kEmbedded}) {
+    CedOptions opt;
+    opt.style = style;
+    const Dfg ced = insert_ced(g, opt);
+    for (const bool min_area : {true, false}) {
+      const auto syn = synthesize(
+          ced,
+          min_area ? ResourceConstraints::min_area()
+                   : ResourceConstraints::min_latency(),
+          "fir_ced");
+      expect_sim_matches_reference(syn.g, syn.nl, 100,
+                                   0xB0 + static_cast<int>(min_area));
+    }
+  }
+}
+
+TEST(Netlist, IirAndDotAndMatvecMatchReference) {
+  {
+    const Dfg g = build_iir_biquad(IirBiquadSpec{3, -2, 1, 1, -1, 16});
+    const auto syn = synthesize(g, ResourceConstraints::min_area(), "iir");
+    expect_sim_matches_reference(syn.g, syn.nl, 150, 0xC1);
+  }
+  {
+    const Dfg g = build_dot(6, 16);
+    const auto syn = synthesize(g, ResourceConstraints::min_area(), "dot");
+    expect_sim_matches_reference(syn.g, syn.nl, 150, 0xC2);
+  }
+  {
+    const Dfg g = build_matvec({{1, 2}, {3, 4}}, 16);
+    const auto syn = synthesize(g, ResourceConstraints::min_latency(), "mv");
+    expect_sim_matches_reference(syn.g, syn.nl, 150, 0xC3);
+  }
+}
+
+TEST(Netlist, DivisionKernelMatchesReference) {
+  Dfg g;
+  const NodeId a = g.input("a", 8);
+  const NodeId b = g.input("b", 8);
+  (void)g.output("q", g.op(Op::kDiv, {a, b}, 8));
+  (void)g.output("r", g.op(Op::kRem, {a, b}, 8));
+  g.validate();
+  const Dfg ced = insert_ced(g, CedOptions{});
+  const auto syn = synthesize(ced, ResourceConstraints::min_area(), "divmod");
+  expect_sim_matches_reference(syn.g, syn.nl, 300, 0xC4);
+}
+
+TEST(Netlist, FuPortFaninsAreConsistent) {
+  const Dfg g = build_fir(FirSpec{{1, 2, 3, 4, 5, 6, 7, 8}, 16});
+  const auto syn = synthesize(g, ResourceConstraints::min_area(), "fir");
+  const auto fanins = syn.nl.fu_port_fanins();
+  ASSERT_EQ(fanins.size(), syn.nl.fus.size());
+  for (std::size_t f = 0; f < syn.nl.fus.size(); ++f) {
+    EXPECT_GE(fanins[f][0], 1);
+    // The shared multiplier sees all 8 coefficients on one port.
+    if (syn.nl.fus[f].cls == ResourceClass::kMul) {
+      EXPECT_EQ(std::max(fanins[f][0], fanins[f][1]), 8);
+    }
+  }
+}
+
+// ---- end-to-end CED: fault in the netlist's FU raises the error output ----
+
+struct CedProbeResult {
+  int erroneous = 0;
+  int detected_erroneous = 0;
+  int false_silent = 0;  // erroneous output with error flag low (masked)
+};
+
+CedProbeResult probe_ced(const Dfg& plain, const Dfg& ced, const Netlist& nl,
+                         int fu_index, const hw::FaultSite& fault,
+                         int samples, std::uint64_t seed) {
+  NetlistSim sim(nl);
+  sim.set_fu_fault(fu_index, fault);
+  std::vector<std::uint64_t> state(plain.state_regs().size(), 0);
+  Xoshiro256 rng(seed);
+  CedProbeResult result;
+  for (int k = 0; k < samples; ++k) {
+    const InputMap in{{"x", rng.bounded(Word{1} << 16)}};
+    const auto want = plain.eval(in, state);  // golden, fault-free
+    const auto got = sim.step_sample(in);
+    const bool wrong = got.at("y") != want.outputs.at("y");
+    const bool flagged = got.at("error") != 0;
+    if (wrong) {
+      ++result.erroneous;
+      if (flagged) {
+        ++result.detected_erroneous;
+      } else {
+        ++result.false_silent;
+      }
+    }
+  }
+  (void)ced;
+  return result;
+}
+
+TEST(NetlistCed, ClassBasedDetectsEveryErroneousOutput) {
+  // Class-based checks run on private (fault-free) units, so every
+  // erroneous data output must raise the error flag.
+  const Dfg plain = build_fir(FirSpec{{2, 3, -5, 7}, 16});
+  CedOptions opt;
+  opt.style = CedStyle::kClassBased;
+  const Dfg ced = insert_ced(plain, opt);
+  const auto syn = synthesize(ced, ResourceConstraints::min_area(), "fir");
+
+  NetlistSim probe_sim(syn.nl);
+  int total_erroneous = 0;
+  for (std::size_t f = 0; f < syn.nl.fus.size(); ++f) {
+    // Inject only into shared-pool datapath units (the nominal path).
+    if (syn.nl.fus[f].group != kSharedGroup) continue;
+    const auto universe = probe_sim.fu_fault_universe(static_cast<int>(f));
+    if (universe.empty()) continue;
+    // Sample a handful of faults per unit.
+    for (std::size_t i = 0; i < universe.size(); i += 17) {
+      const auto r = probe_ced(plain, ced, syn.nl, static_cast<int>(f),
+                               universe[i], 40, 0xD0 + i);
+      EXPECT_EQ(r.false_silent, 0)
+          << "unit " << syn.nl.fus[f].name << " fault "
+          << hw::to_string(universe[i]);
+      total_erroneous += r.erroneous;
+    }
+  }
+  EXPECT_GT(total_erroneous, 0) << "probe never excited an error";
+}
+
+TEST(NetlistCed, EmbeddedDetectsMostAdderErrorsButNotMultiplierErrors) {
+  // Embedded checks verify the accumulation on the (shared, possibly
+  // faulty) adder, so adder faults are covered with some masking; the
+  // multipliers are deliberately unchecked in this style (the documented
+  // coverage/cost trade-off), so multiplier faults slip through.
+  const Dfg plain = build_fir(FirSpec{{2, 3, -5, 7}, 16});
+  CedOptions opt;
+  opt.style = CedStyle::kEmbedded;
+  const Dfg ced = insert_ced(plain, opt);
+  const auto syn = synthesize(ced, ResourceConstraints::min_area(), "fir");
+
+  NetlistSim probe_sim(syn.nl);
+  long long add_erroneous = 0;
+  long long add_detected = 0;
+  long long mul_erroneous = 0;
+  long long mul_detected = 0;
+  for (std::size_t f = 0; f < syn.nl.fus.size(); ++f) {
+    const auto universe = probe_sim.fu_fault_universe(static_cast<int>(f));
+    if (universe.empty()) continue;
+    const bool is_mul = syn.nl.fus[f].cls == ResourceClass::kMul;
+    for (std::size_t i = 0; i < universe.size(); i += 13) {
+      const auto r = probe_ced(plain, ced, syn.nl, static_cast<int>(f),
+                               universe[i], 40, 0xE0 + i);
+      (is_mul ? mul_erroneous : add_erroneous) += r.erroneous;
+      (is_mul ? mul_detected : add_detected) += r.detected_erroneous;
+    }
+  }
+  ASSERT_GT(add_erroneous, 0);
+  ASSERT_GT(mul_erroneous, 0);
+  EXPECT_GT(static_cast<double>(add_detected) /
+                static_cast<double>(add_erroneous),
+            0.85)
+      << add_detected << "/" << add_erroneous;
+  // The unchecked multiplier is only caught indirectly (a corrupted product
+  // also breaks the accumulation identity when it feeds the tree exactly
+  // once — here every product feeds the sum once, so the running-difference
+  // check does re-subtract it... through the same faulty products, hence
+  // low or zero detection).
+  EXPECT_LT(static_cast<double>(mul_detected) /
+                static_cast<double>(mul_erroneous),
+            0.5)
+      << mul_detected << "/" << mul_erroneous;
+}
+
+TEST(NetlistCampaign, PlainVsCheckedCoverage) {
+  // The system-level campaign (the tool §3 says does not exist): a plain
+  // netlist counts every erroneous sample as masked; the class-based CED
+  // netlist detects every erroneous sample its shared units can produce.
+  const FirSpec spec{{2, 3, -5, 7}, 10};
+  const Dfg plain = build_fir(spec);
+  CedOptions ced_opt;
+  ced_opt.style = CedStyle::kClassBased;
+  const Dfg ced = insert_ced(plain, ced_opt);
+
+  NetlistCampaignOptions opt;
+  opt.samples_per_fault = 16;
+  opt.fault_stride = 7;  // subsample for test speed
+  opt.seed = 0x7E57;
+
+  const auto syn_plain =
+      synthesize(plain, ResourceConstraints::min_area(), "p");
+  const auto r_plain =
+      run_netlist_campaign(plain, syn_plain.nl, opt);
+  EXPECT_GT(r_plain.aggregate.observable_errors(), 0u);
+  EXPECT_EQ(r_plain.aggregate.detected_erroneous, 0u);  // no error output
+  EXPECT_EQ(r_plain.aggregate.masked,
+            r_plain.aggregate.observable_errors());
+
+  const auto syn_ced = synthesize(ced, ResourceConstraints::min_area(), "c");
+  const auto r_ced = run_netlist_campaign(ced, syn_ced.nl, opt);
+  EXPECT_GT(r_ced.aggregate.observable_errors(), 0u);
+  EXPECT_EQ(r_ced.aggregate.masked, 0u);
+  // Per-unit breakdown sums to the aggregate.
+  fault::CampaignStats sum;
+  std::uint64_t faults = 0;
+  for (const auto& u : r_ced.per_unit) {
+    sum += u.stats;
+    faults += u.faults;
+  }
+  EXPECT_EQ(sum.total(), r_ced.aggregate.total());
+  EXPECT_EQ(faults, r_ced.fault_universe_size);
+}
+
+TEST(NetlistCampaign, DeterministicAcrossRuns) {
+  const FirSpec spec{{1, 2, 3}, 8};
+  const Dfg g = build_fir(spec);
+  const auto syn = synthesize(g, ResourceConstraints::min_area(), "d");
+  NetlistCampaignOptions opt;
+  opt.samples_per_fault = 8;
+  opt.fault_stride = 11;
+  const auto r1 = run_netlist_campaign(g, syn.nl, opt);
+  const auto r2 = run_netlist_campaign(g, syn.nl, opt);
+  EXPECT_EQ(r1.aggregate.masked, r2.aggregate.masked);
+  EXPECT_EQ(r1.aggregate.silent_correct, r2.aggregate.silent_correct);
+}
+
+// ---- emitters --------------------------------------------------------------
+
+TEST(Emitters, VerilogContainsModuleStructure) {
+  const Dfg g = build_fir(FirSpec{{1, 2, 3, 4}, 16});
+  const Dfg ced = insert_ced(g, CedOptions{});
+  const auto syn = synthesize(ced, ResourceConstraints::min_area(), "fir_sck");
+  const std::string v = emit_verilog(syn.nl);
+  EXPECT_NE(v.find("module fir_sck"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("case (state)"), std::string::npos);
+  EXPECT_NE(v.find("out_error"), std::string::npos);
+  EXPECT_NE(v.find("out_y"), std::string::npos);
+  EXPECT_NE(v.find("input  wire signed [15:0] in_x"), std::string::npos);
+  // One state arm per control step.
+  for (int step = 0; step < syn.nl.num_steps; ++step) {
+    EXPECT_NE(v.find("        " + std::to_string(step) + ": begin"),
+              std::string::npos)
+        << "missing state " << step;
+  }
+}
+
+TEST(Emitters, TestbenchMatchesDutProtocol) {
+  const Dfg g = build_fir(FirSpec{{1, 2, 3}, 8});
+  const Dfg ced = insert_ced(g, CedOptions{});
+  const auto syn = synthesize(ced, ResourceConstraints::min_area(), "fir_tb");
+  TestbenchOptions opt;
+  opt.samples = 5;
+  const std::string tb = emit_testbench(syn.nl, opt);
+  EXPECT_NE(tb.find("module fir_tb_tb;"), std::string::npos);
+  EXPECT_NE(tb.find("fir_tb dut(.clk(clk)"), std::string::npos);
+  EXPECT_NE(tb.find(".in_x(in_x)"), std::string::npos);
+  EXPECT_NE(tb.find(".out_error(out_error)"), std::string::npos);
+  // One iteration of the DUT FSM per sample.
+  EXPECT_NE(tb.find("repeat (" + std::to_string(syn.nl.num_steps) +
+                    ") @(posedge clk);"),
+            std::string::npos);
+  EXPECT_NE(tb.find("$fatal"), std::string::npos);
+  EXPECT_NE(tb.find("$finish"), std::string::npos);
+  // Deterministic: same options, same text.
+  EXPECT_EQ(tb, emit_testbench(syn.nl, opt));
+}
+
+TEST(Emitters, TestbenchExpectationsComeFromTheSimulator) {
+  // The recorded expected outputs must equal a fresh simulation of the
+  // same stimulus (the golden trace is self-consistent).
+  const Dfg g = build_fir(FirSpec{{2, -1}, 8});
+  const auto syn = synthesize(g, ResourceConstraints::min_area(), "fir_s");
+  TestbenchOptions opt;
+  opt.samples = 4;
+  opt.seed = 0x99;
+  const std::string tb = emit_testbench(syn.nl, opt);
+  // Re-derive the trace and check one concrete value appears in the text.
+  NetlistSim sim(syn.nl);
+  Xoshiro256 rng(opt.seed);
+  const Word x0 = rng.bounded(Word{1} << 8);
+  const auto out0 = sim.step_sample({{"x", x0}});
+  EXPECT_NE(tb.find("stim[0] = 8'd" + std::to_string(x0) + ";"),
+            std::string::npos);
+  EXPECT_NE(tb.find("expect_mem[0] = 8'd" + std::to_string(out0.at("y")) +
+                    ";"),
+            std::string::npos);
+}
+
+TEST(Emitters, DotContainsCheckStyling) {
+  const Dfg g = build_fir(FirSpec{{1, 2}, 8});
+  const Dfg ced = insert_ced(g, CedOptions{});
+  const std::string dot = emit_dot(ced, "fir");
+  EXPECT_NE(dot.find("digraph fir"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed, color=red"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(AreaTime, ReportsSaneNumbersAndOrdering) {
+  const Dfg plain = build_fir(FirSpec{{1, 2, 3, 4, 5, 6, 7, 8}, 16});
+  CedOptions naive;
+  naive.style = CedStyle::kClassBased;
+  CedOptions embedded;
+  embedded.style = CedStyle::kEmbedded;
+
+  const auto syn_plain =
+      synthesize(plain, ResourceConstraints::min_area(), "p");
+  const auto syn_naive = synthesize(insert_ced(plain, naive),
+                                    ResourceConstraints::min_area(), "n");
+  const auto syn_embedded = synthesize(insert_ced(plain, embedded),
+                                       ResourceConstraints::min_area(), "e");
+
+  const HwReport r_plain = evaluate_netlist(syn_plain.nl);
+  const HwReport r_naive = evaluate_netlist(syn_naive.nl);
+  const HwReport r_embedded = evaluate_netlist(syn_embedded.nl);
+
+  // Table 3's area ordering: plain < embedded << class-based.
+  EXPECT_LT(r_plain.slices, r_embedded.slices);
+  EXPECT_LT(r_embedded.slices, r_naive.slices);
+  // Class-based blow-up is severalfold (paper: 412 -> 1926).
+  EXPECT_GT(r_naive.slices, 2.5 * r_plain.slices);
+  // Clock: CED variants never get faster.
+  EXPECT_LE(r_naive.fmax_mhz, r_plain.fmax_mhz + 1e-9);
+  EXPECT_LE(r_embedded.fmax_mhz, r_plain.fmax_mhz + 1e-9);
+  // Latency formula rendering.
+  EXPECT_EQ(r_plain.latency_formula,
+            "2 + " + std::to_string(syn_plain.nl.num_steps) + "n");
+}
+
+}  // namespace
+}  // namespace sck::hls

@@ -1,0 +1,81 @@
+// Tests for the operator-technique catalogue and its trade-off selector.
+#include <gtest/gtest.h>
+
+#include "core/op_library.h"
+
+namespace sck {
+namespace {
+
+using fault::OpKind;
+using fault::Technique;
+
+TEST(OperatorLibrary, DefaultCatalogueCoversAllOperators) {
+  const OperatorLibrary lib = OperatorLibrary::with_default_characterization();
+  for (const OpKind op :
+       {OpKind::kAdd, OpKind::kSub, OpKind::kMul, OpKind::kDiv}) {
+    EXPECT_NE(lib.find(op, Technique::kNone), nullptr);
+    EXPECT_NE(lib.find(op, Technique::kTech1), nullptr);
+    EXPECT_NE(lib.find(op, Technique::kTech2), nullptr);
+    EXPECT_NE(lib.find(op, Technique::kBoth), nullptr);
+  }
+  // Residue is catalogued only where it is exact.
+  EXPECT_NE(lib.find(OpKind::kAdd, Technique::kResidue3), nullptr);
+  EXPECT_NE(lib.find(OpKind::kSub, Technique::kResidue3), nullptr);
+  EXPECT_EQ(lib.find(OpKind::kMul, Technique::kResidue3), nullptr);
+  EXPECT_EQ(lib.find(OpKind::kDiv, Technique::kResidue3), nullptr);
+}
+
+TEST(OperatorLibrary, EntriesSortedByCost) {
+  const OperatorLibrary lib = OperatorLibrary::with_default_characterization();
+  for (const OpKind op :
+       {OpKind::kAdd, OpKind::kSub, OpKind::kMul, OpKind::kDiv}) {
+    const auto entries = lib.entries_for(op);
+    ASSERT_FALSE(entries.empty());
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+      EXPECT_LE(entries[i - 1].sw_extra_ops, entries[i].sw_extra_ops);
+    }
+  }
+}
+
+TEST(OperatorLibrary, ParetoFrontierIsMonotone) {
+  const OperatorLibrary lib = OperatorLibrary::with_default_characterization();
+  for (const OpKind op :
+       {OpKind::kAdd, OpKind::kSub, OpKind::kMul, OpKind::kDiv}) {
+    const auto frontier = lib.pareto_frontier(op);
+    ASSERT_FALSE(frontier.empty());
+    for (std::size_t i = 1; i < frontier.size(); ++i) {
+      EXPECT_GT(frontier[i].coverage, frontier[i - 1].coverage);
+      EXPECT_GE(frontier[i].sw_extra_ops, frontier[i - 1].sw_extra_ops);
+    }
+  }
+}
+
+TEST(OperatorLibrary, CheapestMeetingPicksMinimalCost) {
+  OperatorLibrary lib = OperatorLibrary::with_default_characterization();
+  lib.set_coverage(OpKind::kAdd, Technique::kTech1, 0.95);
+  lib.set_coverage(OpKind::kAdd, Technique::kTech2, 0.96);
+  lib.set_coverage(OpKind::kAdd, Technique::kBoth, 0.99);
+  lib.set_coverage(OpKind::kAdd, Technique::kResidue3, 1.0);
+
+  // Tech1/Tech2 both cost 2 extra ops; Tech1 comes first among the cheapest
+  // meeting 0.95.
+  EXPECT_EQ(lib.cheapest_meeting(OpKind::kAdd, 0.95), Technique::kTech1);
+  EXPECT_EQ(lib.cheapest_meeting(OpKind::kAdd, 0.96), Technique::kTech2);
+  EXPECT_EQ(lib.cheapest_meeting(OpKind::kAdd, 0.97), Technique::kBoth);
+  EXPECT_EQ(lib.cheapest_meeting(OpKind::kAdd, 0.999), Technique::kResidue3);
+  // kNone (cost 0, coverage 0) satisfies a zero target.
+  EXPECT_EQ(lib.cheapest_meeting(OpKind::kAdd, 0.0), Technique::kNone);
+  // Impossible target.
+  EXPECT_EQ(lib.cheapest_meeting(OpKind::kAdd, 1.01), std::nullopt);
+}
+
+TEST(OperatorLibrary, SetCoverageValidatesArguments) {
+  OperatorLibrary lib = OperatorLibrary::with_default_characterization();
+  EXPECT_DEATH(lib.set_coverage(OpKind::kAdd, Technique::kTech1, 1.5),
+               "Precondition");
+  EXPECT_DEATH(lib.set_coverage(OpKind::kMul, Technique::kResidue3, 0.5),
+               "Precondition");
+}
+
+}  // namespace
+}  // namespace sck

@@ -1,0 +1,173 @@
+// Tests for ASAP/ALAP/list scheduling: dependency and resource validity,
+// latency bounds, combinational chaining of error glue, and the atomic
+// checked-operator (release-delay) semantics.
+#include <gtest/gtest.h>
+
+#include "hls/builder.h"
+#include "hls/expand_sck.h"
+#include "hls/schedule.h"
+
+namespace sck::hls {
+namespace {
+
+Dfg fir8() { return build_fir(FirSpec{{1, 2, 3, 4, 5, 6, 7, 8}, 16}); }
+
+TEST(ScheduleAsap, RespectsDependenciesOnFir) {
+  const Dfg g = fir8();
+  const Schedule s = schedule_asap(g);
+  validate_schedule(g, s, ResourceConstraints::min_latency());
+  // Depth: 1 step of multiplies + 3 tree levels.
+  EXPECT_EQ(s.num_steps, 4);
+}
+
+TEST(ScheduleAsap, UnscheduledKindsKeepNoStep) {
+  const Dfg g = fir8();
+  const Schedule s = schedule_asap(g);
+  for (NodeId id = 0; id < static_cast<NodeId>(g.size()); ++id) {
+    if (!is_scheduled_op(g.node(id).op)) {
+      EXPECT_EQ(s.step(id), -1);
+    } else {
+      EXPECT_GE(s.step(id), 0);
+    }
+  }
+}
+
+TEST(ScheduleAlap, MatchesAsapLengthAndPushesLate) {
+  const Dfg g = fir8();
+  const Schedule asap = schedule_asap(g);
+  const Schedule alap = schedule_alap(g, asap.num_steps);
+  validate_schedule(g, alap, ResourceConstraints::min_latency());
+  for (NodeId id = 0; id < static_cast<NodeId>(g.size()); ++id) {
+    if (!is_scheduled_op(g.node(id).op)) continue;
+    EXPECT_GE(alap.step(id), asap.step(id)) << "node " << id;
+  }
+}
+
+TEST(ScheduleAlap, ExtraLatencyAddsSlack) {
+  const Dfg g = fir8();
+  const Schedule asap = schedule_asap(g);
+  const Schedule alap = schedule_alap(g, asap.num_steps + 3);
+  validate_schedule(g, alap, ResourceConstraints::min_latency());
+  EXPECT_EQ(alap.num_steps, asap.num_steps + 3);
+}
+
+TEST(ScheduleList, MinAreaSerialisesOnSingleUnits) {
+  const Dfg g = fir8();
+  const ResourceConstraints min_area = ResourceConstraints::min_area();
+  const Schedule s = schedule_list(g, min_area);
+  validate_schedule(g, s, min_area);
+  // 8 multiplies on one multiplier is the floor.
+  EXPECT_GE(s.num_steps, 8);
+  // And the schedule must beat full serialisation.
+  EXPECT_LE(s.num_steps, 15);
+}
+
+TEST(ScheduleList, UnlimitedResourcesReproduceAsap) {
+  const Dfg g = fir8();
+  const Schedule list = schedule_list(g, ResourceConstraints::min_latency());
+  const Schedule asap = schedule_asap(g);
+  EXPECT_EQ(list.num_steps, asap.num_steps);
+}
+
+TEST(ScheduleList, TwoMultipliersHalveTheBottleneck) {
+  const Dfg g = fir8();
+  ResourceConstraints rc = ResourceConstraints::min_area();
+  const int base = schedule_list(g, rc).num_steps;
+  rc.mul = 2;
+  rc.addsub = 2;
+  const int wide = schedule_list(g, rc).num_steps;
+  EXPECT_LT(wide, base);
+}
+
+TEST(ScheduleChaining, ErrorGlueSharesProducerStep) {
+  Dfg g;
+  const NodeId a = g.input("a", 8);
+  const NodeId b = g.input("b", 8);
+  const NodeId s = g.add(a, b);
+  const NodeId c = g.op(Op::kEq, {s, a}, 1);
+  const NodeId n = g.op(Op::kNot, {c}, 1);
+  const NodeId o = g.op(Op::kOr, {n, n}, 1);
+  (void)g.output("e", o);
+  g.validate();
+  const Schedule sched = schedule_asap(g);
+  // eq takes its own step after the add; not/or chain combinationally.
+  EXPECT_EQ(sched.step(c), sched.step(s) + 1);
+  EXPECT_EQ(sched.step(n), sched.step(c));
+  EXPECT_EQ(sched.step(o), sched.step(c));
+}
+
+TEST(ScheduleReleaseDelay, AtomicOperatorHoldsConsumersBack) {
+  // Class-based CED: consumers outside the cluster wait for the checks.
+  Dfg g;
+  const NodeId a = g.input("a", 8);
+  const NodeId b = g.input("b", 8);
+  const NodeId s = g.add(a, b);
+  const NodeId t = g.add(s, b);  // consumer of the checked add
+  (void)g.output("y", t);
+  g.validate();
+
+  CedOptions opt;
+  opt.style = CedStyle::kClassBased;
+  const Dfg ced = insert_ced(g, opt);
+  const Schedule sched = schedule_asap(ced);
+  const int delay = ced.node(s).release_delay;
+  EXPECT_GT(delay, 0);
+  EXPECT_GE(sched.step(t), sched.step(s) + 1 + delay);
+
+  // The cluster's own check ops are exempt from the delay: the inverse
+  // subtraction starts right after the nominal add.
+  int min_check_step = 1 << 20;
+  for (NodeId id = static_cast<NodeId>(g.size());
+       id < static_cast<NodeId>(ced.size()); ++id) {
+    const Node& n = ced.node(id);
+    if (n.is_check && n.check_group == ced.node(s).check_group &&
+        n.op == Op::kSub) {
+      min_check_step = std::min(min_check_step, sched.step(id));
+    }
+  }
+  EXPECT_EQ(min_check_step, sched.step(s) + 1);
+}
+
+TEST(ScheduleList, ClassBasedChecksUsePrivateUnits) {
+  // With min-area constraints, the class-based FIR's check multiplications
+  // run on private units, so the nominal multiplier count still bounds the
+  // schedule, and checks overlap with nominal work.
+  const Dfg g = fir8();
+  CedOptions opt;
+  opt.style = CedStyle::kClassBased;
+  const Dfg ced = insert_ced(g, opt);
+  const ResourceConstraints min_area = ResourceConstraints::min_area();
+  const Schedule s_plain = schedule_list(g, min_area);
+  const Schedule s_ced = schedule_list(ced, min_area);
+  validate_schedule(ced, s_ced, min_area);
+  // The checked design is slower, but moderately so (checks run in parallel
+  // on private units; only the atomic-release stall stretches the schedule —
+  // the paper's Table 3 shows 7 -> 10 steps for the naive FIR).
+  EXPECT_GT(s_ced.num_steps, s_plain.num_steps);
+  EXPECT_LE(s_ced.num_steps, s_plain.num_steps + 10);
+}
+
+TEST(ScheduleList, EmbeddedChecksShareThePool) {
+  const Dfg g = fir8();
+  CedOptions opt;
+  opt.style = CedStyle::kEmbedded;
+  const Dfg ced = insert_ced(g, opt);
+  const ResourceConstraints min_area = ResourceConstraints::min_area();
+  const Schedule s_ced = schedule_list(ced, min_area);
+  validate_schedule(ced, s_ced, min_area);
+
+  // Shared pool: count addsub work (nominal adds + check ops) and verify
+  // the schedule is long enough to serialise it on one unit.
+  int addsub_ops = 0;
+  int mul_ops = 0;
+  for (NodeId id = 0; id < static_cast<NodeId>(ced.size()); ++id) {
+    const Node& n = ced.node(id);
+    if (!is_scheduled_op(n.op)) continue;
+    if (resource_class(n.op) == ResourceClass::kAddSub) ++addsub_ops;
+    if (resource_class(n.op) == ResourceClass::kMul) ++mul_ops;
+  }
+  EXPECT_GE(s_ced.num_steps, std::max(addsub_ops, mul_ops));
+}
+
+}  // namespace
+}  // namespace sck::hls

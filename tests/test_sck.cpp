@@ -1,0 +1,262 @@
+// Tests for the SCK<TYPE> class template with the native backend:
+// functional equivalence with plain integers, error-bit semantics, the
+// paper's Fig. 1 interface, and the technique profiles.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "common/rng.h"
+#include "core/sck.h"
+
+namespace sck {
+namespace {
+
+TEST(SckInterface, PaperFigure1Surface) {
+  // Empty constructor (synthesis constraint), GetID, GetError, assignment.
+  SCK<int> empty;
+  EXPECT_EQ(empty.GetID(), 0);
+  EXPECT_FALSE(empty.GetError());
+
+  SCK<int> x = 42;
+  EXPECT_EQ(x.GetID(), 42);
+  EXPECT_FALSE(x.GetError());
+
+  x = 7;
+  EXPECT_EQ(x.GetID(), 7);
+
+  SCK<int> y = x;
+  EXPECT_EQ(y.GetID(), 7);
+}
+
+TEST(SckInterface, AssignmentRevalidates) {
+  SCK<int> x = 1;
+  x.SetError();
+  EXPECT_TRUE(x.GetError());
+  x = 5;  // fresh trusted value
+  EXPECT_FALSE(x.GetError());
+}
+
+TEST(SckInterface, CopyPropagatesErrorBit) {
+  SCK<int> x = 1;
+  x.SetError();
+  const SCK<int> y = x;
+  EXPECT_TRUE(y.GetError());
+}
+
+TEST(SckArithmetic, ConstexprEvaluation) {
+  // The native backend is fully constexpr: checks run at compile time.
+  constexpr SCK<int> a = 20;
+  constexpr SCK<int> b = 22;
+  constexpr SCK<int> c = a + b;
+  static_assert(c.GetID() == 42);
+  static_assert(!c.GetError());
+  constexpr SCK<int> d = a * b;
+  static_assert(d.GetID() == 440);
+  constexpr SCK<int> q = b / a;
+  static_assert(q.GetID() == 1);
+  constexpr SCK<int> r = b % a;
+  static_assert(r.GetID() == 2);
+}
+
+template <typename SckT>
+class SckProfileTest : public ::testing::Test {};
+
+using Profiles = ::testing::Types<
+    SCK<int, kDefaultProfile>, SCK<int, kHighCoverageProfile>,
+    SCK<int, kLowCostProfile>, SCK<int, kUncheckedProfile>,
+    SCK<std::int16_t, kDefaultProfile>, SCK<std::uint32_t, kDefaultProfile>,
+    SCK<std::int64_t, kHighCoverageProfile>>;
+TYPED_TEST_SUITE(SckProfileTest, Profiles);
+
+TYPED_TEST(SckProfileTest, MatchesPlainArithmeticOnRandomInputs) {
+  using T = typename TypeParam::value_type;
+  using U = std::make_unsigned_t<T>;
+  Xoshiro256 rng(0xC0DE);
+  for (int i = 0; i < 4000; ++i) {
+    const T a = static_cast<T>(rng.next());
+    const T b = static_cast<T>(rng.next());
+    const TypeParam x = a;
+    const TypeParam y = b;
+
+    EXPECT_EQ((x + y).GetID(), static_cast<T>(static_cast<U>(a) + static_cast<U>(b)));
+    EXPECT_FALSE((x + y).GetError());
+    EXPECT_EQ((x - y).GetID(), static_cast<T>(static_cast<U>(a) - static_cast<U>(b)));
+    EXPECT_FALSE((x - y).GetError());
+    EXPECT_EQ((x * y).GetID(), static_cast<T>(static_cast<U>(a) * static_cast<U>(b)));
+    EXPECT_FALSE((x * y).GetError());
+    EXPECT_EQ((x & y).GetID(), static_cast<T>(a & b));
+    EXPECT_EQ((x | y).GetID(), static_cast<T>(a | b));
+    EXPECT_EQ((x ^ y).GetID(), static_cast<T>(a ^ b));
+    EXPECT_EQ((~x).GetID(), static_cast<T>(~a));
+    EXPECT_FALSE((x & y).GetError());
+    EXPECT_FALSE((x | y).GetError());
+    EXPECT_FALSE((x ^ y).GetError());
+    EXPECT_FALSE((~x).GetError());
+
+    const int k = static_cast<int>(rng.bounded(NativeOps<T>::kBits));
+    EXPECT_EQ((x << k).GetID(), static_cast<T>(static_cast<U>(a) << k));
+    EXPECT_EQ((x >> k).GetID(), static_cast<T>(a >> k));
+    EXPECT_FALSE((x << k).GetError());
+    EXPECT_FALSE((x >> k).GetError()) << "a=" << +a << " k=" << k;
+
+    if (b != 0) {
+      bool undefined = false;
+      if constexpr (std::is_signed_v<T>) {
+        undefined = (a == std::numeric_limits<T>::min() && b == T{-1});
+      }
+      if (!undefined) {
+        EXPECT_EQ((x / y).GetID(), static_cast<T>(a / b));
+        EXPECT_EQ((x % y).GetID(), static_cast<T>(a % b));
+        EXPECT_FALSE((x / y).GetError());
+        EXPECT_FALSE((x % y).GetError());
+      }
+    }
+  }
+}
+
+TYPED_TEST(SckProfileTest, ErrorBitPropagatesThroughEveryOperator) {
+  using T = typename TypeParam::value_type;
+  TypeParam poisoned = T{3};
+  poisoned.SetError();
+  const TypeParam clean = T{5};
+
+  EXPECT_TRUE((poisoned + clean).GetError());
+  EXPECT_TRUE((clean + poisoned).GetError());
+  EXPECT_TRUE((poisoned - clean).GetError());
+  EXPECT_TRUE((poisoned * clean).GetError());
+  EXPECT_TRUE((poisoned / clean).GetError());
+  EXPECT_TRUE((poisoned % clean).GetError());
+  EXPECT_TRUE((poisoned & clean).GetError());
+  EXPECT_TRUE((poisoned | clean).GetError());
+  EXPECT_TRUE((poisoned ^ clean).GetError());
+  EXPECT_TRUE((~poisoned).GetError());
+  EXPECT_TRUE((poisoned << 1).GetError());
+  EXPECT_TRUE((poisoned >> 1).GetError());
+  EXPECT_TRUE((-poisoned).GetError());
+}
+
+TYPED_TEST(SckProfileTest, DivisionByZeroRaisesError) {
+  using T = typename TypeParam::value_type;
+  const TypeParam x = T{17};
+  const TypeParam zero = T{0};
+  const TypeParam q = x / zero;
+  EXPECT_TRUE(q.GetError());
+  EXPECT_EQ(q.GetID(), T{0});
+  const TypeParam r = x % zero;
+  EXPECT_TRUE(r.GetError());
+}
+
+TEST(SckArithmetic, SignedOverflowWrapsWithoutFalseAlarm) {
+  // The inverse check holds in the 2^N ring, so wrap-around (the paper's
+  // "overflow handled separately") must not raise the error bit.
+  const SCK<int> big = std::numeric_limits<int>::max();
+  const SCK<int> one = 1;
+  const SCK<int> wrapped = big + one;
+  EXPECT_EQ(wrapped.GetID(), std::numeric_limits<int>::min());
+  EXPECT_FALSE(wrapped.GetError());
+
+  const SCK<int, kHighCoverageProfile> big2 = std::numeric_limits<int>::max();
+  const SCK<int, kHighCoverageProfile> one2 = 1;
+  EXPECT_FALSE((big2 + one2).GetError());
+
+  const SCK<int, kLowCostProfile> big3 = std::numeric_limits<int>::max();
+  const SCK<int, kLowCostProfile> one3 = 1;
+  EXPECT_FALSE((big3 + one3).GetError());  // residue wrap correction
+}
+
+TEST(SckArithmetic, IntMinDividedByMinusOneRaisesError) {
+  const SCK<int> x = std::numeric_limits<int>::min();
+  const SCK<int> y = -1;
+  EXPECT_TRUE((x / y).GetError());
+}
+
+TEST(SckArithmetic, UnaryMinus) {
+  const SCK<int> x = 41;
+  EXPECT_EQ((-x).GetID(), -41);
+  EXPECT_FALSE((-x).GetError());
+  EXPECT_EQ((+x).GetID(), 41);
+}
+
+TEST(SckArithmetic, CompoundAssignmentAndIncrement) {
+  SCK<int> x = 10;
+  x += 5;
+  EXPECT_EQ(x.GetID(), 15);
+  x -= 3;
+  EXPECT_EQ(x.GetID(), 12);
+  x *= 2;
+  EXPECT_EQ(x.GetID(), 24);
+  x /= 5;
+  EXPECT_EQ(x.GetID(), 4);
+  x %= 3;
+  EXPECT_EQ(x.GetID(), 1);
+  x <<= 4;
+  EXPECT_EQ(x.GetID(), 16);
+  x >>= 2;
+  EXPECT_EQ(x.GetID(), 4);
+  x |= 3;
+  EXPECT_EQ(x.GetID(), 7);
+  x &= 5;
+  EXPECT_EQ(x.GetID(), 5);
+  x ^= 1;
+  EXPECT_EQ(x.GetID(), 4);
+  EXPECT_FALSE(x.GetError());
+
+  EXPECT_EQ((x++).GetID(), 4);
+  EXPECT_EQ(x.GetID(), 5);
+  EXPECT_EQ((++x).GetID(), 6);
+  EXPECT_EQ((x--).GetID(), 6);
+  EXPECT_EQ((--x).GetID(), 4);
+}
+
+TEST(SckArithmetic, CompoundAssignmentKeepsPoison) {
+  SCK<int> x = 10;
+  x.SetError();
+  x += 1;
+  EXPECT_TRUE(x.GetError());
+  // ... until a trusted re-assignment clears it.
+  x = 3;
+  EXPECT_FALSE(x.GetError());
+}
+
+TEST(SckComparisons, CompareInternalData) {
+  const SCK<int> a = 3;
+  const SCK<int> b = 5;
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(a <= 3);
+  EXPECT_TRUE(a >= 3);
+  EXPECT_TRUE(a == 3);
+  EXPECT_TRUE(a != b);
+}
+
+TEST(SckComparisons, ErrorBitDoesNotAffectEquality) {
+  SCK<int> a = 3;
+  SCK<int> b = 3;
+  a.SetError();
+  EXPECT_TRUE(a == b);  // comparisons look at ID only (checker-side)
+}
+
+TEST(SckArithmetic, MixedExpressionWithPlainInts) {
+  const SCK<int> x = 6;
+  const SCK<int> y = (x * 7 + 2) / 4;  // implicit conversions from int
+  EXPECT_EQ(y.GetID(), 11);
+  EXPECT_FALSE(y.GetError());
+}
+
+TEST(SckArithmetic, ArithmeticRightShiftOfNegativeValues) {
+  const SCK<int> x = -64;
+  const SCK<int> y = x >> 3;
+  EXPECT_EQ(y.GetID(), -8);
+  EXPECT_FALSE(y.GetError());
+}
+
+TEST(SckAlias, AliasesCompile) {
+  sck_int a = 2;
+  sck_int_hc b = 3;
+  EXPECT_EQ((a + a).GetID(), 4);
+  EXPECT_EQ((b * b).GetID(), 9);
+}
+
+}  // namespace
+}  // namespace sck
