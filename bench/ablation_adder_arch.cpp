@@ -12,8 +12,8 @@
 #include <vector>
 
 #include "common/table.h"
+#include "fault/batch_trials.h"
 #include "fault/campaign.h"
-#include "fault/trials.h"
 #include "hw/carry_lookahead_adder.h"
 #include "hw/carry_select_adder.h"
 #include "hw/carry_skip_adder.h"
@@ -36,13 +36,15 @@ void run_rows(TextTable& table, const char* name) {
                                  std::to_string(adder.fault_universe().size())};
     for (const Technique t :
          {Technique::kTech1, Technique::kTech2, Technique::kBoth}) {
-      const sck::fault::AddTrial<Adder> trial{adder, t};
+      const sck::fault::AddBatchTrial<Adder> trial{adder, t};
       const auto result =
           exhaustive
-              ? run_exhaustive(std::span<sck::hw::FaultableUnit* const>(units),
-                               width, trial)
-              : run_sampled(std::span<sck::hw::FaultableUnit* const>(units),
-                            width, trial, 2'000'000, 0xADDE);
+              ? run_exhaustive_batched(
+                    std::span<sck::hw::FaultableUnit* const>(units), width,
+                    trial)
+              : run_sampled_batched(
+                    std::span<sck::hw::FaultableUnit* const>(units), width,
+                    trial, 2'000'000, 0xADDE);
       row.push_back(sck::format_percent(result.aggregate.coverage()));
     }
     table.add_row(std::move(row));

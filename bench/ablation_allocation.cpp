@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/table.h"
+#include "core/sck_batch_trials.h"
 #include "core/sck_trials.h"
 #include "fault/campaign.h"
 
@@ -28,21 +29,39 @@ using sck::UnitKind;
 using sck::fault::CampaignOptions;
 using sck::fault::Technique;
 
+// The shared-single and distinct policies run through the batched SCK
+// trials (core/sck_batch_trials.h); round-robin allocation is call-order
+// dependent, so it keeps the scalar whole-mechanism path.
 template <TechniqueProfile P>
 double coverage_for(AllocationPolicy policy, int width, bool mul_op) {
   AluPool pool(width, policy);
   std::vector<sck::hw::FaultableUnit*> units;
   sck::fault::CampaignResult result;
+  const bool batchable = policy != AllocationPolicy::kRoundRobin;
   if (mul_op) {
     units = {&pool.primary(UnitKind::kMultiplier)};
-    const sck::SckMulTrial<P> trial{pool};
-    result = run_exhaustive(std::span<sck::hw::FaultableUnit* const>(units),
-                            width, trial, CampaignOptions{});
+    if (batchable) {
+      const sck::SckMulBatchTrial trial{pool, P.mul};
+      result = run_exhaustive_batched(
+          std::span<sck::hw::FaultableUnit* const>(units), width, trial,
+          CampaignOptions{});
+    } else {
+      const sck::SckMulTrial<P> trial{pool};
+      result = run_exhaustive(std::span<sck::hw::FaultableUnit* const>(units),
+                              width, trial, CampaignOptions{});
+    }
   } else {
     units = {&pool.primary(UnitKind::kAdder)};
-    const sck::SckAddTrial<P> trial{pool};
-    result = run_exhaustive(std::span<sck::hw::FaultableUnit* const>(units),
-                            width, trial, CampaignOptions{});
+    if (batchable) {
+      const sck::SckAddBatchTrial trial{pool, P.add};
+      result = run_exhaustive_batched(
+          std::span<sck::hw::FaultableUnit* const>(units), width, trial,
+          CampaignOptions{});
+    } else {
+      const sck::SckAddTrial<P> trial{pool};
+      result = run_exhaustive(std::span<sck::hw::FaultableUnit* const>(units),
+                              width, trial, CampaignOptions{});
+    }
   }
   return result.aggregate.coverage();
 }

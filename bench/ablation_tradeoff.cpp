@@ -11,8 +11,8 @@
 
 #include "common/table.h"
 #include "core/op_library.h"
+#include "fault/batch_trials.h"
 #include "fault/campaign.h"
-#include "fault/trials.h"
 #include "hw/array_multiplier.h"
 #include "hw/restoring_divider.h"
 #include "hw/ripple_carry_adder.h"
@@ -35,35 +35,40 @@ double measure(OpKind op, Technique tech, int width) {
   switch (op) {
     case OpKind::kAdd: {
       units = {&adder};
-      r = run_exhaustive(std::span<FaultableUnit* const>(units), width,
-                         sck::fault::AddTrial<sck::hw::RippleCarryAdder>{
-                             adder, tech},
-                         opt);
+      r = run_exhaustive_batched(
+          std::span<FaultableUnit* const>(units), width,
+          sck::fault::AddBatchTrial<sck::hw::RippleCarryAdder>{adder, tech},
+          opt);
       break;
     }
     case OpKind::kSub: {
       units = {&adder};
-      r = run_exhaustive(std::span<FaultableUnit* const>(units), width,
-                         sck::fault::SubTrial<sck::hw::RippleCarryAdder>{
-                             adder, tech},
-                         opt);
+      r = run_exhaustive_batched(
+          std::span<FaultableUnit* const>(units), width,
+          sck::fault::SubBatchTrial<sck::hw::RippleCarryAdder>{adder, tech},
+          opt);
       break;
     }
     case OpKind::kMul: {
       units = {&mult};
-      r = run_exhaustive(std::span<FaultableUnit* const>(units), width,
-                         sck::fault::MulTrial<sck::hw::RippleCarryAdder>{
-                             mult, adder, tech},
-                         opt);
+      r = run_exhaustive_batched(
+          std::span<FaultableUnit* const>(units), width,
+          sck::fault::MulBatchTrial<sck::hw::ArrayMultiplier,
+                                    sck::hw::RippleCarryAdder>{mult, adder,
+                                                               tech},
+          opt);
       break;
     }
     case OpKind::kDiv: {
       units = {&divider};
       opt.skip_b_zero = true;
-      r = run_exhaustive(std::span<FaultableUnit* const>(units), width,
-                         sck::fault::DivTrial<sck::hw::RippleCarryAdder>{
-                             divider, mult, adder, tech},
-                         opt);
+      r = run_exhaustive_batched(
+          std::span<FaultableUnit* const>(units), width,
+          sck::fault::DivBatchTrial<sck::hw::RestoringDivider,
+                                    sck::hw::ArrayMultiplier,
+                                    sck::hw::RippleCarryAdder>{divider, mult,
+                                                               adder, tech},
+          opt);
       break;
     }
   }

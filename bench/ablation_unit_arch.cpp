@@ -10,8 +10,8 @@
 #include <vector>
 
 #include "common/table.h"
+#include "fault/batch_trials.h"
 #include "fault/campaign.h"
-#include "fault/trials.h"
 #include "hw/array_multiplier.h"
 #include "hw/carry_save_multiplier.h"
 #include "hw/non_restoring_divider.h"
@@ -26,52 +26,12 @@ using sck::fault::Technique;
 using sck::hw::FaultableUnit;
 using sck::hw::RippleCarryAdder;
 
-/// Generic multiplier trial: both products on the (faulty) multiplier,
-/// negation and closing addition on a healthy adder.
-template <typename Mult>
-struct MulTrialFor {
-  const Mult& mult;
-  const RippleCarryAdder& adder;
-  Technique tech;
-
-  [[nodiscard]] sck::fault::Outcome operator()(sck::Word a,
-                                               sck::Word b) const {
-    const int n = adder.width();
-    const sck::Word golden = sck::mul(a, b, n);
-    const sck::Word ris = mult.mul(a, b);
-    bool ok = true;
-    if (uses_tech1(tech)) {
-      const sck::Word risp = mult.mul(adder.negate(a), b);
-      ok = ok && sck::hw::is_zero(adder.add(ris, risp), n);
-    }
-    if (uses_tech2(tech)) {
-      const sck::Word risp = mult.mul(a, adder.negate(b));
-      ok = ok && sck::hw::is_zero(adder.add(ris, risp), n);
-    }
-    return sck::fault::classify(ris != golden, ok);
-  }
-};
-
-/// Generic divider trial (Tech1 rebuild check on healthy units).
-template <typename Div>
-struct DivTrialFor {
-  const Div& divider;
-  Technique tech;
-
-  [[nodiscard]] sck::fault::Outcome operator()(sck::Word a,
-                                               sck::Word b) const {
-    const int n = divider.width();
-    const sck::hw::DivResult dr = divider.divide(a, b);
-    const sck::Word q = sck::trunc(dr.quotient, n);
-    const sck::Word r = sck::trunc(dr.remainder, n);
-    const bool wrong = q != a / b || r != a % b;
-    bool ok = true;
-    if (uses_tech1(tech) || uses_tech2(tech)) {
-      ok = sck::trunc(q * b + r, n) == a;  // healthy mult/add units
-    }
-    return sck::fault::classify(wrong, ok);
-  }
-};
+// Both ablations run on the 64-lane engine: the batched multiplier and
+// divider trials are templated over the unit architecture, so the
+// carry-save array and the non-restoring recurrence go through exactly the
+// same campaign code as the default units. Only the multiplier (resp.
+// divider) is registered as faultable; the check-side adder and multiplier
+// instances stay healthy, as in the scalar version of this bench.
 
 template <typename Mult>
 void mult_rows(TextTable& table, const char* name, int n) {
@@ -82,9 +42,10 @@ void mult_rows(TextTable& table, const char* name, int n) {
                                std::to_string(mult.fault_universe().size())};
   for (const Technique t :
        {Technique::kTech1, Technique::kTech2, Technique::kBoth}) {
-    const MulTrialFor<Mult> trial{mult, adder, t};
-    const auto r = run_exhaustive(std::span<FaultableUnit* const>(units), n,
-                                  trial, CampaignOptions{});
+    const sck::fault::MulBatchTrial<Mult, RippleCarryAdder> trial{mult, adder,
+                                                                  t};
+    const auto r = run_exhaustive_batched(
+        std::span<FaultableUnit* const>(units), n, trial, CampaignOptions{});
     row.push_back(sck::format_percent(r.aggregate.coverage()));
   }
   table.add_row(std::move(row));
@@ -93,12 +54,16 @@ void mult_rows(TextTable& table, const char* name, int n) {
 template <typename Div>
 void div_rows(TextTable& table, const char* name, int n) {
   Div divider(n);
+  sck::hw::ArrayMultiplier mult(n);
+  RippleCarryAdder adder(n);
   std::vector<FaultableUnit*> units{&divider};
   CampaignOptions opt;
   opt.skip_b_zero = true;
-  const DivTrialFor<Div> trial{divider, Technique::kTech1};
-  const auto r =
-      run_exhaustive(std::span<FaultableUnit* const>(units), n, trial, opt);
+  const sck::fault::DivBatchTrial<Div, sck::hw::ArrayMultiplier,
+                                  RippleCarryAdder>
+      trial{divider, mult, adder, Technique::kTech1};
+  const auto r = run_exhaustive_batched(std::span<FaultableUnit* const>(units),
+                                        n, trial, opt);
   table.add_row({name, std::to_string(n),
                  std::to_string(divider.fault_universe().size()),
                  sck::format_percent(r.aggregate.coverage())});

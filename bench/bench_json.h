@@ -1,0 +1,169 @@
+// Minimal JSON emitter for machine-readable bench results (BENCH_*.json).
+//
+// The perf trajectory of this repository is tracked by committed JSON
+// artifacts: every perf-relevant bench writes one BENCH_<name>.json next to
+// its human-readable table so future sessions (and CI) can diff throughput
+// numbers mechanically. Scope is deliberately tiny: objects, arrays,
+// strings, bools, integers and doubles — enough for flat result records,
+// no parsing, no dependencies.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace sck::bench {
+
+class JsonValue {
+ public:
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}  // NOLINT
+  JsonValue(bool v) : value_(v) {}                // NOLINT
+  JsonValue(double v) : value_(v) {}              // NOLINT
+  JsonValue(std::uint64_t v) : value_(v) {}       // NOLINT
+  JsonValue(int v) : value_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  JsonValue(std::int64_t v) : value_(v) {}        // NOLINT
+  JsonValue(const char* v) : value_(std::string(v)) {}   // NOLINT
+  JsonValue(std::string v) : value_(std::move(v)) {}     // NOLINT
+
+  /// Object field (creates or overwrites). Returns *this for chaining.
+  JsonValue& set(const std::string& key, JsonValue v) {
+    auto* obj = std::get_if<Object>(&value_);
+    if (obj == nullptr) {
+      value_ = Object{};
+      obj = std::get_if<Object>(&value_);
+    }
+    for (auto& [k, existing] : obj->fields) {
+      if (k == key) {
+        *existing = std::move(v);
+        return *this;
+      }
+    }
+    obj->fields.emplace_back(key,
+                             std::make_unique<JsonValue>(std::move(v)));
+    return *this;
+  }
+
+  /// Array element. Returns *this for chaining.
+  JsonValue& push(JsonValue v) {
+    auto* arr = std::get_if<Array>(&value_);
+    if (arr == nullptr) {
+      value_ = Array{};
+      arr = std::get_if<Array>(&value_);
+    }
+    arr->items.push_back(std::make_unique<JsonValue>(std::move(v)));
+    return *this;
+  }
+
+  void write(std::ostream& os, int indent = 0) const {
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    const std::string inner(static_cast<std::size_t>(indent + 1) * 2, ' ');
+    if (const auto* obj = std::get_if<Object>(&value_)) {
+      os << "{";
+      for (std::size_t i = 0; i < obj->fields.size(); ++i) {
+        os << (i == 0 ? "\n" : ",\n") << inner << '"'
+           << escaped(obj->fields[i].first) << "\": ";
+        obj->fields[i].second->write(os, indent + 1);
+      }
+      os << "\n" << pad << "}";
+    } else if (const auto* arr = std::get_if<Array>(&value_)) {
+      os << "[";
+      for (std::size_t i = 0; i < arr->items.size(); ++i) {
+        os << (i == 0 ? "\n" : ",\n") << inner;
+        arr->items[i]->write(os, indent + 1);
+      }
+      os << "\n" << pad << "]";
+    } else if (const auto* s = std::get_if<std::string>(&value_)) {
+      os << '"' << escaped(*s) << '"';
+    } else if (const auto* b = std::get_if<bool>(&value_)) {
+      os << (*b ? "true" : "false");
+    } else if (const auto* u = std::get_if<std::uint64_t>(&value_)) {
+      os << *u;
+    } else if (const auto* n = std::get_if<std::int64_t>(&value_)) {
+      os << *n;
+    } else if (const auto* d = std::get_if<double>(&value_)) {
+      std::ostringstream tmp;  // shortest round-trippable-ish form
+      tmp.precision(15);
+      tmp << *d;
+      os << tmp.str();
+    } else {
+      os << "null";
+    }
+  }
+
+  [[nodiscard]] std::string dump() const {
+    std::ostringstream os;
+    write(os);
+    os << "\n";
+    return os.str();
+  }
+
+  /// Write to a file; returns false on I/O failure.
+  [[nodiscard]] bool save(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << dump();
+    return static_cast<bool>(out);
+  }
+
+ private:
+  struct Object {
+    std::vector<std::pair<std::string, std::unique_ptr<JsonValue>>> fields;
+  };
+  struct Array {
+    std::vector<std::unique_ptr<JsonValue>> items;
+  };
+
+  [[nodiscard]] static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        case '\r':
+          out += "\\r";
+          break;
+        case '\b':
+          out += "\\b";
+          break;
+        case '\f':
+          out += "\\f";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  std::variant<std::nullptr_t, bool, double, std::uint64_t, std::int64_t,
+               std::string, Object, Array>
+      value_;
+};
+
+}  // namespace sck::bench

@@ -44,6 +44,7 @@ int main() {
   NetlistCampaignOptions opt;
   opt.samples_per_fault = 48;
   opt.seed = 0x51C0;
+  opt.threads = 0;  // full worker pool; results are thread-count invariant
 
   sck::TextTable table("final-realization coverage per variant");
   table.set_header({"variant", "faults", "erroneous samples", "detected",

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/table.h"
+#include "fault/batch_trials.h"
 #include "fault/campaign.h"
 #include "fault/trials.h"
 #include "hw/array_multiplier.h"
@@ -55,50 +56,59 @@ double run_one(OpKind op, Technique tech, int width, bool exhaustive) {
   ArrayMultiplier mult(width);
   RestoringDivider divider(width);
 
+  // All four operators run through the 64-lane bit-parallel engine
+  // (fault/batch_trials.h); results are bit-identical to the scalar
+  // trials, ~20-60x faster (see BENCH_fault_throughput.json).
   std::vector<FaultableUnit*> units;
   CampaignOptions opt;
   sck::fault::CampaignResult result;
   switch (op) {
     case OpKind::kAdd: {
       units = {&adder};
-      const sck::fault::AddTrial<RippleCarryAdder> trial{adder, tech};
+      const sck::fault::AddBatchTrial<RippleCarryAdder> trial{adder, tech};
       result = exhaustive
-                   ? run_exhaustive(std::span<FaultableUnit* const>(units),
-                                    width, trial, opt)
-                   : run_sampled(std::span<FaultableUnit* const>(units), width,
-                                 trial, kSamples8, kSeed, opt);
+                   ? run_exhaustive_batched(
+                         std::span<FaultableUnit* const>(units), width, trial,
+                         opt)
+                   : run_sampled_batched(std::span<FaultableUnit* const>(units),
+                                         width, trial, kSamples8, kSeed, opt);
       break;
     }
     case OpKind::kSub: {
       units = {&adder};
-      const sck::fault::SubTrial<RippleCarryAdder> trial{adder, tech};
+      const sck::fault::SubBatchTrial<RippleCarryAdder> trial{adder, tech};
       result = exhaustive
-                   ? run_exhaustive(std::span<FaultableUnit* const>(units),
-                                    width, trial, opt)
-                   : run_sampled(std::span<FaultableUnit* const>(units), width,
-                                 trial, kSamples8, kSeed, opt);
+                   ? run_exhaustive_batched(
+                         std::span<FaultableUnit* const>(units), width, trial,
+                         opt)
+                   : run_sampled_batched(std::span<FaultableUnit* const>(units),
+                                         width, trial, kSamples8, kSeed, opt);
       break;
     }
     case OpKind::kMul: {
       units = {&mult};
-      const sck::fault::MulTrial<RippleCarryAdder> trial{mult, adder, tech};
+      const sck::fault::MulBatchTrial<ArrayMultiplier, RippleCarryAdder> trial{
+          mult, adder, tech};
       result = exhaustive
-                   ? run_exhaustive(std::span<FaultableUnit* const>(units),
-                                    width, trial, opt)
-                   : run_sampled(std::span<FaultableUnit* const>(units), width,
-                                 trial, kSamples8, kSeed, opt);
+                   ? run_exhaustive_batched(
+                         std::span<FaultableUnit* const>(units), width, trial,
+                         opt)
+                   : run_sampled_batched(std::span<FaultableUnit* const>(units),
+                                         width, trial, kSamples8, kSeed, opt);
       break;
     }
     case OpKind::kDiv: {
       units = {&divider};
       opt.skip_b_zero = true;
-      const sck::fault::DivTrial<RippleCarryAdder> trial{divider, mult, adder,
-                                                         tech};
+      const sck::fault::DivBatchTrial<RestoringDivider, ArrayMultiplier,
+                                      RippleCarryAdder>
+          trial{divider, mult, adder, tech};
       result = exhaustive
-                   ? run_exhaustive(std::span<FaultableUnit* const>(units),
-                                    width, trial, opt)
-                   : run_sampled(std::span<FaultableUnit* const>(units), width,
-                                 trial, kSamples8, kSeed, opt);
+                   ? run_exhaustive_batched(
+                         std::span<FaultableUnit* const>(units), width, trial,
+                         opt)
+                   : run_sampled_batched(std::span<FaultableUnit* const>(units),
+                                         width, trial, kSamples8, kSeed, opt);
       break;
     }
   }

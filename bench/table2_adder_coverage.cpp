@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/table.h"
+#include "fault/batch_trials.h"
 #include "fault/campaign.h"
 #include "fault/trials.h"
 #include "hw/ripple_carry_adder.h"
@@ -29,7 +30,7 @@
 namespace {
 
 using sck::TextTable;
-using sck::fault::AddTrial;
+using sck::fault::AddBatchTrial;
 using sck::fault::CampaignResult;
 using sck::fault::Technique;
 
@@ -50,16 +51,20 @@ RowResult run_width(int n) {
   row.exhaustive = n <= 8;
   const Technique techs[3] = {Technique::kTech1, Technique::kTech2,
                               Technique::kBoth};
+  // Runs on the 64-lane bit-parallel engine; bit-identical to the scalar
+  // drivers (tests/test_batch.cpp), which makes the 16-bit Monte-Carlo row
+  // and the 8-bit exhaustive row (536M faulty situations) routine.
   sck::hw::RippleCarryAdder adder(n);
   std::vector<sck::hw::FaultableUnit*> units{&adder};
   for (int t = 0; t < 3; ++t) {
-    const AddTrial<sck::hw::RippleCarryAdder> trial{adder, techs[t]};
+    const AddBatchTrial<sck::hw::RippleCarryAdder> trial{adder, techs[t]};
     sck::fault::CampaignOptions opt;
     opt.keep_per_fault = false;
     row.detail[t] =
         row.exhaustive
-            ? sck::fault::run_exhaustive(units, n, trial, opt)
-            : sck::fault::run_sampled(units, n, trial, kSamples16, kSeed, opt);
+            ? sck::fault::run_exhaustive_batched(units, n, trial, opt)
+            : sck::fault::run_sampled_batched(units, n, trial, kSamples16,
+                                              kSeed, opt);
     row.coverage[t] = row.detail[t].aggregate.coverage();
   }
   row.situations = row.detail[0].aggregate.total();
@@ -129,8 +134,9 @@ int main() {
     std::vector<sck::hw::FaultableUnit*> units{&adder};
     for (const Technique t :
          {Technique::kTech1, Technique::kTech2, Technique::kBoth}) {
-      const AddTrial<sck::hw::RippleCarryAdder> trial{adder, t};
-      const CampaignResult res = sck::fault::run_exhaustive(units, n, trial);
+      const AddBatchTrial<sck::hw::RippleCarryAdder> trial{adder, t};
+      const CampaignResult res =
+          sck::fault::run_exhaustive_batched(units, n, trial);
       range.add_row({std::string(to_string(t)),
                      sck::format_percent(res.min_fault_coverage),
                      sck::format_percent(res.max_fault_coverage)});

@@ -156,6 +156,25 @@ std::vector<SwReport> measure_fir_sw(const std::vector<int>& coeffs,
   return reports;
 }
 
+std::vector<CoverageReport> evaluate_flow_coverage(
+    const hls::FirSpec& spec, const FlowReport& flow,
+    const hls::NetlistCampaignOptions& options) {
+  std::vector<CoverageReport> reports;
+  reports.reserve(flow.hardware.size());
+  for (const HwDesign& design : flow.hardware) {
+    const hls::Dfg graph = variant_graph(spec, design.variant);
+    const hls::NetlistCampaignResult r =
+        hls::run_netlist_campaign(graph, design.netlist, options);
+    CoverageReport c;
+    c.variant = design.variant;
+    c.min_area = design.min_area;
+    c.stats = r.aggregate;
+    c.faults = r.fault_universe_size;
+    reports.push_back(c);
+  }
+  return reports;
+}
+
 FlowReport run_fir_flow(const hls::FirSpec& spec, std::size_t sw_samples) {
   FlowReport flow;
   for (const Variant v : {Variant::kPlain, Variant::kSck, Variant::kEmbedded}) {

@@ -13,9 +13,11 @@
 #include <string>
 #include <vector>
 
+#include "fault/stats.h"
 #include "hls/area_time.h"
 #include "hls/builder.h"
 #include "hls/netlist.h"
+#include "hls/netlist_campaign.h"
 
 namespace sck::codesign {
 
@@ -67,5 +69,25 @@ struct FlowReport {
 
 [[nodiscard]] FlowReport run_fir_flow(const hls::FirSpec& spec,
                                       std::size_t sw_samples);
+
+/// Reliability leg of the design-space exploration: the realization-level
+/// fault coverage of one synthesized design, measured by sweeping its
+/// complete FU stuck-at universe through the system-level campaign engine
+/// (hls/netlist_campaign.h, multithreaded and thread-count invariant).
+struct CoverageReport {
+  Variant variant = Variant::kPlain;
+  bool min_area = true;
+  fault::CampaignStats stats;
+  std::uint64_t faults = 0;
+
+  [[nodiscard]] double coverage() const { return stats.coverage(); }
+};
+
+/// Evaluate every design of `flow` (same spec that produced it). This is
+/// the third DSE axis next to area/latency and software overhead: which
+/// variant buys how much realization-level coverage for its cost.
+[[nodiscard]] std::vector<CoverageReport> evaluate_flow_coverage(
+    const hls::FirSpec& spec, const FlowReport& flow,
+    const hls::NetlistCampaignOptions& options);
 
 }  // namespace sck::codesign

@@ -1,0 +1,90 @@
+// Bit-parallel twins of the whole-mechanism trials in core/sck_trials.h.
+//
+// SCK<T, P, HwOps<T>> routes every operator through an AluPool, whose
+// allocation policy decides which unit instance executes the nominal
+// operation and which executes the hidden control (§2.1: that choice is
+// what separates 100% coverage from the §4 worst case). These functors
+// bind the (nominal, check) roles through the pool and delegate the
+// verdict logic to the shared fault::detail::*_verdict helpers — the same
+// implementation the per-operator trials use with both roles on one unit —
+// so they are lane-for-lane identical to running the overloaded operators
+// 64 times (tests/test_batch.cpp proves it against SckAddTrial /
+// SckSubTrial / SckMulTrial).
+//
+// Scope: the kSharedSingle and kDistinct policies. kRoundRobin alternates
+// instances per *call* (mutable pool state), so its outcome depends on the
+// global call history rather than on (fault, a, b) alone — batching it
+// would change its semantics, and the scalar trial remains the tool for
+// that policy. Division also stays scalar: HwOps<T>::div runs its sign
+// logic on the host per lane, which is checker-side control flow, not
+// data-path work.
+#pragma once
+
+#include "common/word.h"
+#include "core/alu_pool.h"
+#include "core/sck_trials.h"
+#include "fault/batch.h"
+#include "fault/batch_trials.h"
+#include "fault/technique.h"
+
+namespace sck {
+
+namespace detail {
+
+[[nodiscard]] inline const hw::RippleCarryAdder& batch_adder(AluPool& pool,
+                                                             OpRole role) {
+  SCK_EXPECTS(pool.policy() != AllocationPolicy::kRoundRobin &&
+              "round-robin allocation is call-order dependent; "
+              "use the scalar SCK trials for it");
+  return pool.adder(role);
+}
+
+[[nodiscard]] inline const hw::ArrayMultiplier& batch_multiplier(
+    AluPool& pool, OpRole role) {
+  SCK_EXPECTS(pool.policy() != AllocationPolicy::kRoundRobin);
+  return pool.multiplier(role);
+}
+
+}  // namespace detail
+
+/// Batched SCK<T> addition through the pool (see SckAddTrial).
+struct SckAddBatchTrial {
+  AluPool& pool;
+  fault::Technique tech = fault::Technique::kTech1;
+
+  [[nodiscard]] fault::LaneVerdict operator()(const hw::BatchWord& a,
+                                              const hw::BatchWord& b) const {
+    return fault::detail::add_verdict(
+        detail::batch_adder(pool, OpRole::kNominal),
+        detail::batch_adder(pool, OpRole::kCheck), tech, a, b);
+  }
+};
+
+/// Batched SCK<T> subtraction through the pool (see SckSubTrial).
+struct SckSubBatchTrial {
+  AluPool& pool;
+  fault::Technique tech = fault::Technique::kTech1;
+
+  [[nodiscard]] fault::LaneVerdict operator()(const hw::BatchWord& a,
+                                              const hw::BatchWord& b) const {
+    return fault::detail::sub_verdict(
+        detail::batch_adder(pool, OpRole::kNominal),
+        detail::batch_adder(pool, OpRole::kCheck), tech, a, b);
+  }
+};
+
+/// Batched SCK<T> multiplication through the pool (see SckMulTrial).
+struct SckMulBatchTrial {
+  AluPool& pool;
+  fault::Technique tech = fault::Technique::kTech1;
+
+  [[nodiscard]] fault::LaneVerdict operator()(const hw::BatchWord& a,
+                                              const hw::BatchWord& b) const {
+    return fault::detail::mul_verdict(
+        detail::batch_multiplier(pool, OpRole::kNominal),
+        detail::batch_multiplier(pool, OpRole::kCheck),
+        detail::batch_adder(pool, OpRole::kCheck), tech, a, b);
+  }
+};
+
+}  // namespace sck

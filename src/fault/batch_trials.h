@@ -1,0 +1,209 @@
+// Bit-parallel twins of the trial functors in fault/trials.h: the same
+// checked operation and the same worst-case unit allocation, evaluated for
+// 64 input pairs per call through the units' *_batch APIs.
+//
+// Each functor is lane-for-lane identical to its scalar twin: lane L of the
+// returned LaneVerdict classifies exactly like the scalar trial on lane L's
+// operands (tests/test_batch.cpp proves this across the full fault
+// universe). Golden references are computed with the fault-free plane
+// arithmetic of hw/batch.h instead of per-lane host loops.
+//
+// The verdict logic lives in detail::*_verdict helpers parameterized on
+// which unit instance executes the nominal operation and which executes
+// the hidden control. The functors here bind both roles to the same
+// (faulty) unit — the paper's worst case; core/sck_batch_trials.h binds
+// them through an AluPool's allocation policy. One implementation serves
+// both, so a fix to a check recipe cannot desynchronize the two engines.
+//
+// Unlike the scalar functors (which hard-code ArrayMultiplier /
+// RestoringDivider), the batched multiplier and divider trials are
+// templated over the unit types so the architecture-ablation benches can
+// drive carry-save multipliers and non-restoring dividers through the same
+// engine.
+#pragma once
+
+#include "common/word.h"
+#include "fault/batch.h"
+#include "fault/technique.h"
+#include "fault/trials.h"
+#include "hw/comparator.h"
+
+namespace sck::fault {
+
+namespace detail {
+
+/// Checked addition `ris = a + b` with the control on `check` (see
+/// AddTrial for the recipes).
+template <typename AdderN, typename AdderC>
+[[nodiscard]] LaneVerdict add_verdict(const AdderN& nominal,
+                                      const AdderC& check, Technique tech,
+                                      const hw::BatchWord& a,
+                                      const hw::BatchWord& b) {
+  const int n = nominal.width();
+  hw::BatchWord golden;
+  hw::golden_add(a, b, 0, n, golden);
+  hw::BatchWord ris;
+  const hw::LaneMask carry_out = nominal.add_c_batch(a, b, 0, ris);
+  hw::LaneMask ok = hw::kAllLanes;
+  if (uses_tech1(tech)) {
+    ok &= hw::equal_batch(check.sub_batch(ris, a), b, n);
+  }
+  if (uses_tech2(tech)) {
+    ok &= hw::equal_batch(check.sub_batch(ris, b), a, n);
+  }
+  if (tech == Technique::kResidue3) {
+    const hw::LaneResidue lhs = hw::residue3_add(hw::residue3_planes(a, n),
+                                                 hw::residue3_planes(b, n));
+    const hw::LaneResidue wrap =
+        hw::residue3_select(hw::residue3_const(residue3_pow2(n)), carry_out);
+    const hw::LaneResidue rhs =
+        hw::residue3_add(hw::residue3_planes(ris, n), wrap);
+    ok = hw::residue3_eq(lhs, rhs);
+  }
+  return LaneVerdict{~hw::equal_batch(ris, golden, n), ~ok};
+}
+
+/// Checked subtraction `ris = a - b` with the control on `check` (see
+/// SubTrial for the recipes).
+template <typename AdderN, typename AdderC>
+[[nodiscard]] LaneVerdict sub_verdict(const AdderN& nominal,
+                                      const AdderC& check, Technique tech,
+                                      const hw::BatchWord& a,
+                                      const hw::BatchWord& b) {
+  const int n = nominal.width();
+  const hw::BatchWord golden = hw::golden_sub(a, b, n);
+  hw::BatchWord nb;
+  for (int i = 0; i < n; ++i) nb[i] = ~b[i];
+  hw::BatchWord ris;
+  const hw::LaneMask no_borrow =
+      nominal.add_c_batch(a, nb, hw::kAllLanes, ris);
+  hw::LaneMask ok = hw::kAllLanes;
+  if (uses_tech1(tech)) {
+    ok &= hw::equal_batch(check.add_batch(ris, b), a, n);
+  }
+  if (uses_tech2(tech)) {
+    const hw::BatchWord risp = check.sub_batch(b, a);
+    ok &= hw::is_zero_batch(check.add_batch(ris, risp), n);
+  }
+  if (tech == Technique::kResidue3) {
+    // a - b = ris - (1 - carry_out) * 2^n over the integers.
+    const hw::LaneResidue lhs = hw::residue3_sub(hw::residue3_planes(a, n),
+                                                 hw::residue3_planes(b, n));
+    const hw::LaneResidue wrap =
+        hw::residue3_select(hw::residue3_const(residue3_pow2(n)), ~no_borrow);
+    const hw::LaneResidue rhs =
+        hw::residue3_sub(hw::residue3_planes(ris, n), wrap);
+    ok = hw::residue3_eq(lhs, rhs);
+  }
+  return LaneVerdict{~hw::equal_batch(ris, golden, n), ~ok};
+}
+
+/// Checked multiplication `ris = a x b`: products on nominal/check
+/// multipliers, negations and the closing additions on `check_adder` (see
+/// MulTrial).
+template <typename MultN, typename MultC, typename AdderC>
+[[nodiscard]] LaneVerdict mul_verdict(const MultN& nominal,
+                                      const MultC& check_mult,
+                                      const AdderC& check_adder,
+                                      Technique tech, const hw::BatchWord& a,
+                                      const hw::BatchWord& b) {
+  SCK_EXPECTS(tech != Technique::kResidue3);
+  const int n = check_adder.width();
+  const hw::BatchWord golden = hw::golden_mul(a, b, n);
+  const hw::BatchWord ris = nominal.mul_batch(a, b);
+  hw::LaneMask ok = hw::kAllLanes;
+  if (uses_tech1(tech)) {
+    const hw::BatchWord risp =
+        check_mult.mul_batch(check_adder.negate_batch(a), b);
+    ok &= hw::is_zero_batch(check_adder.add_batch(ris, risp), n);
+  }
+  if (uses_tech2(tech)) {
+    const hw::BatchWord risp =
+        check_mult.mul_batch(a, check_adder.negate_batch(b));
+    ok &= hw::is_zero_batch(check_adder.add_batch(ris, risp), n);
+  }
+  return LaneVerdict{~hw::equal_batch(ris, golden, n), ~ok};
+}
+
+}  // namespace detail
+
+/// Checked addition, batched (see AddTrial). Worst case: nominal and
+/// control share one (possibly faulty) adder.
+template <typename Adder>
+struct AddBatchTrial {
+  const Adder& adder;
+  Technique tech = Technique::kTech1;
+
+  [[nodiscard]] LaneVerdict operator()(const hw::BatchWord& a,
+                                       const hw::BatchWord& b) const {
+    return detail::add_verdict(adder, adder, tech, a, b);
+  }
+};
+
+/// Checked subtraction, batched (see SubTrial).
+template <typename Adder>
+struct SubBatchTrial {
+  const Adder& adder;
+  Technique tech = Technique::kTech1;
+
+  [[nodiscard]] LaneVerdict operator()(const hw::BatchWord& a,
+                                       const hw::BatchWord& b) const {
+    return detail::sub_verdict(adder, adder, tech, a, b);
+  }
+};
+
+/// Checked multiplication, batched (see MulTrial). Both products on the
+/// shared multiplier; negation and closing addition on the adder.
+template <typename Mult, typename Adder>
+struct MulBatchTrial {
+  const Mult& mult;
+  const Adder& adder;
+  Technique tech = Technique::kTech1;
+
+  [[nodiscard]] LaneVerdict operator()(const hw::BatchWord& a,
+                                       const hw::BatchWord& b) const {
+    return detail::mul_verdict(mult, mult, adder, tech, a, b);
+  }
+};
+
+/// Checked division, batched (see DivTrial). Lanes with a zero divisor
+/// compute harmlessly but meaninglessly; campaigns must run with
+/// skip_b_zero so those lanes never enter the statistics.
+template <typename Divider, typename Mult, typename Adder>
+struct DivBatchTrial {
+  const Divider& divider;
+  const Mult& mult;
+  const Adder& adder;
+  Technique tech = Technique::kTech1;
+
+  [[nodiscard]] LaneVerdict operator()(const hw::BatchWord& a,
+                                       const hw::BatchWord& b) const {
+    SCK_EXPECTS(tech != Technique::kResidue3);
+    const int n = adder.width();
+    hw::BatchWord golden_q;
+    hw::BatchWord golden_r;
+    hw::golden_divmod(a, b, n, golden_q, golden_r);
+    const hw::BatchDivResult dr = divider.divide_batch(a, b);
+    hw::BatchWord q;
+    hw::BatchWord r;  // output port is n bits wide, like the scalar trial
+    for (int i = 0; i < n; ++i) {
+      q[i] = dr.quotient[i];
+      r[i] = dr.remainder[i];
+    }
+    hw::LaneMask ok = hw::kAllLanes;
+    if (uses_tech1(tech)) {
+      const hw::BatchWord op1p = adder.add_batch(mult.mul_batch(q, b), r);
+      ok &= hw::equal_batch(op1p, a, n);
+    }
+    if (uses_tech2(tech)) {
+      const hw::BatchWord t = mult.mul_batch(adder.negate_batch(q), b);
+      const hw::BatchWord op1p = adder.sub_batch(t, r);
+      ok &= hw::is_zero_batch(adder.add_batch(a, op1p), n);
+    }
+    const hw::LaneMask erroneous = ~(hw::equal_batch(q, golden_q, n) &
+                                     hw::equal_batch(r, golden_r, n));
+    return LaneVerdict{erroneous, ~ok};
+  }
+};
+
+}  // namespace sck::fault

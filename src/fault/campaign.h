@@ -21,6 +21,7 @@
 #include "common/assert.h"
 #include "common/rng.h"
 #include "common/word.h"
+#include "fault/batch.h"
 #include "fault/stats.h"
 #include "hw/fault_site.h"
 #include "hw/unit.h"
@@ -79,6 +80,108 @@ inline void clear_all(std::span<hw::FaultableUnit* const> units) {
   for (hw::FaultableUnit* u : units) u->clear_fault();
 }
 
+/// One fault of the combined universe: the unit's index in the campaign's
+/// unit list plus the site inside that unit.
+struct UniverseEntry {
+  int unit_index;
+  hw::FaultSite site;
+};
+
+/// The combined fault universe in canonical order (unit-major, each unit's
+/// own fault_universe() order). Every driver — scalar, batched, sampled,
+/// parallel — must enumerate through this single helper: the order IS the
+/// reduction order the bit-identical guarantee rests on.
+inline std::vector<UniverseEntry> enumerate_universe(
+    std::span<hw::FaultableUnit* const> units) {
+  std::vector<UniverseEntry> universe;
+  for (int ui = 0; ui < static_cast<int>(units.size()); ++ui) {
+    for (const hw::FaultSite& site :
+         units[static_cast<std::size_t>(ui)]->fault_universe()) {
+      universe.push_back(UniverseEntry{ui, site});
+    }
+  }
+  return universe;
+}
+
+// The exhaustive-sweep building blocks shared by the sequential drivers
+// here and the parallel drivers in fault/parallel.h. Keeping validation,
+// fault collapsing and the per-fault sweep in one place is what lets the
+// four run_exhaustive* entry points stay bit-identical by construction.
+
+/// Fault-free validation sweep, scalar: every trial must be silent.
+/// Returns the trial count per fault.
+template <typename Trial>
+std::uint64_t validate_scalar(int width, const CampaignOptions& opt,
+                              const Trial& trial) {
+  const Word limit = Word{1} << width;
+  std::uint64_t inputs_per_fault = 0;
+  for (Word a = 0; a < limit; ++a) {
+    for (Word b = opt.skip_b_zero ? 1 : 0; b < limit; ++b) {
+      const Outcome o = trial(a, b);
+      SCK_ASSERT(o == Outcome::kSilentCorrect &&
+                 "trial must be silent on fault-free hardware");
+      ++inputs_per_fault;
+    }
+  }
+  return inputs_per_fault;
+}
+
+/// Fault-free validation sweep, batched.
+template <typename BatchTrial>
+void validate_batched(const ExhaustivePlan& plan, const BatchTrial& trial) {
+  for (std::uint64_t k = 0; k < plan.batches(); ++k) {
+    const LaneBatch in = plan.batch(k);
+    const LaneVerdict v = trial(in.a, in.b);
+    SCK_ASSERT(((v.erroneous | v.check_failed) & in.valid) == 0 &&
+               "trial must be silent on fault-free hardware");
+  }
+}
+
+/// One fault's exhaustive statistics, scalar path. Unexcitable faults
+/// collapse to an all-silent sweep (see the note on run_exhaustive).
+template <typename Trial>
+CampaignStats sweep_fault_scalar(hw::FaultableUnit& unit,
+                                 const hw::FaultSite& site, bool excitable,
+                                 int width, const CampaignOptions& opt,
+                                 std::uint64_t inputs_per_fault,
+                                 const Trial& trial) {
+  CampaignStats fs;
+  if (!excitable) {
+    fs.silent_correct = inputs_per_fault;
+    return fs;
+  }
+  const Word limit = Word{1} << width;
+  unit.set_fault(site);
+  for (Word a = 0; a < limit; ++a) {
+    for (Word b = opt.skip_b_zero ? 1 : 0; b < limit; ++b) {
+      fs.record(trial(a, b));
+    }
+  }
+  unit.clear_fault();
+  return fs;
+}
+
+/// One fault's exhaustive statistics, batched path.
+template <typename BatchTrial>
+CampaignStats sweep_fault_batched(hw::FaultableUnit& unit,
+                                  const hw::FaultSite& site, bool excitable,
+                                  const ExhaustivePlan& plan,
+                                  std::uint64_t inputs_per_fault,
+                                  const BatchTrial& trial) {
+  CampaignStats fs;
+  if (!excitable) {
+    fs.silent_correct = inputs_per_fault;
+    return fs;
+  }
+  unit.set_fault(site);
+  for (std::uint64_t k = 0; k < plan.batches(); ++k) {
+    const LaneBatch in = plan.batch(k);
+    record_lanes(fs, trial(in.a, in.b), in.valid);
+  }
+  unit.clear_fault();
+  return fs;
+}
+
 }  // namespace detail
 
 /// Exhaustive sweep: every fault of every unit crossed with every input
@@ -100,37 +203,46 @@ CampaignResult run_exhaustive(std::span<hw::FaultableUnit* const> units,
   detail::clear_all(units);
 
   CampaignResult result;
-  const Word limit = Word{1} << width;
+  const std::uint64_t inputs_per_fault =
+      detail::validate_scalar(width, opt, trial);
 
-  // Fault-free validation sweep (see the collapsing note above).
-  std::uint64_t inputs_per_fault = 0;
-  for (Word a = 0; a < limit; ++a) {
-    for (Word b = opt.skip_b_zero ? 1 : 0; b < limit; ++b) {
-      const Outcome o = trial(a, b);
-      SCK_ASSERT(o == Outcome::kSilentCorrect &&
-                 "trial must be silent on fault-free hardware");
-      ++inputs_per_fault;
-    }
+  for (const detail::UniverseEntry& e : detail::enumerate_universe(units)) {
+    hw::FaultableUnit& unit = *units[static_cast<std::size_t>(e.unit_index)];
+    const CampaignStats fs = detail::sweep_fault_scalar(
+        unit, e.site, unit.fault_excitable(e.site), width, opt,
+        inputs_per_fault, trial);
+    ++result.fault_universe_size;
+    detail::finish_fault(result, e.unit_index, e.site, fs, opt);
   }
+  return result;
+}
 
-  for (int ui = 0; ui < static_cast<int>(units.size()); ++ui) {
-    hw::FaultableUnit* unit = units[static_cast<std::size_t>(ui)];
-    for (const hw::FaultSite& site : unit->fault_universe()) {
-      CampaignStats fs;
-      if (!unit->fault_excitable(site)) {
-        fs.silent_correct = inputs_per_fault;
-      } else {
-        unit->set_fault(site);
-        for (Word a = 0; a < limit; ++a) {
-          for (Word b = opt.skip_b_zero ? 1 : 0; b < limit; ++b) {
-            fs.record(trial(a, b));
-          }
-        }
-        unit->clear_fault();
-      }
-      ++result.fault_universe_size;
-      detail::finish_fault(result, ui, site, fs, opt);
-    }
+/// Exhaustive sweep through the 64-lane bit-parallel engine: identical
+/// semantics and bit-identical CampaignResult to run_exhaustive (same
+/// universe order, same collapsing, same counters), but evaluating 64
+/// input pairs per bitwise op. `trial` is a batched functor from
+/// fault/batch_trials.h (or any callable (BatchWord, BatchWord) ->
+/// LaneVerdict whose lanes match the scalar trial).
+template <typename BatchTrial>
+CampaignResult run_exhaustive_batched(
+    std::span<hw::FaultableUnit* const> units, int width,
+    const BatchTrial& trial, const CampaignOptions& opt = {}) {
+  SCK_EXPECTS(!units.empty());
+  SCK_EXPECTS(width >= 1 && width <= 16);
+  detail::clear_all(units);
+
+  CampaignResult result;
+  const ExhaustivePlan plan(width, opt.skip_b_zero);
+  const std::uint64_t inputs_per_fault = plan.trials_per_fault();
+  detail::validate_batched(plan, trial);
+
+  for (const detail::UniverseEntry& e : detail::enumerate_universe(units)) {
+    hw::FaultableUnit& unit = *units[static_cast<std::size_t>(e.unit_index)];
+    const CampaignStats fs = detail::sweep_fault_batched(
+        unit, e.site, unit.fault_excitable(e.site), plan, inputs_per_fault,
+        trial);
+    ++result.fault_universe_size;
+    detail::finish_fault(result, e.unit_index, e.site, fs, opt);
   }
   return result;
 }
@@ -147,17 +259,8 @@ CampaignResult run_sampled(std::span<hw::FaultableUnit* const> units,
   detail::clear_all(units);
 
   // Materialise the combined universe once so draws are uniform across units.
-  struct Entry {
-    int unit_index;
-    hw::FaultSite site;
-  };
-  std::vector<Entry> universe;
-  for (int ui = 0; ui < static_cast<int>(units.size()); ++ui) {
-    for (const hw::FaultSite& site :
-         units[static_cast<std::size_t>(ui)]->fault_universe()) {
-      universe.push_back(Entry{ui, site});
-    }
-  }
+  const std::vector<detail::UniverseEntry> universe =
+      detail::enumerate_universe(units);
   SCK_ASSERT(!universe.empty());
 
   std::vector<CampaignStats> per_fault(universe.size());
@@ -182,6 +285,92 @@ CampaignResult run_sampled(std::span<hw::FaultableUnit* const> units,
     per_fault[k].record(trial(a, b));
   }
   detail::clear_all(units);
+
+  CampaignResult result;
+  result.fault_universe_size = universe.size();
+  for (std::size_t k = 0; k < universe.size(); ++k) {
+    detail::finish_fault(result, universe[k].unit_index, universe[k].site,
+                         per_fault[k], opt);
+  }
+  return result;
+}
+
+/// Batched twin of run_sampled, bit-identical by construction: it replays
+/// the exact (fault, a, b) draw sequence of the scalar driver, then —
+/// since every trial is a pure function of (fault, a, b) and the counters
+/// commute — buckets the draws by fault (in chunks, to bound memory) and
+/// evaluates each fault's inputs 64 lanes at a time.
+template <typename BatchTrial>
+CampaignResult run_sampled_batched(std::span<hw::FaultableUnit* const> units,
+                                   int width, const BatchTrial& trial,
+                                   std::uint64_t samples, std::uint64_t seed,
+                                   const CampaignOptions& opt = {}) {
+  SCK_EXPECTS(!units.empty());
+  SCK_EXPECTS(width >= 1 && width <= kMaxWidth);
+  detail::clear_all(units);
+
+  const std::vector<detail::UniverseEntry> universe =
+      detail::enumerate_universe(units);
+  SCK_ASSERT(!universe.empty());
+
+  std::vector<CampaignStats> per_fault(universe.size());
+  Xoshiro256 rng(seed);
+  const Word limit = Word{1} << width;
+
+  constexpr std::uint64_t kChunk = std::uint64_t{1} << 20;
+  std::vector<std::uint32_t> fault_of;     // draw -> fault index
+  std::vector<std::uint64_t> pair_of;      // draw -> a | b << 32
+  std::vector<std::uint32_t> bucket_pos;   // CSR offsets per fault
+  std::vector<std::uint64_t> bucketed;     // pairs grouped by fault
+  std::uint64_t remaining = samples;
+  while (remaining > 0) {
+    const std::uint64_t chunk = remaining < kChunk ? remaining : kChunk;
+    remaining -= chunk;
+
+    fault_of.resize(chunk);
+    pair_of.resize(chunk);
+    for (std::uint64_t s = 0; s < chunk; ++s) {
+      const auto k = static_cast<std::uint32_t>(rng.bounded(universe.size()));
+      const Word a = rng.bounded(limit);
+      const Word b = opt.skip_b_zero ? 1 + rng.bounded(limit - 1)
+                                     : rng.bounded(limit);
+      fault_of[s] = k;
+      pair_of[s] = a | (b << 32);
+    }
+
+    // Counting sort by fault index.
+    bucket_pos.assign(universe.size() + 1, 0);
+    for (std::uint64_t s = 0; s < chunk; ++s) ++bucket_pos[fault_of[s] + 1];
+    for (std::size_t k = 1; k <= universe.size(); ++k) {
+      bucket_pos[k] += bucket_pos[k - 1];
+    }
+    bucketed.resize(chunk);
+    {
+      std::vector<std::uint32_t> cursor(bucket_pos.begin(),
+                                        bucket_pos.end() - 1);
+      for (std::uint64_t s = 0; s < chunk; ++s) {
+        bucketed[cursor[fault_of[s]]++] = pair_of[s];
+      }
+    }
+
+    for (std::size_t k = 0; k < universe.size(); ++k) {
+      const std::uint32_t lo = bucket_pos[k];
+      const std::uint32_t hi = bucket_pos[k + 1];
+      if (lo == hi) continue;
+      hw::FaultableUnit* unit =
+          units[static_cast<std::size_t>(universe[k].unit_index)];
+      unit->set_fault(universe[k].site);
+      for (std::uint32_t base = lo; base < hi; base += hw::kLanes) {
+        const int count = static_cast<int>(
+            hi - base < hw::kLanes ? hi - base : hw::kLanes);
+        LaneBatch in;
+        pack_pairs(bucketed.data() + base, count, width, in.a, in.b);
+        in.valid = hw::lane_prefix(count);
+        record_lanes(per_fault[k], trial(in.a, in.b), in.valid);
+      }
+      unit->clear_fault();
+    }
+  }
 
   CampaignResult result;
   result.fault_universe_size = universe.size();

@@ -1,0 +1,211 @@
+// Multithreaded campaign scheduler with deterministic reduction.
+//
+// The fault universe of a campaign is embarrassingly parallel — every fault
+// is evaluated against the same input space on otherwise fault-free
+// hardware — but the unit models are stateful (set_fault), so workers
+// cannot share instances. The scheduler therefore takes a *context
+// factory*: each worker builds its own context (owning fresh unit
+// instances and a trial bound to them), pulls fault indices from a shared
+// atomic cursor, and writes its per-fault CampaignStats into a slot
+// indexed by the fault's position in the universe. The main thread then
+// folds the slots in fault-index order — the same order the sequential
+// drivers use — so the CampaignResult (aggregate, per-fault breakdown,
+// min/max coverage) is bit-identical for any thread count, including 1.
+//
+// A context is any type providing
+//   std::vector<hw::FaultableUnit*> units();   // enumeration order = unit
+//                                              // index in the result
+//   const Trial& trial() const;                // batched: (BatchWord,
+//                                              // BatchWord) -> LaneVerdict;
+//                                              // scalar: (Word, Word) ->
+//                                              // Outcome
+// and the factory is any callable returning one by value. All contexts
+// must describe identical hardware (same units, widths, order); the
+// scheduler asserts the universes agree in size.
+//
+// Context lifetime rule: a context typically stores a trial functor that
+// holds references to the context's own unit members. That is safe only
+// because `auto ctx = factory()` materialises the factory's return value
+// in place (guaranteed prvalue elision) — the context is never copied or
+// moved. Keep it that way: construct the context in the factory's return
+// statement, and delete the context's copy/move constructors so any
+// future refactor that would copy it (and silently rebind the trial to a
+// dead sibling) fails to compile instead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "fault/batch.h"
+#include "fault/campaign.h"
+#include "hw/fault_site.h"
+#include "hw/unit.h"
+
+namespace sck::fault {
+
+/// Worker count resolution: 0 means "all hardware threads".
+[[nodiscard]] inline int resolve_threads(int threads) {
+  if (threads > 0) return threads;
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+/// Generic deterministic sharding primitive: run `eval(state, j)` for every
+/// job index j in [0, jobs) across a worker pool, with one `make_state()`
+/// context per worker. Job results must be written into j-indexed slots by
+/// the caller's eval — the caller then reduces them in job order, which
+/// makes the outcome independent of the thread count and of the dynamic
+/// schedule. This is the engine under the campaign drivers below and under
+/// the netlist campaign (hls/netlist_campaign.cpp).
+template <typename MakeState, typename Eval>
+void parallel_shard(std::size_t jobs, int threads, MakeState&& make_state,
+                    const Eval& eval) {
+  // Never spawn more workers (and contexts) than there are jobs.
+  const int workers = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(resolve_threads(threads)),
+      jobs == 0 ? 1 : jobs));
+  std::atomic<std::size_t> cursor{0};
+
+  const auto work = [&](auto& state) {
+    for (;;) {
+      const std::size_t j = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (j >= jobs) break;
+      eval(state, j);
+    }
+  };
+
+  if (workers <= 1 || jobs <= 1) {
+    auto state = make_state();
+    work(state);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&make_state, &work] {
+      auto state = make_state();
+      work(state);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+namespace detail {
+
+/// Campaign.h's canonical universe entry (see detail::enumerate_universe
+/// there), augmented with the (pure, context-independent) excitability bit
+/// so workers can apply the same fault collapsing as the sequential
+/// drivers.
+struct ShardEntry {
+  int unit_index;
+  hw::FaultSite site;
+  bool excitable;
+};
+
+inline std::vector<ShardEntry> enumerate_shard_universe(
+    const std::vector<hw::FaultableUnit*>& units) {
+  std::vector<ShardEntry> universe;
+  for (const UniverseEntry& e : enumerate_universe(units)) {
+    const hw::FaultableUnit* unit =
+        units[static_cast<std::size_t>(e.unit_index)];
+    universe.push_back(
+        ShardEntry{e.unit_index, e.site, unit->fault_excitable(e.site)});
+  }
+  return universe;
+}
+
+/// Shard the universe across a worker pool. `eval(ctx, entry)` computes
+/// one fault's CampaignStats inside the worker's own context.
+template <typename Factory, typename Eval>
+CampaignResult schedule_faults(Factory&& factory,
+                               const std::vector<ShardEntry>& universe,
+                               int threads, const CampaignOptions& opt,
+                               const Eval& eval) {
+  std::vector<CampaignStats> per_fault(universe.size());
+  parallel_shard(
+      universe.size(), threads, factory,
+      [&universe, &per_fault, &eval](auto& ctx, std::size_t j) {
+        per_fault[j] = eval(ctx, universe[j]);
+      });
+
+  // Deterministic reduction: fault-index order, exactly like the
+  // sequential drivers.
+  CampaignResult result;
+  result.fault_universe_size = universe.size();
+  for (std::size_t j = 0; j < universe.size(); ++j) {
+    finish_fault(result, universe[j].unit_index, universe[j].site,
+                 per_fault[j], opt);
+  }
+  return result;
+}
+
+}  // namespace detail
+
+/// Parallel exhaustive campaign over the 64-lane engine: bit-identical to
+/// run_exhaustive_batched (and hence to run_exhaustive with an equivalent
+/// scalar trial) at any thread count. `threads == 0` uses all hardware
+/// threads.
+template <typename Factory>
+CampaignResult run_exhaustive_batched_parallel(
+    int width, Factory&& factory, int threads = 0,
+    const CampaignOptions& opt = {}) {
+  SCK_EXPECTS(width >= 1 && width <= 16);
+
+  auto proto = factory();
+  const std::vector<hw::FaultableUnit*> proto_units = proto.units();
+  SCK_EXPECTS(!proto_units.empty());
+  for (hw::FaultableUnit* u : proto_units) u->clear_fault();
+  const std::vector<detail::ShardEntry> universe =
+      detail::enumerate_shard_universe(proto_units);
+
+  const ExhaustivePlan plan(width, opt.skip_b_zero);
+  const std::uint64_t inputs_per_fault = plan.trials_per_fault();
+  // Fault-free validation sweep on the prototype context.
+  detail::validate_batched(plan, proto.trial());
+
+  return detail::schedule_faults(
+      std::forward<Factory>(factory), universe, threads, opt,
+      [&plan, inputs_per_fault](auto& ctx, const detail::ShardEntry& e) {
+        const std::vector<hw::FaultableUnit*> units = ctx.units();
+        return detail::sweep_fault_batched(
+            *units[static_cast<std::size_t>(e.unit_index)], e.site,
+            e.excitable, plan, inputs_per_fault, ctx.trial());
+      });
+}
+
+/// Parallel exhaustive campaign with a *scalar* trial — for trial functors
+/// that cannot batch (e.g. the whole-mechanism SCK trials with host-side
+/// control flow). Same determinism guarantee as the batched variant.
+template <typename Factory>
+CampaignResult run_exhaustive_parallel(int width, Factory&& factory,
+                                       int threads = 0,
+                                       const CampaignOptions& opt = {}) {
+  SCK_EXPECTS(width >= 1 && width <= 16);
+
+  auto proto = factory();
+  const std::vector<hw::FaultableUnit*> proto_units = proto.units();
+  SCK_EXPECTS(!proto_units.empty());
+  for (hw::FaultableUnit* u : proto_units) u->clear_fault();
+  const std::vector<detail::ShardEntry> universe =
+      detail::enumerate_shard_universe(proto_units);
+
+  const std::uint64_t inputs_per_fault =
+      detail::validate_scalar(width, opt, proto.trial());
+
+  return detail::schedule_faults(
+      std::forward<Factory>(factory), universe, threads, opt,
+      [width, inputs_per_fault, &opt](auto& ctx,
+                                      const detail::ShardEntry& e) {
+        const std::vector<hw::FaultableUnit*> units = ctx.units();
+        return detail::sweep_fault_scalar(
+            *units[static_cast<std::size_t>(e.unit_index)], e.site,
+            e.excitable, width, opt, inputs_per_fault, ctx.trial());
+      });
+}
+
+}  // namespace sck::fault

@@ -1,41 +1,59 @@
 #include "hls/netlist_campaign.h"
 
+#include <cstdint>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/assert.h"
 #include "fault/outcome.h"
+#include "fault/parallel.h"
 
 namespace sck::hls {
 
 namespace {
 
+/// Per-fault seed derivation: fault streams must depend only on (seed,
+/// global fault index) so the campaign is invariant under the thread count
+/// and the dynamic schedule (the Xoshiro constructor SplitMix-expands the
+/// mixed value).
+[[nodiscard]] std::uint64_t fault_stream_seed(std::uint64_t seed,
+                                              std::uint64_t fault_index) {
+  return seed ^ ((fault_index + 1) * 0x9E3779B97F4A7C15ULL);
+}
+
 /// One injected-fault run: a fresh input stream through the faulty netlist
 /// against the fault-free reference model.
 fault::CampaignStats run_one_fault(const Dfg& graph, NetlistSim& sim,
-                                   bool has_error_output, int samples,
-                                   Xoshiro256& rng) {
+                                   int error_output, int samples,
+                                   Xoshiro256 rng) {
+  const Netlist& netlist = sim.netlist();
   fault::CampaignStats stats;
   sim.reset();
   std::vector<std::uint64_t> ref_state(graph.state_regs().size(), 0);
+  std::vector<Word> in(netlist.input_names.size(), 0);
+  std::vector<Word> out(netlist.outputs.size(), 0);
+  std::unordered_map<std::string, std::uint64_t> ref_in;
   for (int k = 0; k < samples; ++k) {
-    std::unordered_map<std::string, Word> in;
-    std::unordered_map<std::string, std::uint64_t> ref_in;
-    for (const NodeId id : graph.inputs()) {
-      const Node& n = graph.node(id);
+    // Input i of the netlist is input i of the graph (the netlist builder
+    // preserves the graph's input order).
+    for (std::size_t i = 0; i < graph.inputs().size(); ++i) {
+      const Node& n = graph.node(graph.inputs()[i]);
       const Word v = rng.bounded(Word{1} << n.width);
-      in[n.name] = v;
+      in[i] = v;
       ref_in[n.name] = v;
     }
     const auto want = graph.eval(ref_in, ref_state);
-    const auto got = sim.step_sample(in);
+    sim.step_sample_indexed(in, out);
 
     bool erroneous = false;
-    for (const auto& [name, value] : want.outputs) {
+    for (std::size_t i = 0; i < netlist.outputs.size(); ++i) {
+      const std::string& name = netlist.outputs[i].name;
       if (name == "error") continue;  // reference error flag is always 0
-      if (got.at(name) != value) erroneous = true;
+      if (out[i] != want.outputs.at(name)) erroneous = true;
     }
     const bool detected =
-        has_error_output && got.at("error") != 0;
+        error_output >= 0 && out[static_cast<std::size_t>(error_output)] != 0;
     stats.record(fault::classify(erroneous, /*check_passed=*/!detected));
   }
   return stats;
@@ -48,35 +66,63 @@ NetlistCampaignResult run_netlist_campaign(
     const NetlistCampaignOptions& options) {
   SCK_EXPECTS(options.samples_per_fault > 0);
   SCK_EXPECTS(options.fault_stride > 0);
+  SCK_EXPECTS(netlist.input_names.size() == graph.inputs().size());
 
-  bool has_error_output = false;
-  for (const OutputPort& port : netlist.outputs) {
-    if (port.name == "error") has_error_output = true;
+  int error_output = -1;
+  for (std::size_t i = 0; i < netlist.outputs.size(); ++i) {
+    if (netlist.outputs[i].name == "error") {
+      error_output = static_cast<int>(i);
+    }
   }
 
-  NetlistSim sim(netlist);
-  Xoshiro256 rng(options.seed);
+  // Materialise the (strided) job list up front: job order is the
+  // deterministic reduction order, unit-major exactly like the sequential
+  // sweep.
+  struct Job {
+    std::size_t fu = 0;
+    hw::FaultSite site;
+  };
+  std::vector<Job> jobs;
+  std::vector<std::size_t> unit_of_fu(netlist.fus.size(), SIZE_MAX);
   NetlistCampaignResult result;
-
-  for (std::size_t f = 0; f < netlist.fus.size(); ++f) {
-    const auto universe = sim.fu_fault_universe(static_cast<int>(f));
-    if (universe.empty()) continue;  // checker-side units host no faults
-
-    UnitCoverage unit;
-    unit.fu_index = static_cast<int>(f);
-    unit.fu_name = netlist.fus[f].name;
-    for (std::size_t i = 0; i < universe.size();
-         i += static_cast<std::size_t>(options.fault_stride)) {
-      sim.set_fu_fault(static_cast<int>(f), universe[i]);
-      unit.stats += run_one_fault(graph, sim, has_error_output,
-                                  options.samples_per_fault, rng);
-      ++unit.faults;
+  {
+    NetlistSim probe(netlist);
+    for (std::size_t f = 0; f < netlist.fus.size(); ++f) {
+      const auto universe = probe.fu_fault_universe(static_cast<int>(f));
+      if (universe.empty()) continue;  // checker-side units host no faults
+      unit_of_fu[f] = result.per_unit.size();
+      UnitCoverage unit;
+      unit.fu_index = static_cast<int>(f);
+      unit.fu_name = netlist.fus[f].name;
+      result.per_unit.push_back(std::move(unit));
+      for (std::size_t i = 0; i < universe.size();
+           i += static_cast<std::size_t>(options.fault_stride)) {
+        jobs.push_back(Job{f, universe[i]});
+      }
     }
-    sim.set_fu_fault(static_cast<int>(f), hw::FaultSite{});
+  }
 
-    result.aggregate += unit.stats;
-    result.fault_universe_size += unit.faults;
-    result.per_unit.push_back(std::move(unit));
+  // Shard the fault universe over the worker pool; each worker owns a
+  // cloned simulator (units are stateful via set_fault).
+  std::vector<fault::CampaignStats> per_job(jobs.size());
+  fault::parallel_shard(
+      jobs.size(), options.threads,
+      [&netlist] { return NetlistSim(netlist); },
+      [&](NetlistSim& sim, std::size_t j) {
+        sim.set_fu_fault(static_cast<int>(jobs[j].fu), jobs[j].site);
+        per_job[j] = run_one_fault(
+            graph, sim, error_output, options.samples_per_fault,
+            Xoshiro256(fault_stream_seed(options.seed, j)));
+        sim.set_fu_fault(static_cast<int>(jobs[j].fu), hw::FaultSite{});
+      });
+
+  // Deterministic reduction in job order.
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    UnitCoverage& unit = result.per_unit[unit_of_fu[jobs[j].fu]];
+    unit.stats += per_job[j];
+    ++unit.faults;
+    result.aggregate += per_job[j];
+    ++result.fault_universe_size;
   }
   return result;
 }

@@ -41,6 +41,10 @@ struct NetlistCampaignOptions {
   int samples_per_fault = 32;  ///< stream length per injected fault
   std::uint64_t seed = 0x2005;
   int fault_stride = 1;  ///< evaluate every k-th fault of each unit
+  /// Worker threads for the fault sweep (0 = all hardware threads). Each
+  /// fault's input stream is derived from (seed, fault index), so the
+  /// result is bit-identical for any thread count.
+  int threads = 1;
 };
 
 /// Sweep every FU fault of `netlist` (generated from `graph`), comparing

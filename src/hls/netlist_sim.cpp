@@ -1,5 +1,7 @@
 #include "hls/netlist_sim.h"
 
+#include <algorithm>
+
 #include "common/assert.h"
 
 namespace sck::hls {
@@ -7,6 +9,17 @@ namespace sck::hls {
 NetlistSim::NetlistSim(const Netlist& netlist) : netlist_(netlist) {
   reg_value_.assign(netlist_.regs.size(), 0);
   input_value_.assign(netlist_.input_names.size(), 0);
+
+  // Size the flat wire table to the highest producer node id.
+  NodeId max_node = -1;
+  for (const MicroOp& m : netlist_.micro) {
+    max_node = std::max(max_node, m.node);
+  }
+  wire_value_.assign(static_cast<std::size_t>(max_node + 1), 0);
+  wire_stamp_.assign(static_cast<std::size_t>(max_node + 1), 0);
+  latches_.reserve(netlist_.regs.size());
+  loads_.reserve(netlist_.state_loads.size());
+
   addsub_.resize(netlist_.fus.size());
   mul_.resize(netlist_.fus.size());
   div_.resize(netlist_.fus.size());
@@ -69,28 +82,20 @@ Word NetlistSim::read_operand(const Operand& op) const {
     case Operand::Kind::kInput:
       return input_value_[static_cast<std::size_t>(op.index)];
     case Operand::Kind::kWire: {
-      const auto it = wire_value_.find(op.index);
-      SCK_ASSERT(it != wire_value_.end() && "wire read before write");
-      return it->second;
+      const auto idx = static_cast<std::size_t>(op.index);
+      SCK_ASSERT(idx < wire_value_.size() && wire_stamp_[idx] == stamp_ &&
+                 "wire read before write");
+      return wire_value_[idx];
     }
   }
   return 0;
 }
 
-std::unordered_map<std::string, Word> NetlistSim::step_sample(
-    const std::unordered_map<std::string, Word>& inputs) {
-  // Latch inputs for the iteration.
-  for (std::size_t i = 0; i < netlist_.input_names.size(); ++i) {
-    const auto it = inputs.find(netlist_.input_names[i]);
-    SCK_EXPECTS(it != inputs.end() && "missing input value");
-    input_value_[i] = trunc(it->second, netlist_.data_width);
-  }
-
-  // Execute the control steps.
+void NetlistSim::run_iteration() {
   std::size_t cursor = 0;
   for (int step = 0; step < netlist_.num_steps; ++step) {
-    wire_value_.clear();
-    std::vector<std::pair<int, Word>> latches;
+    ++stamp_;
+    latches_.clear();
     for (; cursor < netlist_.micro.size() &&
            netlist_.micro[cursor].step == step;
          ++cursor) {
@@ -146,32 +151,59 @@ std::unordered_map<std::string, Word> NetlistSim::step_sample(
         default:
           SCK_ASSERT(false && "non-executable op in microcode");
       }
-      wire_value_[m.node] = result;
-      if (m.dst_reg >= 0) latches.emplace_back(m.dst_reg, result);
+      const auto node = static_cast<std::size_t>(m.node);
+      wire_value_[node] = result;
+      wire_stamp_[node] = stamp_;
+      if (m.dst_reg >= 0) latches_.emplace_back(m.dst_reg, result);
     }
     // Register writes commit at the end of the step.
-    for (const auto& [reg, value] : latches) {
+    for (const auto& [reg, value] : latches_) {
       reg_value_[static_cast<std::size_t>(reg)] = value;
     }
   }
   SCK_ASSERT(cursor == netlist_.micro.size());
+}
+
+void NetlistSim::step_sample_indexed(std::span<const Word> inputs,
+                                     std::span<Word> outputs) {
+  SCK_EXPECTS(inputs.size() == netlist_.input_names.size());
+  SCK_EXPECTS(outputs.size() == netlist_.outputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    input_value_[i] = trunc(inputs[i], netlist_.data_width);
+  }
+
+  run_iteration();
 
   // Outputs are sampled before the state registers advance.
-  std::unordered_map<std::string, Word> out;
-  for (const OutputPort& port : netlist_.outputs) {
-    out[port.name] = read_operand(port.source);
+  for (std::size_t i = 0; i < netlist_.outputs.size(); ++i) {
+    outputs[i] = read_operand(netlist_.outputs[i].source);
   }
 
   // Parallel end-of-iteration state load.
-  std::vector<std::pair<int, Word>> loads;
-  loads.reserve(netlist_.state_loads.size());
+  loads_.clear();
   for (const StateLoad& load : netlist_.state_loads) {
-    loads.emplace_back(load.dst_reg, read_operand(load.source));
+    loads_.emplace_back(load.dst_reg, read_operand(load.source));
   }
-  for (const auto& [reg, value] : loads) {
+  for (const auto& [reg, value] : loads_) {
     reg_value_[static_cast<std::size_t>(reg)] = value;
   }
-  return out;
+}
+
+std::unordered_map<std::string, Word> NetlistSim::step_sample(
+    const std::unordered_map<std::string, Word>& inputs) {
+  std::vector<Word> in(netlist_.input_names.size(), 0);
+  for (std::size_t i = 0; i < netlist_.input_names.size(); ++i) {
+    const auto it = inputs.find(netlist_.input_names[i]);
+    SCK_EXPECTS(it != inputs.end() && "missing input value");
+    in[i] = it->second;
+  }
+  std::vector<Word> out(netlist_.outputs.size(), 0);
+  step_sample_indexed(in, out);
+  std::unordered_map<std::string, Word> result;
+  for (std::size_t i = 0; i < netlist_.outputs.size(); ++i) {
+    result[netlist_.outputs[i].name] = out[i];
+  }
+  return result;
 }
 
 }  // namespace sck::hls

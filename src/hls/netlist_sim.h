@@ -11,10 +11,21 @@
 // into any FU instance — this closes the loop between synthesis and the
 // fault model: synthesize a self-checking FIR, break one adder slice, and
 // watch the "error" output rise (the end-to-end CED demonstration).
+//
+// Hot path: step_sample_indexed takes inputs by position (the order of
+// netlist().input_names) and writes outputs by position (the order of
+// netlist().outputs); all per-step storage is preallocated flat vectors
+// indexed by node/register id, so a sample iteration performs no hashing
+// and no allocation. The name-keyed step_sample remains as a convenience
+// wrapper for tests and examples.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <span>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/word.h"
@@ -43,8 +54,13 @@ class NetlistSim {
   /// Reset architectural state to zero.
   void reset();
 
-  /// Run one sample iteration: latch `inputs`, execute all control steps,
-  /// update state, and return the output port values.
+  /// Run one sample iteration on the hot path: `inputs` by position in
+  /// netlist().input_names, `outputs` filled by position in
+  /// netlist().outputs. No hashing, no allocation.
+  void step_sample_indexed(std::span<const Word> inputs,
+                           std::span<Word> outputs);
+
+  /// Name-keyed convenience wrapper around step_sample_indexed.
   [[nodiscard]] std::unordered_map<std::string, Word> step_sample(
       const std::unordered_map<std::string, Word>& inputs);
 
@@ -52,11 +68,23 @@ class NetlistSim {
 
  private:
   [[nodiscard]] Word read_operand(const Operand& op) const;
+  void run_iteration();
 
   const Netlist& netlist_;
   std::vector<Word> reg_value_;
   std::vector<Word> input_value_;
-  std::unordered_map<NodeId, Word> wire_value_;  // within the current step
+
+  // Combinational wires, flat by producer NodeId. A wire is readable only
+  // in the step that wrote it; the stamp check enforces "wire read before
+  // write" without clearing the table every step.
+  std::vector<Word> wire_value_;
+  std::vector<std::uint32_t> wire_stamp_;
+  std::uint32_t stamp_ = 0;
+
+  // Reused per-step / per-iteration commit buffers (no allocation after
+  // the first iteration).
+  std::vector<std::pair<int, Word>> latches_;
+  std::vector<std::pair<int, Word>> loads_;
 
   // One functional model per FU instance (index-aligned with netlist.fus;
   // null for checker-side classes).

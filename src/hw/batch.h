@@ -1,0 +1,339 @@
+// 64-lane bit-parallel (PPSFP-style) evaluation substrate.
+//
+// The campaign drivers spend their whole budget evaluating the same small
+// cell netlists over millions of input rows. Classic parallel-pattern
+// single-fault-propagation (PPSFP) fault simulation packs independent
+// patterns into machine words; we do the same with a *bit-plane* layout:
+//
+//   A BatchWord carries 64 independent n-bit trial operands. Plane i is a
+//   uint64_t whose bit L is bit i of lane L's word ("lane" = trial index
+//   inside the batch). One bitwise op on a plane therefore advances all 64
+//   trials at once.
+//
+// Cells evaluate in this layout in two ways:
+//   - golden cells: their truth tables are fixed, so the boolean bit-plane
+//     expressions (s = a^b^c, co = ab | (a^b)c, ...) are hand-compiled and
+//     inlined by FaultableUnit's *_batch helpers;
+//   - the (single) faulty cell: its corrupted CellLut is compiled once at
+//     set_fault time into a CellBatch — one 8-bit truth-table mask per
+//     output — and evaluated generically as a sum of minterms over the
+//     input planes.
+//
+// The batch path is lane-for-lane identical to the scalar LUT path by
+// construction: both read the same CellLut rows; the differential tests in
+// tests/test_batch.cpp verify this for every unit, width and fault.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <span>
+
+#include "common/assert.h"
+#include "common/word.h"
+#include "hw/cell.h"
+
+namespace sck::hw {
+
+/// Number of independent trials evaluated per bitwise op.
+inline constexpr int kLanes = 64;
+
+/// One bit per lane (e.g. "this lane's check failed").
+using LaneMask = std::uint64_t;
+
+inline constexpr LaneMask kAllLanes = ~LaneMask{0};
+
+/// Mask with the low `count` lanes set (count in [0, 64]).
+[[nodiscard]] constexpr LaneMask lane_prefix(int count) {
+  return count >= kLanes ? kAllLanes : ((LaneMask{1} << count) - 1);
+}
+
+/// Broadcast a scalar bit to all lanes.
+[[nodiscard]] constexpr LaneMask lane_broadcast(unsigned bit_value) {
+  return bit_value ? kAllLanes : LaneMask{0};
+}
+
+/// kLaneIndexPlane[j] bit L == bit j of the lane index L. These are the
+/// planes of the identity packing "lane L carries value L", which makes
+/// packing consecutive integers free (see ExhaustivePlan in fault/batch.h).
+inline constexpr std::array<LaneMask, 6> kLaneIndexPlane = {
+    0xAAAA'AAAA'AAAA'AAAAULL, 0xCCCC'CCCC'CCCC'CCCCULL,
+    0xF0F0'F0F0'F0F0'F0F0ULL, 0xFF00'FF00'FF00'FF00ULL,
+    0xFFFF'0000'FFFF'0000ULL, 0xFFFF'FFFF'0000'0000ULL};
+
+/// Lane-packed n-bit ring words. Planes at or above the word's width must
+/// be zero (pack() and all unit batch APIs maintain this invariant).
+/// kMaxWidth + 2 planes cover the dividers' widest internal chains.
+struct BatchWord {
+  std::array<LaneMask, kMaxWidth + 2> p{};
+
+  [[nodiscard]] LaneMask& operator[](int i) {
+    return p[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] LaneMask operator[](int i) const {
+    return p[static_cast<std::size_t>(i)];
+  }
+};
+
+/// In-place transpose of a 64x64 bit matrix (Hacker's Delight 7-3 delta-swap
+/// network). Under LSB-first indexing this flips about the anti-diagonal:
+/// after the call, m[i] bit L == original m[63-L] bit (63-i). pack()
+/// compensates by reversing the row and plane indices, which costs nothing.
+inline void transpose64(std::uint64_t m[kLanes]) {
+  std::uint64_t mask = 0x0000'0000'FFFF'FFFFULL;
+  for (int j = 32; j != 0; j >>= 1, mask ^= mask << j) {
+    for (int k = 0; k < kLanes; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = (m[k] ^ (m[k + j] >> j)) & mask;
+      m[k] ^= t;
+      m[k + j] ^= t << j;
+    }
+  }
+}
+
+/// Pack up to 64 scalar words into bit-plane layout. Lanes beyond
+/// values.size() are zero.
+[[nodiscard]] inline BatchWord pack(std::span<const Word> values, int width) {
+  SCK_EXPECTS(static_cast<int>(values.size()) <= kLanes);
+  SCK_EXPECTS(width >= 1 && width <= kMaxWidth);
+  std::uint64_t rows[kLanes] = {};
+  for (std::size_t lane = 0; lane < values.size(); ++lane) {
+    rows[kLanes - 1 - lane] = trunc(values[lane], width);
+  }
+  transpose64(rows);
+  BatchWord out;
+  for (int i = 0; i < width; ++i) out[i] = rows[kLanes - 1 - i];
+  return out;
+}
+
+/// Read lane `lane` of a batch word back as a scalar.
+[[nodiscard]] inline Word lane_value(const BatchWord& w, int lane, int width) {
+  SCK_EXPECTS(lane >= 0 && lane < kLanes);
+  Word v = 0;
+  for (int i = 0; i < width; ++i) {
+    v |= static_cast<Word>((w[i] >> lane) & 1u) << i;
+  }
+  return v;
+}
+
+/// A CellLut compiled for bit-plane evaluation: tt[o] bit r is output o of
+/// truth-table row r. Evaluation is a sum of minterms over the input
+/// planes; it is only used for the unit's single faulty cell, so its cost
+/// is amortised over 64 lanes and all the golden cells around it.
+struct CellBatch {
+  std::uint8_t tt[2] = {0, 0};
+
+  [[nodiscard]] static constexpr CellBatch compile(const CellLut& lut) {
+    CellBatch cb;
+    for (int row = 0; row < 8; ++row) {
+      const auto entry = lut[static_cast<std::size_t>(row)];
+      cb.tt[0] |= static_cast<std::uint8_t>((entry & 1u) << row);
+      cb.tt[1] |= static_cast<std::uint8_t>(((entry >> 1) & 1u) << row);
+    }
+    return cb;
+  }
+
+  /// Evaluate one output over three input planes (row = a | b<<1 | c<<2).
+  [[nodiscard]] static LaneMask eval3(std::uint8_t tt, LaneMask a, LaneMask b,
+                                      LaneMask c) {
+    LaneMask out = 0;
+    const LaneMask na = ~a;
+    const LaneMask nb = ~b;
+    const LaneMask nc = ~c;
+    if (tt & 0x01) out |= na & nb & nc;
+    if (tt & 0x02) out |= a & nb & nc;
+    if (tt & 0x04) out |= na & b & nc;
+    if (tt & 0x08) out |= a & b & nc;
+    if (tt & 0x10) out |= na & nb & c;
+    if (tt & 0x20) out |= a & nb & c;
+    if (tt & 0x40) out |= na & b & c;
+    if (tt & 0x80) out |= a & b & c;
+    return out;
+  }
+
+  /// Evaluate one output over two input planes (row = a | b<<1).
+  [[nodiscard]] static LaneMask eval2(std::uint8_t tt, LaneMask a, LaneMask b) {
+    LaneMask out = 0;
+    const LaneMask na = ~a;
+    const LaneMask nb = ~b;
+    if (tt & 0x01) out |= na & nb;
+    if (tt & 0x02) out |= a & nb;
+    if (tt & 0x04) out |= na & b;
+    if (tt & 0x08) out |= a & b;
+    return out;
+  }
+};
+
+/// Derived convenience ops shared by every adder architecture. An adder
+/// implements the primitive
+///   LaneMask add_c_batch(const BatchWord& a, const BatchWord& b,
+///                        LaneMask carry_in, BatchWord& sum) const;
+/// and inherits add/sub/negate on top of it (sub is the g-function path:
+/// one's complement of b, carry-in 1; negate is 0 - x on the same chain) —
+/// one definition instead of one copy per architecture.
+template <typename Adder>
+class BatchAdderOps {
+ public:
+  [[nodiscard]] BatchWord add_batch(const BatchWord& a,
+                                    const BatchWord& b) const {
+    BatchWord sum;
+    self().add_c_batch(a, b, 0, sum);
+    return sum;
+  }
+
+  [[nodiscard]] BatchWord sub_batch(const BatchWord& a,
+                                    const BatchWord& b) const {
+    BatchWord nb;
+    const int n = self().width();
+    for (int i = 0; i < n; ++i) nb[i] = ~b[i];
+    BatchWord diff;
+    self().add_c_batch(a, nb, kAllLanes, diff);
+    return diff;
+  }
+
+  [[nodiscard]] BatchWord negate_batch(const BatchWord& x) const {
+    return sub_batch(BatchWord{}, x);
+  }
+
+ private:
+  [[nodiscard]] const Adder& self() const {
+    return static_cast<const Adder&>(*this);
+  }
+};
+
+// ---- golden (fault-free) bit-plane reference arithmetic --------------------
+//
+// The batched trials need fault-free golden results per lane; computing them
+// in plane space keeps the hot loop free of per-lane scalar work. These
+// helpers implement the same ring semantics as common/word.h.
+
+/// sum = a + b + cin in the n-bit ring; returns the carry-out plane.
+inline LaneMask golden_add(const BatchWord& a, const BatchWord& b,
+                           LaneMask carry_in, int width, BatchWord& sum) {
+  LaneMask carry = carry_in;
+  for (int i = 0; i < width; ++i) {
+    const LaneMask x = a[i] ^ b[i];
+    sum[i] = x ^ carry;
+    carry = (a[i] & b[i]) | (x & carry);
+  }
+  return carry;
+}
+
+/// a - b in the n-bit ring (one's complement of b, carry-in 1).
+[[nodiscard]] inline BatchWord golden_sub(const BatchWord& a,
+                                          const BatchWord& b, int width) {
+  BatchWord nb;
+  for (int i = 0; i < width; ++i) nb[i] = ~b[i];
+  BatchWord diff;
+  golden_add(a, nb, kAllLanes, width, diff);
+  return diff;
+}
+
+/// -x in the n-bit ring.
+[[nodiscard]] inline BatchWord golden_neg(const BatchWord& x, int width) {
+  return golden_sub(BatchWord{}, x, width);
+}
+
+/// a * b (low word) in the n-bit ring: shift-and-add with each partial
+/// product gated by the multiplier-bit plane.
+[[nodiscard]] inline BatchWord golden_mul(const BatchWord& a,
+                                          const BatchWord& b, int width) {
+  BatchWord acc;
+  for (int i = 0; i < width; ++i) {
+    BatchWord partial;
+    for (int j = 0; i + j < width; ++j) partial[i + j] = a[j] & b[i];
+    BatchWord next;
+    golden_add(acc, partial, 0, width, next);
+    acc = next;
+  }
+  return acc;
+}
+
+/// Unsigned a / b and a % b per lane (restoring recurrence in plane space).
+/// Lanes whose divisor is zero produce q = all-ones, r = a — callers mask
+/// such lanes out of the statistics exactly like the scalar drivers skip
+/// b == 0.
+inline void golden_divmod(const BatchWord& a, const BatchWord& b, int width,
+                          BatchWord& q, BatchWord& r) {
+  const int m = width + 1;
+  q = BatchWord{};
+  r = BatchWord{};
+  BatchWord nb;
+  for (int k = 0; k < m; ++k) nb[k] = ~b[k];
+  for (int i = width - 1; i >= 0; --i) {
+    for (int k = m - 1; k > 0; --k) r[k] = r[k - 1];
+    r[0] = a[i];
+    // diff = r - b on m planes; no_borrow = carry-out.
+    BatchWord diff;
+    const LaneMask no_borrow = golden_add(r, nb, kAllLanes, m, diff);
+    for (int k = 0; k < m; ++k) {
+      r[k] = (no_borrow & diff[k]) | (~no_borrow & r[k]);
+    }
+    q[i] = no_borrow;
+  }
+}
+
+// ---- lane-wise mod-3 residues (for the Residue3 technique) ----------------
+
+/// A lane-packed residue in {0, 1, 2}: value = lo + 2*hi (hi & lo never
+/// both set).
+struct LaneResidue {
+  LaneMask lo = 0;
+  LaneMask hi = 0;
+};
+
+/// (x + y) mod 3, lane-wise.
+[[nodiscard]] inline LaneResidue residue3_add(const LaneResidue& x,
+                                              const LaneResidue& y) {
+  LaneResidue z;
+  z.lo = (x.lo & ~y.lo & ~y.hi) | (~x.lo & ~x.hi & y.lo) | (x.hi & y.hi);
+  z.hi = (x.hi & ~y.lo & ~y.hi) | (~x.lo & ~x.hi & y.hi) | (x.lo & y.lo);
+  return z;
+}
+
+/// (x - y) mod 3, lane-wise: subtracting y is adding its mod-3 complement
+/// (swap the 1 and 2 encodings).
+[[nodiscard]] inline LaneResidue residue3_sub(const LaneResidue& x,
+                                              const LaneResidue& y) {
+  return residue3_add(x, LaneResidue{y.hi, y.lo});
+}
+
+/// Lane-wise equality of two residues.
+[[nodiscard]] inline LaneMask residue3_eq(const LaneResidue& x,
+                                          const LaneResidue& y) {
+  return ~((x.lo ^ y.lo) | (x.hi ^ y.hi));
+}
+
+/// v mod 3 per lane: fold in each bit plane with weight 2^i mod 3.
+[[nodiscard]] inline LaneResidue residue3_planes(const BatchWord& v,
+                                                 int width) {
+  LaneResidue r;
+  for (int i = 0; i < width; ++i) {
+    const LaneMask b = v[i];
+    LaneResidue next;
+    if (i % 2 == 0) {  // weight 1: 0->1, 1->2, 2->0 where the bit is set
+      next.lo = (~b & r.lo) | (b & ~r.lo & ~r.hi);
+      next.hi = (~b & r.hi) | (b & r.lo);
+    } else {  // weight 2: 0->2, 1->0, 2->1 where the bit is set
+      next.lo = (~b & r.lo) | (b & r.hi);
+      next.hi = (~b & r.hi) | (b & ~r.lo & ~r.hi);
+    }
+    r = next;
+  }
+  return r;
+}
+
+/// Broadcast residue of a scalar constant (e.g. residue3_pow2(n)).
+[[nodiscard]] constexpr LaneResidue residue3_const(unsigned value) {
+  LaneResidue r;
+  r.lo = lane_broadcast(value % 3 == 1);
+  r.hi = lane_broadcast(value % 3 == 2);
+  return r;
+}
+
+/// Gate a residue by a lane mask (residue where set, 0 elsewhere).
+[[nodiscard]] constexpr LaneResidue residue3_select(const LaneResidue& r,
+                                                    LaneMask m) {
+  return LaneResidue{r.lo & m, r.hi & m};
+}
+
+}  // namespace sck::hw

@@ -68,6 +68,37 @@ class CarrySaveMultiplier : public FaultableUnit {
     return result;
   }
 
+  // ---- 64-lane bit-parallel API (lane-exact twin of the scalar path) -----
+
+  [[nodiscard]] BatchWord mul_batch(const BatchWord& a,
+                                    const BatchWord& b) const {
+    const int n = width();
+    LaneMask s[kMaxWidth] = {};
+    LaneMask carry_in[kMaxWidth] = {};
+
+    int and_index = 0;
+    for (int j = 0; j < n; ++j) {
+      s[j] = and_batch(and_index++, a[j], b[0]);
+    }
+
+    int fa_index = and_cells_;
+    for (int i = 1; i < n; ++i) {
+      LaneMask carry_out[kMaxWidth + 1] = {};
+      for (int j = 0; j < n - i; ++j) {
+        const int pos = i + j;
+        const LaneMask pp = and_batch(and_index++, a[j], b[i]);
+        const LaneDuo out = fa_batch(fa_index++, s[pos], pp, carry_in[pos]);
+        s[pos] = out.out0;
+        if (pos + 1 < n) carry_out[pos + 1] = out.out1;
+      }
+      for (int pos = 0; pos < n; ++pos) carry_in[pos] = carry_out[pos];
+    }
+
+    BatchWord result;
+    for (int j = 0; j < n; ++j) result[j] = s[j];
+    return result;
+  }
+
  private:
   int and_cells_ = 0;
   int fa_cells_ = 0;

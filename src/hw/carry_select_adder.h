@@ -24,7 +24,8 @@
 namespace sck::hw {
 
 /// n-bit carry-select adder with an injectable cell fault.
-class CarrySelectAdder : public FaultableUnit {
+class CarrySelectAdder : public FaultableUnit,
+      public BatchAdderOps<CarrySelectAdder> {
  public:
   static constexpr int kBlockBits = 4;
 
@@ -109,6 +110,30 @@ class CarrySelectAdder : public FaultableUnit {
 
   [[nodiscard]] Word negate(Word x) const { return sub(0, x); }
 
+  // ---- 64-lane bit-parallel API (lane-exact twin of the scalar path) -----
+
+  LaneMask add_c_batch(const BatchWord& a, const BatchWord& b,
+                       LaneMask carry_in, BatchWord& sum) const {
+    LaneMask carry = carry_in;
+    for (const Block& blk : blocks_) {
+      if (!blk.duplicated) {
+        carry = ripple_batch(blk, /*chain=*/0, a, b, carry, sum);
+        continue;
+      }
+      BatchWord sum0;
+      BatchWord sum1;
+      const LaneMask cout0 = ripple_batch(blk, 0, a, b, 0, sum0);
+      const LaneMask cout1 = ripple_batch(blk, 1, a, b, kAllLanes, sum1);
+      const int mux_base = blk.first_cell + 2 * blk.bits;
+      for (int i = 0; i < blk.bits; ++i) {
+        const int pos = blk.lo + i;
+        sum[pos] = mux_batch(mux_base + i, sum0[pos], sum1[pos], carry);
+      }
+      carry = mux_batch(mux_base + blk.bits, cout0, cout1, carry);
+    }
+    return carry;
+  }
+
   [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
 
  private:
@@ -117,6 +142,20 @@ class CarrySelectAdder : public FaultableUnit {
       if (cell >= blocks_[i].first_cell) return blocks_[i];
     }
     return blocks_.front();
+  }
+
+  /// Batch twin of ripple(): one chain of a block over lane planes.
+  LaneMask ripple_batch(const Block& blk, int chain, const BatchWord& a,
+                        const BatchWord& b, LaneMask carry,
+                        BatchWord& sum) const {
+    const int base = blk.first_cell + chain * blk.bits;
+    for (int i = 0; i < blk.bits; ++i) {
+      const int pos = blk.lo + i;
+      const LaneDuo out = fa_batch(base + i, a[pos], b[pos], carry);
+      sum[pos] = out.out0;
+      carry = out.out1;
+    }
+    return carry;
   }
 
   /// Run one ripple chain of a block; accumulates sum bits into `sum` and

@@ -22,7 +22,8 @@
 namespace sck::hw {
 
 /// n-bit carry-skip adder with an injectable cell fault.
-class CarrySkipAdder : public FaultableUnit {
+class CarrySkipAdder : public FaultableUnit,
+      public BatchAdderOps<CarrySkipAdder> {
  public:
   static constexpr int kBlockBits = 4;
 
@@ -114,6 +115,38 @@ class CarrySkipAdder : public FaultableUnit {
   }
 
   [[nodiscard]] Word negate(Word x) const { return sub(0, x); }
+
+  // ---- 64-lane bit-parallel API (lane-exact twin of the scalar path) -----
+
+  LaneMask add_c_batch(const BatchWord& a, const BatchWord& b,
+                       LaneMask carry_in, BatchWord& sum) const {
+    LaneMask carry = carry_in;
+    for (const Block& blk : blocks_) {
+      LaneMask chain_carry = carry;
+      for (int i = 0; i < blk.bits; ++i) {
+        const int pos = blk.lo + i;
+        const LaneDuo out =
+            fa_batch(blk.first_cell + i, a[pos], b[pos], chain_carry);
+        sum[pos] = out.out0;
+        chain_carry = out.out1;
+      }
+      LaneMask block_p = kAllLanes;
+      for (int i = 0; i < blk.bits; ++i) {
+        const int pos = blk.lo + i;
+        const LaneMask p =
+            xor_batch(blk.first_cell + blk.bits + i, a[pos], b[pos]);
+        if (i == 0) {
+          block_p = p;
+        } else {
+          block_p =
+              and_batch(blk.first_cell + 2 * blk.bits + (i - 1), block_p, p);
+        }
+      }
+      const int mux_cell = blk.first_cell + 3 * blk.bits - 1;
+      carry = mux_batch(mux_cell, chain_carry, carry, block_p);
+    }
+    return carry;
+  }
 
  private:
   [[nodiscard]] const Block& block_of(int cell) const {

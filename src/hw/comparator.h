@@ -10,6 +10,7 @@
 #pragma once
 
 #include "common/word.h"
+#include "hw/batch.h"
 
 namespace sck::hw {
 
@@ -21,6 +22,21 @@ namespace sck::hw {
 /// Zero checker over n-bit words (fault-free by assumption).
 [[nodiscard]] constexpr bool is_zero(Word a, int width) {
   return trunc(a, width) == 0;
+}
+
+/// Lane-wise equality over lane-packed words (fault-free by assumption).
+[[nodiscard]] inline LaneMask equal_batch(const BatchWord& a,
+                                          const BatchWord& b, int width) {
+  LaneMask diff = 0;
+  for (int i = 0; i < width; ++i) diff |= a[i] ^ b[i];
+  return ~diff;
+}
+
+/// Lane-wise zero test over a lane-packed word (fault-free by assumption).
+[[nodiscard]] inline LaneMask is_zero_batch(const BatchWord& a, int width) {
+  LaneMask any = 0;
+  for (int i = 0; i < width; ++i) any |= a[i];
+  return ~any;
 }
 
 }  // namespace sck::hw

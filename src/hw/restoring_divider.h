@@ -28,6 +28,12 @@ struct DivResult {
   Word remainder = 0;
 };
 
+/// Lane-packed quotient/remainder planes (remainder carries n+1 planes).
+struct BatchDivResult {
+  BatchWord quotient;
+  BatchWord remainder;
+};
+
 /// n-bit restoring divider with an injectable cell fault in its subtractor.
 class RestoringDivider : public FaultableUnit {
  public:
@@ -60,6 +66,45 @@ class RestoringDivider : public FaultableUnit {
       }
     }
     return DivResult{q, r};
+  }
+
+  // ---- 64-lane bit-parallel API (lane-exact twin of the scalar path) -----
+  //
+  // The restore decision becomes a per-lane select mask: the shared
+  // subtractor chain is evaluated once per iteration for all lanes (exactly
+  // the cells the scalar path touches every iteration), and each lane
+  // keeps or discards the difference according to its own carry-out.
+  // Lanes with a zero divisor are well-defined (q = all-ones, r ends at
+  // a's last window) but meaningless; callers mask them out like the
+  // scalar drivers skip b == 0.
+  [[nodiscard]] BatchDivResult divide_batch(const BatchWord& a,
+                                            const BatchWord& b) const {
+    const int n = width();
+    const int m = n + 1;
+    BatchWord nb;
+    for (int i = 0; i < m; ++i) nb[i] = ~b[i];
+
+    BatchDivResult out;
+    BatchWord& q = out.quotient;
+    BatchWord& r = out.remainder;
+    for (int i = n - 1; i >= 0; --i) {
+      for (int k = m - 1; k > 0; --k) r[k] = r[k - 1];
+      r[0] = a[i];
+      // diff = r - b on the shared (possibly faulty) chain.
+      LaneMask carry = kAllLanes;
+      BatchWord diff;
+      for (int k = 0; k < m; ++k) {
+        const LaneDuo o = fa_batch(k, r[k], nb[k], carry);
+        diff[k] = o.out0;
+        carry = o.out1;
+      }
+      const LaneMask no_borrow = carry;
+      for (int k = 0; k < m; ++k) {
+        r[k] = (no_borrow & diff[k]) | (~no_borrow & r[k]);
+      }
+      q[i] = no_borrow;
+    }
+    return out;
   }
 
  private:

@@ -18,7 +18,8 @@
 namespace sck::hw {
 
 /// n-bit two's-complement ripple-carry adder with an injectable cell fault.
-class RippleCarryAdder : public FaultableUnit {
+class RippleCarryAdder : public FaultableUnit,
+      public BatchAdderOps<RippleCarryAdder> {
  public:
   explicit RippleCarryAdder(int width) : FaultableUnit(width) {}
 
@@ -68,6 +69,21 @@ class RippleCarryAdder : public FaultableUnit {
 
   /// -x computed as 0 - x on the same chain.
   [[nodiscard]] Word negate(Word x) const { return sub(0, x); }
+
+  // ---- 64-lane bit-parallel API (lane-exact twin of the scalar path) -----
+
+  /// Sum of 64 lane-packed operand pairs; returns the carry-out plane.
+  LaneMask add_c_batch(const BatchWord& a, const BatchWord& b,
+                       LaneMask carry_in, BatchWord& sum) const {
+    LaneMask carry = carry_in;
+    const int n = width();
+    for (int i = 0; i < n; ++i) {
+      const LaneDuo out = fa_batch(i, a[i], b[i], carry);
+      sum[i] = out.out0;
+      carry = out.out1;
+    }
+    return carry;
+  }
 };
 
 }  // namespace sck::hw

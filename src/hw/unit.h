@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/word.h"
+#include "hw/batch.h"
 #include "hw/cell.h"
 #include "hw/fault_site.h"
 
@@ -75,6 +76,7 @@ class FaultableUnit {
       const CellKind kind = cell_kind(f.cell);
       SCK_EXPECTS(f.line < cell_line_count(kind));
       faulty_lut_ = faulty_cell_lut(kind, f.line, f.stuck_value);
+      faulty_batch_ = CellBatch::compile(faulty_lut_);
     }
     fault_ = f;
   }
@@ -111,10 +113,80 @@ class FaultableUnit {
     return golden[row];
   }
 
+  // ---- 64-lane bit-parallel cell evaluation (see hw/batch.h) --------------
+  //
+  // Same contract as eval_cell, but over lane planes: each helper advances
+  // 64 independent trials with the hand-compiled golden expression, routing
+  // the unit's single faulty cell through the compiled CellBatch instead.
+  // The batch path does not feed CellUsageRecorder — usage recording is a
+  // scalar-path analysis (the hot campaign loops run without one).
+
+  /// Two output planes of a dual-output cell (full adder, PG).
+  struct LaneDuo {
+    LaneMask out0 = 0;
+    LaneMask out1 = 0;
+  };
+
+  [[nodiscard]] LaneDuo fa_batch(int cell, LaneMask a, LaneMask b,
+                                 LaneMask c) const {
+    if (cell == fault_.cell) [[unlikely]] {
+      return {CellBatch::eval3(faulty_batch_.tt[0], a, b, c),
+              CellBatch::eval3(faulty_batch_.tt[1], a, b, c)};
+    }
+    const LaneMask x = a ^ b;
+    return {x ^ c, (a & b) | (x & c)};
+  }
+
+  [[nodiscard]] LaneMask and_batch(int cell, LaneMask a, LaneMask b) const {
+    if (cell == fault_.cell) [[unlikely]] {
+      return CellBatch::eval2(faulty_batch_.tt[0], a, b);
+    }
+    return a & b;
+  }
+
+  [[nodiscard]] LaneMask xor_batch(int cell, LaneMask a, LaneMask b) const {
+    if (cell == fault_.cell) [[unlikely]] {
+      return CellBatch::eval2(faulty_batch_.tt[0], a, b);
+    }
+    return a ^ b;
+  }
+
+  [[nodiscard]] LaneMask or_batch(int cell, LaneMask a, LaneMask b) const {
+    if (cell == fault_.cell) [[unlikely]] {
+      return CellBatch::eval2(faulty_batch_.tt[0], a, b);
+    }
+    return a | b;
+  }
+
+  [[nodiscard]] LaneDuo pg_batch(int cell, LaneMask a, LaneMask b) const {
+    if (cell == fault_.cell) [[unlikely]] {
+      return {CellBatch::eval2(faulty_batch_.tt[0], a, b),
+              CellBatch::eval2(faulty_batch_.tt[1], a, b)};
+    }
+    return {a ^ b, a & b};
+  }
+
+  [[nodiscard]] LaneMask carry_batch(int cell, LaneMask g, LaneMask p,
+                                     LaneMask c) const {
+    if (cell == fault_.cell) [[unlikely]] {
+      return CellBatch::eval3(faulty_batch_.tt[0], g, p, c);
+    }
+    return g | (p & c);
+  }
+
+  [[nodiscard]] LaneMask mux_batch(int cell, LaneMask d0, LaneMask d1,
+                                   LaneMask sel) const {
+    if (cell == fault_.cell) [[unlikely]] {
+      return CellBatch::eval3(faulty_batch_.tt[0], d0, d1, sel);
+    }
+    return (d0 & ~sel) | (d1 & sel);
+  }
+
  private:
   int width_;
   FaultSite fault_{};
   CellLut faulty_lut_{};
+  CellBatch faulty_batch_{};
   CellUsageRecorder* recorder_ = nullptr;
 };
 

@@ -1,0 +1,175 @@
+// Determinism of the multithreaded campaign scheduler: results must be
+// bit-identical for 1, 2 and 8 worker threads — and identical to the
+// sequential drivers — because reduction happens in fault-index order and
+// every fault's evaluation is a pure function of (fault, inputs).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/fir.h"
+#include "fault/batch_trials.h"
+#include "fault/campaign.h"
+#include "fault/parallel.h"
+#include "fault/trials.h"
+#include "hls/bind.h"
+#include "hls/builder.h"
+#include "hls/expand_sck.h"
+#include "hls/netlist_campaign.h"
+#include "hls/schedule.h"
+#include "hw/array_multiplier.h"
+#include "hw/ripple_carry_adder.h"
+
+namespace sck::fault {
+namespace {
+
+void expect_identical(const CampaignResult& x, const CampaignResult& y) {
+  EXPECT_EQ(x.aggregate.silent_correct, y.aggregate.silent_correct);
+  EXPECT_EQ(x.aggregate.detected_correct, y.aggregate.detected_correct);
+  EXPECT_EQ(x.aggregate.detected_erroneous, y.aggregate.detected_erroneous);
+  EXPECT_EQ(x.aggregate.masked, y.aggregate.masked);
+  EXPECT_EQ(x.fault_universe_size, y.fault_universe_size);
+  EXPECT_EQ(x.min_fault_coverage, y.min_fault_coverage);
+  EXPECT_EQ(x.max_fault_coverage, y.max_fault_coverage);
+  ASSERT_EQ(x.per_fault.size(), y.per_fault.size());
+  for (std::size_t i = 0; i < x.per_fault.size(); ++i) {
+    EXPECT_TRUE(x.per_fault[i].site == y.per_fault[i].site);
+    EXPECT_EQ(x.per_fault[i].stats.masked, y.per_fault[i].stats.masked);
+    EXPECT_EQ(x.per_fault[i].stats.silent_correct,
+              y.per_fault[i].stats.silent_correct);
+  }
+}
+
+struct AddContext {
+  hw::RippleCarryAdder adder;
+  AddBatchTrial<hw::RippleCarryAdder> trial_;
+
+  AddContext(int width, Technique tech)
+      : adder(width), trial_{adder, tech} {}
+  // trial_ references adder: never copy/move a context (fault/parallel.h).
+  AddContext(const AddContext&) = delete;
+  AddContext& operator=(const AddContext&) = delete;
+
+  std::vector<hw::FaultableUnit*> units() { return {&adder}; }
+  [[nodiscard]] const auto& trial() const { return trial_; }
+};
+
+TEST(ParallelCampaign, BatchedIdenticalFor1_2_8Threads) {
+  const int n = 4;
+  CampaignOptions opt;
+  opt.keep_per_fault = true;
+
+  hw::RippleCarryAdder adder(n);
+  std::vector<hw::FaultableUnit*> units{&adder};
+  const AddTrial<hw::RippleCarryAdder> scalar_trial{adder, Technique::kBoth};
+  const CampaignResult reference =
+      run_exhaustive(units, n, scalar_trial, opt);
+
+  for (const int threads : {1, 2, 8}) {
+    const CampaignResult parallel = run_exhaustive_batched_parallel(
+        n, [n] { return AddContext(n, Technique::kBoth); }, threads, opt);
+    expect_identical(reference, parallel);
+  }
+}
+
+struct ScalarAddContext {
+  hw::RippleCarryAdder adder;
+  AddTrial<hw::RippleCarryAdder> trial_;
+
+  ScalarAddContext(int width, Technique tech)
+      : adder(width), trial_{adder, tech} {}
+  // trial_ references adder: never copy/move a context (fault/parallel.h).
+  ScalarAddContext(const ScalarAddContext&) = delete;
+  ScalarAddContext& operator=(const ScalarAddContext&) = delete;
+
+  std::vector<hw::FaultableUnit*> units() { return {&adder}; }
+  [[nodiscard]] const auto& trial() const { return trial_; }
+};
+
+TEST(ParallelCampaign, ScalarTrialVariantIdenticalAcrossThreadCounts) {
+  const int n = 3;
+  CampaignOptions opt;
+  opt.keep_per_fault = true;
+
+  hw::RippleCarryAdder adder(n);
+  std::vector<hw::FaultableUnit*> units{&adder};
+  const AddTrial<hw::RippleCarryAdder> scalar_trial{adder, Technique::kTech2};
+  const CampaignResult reference =
+      run_exhaustive(units, n, scalar_trial, opt);
+
+  for (const int threads : {1, 2, 8}) {
+    const CampaignResult parallel = run_exhaustive_parallel(
+        n, [n] { return ScalarAddContext(n, Technique::kTech2); }, threads,
+        opt);
+    expect_identical(reference, parallel);
+  }
+}
+
+struct MulDivContext {
+  hw::ArrayMultiplier mult;
+  hw::RippleCarryAdder adder;
+  MulBatchTrial<hw::ArrayMultiplier, hw::RippleCarryAdder> trial_;
+
+  explicit MulDivContext(int width)
+      : mult(width), adder(width), trial_{mult, adder, Technique::kTech1} {}
+  MulDivContext(const MulDivContext&) = delete;
+  MulDivContext& operator=(const MulDivContext&) = delete;
+
+  // Two faultable units: the scheduler must attribute faults to the right
+  // unit index in every worker's clone.
+  std::vector<hw::FaultableUnit*> units() { return {&mult, &adder}; }
+  [[nodiscard]] const auto& trial() const { return trial_; }
+};
+
+TEST(ParallelCampaign, MultiUnitUniverseIdenticalAcrossThreadCounts) {
+  const int n = 4;
+  CampaignOptions opt;
+  opt.keep_per_fault = true;
+  const CampaignResult one = run_exhaustive_batched_parallel(
+      n, [n] { return MulDivContext(n); }, 1, opt);
+  for (const int threads : {2, 8}) {
+    const CampaignResult many = run_exhaustive_batched_parallel(
+        n, [n] { return MulDivContext(n); }, threads, opt);
+    expect_identical(one, many);
+  }
+}
+
+TEST(ParallelCampaign, NetlistCampaignThreadCountInvariant) {
+  using namespace sck::hls;
+  const FirSpec spec{{1, 2, 3}, 8};
+  const Dfg plain = build_fir(spec);
+  CedOptions ced_opt;
+  ced_opt.style = CedStyle::kClassBased;
+  const Dfg ced = insert_ced(plain, ced_opt);
+  const ResourceConstraints rc = ResourceConstraints::min_area();
+  const Schedule sched = schedule_list(ced, rc);
+  const Binding bind_result = bind(ced, sched, rc);
+  const Netlist nl = generate_netlist(ced, sched, bind_result, "par");
+
+  NetlistCampaignOptions opt;
+  opt.samples_per_fault = 8;
+  opt.fault_stride = 9;
+
+  opt.threads = 1;
+  const auto r1 = run_netlist_campaign(ced, nl, opt);
+  for (const int threads : {2, 8}) {
+    opt.threads = threads;
+    const auto rn = run_netlist_campaign(ced, nl, opt);
+    EXPECT_EQ(r1.aggregate.silent_correct, rn.aggregate.silent_correct);
+    EXPECT_EQ(r1.aggregate.detected_correct, rn.aggregate.detected_correct);
+    EXPECT_EQ(r1.aggregate.detected_erroneous,
+              rn.aggregate.detected_erroneous);
+    EXPECT_EQ(r1.aggregate.masked, rn.aggregate.masked);
+    EXPECT_EQ(r1.fault_universe_size, rn.fault_universe_size);
+    ASSERT_EQ(r1.per_unit.size(), rn.per_unit.size());
+    for (std::size_t u = 0; u < r1.per_unit.size(); ++u) {
+      EXPECT_EQ(r1.per_unit[u].fu_index, rn.per_unit[u].fu_index);
+      EXPECT_EQ(r1.per_unit[u].faults, rn.per_unit[u].faults);
+      EXPECT_EQ(r1.per_unit[u].stats.masked, rn.per_unit[u].stats.masked);
+      EXPECT_EQ(r1.per_unit[u].stats.silent_correct,
+                rn.per_unit[u].stats.silent_correct);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sck::fault
