@@ -1,14 +1,22 @@
-// Fault-simulation throughput: scalar vs 64-lane batched vs batched +
-// thread pool, on the paper's flagship campaign (checked addition on the
-// 8-bit ripple-carry adder, exhaustive: 256 faults x 2^16 input pairs =
-// 16.7M faulty situations).
+// Fault-simulation throughput, operator-level AND system-level.
 //
-// This is the first entry of the repository's perf trajectory: it emits
+// Operator level: scalar vs 64-lane batched vs batched + thread pool on
+// the paper's flagship campaign (checked addition on the 8-bit
+// ripple-carry adder, exhaustive: 256 faults x 2^16 input pairs = 16.7M
+// faulty situations).
+//
+// System level: the same three engines on the netlist campaign — the
+// complete FU stuck-at sweep of a synthesized self-checking FIR through
+// the compiled execution plan (hls/netlist_exec.h), scalar interpreter
+// backend vs the 64-lane bit-plane backend (lane = fault) vs bit-plane +
+// thread pool.
+//
+// This is the repository's perf trajectory file: it emits
 // machine-readable BENCH_fault_throughput.json (path: argv[1], default
 // ./BENCH_fault_throughput.json) so future sessions and CI can diff
-// trials/sec mechanically. The three engines are verified to produce
-// bit-identical CampaignResults before any timing is reported — a perf
-// number for a wrong result is worthless.
+// trials/sec mechanically. Every engine pair is verified to produce
+// bit-identical results before any timing is reported — a perf number for
+// a wrong result is worthless.
 #include <chrono>
 #include <cstdint>
 #include <iostream>
@@ -17,11 +25,15 @@
 #include <vector>
 
 #include "bench_json.h"
+#include "codesign/flow.h"
 #include "common/table.h"
 #include "fault/batch_trials.h"
 #include "fault/campaign.h"
 #include "fault/parallel.h"
 #include "fault/trials.h"
+#include "hls/builder.h"
+#include "hls/expand_sck.h"
+#include "hls/netlist_campaign.h"
 #include "hw/ripple_carry_adder.h"
 
 namespace {
@@ -69,6 +81,33 @@ bool same_result(const CampaignResult& x, const CampaignResult& y) {
          x.fault_universe_size == y.fault_universe_size &&
          x.min_fault_coverage == y.min_fault_coverage &&
          x.max_fault_coverage == y.max_fault_coverage;
+}
+
+bool same_netlist_result(const sck::hls::NetlistCampaignResult& x,
+                         const sck::hls::NetlistCampaignResult& y) {
+  if (x.fault_universe_size != y.fault_universe_size ||
+      x.per_unit.size() != y.per_unit.size()) {
+    return false;
+  }
+  if (x.aggregate.silent_correct != y.aggregate.silent_correct ||
+      x.aggregate.detected_correct != y.aggregate.detected_correct ||
+      x.aggregate.detected_erroneous != y.aggregate.detected_erroneous ||
+      x.aggregate.masked != y.aggregate.masked) {
+    return false;
+  }
+  for (std::size_t u = 0; u < x.per_unit.size(); ++u) {
+    if (x.per_unit[u].stats.silent_correct !=
+            y.per_unit[u].stats.silent_correct ||
+        x.per_unit[u].stats.detected_correct !=
+            y.per_unit[u].stats.detected_correct ||
+        x.per_unit[u].stats.detected_erroneous !=
+            y.per_unit[u].stats.detected_erroneous ||
+        x.per_unit[u].stats.masked != y.per_unit[u].stats.masked ||
+        x.per_unit[u].faults != y.per_unit[u].faults) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -128,6 +167,78 @@ int main(int argc, char** argv) {
                  sck::format_fixed(scalar_s / parallel_s, 2) + "x"});
   table.print(std::cout);
 
+  // ---- system level: netlist campaign on the synthesized FIR ------------
+  // Class-based CED FIR (the end-to-end Fig. 3 artifact): full FU stuck-at
+  // universe of the min-area netlist, per-fault seeded streams, scalar
+  // interpreter backend vs 64-lane bit-plane backend vs bit-plane + pool.
+  const sck::hls::FirSpec fir_spec{{3, -5, 7, -5, 3}, 8};
+  sck::hls::CedOptions ced_opt;
+  ced_opt.style = sck::hls::CedStyle::kClassBased;
+  const sck::hls::Dfg fir_graph =
+      sck::hls::insert_ced(sck::hls::build_fir(fir_spec), ced_opt);
+  const auto fir_design = sck::codesign::synthesize_fir(
+      fir_spec, sck::codesign::Variant::kSck, /*min_area=*/true);
+
+  sck::hls::NetlistCampaignOptions sys_opt;
+  sys_opt.samples_per_fault = 24;
+  sys_opt.seed = 0x2005;
+  sys_opt.threads = 1;
+
+  sck::hls::NetlistCampaignResult sys_scalar_r;
+  sck::hls::NetlistCampaignResult sys_batched_r;
+  sck::hls::NetlistCampaignResult sys_parallel_r;
+  sys_opt.backend = sck::hls::NetlistBackend::kScalar;
+  const double sys_scalar_s = seconds([&] {
+    sys_scalar_r =
+        run_netlist_campaign(fir_graph, fir_design.netlist, sys_opt);
+  });
+  sys_opt.backend = sck::hls::NetlistBackend::kBatched;
+  const double sys_batched_s = seconds([&] {
+    sys_batched_r =
+        run_netlist_campaign(fir_graph, fir_design.netlist, sys_opt);
+  });
+  sys_opt.threads = 0;
+  const double sys_parallel_s = seconds([&] {
+    sys_parallel_r =
+        run_netlist_campaign(fir_graph, fir_design.netlist, sys_opt);
+  });
+
+  if (!same_netlist_result(sys_scalar_r, sys_batched_r) ||
+      !same_netlist_result(sys_scalar_r, sys_parallel_r)) {
+    std::cerr << "SYSTEM ENGINE MISMATCH: batched netlist results differ "
+                 "from the scalar interpreter — refusing to report timings\n";
+    return 1;
+  }
+
+  const auto sys_trials = static_cast<double>(sys_scalar_r.aggregate.total());
+  const double sys_scalar_tps = sys_trials / sys_scalar_s;
+  const double sys_batched_tps = sys_trials / sys_batched_s;
+  const double sys_parallel_tps = sys_trials / sys_parallel_s;
+
+  std::cout << "\nSystem-level campaign: self-checking FIR netlist ("
+            << fir_design.netlist.fus.size() << " FUs, "
+            << sys_scalar_r.fault_universe_size << " faults, "
+            << sys_opt.samples_per_fault << " samples/fault)\n\n";
+  sck::TextTable sys_table(
+      "netlist-campaign throughput (identical results, faulty samples/sec)");
+  sys_table.set_header(
+      {"engine", "seconds", "samples/sec", "speedup vs scalar"});
+  sys_table.add_row({"interpreter (scalar), 1 thread",
+                     sck::format_fixed(sys_scalar_s, 3),
+                     sck::format_fixed(sys_scalar_tps, 0), "1.00x"});
+  sys_table.add_row({"bit-plane (64 lanes), 1 thread",
+                     sck::format_fixed(sys_batched_s, 3),
+                     sck::format_fixed(sys_batched_tps, 0),
+                     sck::format_fixed(sys_scalar_s / sys_batched_s, 2) +
+                         "x"});
+  sys_table.add_row({"bit-plane + " + std::to_string(hw_threads) +
+                         " thread(s)",
+                     sck::format_fixed(sys_parallel_s, 3),
+                     sck::format_fixed(sys_parallel_tps, 0),
+                     sck::format_fixed(sys_scalar_s / sys_parallel_s, 2) +
+                         "x"});
+  sys_table.print(std::cout);
+
   sck::bench::JsonValue results;
   {
     sck::bench::JsonValue r;
@@ -157,6 +268,35 @@ int main(int argc, char** argv) {
     results.push(std::move(r));
   }
 
+  sck::bench::JsonValue system_results;
+  {
+    sck::bench::JsonValue r;
+    r.set("engine", "netlist-scalar")
+        .set("threads", 1)
+        .set("seconds", sys_scalar_s)
+        .set("samples_per_sec", sys_scalar_tps)
+        .set("speedup_vs_scalar", 1.0);
+    system_results.push(std::move(r));
+  }
+  {
+    sck::bench::JsonValue r;
+    r.set("engine", "netlist-batched")
+        .set("threads", 1)
+        .set("seconds", sys_batched_s)
+        .set("samples_per_sec", sys_batched_tps)
+        .set("speedup_vs_scalar", sys_scalar_s / sys_batched_s);
+    system_results.push(std::move(r));
+  }
+  {
+    sck::bench::JsonValue r;
+    r.set("engine", "netlist-batched+threads")
+        .set("threads", hw_threads)
+        .set("seconds", sys_parallel_s)
+        .set("samples_per_sec", sys_parallel_tps)
+        .set("speedup_vs_scalar", sys_scalar_s / sys_parallel_s);
+    system_results.push(std::move(r));
+  }
+
   sck::bench::JsonValue doc;
   doc.set("bench", "fault_throughput")
       .set("campaign", "exhaustive")
@@ -170,7 +310,14 @@ int main(int argc, char** argv) {
       .set("results_identical", true)
       .set("speedup_batched", scalar_s / batched_s)
       .set("speedup_batched_threads", scalar_s / parallel_s)
-      .set("results", std::move(results));
+      .set("results", std::move(results))
+      .set("system_campaign", "netlist/fir_sck_min_area/w8")
+      .set("system_trials", sys_scalar_r.aggregate.total())
+      .set("system_fault_universe", sys_scalar_r.fault_universe_size)
+      .set("system_results_identical", true)
+      .set("system_speedup_batched", sys_scalar_s / sys_batched_s)
+      .set("system_speedup_batched_threads", sys_scalar_s / sys_parallel_s)
+      .set("system_results", std::move(system_results));
 
   if (!doc.save(json_path)) {
     std::cerr << "failed to write " << json_path << "\n";

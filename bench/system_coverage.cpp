@@ -10,6 +10,11 @@
 // functional unit of each *netlist*, and reports the realization-level
 // coverage — which can then be compared against the paper's local
 // (per-operator) estimates from Table 1/Table 2.
+//
+// The sweep runs on the 64-lane bit-plane netlist backend (64 faults per
+// batch through the compiled execution plan, sharded across the worker
+// pool); results are bit-identical to the scalar interpreter at any lane
+// packing and thread count (tests/test_netlist_batch.cpp).
 #include <iostream>
 #include <string>
 
@@ -45,6 +50,7 @@ int main() {
   opt.samples_per_fault = 48;
   opt.seed = 0x51C0;
   opt.threads = 0;  // full worker pool; results are thread-count invariant
+  opt.backend = NetlistBackend::kBatched;  // 64 faults per bit-plane sweep
 
   sck::TextTable table("final-realization coverage per variant");
   table.set_header({"variant", "faults", "erroneous samples", "detected",

@@ -82,12 +82,14 @@ int main() {
             << flow.hardware[2].report.slices << "\n\n";
 
   // Reliability leg of the DSE (beyond the paper's Table 3): what each
-  // variant's cost actually buys in realization-level coverage, measured by
-  // the multithreaded system-level campaign engine.
+  // variant's cost actually buys in realization-level coverage, measured
+  // by the batched system-level campaign engine (64 faults per bit-plane
+  // sweep through the compiled netlist plan, sharded across the pool).
   sck::hls::NetlistCampaignOptions cov_opt;
   cov_opt.samples_per_fault = 24;
   cov_opt.fault_stride = 3;
   cov_opt.threads = 0;  // all hardware threads; result is thread-invariant
+  cov_opt.backend = sck::hls::NetlistBackend::kBatched;
   const auto coverage =
       sck::codesign::evaluate_flow_coverage(spec, flow, cov_opt);
   TextTable cov("DSE reliability leg: realization-level fault coverage");

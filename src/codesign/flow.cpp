@@ -1,6 +1,7 @@
 #include "codesign/flow.h"
 
 #include <chrono>
+#include <optional>
 
 #include "apps/fir.h"
 #include "common/assert.h"
@@ -161,8 +162,16 @@ std::vector<CoverageReport> evaluate_flow_coverage(
     const hls::NetlistCampaignOptions& options) {
   std::vector<CoverageReport> reports;
   reports.reserve(flow.hardware.size());
+  // One reference graph per variant, shared across the min-area and
+  // min-latency designs (the campaign engine keys its reference model and
+  // topo-order cache on the graph, so reuse is free speed).
+  std::optional<Variant> cached_variant;
+  hls::Dfg graph;
   for (const HwDesign& design : flow.hardware) {
-    const hls::Dfg graph = variant_graph(spec, design.variant);
+    if (!cached_variant || *cached_variant != design.variant) {
+      graph = variant_graph(spec, design.variant);
+      cached_variant = design.variant;
+    }
     const hls::NetlistCampaignResult r =
         hls::run_netlist_campaign(graph, design.netlist, options);
     CoverageReport c;

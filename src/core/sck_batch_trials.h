@@ -24,8 +24,8 @@
 #include "core/alu_pool.h"
 #include "core/sck_trials.h"
 #include "fault/batch.h"
-#include "fault/batch_trials.h"
 #include "fault/technique.h"
+#include "fault/verdict.h"
 
 namespace sck {
 

@@ -8,12 +8,13 @@
 // universe). Golden references are computed with the fault-free plane
 // arithmetic of hw/batch.h instead of per-lane host loops.
 //
-// The verdict logic lives in detail::*_verdict helpers parameterized on
-// which unit instance executes the nominal operation and which executes
-// the hidden control. The functors here bind both roles to the same
-// (faulty) unit — the paper's worst case; core/sck_batch_trials.h binds
-// them through an AluPool's allocation policy. One implementation serves
-// both, so a fix to a check recipe cannot desynchronize the two engines.
+// The verdict logic lives in the fault/verdict.h detail::*_verdict
+// helpers, parameterized on which unit instance executes the nominal
+// operation and which executes the hidden control. The functors here bind
+// both roles to the same (faulty) unit — the paper's worst case;
+// core/sck_batch_trials.h binds them through an AluPool's allocation
+// policy. One implementation serves both, so a fix to a check recipe
+// cannot desynchronize the two engines.
 //
 // Unlike the scalar functors (which hard-code ArrayMultiplier /
 // RestoringDivider), the batched multiplier and divider trials are
@@ -26,106 +27,10 @@
 #include "fault/batch.h"
 #include "fault/technique.h"
 #include "fault/trials.h"
+#include "fault/verdict.h"
 #include "hw/comparator.h"
 
 namespace sck::fault {
-
-namespace detail {
-
-/// Checked addition `ris = a + b` with the control on `check` (see
-/// AddTrial for the recipes).
-template <typename AdderN, typename AdderC>
-[[nodiscard]] LaneVerdict add_verdict(const AdderN& nominal,
-                                      const AdderC& check, Technique tech,
-                                      const hw::BatchWord& a,
-                                      const hw::BatchWord& b) {
-  const int n = nominal.width();
-  hw::BatchWord golden;
-  hw::golden_add(a, b, 0, n, golden);
-  hw::BatchWord ris;
-  const hw::LaneMask carry_out = nominal.add_c_batch(a, b, 0, ris);
-  hw::LaneMask ok = hw::kAllLanes;
-  if (uses_tech1(tech)) {
-    ok &= hw::equal_batch(check.sub_batch(ris, a), b, n);
-  }
-  if (uses_tech2(tech)) {
-    ok &= hw::equal_batch(check.sub_batch(ris, b), a, n);
-  }
-  if (tech == Technique::kResidue3) {
-    const hw::LaneResidue lhs = hw::residue3_add(hw::residue3_planes(a, n),
-                                                 hw::residue3_planes(b, n));
-    const hw::LaneResidue wrap =
-        hw::residue3_select(hw::residue3_const(residue3_pow2(n)), carry_out);
-    const hw::LaneResidue rhs =
-        hw::residue3_add(hw::residue3_planes(ris, n), wrap);
-    ok = hw::residue3_eq(lhs, rhs);
-  }
-  return LaneVerdict{~hw::equal_batch(ris, golden, n), ~ok};
-}
-
-/// Checked subtraction `ris = a - b` with the control on `check` (see
-/// SubTrial for the recipes).
-template <typename AdderN, typename AdderC>
-[[nodiscard]] LaneVerdict sub_verdict(const AdderN& nominal,
-                                      const AdderC& check, Technique tech,
-                                      const hw::BatchWord& a,
-                                      const hw::BatchWord& b) {
-  const int n = nominal.width();
-  const hw::BatchWord golden = hw::golden_sub(a, b, n);
-  hw::BatchWord nb;
-  for (int i = 0; i < n; ++i) nb[i] = ~b[i];
-  hw::BatchWord ris;
-  const hw::LaneMask no_borrow =
-      nominal.add_c_batch(a, nb, hw::kAllLanes, ris);
-  hw::LaneMask ok = hw::kAllLanes;
-  if (uses_tech1(tech)) {
-    ok &= hw::equal_batch(check.add_batch(ris, b), a, n);
-  }
-  if (uses_tech2(tech)) {
-    const hw::BatchWord risp = check.sub_batch(b, a);
-    ok &= hw::is_zero_batch(check.add_batch(ris, risp), n);
-  }
-  if (tech == Technique::kResidue3) {
-    // a - b = ris - (1 - carry_out) * 2^n over the integers.
-    const hw::LaneResidue lhs = hw::residue3_sub(hw::residue3_planes(a, n),
-                                                 hw::residue3_planes(b, n));
-    const hw::LaneResidue wrap =
-        hw::residue3_select(hw::residue3_const(residue3_pow2(n)), ~no_borrow);
-    const hw::LaneResidue rhs =
-        hw::residue3_sub(hw::residue3_planes(ris, n), wrap);
-    ok = hw::residue3_eq(lhs, rhs);
-  }
-  return LaneVerdict{~hw::equal_batch(ris, golden, n), ~ok};
-}
-
-/// Checked multiplication `ris = a x b`: products on nominal/check
-/// multipliers, negations and the closing additions on `check_adder` (see
-/// MulTrial).
-template <typename MultN, typename MultC, typename AdderC>
-[[nodiscard]] LaneVerdict mul_verdict(const MultN& nominal,
-                                      const MultC& check_mult,
-                                      const AdderC& check_adder,
-                                      Technique tech, const hw::BatchWord& a,
-                                      const hw::BatchWord& b) {
-  SCK_EXPECTS(tech != Technique::kResidue3);
-  const int n = check_adder.width();
-  const hw::BatchWord golden = hw::golden_mul(a, b, n);
-  const hw::BatchWord ris = nominal.mul_batch(a, b);
-  hw::LaneMask ok = hw::kAllLanes;
-  if (uses_tech1(tech)) {
-    const hw::BatchWord risp =
-        check_mult.mul_batch(check_adder.negate_batch(a), b);
-    ok &= hw::is_zero_batch(check_adder.add_batch(ris, risp), n);
-  }
-  if (uses_tech2(tech)) {
-    const hw::BatchWord risp =
-        check_mult.mul_batch(a, check_adder.negate_batch(b));
-    ok &= hw::is_zero_batch(check_adder.add_batch(ris, risp), n);
-  }
-  return LaneVerdict{~hw::equal_batch(ris, golden, n), ~ok};
-}
-
-}  // namespace detail
 
 /// Checked addition, batched (see AddTrial). Worst case: nominal and
 /// control share one (possibly faulty) adder.

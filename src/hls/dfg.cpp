@@ -8,6 +8,7 @@ namespace sck::hls {
 
 NodeId Dfg::append(Node n) {
   nodes_.push_back(std::move(n));
+  topo_dirty_ = true;
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -43,7 +44,7 @@ NodeId Dfg::state_reg(std::string name, int width) {
 void Dfg::set_reg_next(NodeId reg, NodeId next) {
   SCK_EXPECTS(node(reg).op == Op::kReg);
   SCK_EXPECTS(next >= 0 && static_cast<std::size_t>(next) < nodes_.size());
-  mutable_node(reg).ins = {next};
+  mutable_node(reg).ins = {next};  // marks the topo cache dirty
 }
 
 NodeId Dfg::output(std::string name, NodeId src) {
@@ -69,7 +70,8 @@ NodeId Dfg::op(Op o, std::vector<NodeId> ins, int width) {
   return append(std::move(n));
 }
 
-std::vector<NodeId> Dfg::topo_order() const {
+const std::vector<NodeId>& Dfg::topo_order() const {
+  if (!topo_dirty_) return topo_cache_;
   // Kahn's algorithm over combinational edges: a kReg node contributes its
   // *output* as a source; its next-value edge is sequential and ignored.
   const auto n = static_cast<NodeId>(nodes_.size());
@@ -99,7 +101,9 @@ std::vector<NodeId> Dfg::topo_order() const {
   }
   SCK_ENSURES(order.size() == nodes_.size() &&
               "combinational cycle in DFG (cycles must pass through kReg)");
-  return order;
+  topo_cache_ = std::move(order);
+  topo_dirty_ = false;
+  return topo_cache_;
 }
 
 void Dfg::validate() const {
@@ -200,6 +204,140 @@ Dfg::EvalResult Dfg::eval(
     reg_state[i] = value[static_cast<std::size_t>(r.ins[0])];
   }
   return result;
+}
+
+DfgBatchEvaluator::DfgBatchEvaluator(const Dfg& graph,
+                                     std::string_view skip_output)
+    : graph_(graph), value_(graph.size()) {
+  // Needed set: backward closure from the kept outputs, following
+  // combinational inputs AND register next-value edges (a kReg's ins is
+  // its next value, so the closure crosses sample boundaries correctly).
+  std::vector<char> needed(graph.size(), 0);
+  std::vector<NodeId> stack;
+  for (const NodeId out : graph.outputs()) {
+    if (!skip_output.empty() && graph.node(out).name == skip_output) continue;
+    needed[static_cast<std::size_t>(out)] = 1;
+    stack.push_back(out);
+  }
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    for (const NodeId in : graph.node(id).ins) {
+      if (!needed[static_cast<std::size_t>(in)]) {
+        needed[static_cast<std::size_t>(in)] = 1;
+        stack.push_back(in);
+      }
+    }
+  }
+
+  // Compile: constants pre-broadcast once; ports/registers are seeded per
+  // sample; everything else enters the hoisted compute order if needed.
+  for (const NodeId id : graph.topo_order()) {
+    const Node& n = graph.node(id);
+    if (!needed[static_cast<std::size_t>(id)]) continue;
+    switch (n.op) {
+      case Op::kInput:
+      case Op::kReg:
+        break;  // seeded per sample
+      case Op::kConst:
+        value_[static_cast<std::size_t>(id)] =
+            hw::broadcast_word(from_signed(n.value, n.width), n.width);
+        break;
+      default:
+        order_.push_back(id);
+        break;
+    }
+  }
+  live_reg_.reserve(graph.state_regs().size());
+  for (const NodeId reg : graph.state_regs()) {
+    live_reg_.push_back(needed[static_cast<std::size_t>(reg)]);
+  }
+}
+
+void DfgBatchEvaluator::eval(std::span<const hw::BatchWord> inputs,
+                             std::vector<hw::BatchWord>& reg_state,
+                             std::span<hw::BatchWord> outputs) {
+  SCK_EXPECTS(inputs.size() == graph_.inputs().size());
+  SCK_EXPECTS(reg_state.size() == graph_.state_regs().size());
+  SCK_EXPECTS(outputs.size() == graph_.outputs().size());
+
+  // Seed primary inputs and register outputs with the lane-packed state.
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    value_[static_cast<std::size_t>(graph_.inputs()[i])] = inputs[i];
+  }
+  for (std::size_t i = 0; i < reg_state.size(); ++i) {
+    value_[static_cast<std::size_t>(graph_.state_regs()[i])] = reg_state[i];
+  }
+
+  // Invariant note: every case writes only planes below its node width
+  // (1-bit glue writes plane 0), and value_ starts all-zero, so planes at
+  // or above a node's width stay zero across samples without re-clearing.
+  for (const NodeId id : order_) {
+    const Node& n = graph_.node(id);
+    const auto in = [&](int k) -> const hw::BatchWord& {
+      return value_[static_cast<std::size_t>(
+          n.ins[static_cast<std::size_t>(k)])];
+    };
+    const int w = n.width;
+    hw::BatchWord& out = value_[static_cast<std::size_t>(id)];
+    switch (n.op) {
+      case Op::kInput:
+      case Op::kReg:
+      case Op::kConst:
+        break;  // seeded / precompiled, not in order_
+      case Op::kOutput:
+        out = in(0);
+        break;
+      case Op::kAdd:
+        hw::golden_add(in(0), in(1), 0, w, out);
+        break;
+      case Op::kSub:
+        out = hw::golden_sub(in(0), in(1), w);
+        break;
+      case Op::kMul:
+        out = hw::golden_mul(in(0), in(1), w);
+        break;
+      case Op::kDiv:
+      case Op::kRem: {
+        // Lanes with a zero divisor produce 0, like eval()'s short-circuit.
+        const hw::LaneMask b_nonzero = hw::nonzero_lanes(in(1));
+        hw::BatchWord q;
+        hw::BatchWord r;
+        hw::golden_divmod(in(0), in(1), w, q, r);
+        const hw::BatchWord& source = n.op == Op::kDiv ? q : r;
+        for (int i = 0; i < w; ++i) out[i] = source[i] & b_nonzero;
+        break;
+      }
+      case Op::kNeg:
+        out = hw::golden_neg(in(0), w);
+        break;
+      case Op::kEq:
+        out[0] = ~hw::differing_lanes(in(0), in(1));
+        break;
+      case Op::kIsZero:
+      case Op::kNot:  // eval() computes kNot as a full-word zero test too
+        out[0] = ~hw::nonzero_lanes(in(0));
+        break;
+      case Op::kAnd:
+        out[0] = in(0)[0] & in(1)[0];
+        break;
+      case Op::kOr:
+        out[0] = in(0)[0] | in(1)[0];
+        break;
+    }
+  }
+
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    outputs[i] = value_[static_cast<std::size_t>(graph_.outputs()[i])];
+  }
+
+  // Advance the sequential state (skipped registers feed only skipped
+  // outputs and stay zero).
+  for (std::size_t i = 0; i < reg_state.size(); ++i) {
+    if (!live_reg_[i]) continue;
+    const Node& r = graph_.node(graph_.state_regs()[i]);
+    reg_state[i] = value_[static_cast<std::size_t>(r.ins[0])];
+  }
 }
 
 }  // namespace sck::hls

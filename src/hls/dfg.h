@@ -17,11 +17,14 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "common/assert.h"
+#include "hw/batch.h"
 
 namespace sck::hls {
 
@@ -166,6 +169,7 @@ class Dfg {
   }
   [[nodiscard]] Node& mutable_node(NodeId id) {
     SCK_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+    topo_dirty_ = true;  // the caller may rewire ins
     return nodes_[static_cast<std::size_t>(id)];
   }
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
@@ -176,8 +180,12 @@ class Dfg {
 
   /// Topological order of all nodes, treating kReg outputs as sources (the
   /// cycle through a register's next-value edge is a sequential, not
-  /// combinational, dependency).
-  [[nodiscard]] std::vector<NodeId> topo_order() const;
+  /// combinational, dependency). Cached on the graph and recomputed lazily
+  /// after any mutation (append / set_reg_next / mutable_node), so the
+  /// per-sample evaluators pay for it once. The cache fill is not
+  /// synchronized: call topo_order() (or validate()) once before sharing a
+  /// graph across campaign worker threads — the campaign drivers do.
+  [[nodiscard]] const std::vector<NodeId>& topo_order() const;
 
   /// Structural invariants: arities, port uniqueness, acyclicity (through
   /// combinational edges), every register wired. Aborts on violation.
@@ -206,6 +214,41 @@ class Dfg {
   std::vector<NodeId> inputs_;
   std::vector<NodeId> outputs_;
   std::vector<NodeId> regs_;
+  mutable std::vector<NodeId> topo_cache_;
+  mutable bool topo_dirty_ = true;
+};
+
+/// Plane-wise twin of Dfg::eval for the batched campaign drivers: lane L
+/// of every BatchWord computes exactly what eval() computes on lane L's
+/// scalars (golden plane arithmetic from hw/batch.h; full-word comparator
+/// glue as differing/nonzero lane masks; zero-divisor lanes produce 0 like
+/// the scalar short-circuit). The constructor compiles the evaluation
+/// once: topo order hoisted, constants pre-broadcast, and — when a
+/// `skip_output` name is given — the node set restricted to the backward
+/// cone of the remaining outputs (the campaign never reads the reference
+/// "error" flag, so the reference need not compute the check cluster; the
+/// kept outputs are bit-identical either way). The per-sample loop
+/// performs no allocation.
+class DfgBatchEvaluator {
+ public:
+  explicit DfgBatchEvaluator(const Dfg& graph,
+                             std::string_view skip_output = {});
+
+  /// Evaluate one sample on all 64 lanes. `inputs` by position in
+  /// graph.inputs() (planes at or above each input's width must be zero,
+  /// which pack() guarantees); `reg_state` is the per-lane architectural
+  /// state, advanced in place; `outputs` filled by position in
+  /// graph.outputs(). Skipped outputs (and state registers feeding only
+  /// them) read as zero.
+  void eval(std::span<const hw::BatchWord> inputs,
+            std::vector<hw::BatchWord>& reg_state,
+            std::span<hw::BatchWord> outputs);
+
+ private:
+  const Dfg& graph_;
+  std::vector<NodeId> order_;   ///< needed compute nodes, topo order
+  std::vector<char> live_reg_;  ///< per state-reg slot: next value matters
+  std::vector<hw::BatchWord> value_;
 };
 
 }  // namespace sck::hls

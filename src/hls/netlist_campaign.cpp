@@ -1,33 +1,44 @@
 #include "hls/netlist_campaign.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/assert.h"
+#include "fault/batch.h"
 #include "fault/outcome.h"
 #include "fault/parallel.h"
+#include "hls/netlist_exec.h"
 
 namespace sck::hls {
 
 namespace {
 
 /// Per-fault seed derivation: fault streams must depend only on (seed,
-/// global fault index) so the campaign is invariant under the thread count
-/// and the dynamic schedule (the Xoshiro constructor SplitMix-expands the
-/// mixed value).
+/// global fault index) so the campaign is invariant under the thread count,
+/// the lane packing and the dynamic schedule (the Xoshiro constructor
+/// SplitMix-expands the mixed value).
 [[nodiscard]] std::uint64_t fault_stream_seed(std::uint64_t seed,
                                               std::uint64_t fault_index) {
   return seed ^ ((fault_index + 1) * 0x9E3779B97F4A7C15ULL);
 }
 
-/// One injected-fault run: a fresh input stream through the faulty netlist
-/// against the fault-free reference model.
+/// One entry of the (strided) fault job list. Job order is the
+/// deterministic reduction order, unit-major exactly like the sequential
+/// sweep; job index is the per-fault stream seed.
+struct Job {
+  std::size_t fu = 0;
+  hw::FaultSite site;
+};
+
+/// One injected-fault run on the scalar backend: a fresh input stream
+/// through the faulty netlist against the fault-free reference model.
 fault::CampaignStats run_one_fault(const Dfg& graph, NetlistSim& sim,
-                                   int error_output, int samples,
-                                   Xoshiro256 rng) {
+                                   int samples, Xoshiro256 rng) {
   const Netlist& netlist = sim.netlist();
+  const std::int32_t error_output = sim.plan().error_output;
   fault::CampaignStats stats;
   sim.reset();
   std::vector<std::uint64_t> ref_state(graph.state_regs().size(), 0);
@@ -59,6 +70,72 @@ fault::CampaignStats run_one_fault(const Dfg& graph, NetlistSim& sim,
   return stats;
 }
 
+/// One 64-fault batch on the bit-plane backend: lane L runs job
+/// jobs[base + L]'s fault with job (base + L)'s input stream, checked
+/// against the plane-wise reference model. Writes each lane's stats into
+/// its job slot — per-lane classification is exactly the scalar
+/// classify(), so the slot contents match run_one_fault bit for bit.
+void run_fault_batch(const Dfg& graph, NetlistBatchSim& sim,
+                     DfgBatchEvaluator& ref, const std::vector<Job>& jobs,
+                     std::size_t base, const NetlistCampaignOptions& options,
+                     std::vector<fault::CampaignStats>& per_job) {
+  const Netlist& netlist = sim.netlist();
+  const std::int32_t error_output = sim.plan().error_output;
+  const int lanes = static_cast<int>(
+      std::min<std::size_t>(hw::kLanes, jobs.size() - base));
+
+  sim.clear_lane_faults();
+  std::vector<Xoshiro256> rng;
+  rng.reserve(static_cast<std::size_t>(lanes));
+  for (int lane = 0; lane < lanes; ++lane) {
+    const std::size_t j = base + static_cast<std::size_t>(lane);
+    sim.add_lane_fault(static_cast<int>(jobs[j].fu), jobs[j].site,
+                       hw::LaneMask{1} << lane);
+    rng.emplace_back(fault_stream_seed(options.seed, j));
+  }
+  sim.reset();
+
+  std::vector<hw::BatchWord> in(netlist.input_names.size());
+  std::vector<hw::BatchWord> out(netlist.outputs.size());
+  std::vector<hw::BatchWord> want(graph.outputs().size());
+  std::vector<hw::BatchWord> ref_state(graph.state_regs().size());
+  std::vector<Word> lane_vals(static_cast<std::size_t>(lanes), 0);
+
+  // Output i of the netlist is output i of the graph (the netlist builder
+  // preserves the graph's output order); sanity-checked by name below.
+  for (std::size_t i = 0; i < netlist.outputs.size(); ++i) {
+    SCK_EXPECTS(graph.node(graph.outputs()[i]).name ==
+                netlist.outputs[i].name);
+  }
+
+  for (int k = 0; k < options.samples_per_fault; ++k) {
+    for (std::size_t i = 0; i < graph.inputs().size(); ++i) {
+      const Node& n = graph.node(graph.inputs()[i]);
+      for (int lane = 0; lane < lanes; ++lane) {
+        lane_vals[static_cast<std::size_t>(lane)] =
+            rng[static_cast<std::size_t>(lane)].bounded(Word{1} << n.width);
+      }
+      in[i] = hw::pack(lane_vals, n.width);
+    }
+    ref.eval(in, ref_state, want);
+    sim.step_sample_batch(in, out);
+
+    hw::LaneMask erroneous = 0;
+    for (std::size_t i = 0; i < netlist.outputs.size(); ++i) {
+      if (static_cast<std::int32_t>(i) == error_output) continue;
+      erroneous |= hw::differing_lanes(out[i], want[i]);
+    }
+    const hw::LaneMask detected =
+        error_output >= 0 ? out[static_cast<std::size_t>(error_output)][0]
+                          : 0;
+    const fault::LaneVerdict verdict{erroneous, detected};
+    for (int lane = 0; lane < lanes; ++lane) {
+      per_job[base + static_cast<std::size_t>(lane)].record(
+          fault::lane_outcome(verdict, lane));
+    }
+  }
+}
+
 }  // namespace
 
 NetlistCampaignResult run_netlist_campaign(
@@ -68,27 +145,19 @@ NetlistCampaignResult run_netlist_campaign(
   SCK_EXPECTS(options.fault_stride > 0);
   SCK_EXPECTS(netlist.input_names.size() == graph.inputs().size());
 
-  int error_output = -1;
-  for (std::size_t i = 0; i < netlist.outputs.size(); ++i) {
-    if (netlist.outputs[i].name == "error") {
-      error_output = static_cast<int>(i);
-    }
-  }
+  // Warm the graph's topo-order cache before any worker thread reads it
+  // (Dfg::topo_order fills lazily and unsynchronized). The "error" output
+  // position comes from each backend's compiled plan (ExecPlan).
+  (void)graph.topo_order();
 
-  // Materialise the (strided) job list up front: job order is the
-  // deterministic reduction order, unit-major exactly like the sequential
-  // sweep.
-  struct Job {
-    std::size_t fu = 0;
-    hw::FaultSite site;
-  };
+  // Materialise the (strided) job list up front.
   std::vector<Job> jobs;
   std::vector<std::size_t> unit_of_fu(netlist.fus.size(), SIZE_MAX);
   NetlistCampaignResult result;
   {
-    NetlistSim probe(netlist);
+    const FuBank probe(netlist);
     for (std::size_t f = 0; f < netlist.fus.size(); ++f) {
-      const auto universe = probe.fu_fault_universe(static_cast<int>(f));
+      const auto universe = probe.fault_universe(static_cast<int>(f));
       if (universe.empty()) continue;  // checker-side units host no faults
       unit_of_fu[f] = result.per_unit.size();
       UnitCoverage unit;
@@ -102,21 +171,46 @@ NetlistCampaignResult run_netlist_campaign(
     }
   }
 
-  // Shard the fault universe over the worker pool; each worker owns a
-  // cloned simulator (units are stateful via set_fault).
   std::vector<fault::CampaignStats> per_job(jobs.size());
-  fault::parallel_shard(
-      jobs.size(), options.threads,
-      [&netlist] { return NetlistSim(netlist); },
-      [&](NetlistSim& sim, std::size_t j) {
-        sim.set_fu_fault(static_cast<int>(jobs[j].fu), jobs[j].site);
-        per_job[j] = run_one_fault(
-            graph, sim, error_output, options.samples_per_fault,
-            Xoshiro256(fault_stream_seed(options.seed, j)));
-        sim.set_fu_fault(static_cast<int>(jobs[j].fu), hw::FaultSite{});
-      });
+  if (options.backend == NetlistBackend::kScalar) {
+    // Shard one fault per job; each worker owns a cloned simulator (units
+    // are stateful via set_fault).
+    fault::parallel_shard(
+        jobs.size(), options.threads,
+        [&netlist] { return NetlistSim(netlist); },
+        [&](NetlistSim& sim, std::size_t j) {
+          sim.set_fu_fault(static_cast<int>(jobs[j].fu), jobs[j].site);
+          per_job[j] = run_one_fault(
+              graph, sim, options.samples_per_fault,
+              Xoshiro256(fault_stream_seed(options.seed, j)));
+          sim.set_fu_fault(static_cast<int>(jobs[j].fu), hw::FaultSite{});
+        });
+  } else {
+    // Shard 64-fault batches; each worker owns a batched simulator plus a
+    // plane-wise reference evaluator.
+    struct BatchContext {
+      NetlistBatchSim sim;
+      // The reference "error" flag is never read (it is 0 by construction
+      // on fault-free hardware), so the reference skips the check cone.
+      DfgBatchEvaluator ref;
+      BatchContext(const Netlist& nl, const Dfg& g)
+          : sim(nl), ref(g, "error") {}
+      BatchContext(const BatchContext&) = delete;
+      BatchContext& operator=(const BatchContext&) = delete;
+    };
+    const std::size_t batches =
+        (jobs.size() + hw::kLanes - 1) / static_cast<std::size_t>(hw::kLanes);
+    fault::parallel_shard(
+        batches, options.threads,
+        [&netlist, &graph] { return BatchContext(netlist, graph); },
+        [&](BatchContext& ctx, std::size_t b) {
+          run_fault_batch(graph, ctx.sim, ctx.ref, jobs,
+                          b * static_cast<std::size_t>(hw::kLanes), options,
+                          per_job);
+        });
+  }
 
-  // Deterministic reduction in job order.
+  // Deterministic reduction in job (fault-index) order.
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     UnitCoverage& unit = result.per_unit[unit_of_fu[jobs[j].fu]];
     unit.stats += per_job[j];

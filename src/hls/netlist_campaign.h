@@ -10,6 +10,17 @@
 // fault-free reference model, and classifies every sample with the same
 // four-way taxonomy as the unit-level campaigns — yielding the *final
 // realization's* coverage, which the paper could only estimate.
+//
+// Two execution backends drive the sweep (hls/netlist_exec.h):
+//   kScalar   the compiled scalar interpreter, one fault at a time;
+//   kBatched  the 64-lane bit-plane engine — 64 faults per batch (lane =
+//             fault, via per-lane LaneFaultSet hooks), each lane fed its
+//             own seeded input stream, checked against the plane-wise Dfg
+//             reference model (DfgBatchEvaluator).
+// Both backends shard the fault universe through fault/parallel.h and
+// reduce per-fault stats in fault-index order, so the result is
+// bit-identical for ANY backend, lane packing and thread count
+// (tests/test_netlist_batch.cpp proves it).
 #pragma once
 
 #include <cstdint>
@@ -37,6 +48,10 @@ struct NetlistCampaignResult {
   std::uint64_t fault_universe_size = 0;
 };
 
+/// Execution backend selection for the sweep (results are identical; the
+/// batched engine packs 64 faults per evaluation and is the default).
+enum class NetlistBackend : unsigned char { kScalar, kBatched };
+
 struct NetlistCampaignOptions {
   int samples_per_fault = 32;  ///< stream length per injected fault
   std::uint64_t seed = 0x2005;
@@ -45,6 +60,7 @@ struct NetlistCampaignOptions {
   /// fault's input stream is derived from (seed, fault index), so the
   /// result is bit-identical for any thread count.
   int threads = 1;
+  NetlistBackend backend = NetlistBackend::kBatched;
 };
 
 /// Sweep every FU fault of `netlist` (generated from `graph`), comparing

@@ -1,0 +1,225 @@
+#include "hls/netlist_exec.h"
+
+#include <algorithm>
+
+namespace sck::hls {
+
+namespace {
+
+/// Resolve one microcode operand against the compiled slot tables.
+/// `wire_slot_of_node` maps a producer NodeId to its dense wire slot;
+/// `wire_step` records the step each wire slot was written in (compile-time
+/// replacement for the interpreter's stamp check).
+ExecOperand resolve_operand(const Operand& op, const Netlist& netlist,
+                            std::vector<Word>& const_pool,
+                            const std::vector<std::int32_t>& wire_slot_of_node,
+                            const std::vector<int>& wire_step,
+                            int reading_step) {
+  ExecOperand out;
+  out.kind = op.kind;
+  switch (op.kind) {
+    case Operand::Kind::kNone:
+      break;
+    case Operand::Kind::kReg:
+      SCK_EXPECTS(op.index >= 0 &&
+                  static_cast<std::size_t>(op.index) < netlist.regs.size());
+      out.index = op.index;
+      break;
+    case Operand::Kind::kInput:
+      SCK_EXPECTS(op.index >= 0 && static_cast<std::size_t>(op.index) <
+                                       netlist.input_names.size());
+      out.index = op.index;
+      break;
+    case Operand::Kind::kConst: {
+      // Pool distinct literals, pre-truncated to the data width (the
+      // per-read from_signed of the interpreter, hoisted to compile time).
+      const Word value = from_signed(op.value, netlist.data_width);
+      const auto it = std::find(const_pool.begin(), const_pool.end(), value);
+      out.index = static_cast<std::int32_t>(it - const_pool.begin());
+      if (it == const_pool.end()) const_pool.push_back(value);
+      break;
+    }
+    case Operand::Kind::kWire: {
+      SCK_EXPECTS(op.index >= 0 && static_cast<std::size_t>(op.index) <
+                                       wire_slot_of_node.size());
+      const std::int32_t slot =
+          wire_slot_of_node[static_cast<std::size_t>(op.index)];
+      SCK_EXPECTS(slot >= 0 && "wire operand has no producer micro-op");
+      SCK_EXPECTS(wire_step[static_cast<std::size_t>(slot)] == reading_step &&
+                  "wire read outside the step that writes it");
+      out.index = slot;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ExecPlan compile_execution_plan(const Netlist& netlist) {
+  ExecPlan plan;
+  plan.netlist = &netlist;
+  plan.data_width = netlist.data_width;
+  plan.num_steps = netlist.num_steps;
+  plan.num_regs = static_cast<std::int32_t>(netlist.regs.size());
+  plan.num_inputs = static_cast<std::int32_t>(netlist.input_names.size());
+
+  // Dense wire numbering: one slot per producing micro-op, in stream order.
+  NodeId max_node = -1;
+  for (const MicroOp& m : netlist.micro) {
+    max_node = std::max(max_node, m.node);
+  }
+  std::vector<std::int32_t> wire_slot_of_node(
+      static_cast<std::size_t>(max_node + 1), -1);
+  std::vector<int> wire_step;
+  wire_step.reserve(netlist.micro.size());
+
+  plan.ops.reserve(netlist.micro.size());
+  plan.step_begin.assign(static_cast<std::size_t>(netlist.num_steps) + 1, 0);
+  std::size_t cursor = 0;
+  for (int step = 0; step < netlist.num_steps; ++step) {
+    plan.step_begin[static_cast<std::size_t>(step)] =
+        static_cast<std::uint32_t>(plan.ops.size());
+    for (; cursor < netlist.micro.size() &&
+           netlist.micro[cursor].step == step;
+         ++cursor) {
+      const MicroOp& m = netlist.micro[cursor];
+      ExecOp op;
+      op.op = m.op;
+      op.fu = m.fu;
+      op.dst_reg = m.dst_reg;
+      op.width = m.fu >= 0 ? netlist.fus[static_cast<std::size_t>(m.fu)].width
+                           : netlist.data_width;
+      op.src0 = resolve_operand(m.src[0], netlist, plan.const_pool,
+                                wire_slot_of_node, wire_step, step);
+      op.src1 = resolve_operand(m.src[1], netlist, plan.const_pool,
+                                wire_slot_of_node, wire_step, step);
+      SCK_EXPECTS(m.node >= 0);
+      SCK_EXPECTS(wire_slot_of_node[static_cast<std::size_t>(m.node)] == -1 &&
+                  "node produced by two micro-ops");
+      op.wire = static_cast<std::int32_t>(wire_step.size());
+      wire_slot_of_node[static_cast<std::size_t>(m.node)] = op.wire;
+      wire_step.push_back(step);
+      plan.ops.push_back(op);
+    }
+    plan.step_begin[static_cast<std::size_t>(step) + 1] =
+        static_cast<std::uint32_t>(plan.ops.size());
+  }
+  SCK_ENSURES(cursor == netlist.micro.size() &&
+              "microcode rows outside [0, num_steps)");
+  plan.num_wires = static_cast<std::int32_t>(wire_step.size());
+
+  // Outputs and state loads read registers or final-step wires; both are
+  // sampled after the last step, so a wire source must live in it.
+  const int last_step = netlist.num_steps - 1;
+  plan.outputs.reserve(netlist.outputs.size());
+  for (std::size_t i = 0; i < netlist.outputs.size(); ++i) {
+    plan.outputs.push_back(resolve_operand(netlist.outputs[i].source, netlist,
+                                           plan.const_pool, wire_slot_of_node,
+                                           wire_step, last_step));
+    if (netlist.outputs[i].name == "error") {
+      plan.error_output = static_cast<std::int32_t>(i);
+    }
+  }
+  plan.state_loads.reserve(netlist.state_loads.size());
+  for (const StateLoad& load : netlist.state_loads) {
+    SCK_EXPECTS(load.dst_reg >= 0 && static_cast<std::size_t>(load.dst_reg) <
+                                         netlist.regs.size());
+    plan.state_loads.push_back(ExecPlan::StateLoad{
+        load.dst_reg,
+        resolve_operand(load.source, netlist, plan.const_pool,
+                        wire_slot_of_node, wire_step, last_step)});
+  }
+  return plan;
+}
+
+FuBank::FuBank(const Netlist& netlist) {
+  addsub_.resize(netlist.fus.size());
+  mul_.resize(netlist.fus.size());
+  div_.resize(netlist.fus.size());
+  for (std::size_t f = 0; f < netlist.fus.size(); ++f) {
+    const FuInstance& fu = netlist.fus[f];
+    switch (fu.cls) {
+      case ResourceClass::kAddSub:
+        addsub_[f] = std::make_unique<hw::RippleCarryAdder>(fu.width);
+        break;
+      case ResourceClass::kMul:
+        mul_[f] = std::make_unique<hw::ArrayMultiplier>(fu.width);
+        break;
+      case ResourceClass::kDivRem:
+        div_[f] = std::make_unique<hw::RestoringDivider>(fu.width);
+        break;
+      case ResourceClass::kCmp:
+      case ResourceClass::kLogic:
+        break;  // checker-side, host-evaluated
+    }
+  }
+}
+
+hw::FaultableUnit* FuBank::unit(int fu_index) const {
+  SCK_EXPECTS(fu_index >= 0 &&
+              static_cast<std::size_t>(fu_index) < addsub_.size());
+  const auto f = static_cast<std::size_t>(fu_index);
+  if (addsub_[f]) return addsub_[f].get();
+  if (mul_[f]) return mul_[f].get();
+  if (div_[f]) return div_[f].get();
+  return nullptr;
+}
+
+void FuBank::set_fault(int fu_index, const hw::FaultSite& fault) {
+  hw::FaultableUnit* u = unit(fu_index);
+  if (u == nullptr) {
+    SCK_EXPECTS(!fault.active() && "checker-side units accept no faults");
+    return;
+  }
+  u->set_fault(fault);
+}
+
+std::vector<hw::FaultSite> FuBank::fault_universe(int fu_index) const {
+  const hw::FaultableUnit* u = unit(fu_index);
+  return u == nullptr ? std::vector<hw::FaultSite>{} : u->fault_universe();
+}
+
+NetlistBatchSim::NetlistBatchSim(const Netlist& netlist)
+    : plan_(compile_execution_plan(netlist)),
+      bank_(netlist),
+      sem_(plan_, bank_) {
+  lane_faults_.reserve(bank_.size());
+  for (std::size_t f = 0; f < bank_.size(); ++f) {
+    const hw::FaultableUnit* u = bank_.unit(static_cast<int>(f));
+    lane_faults_.emplace_back(u == nullptr ? 0 : u->cell_count());
+  }
+}
+
+void NetlistBatchSim::clear_lane_faults() {
+  for (std::size_t f = 0; f < lane_faults_.size(); ++f) {
+    if (lane_faults_[f].empty()) continue;
+    lane_faults_[f].clear();
+    bank_.unit(static_cast<int>(f))->set_lane_faults(nullptr);
+  }
+}
+
+void NetlistBatchSim::add_lane_fault(int fu_index, const hw::FaultSite& fault,
+                                     hw::LaneMask lanes) {
+  hw::FaultableUnit* u = bank_.unit(fu_index);
+  SCK_EXPECTS(u != nullptr && "checker-side units accept no faults");
+  SCK_EXPECTS(fault.active());
+  SCK_EXPECTS(fault.cell >= 0 && fault.cell < u->cell_count());
+  const hw::CellKind kind = u->cell_kind(fault.cell);
+  SCK_EXPECTS(fault.line < hw::cell_line_count(kind));
+  hw::LaneFaultSet& set = lane_faults_[static_cast<std::size_t>(fu_index)];
+  set.add(fault.cell, hw::faulty_cell_lut(kind, fault.line, fault.stuck_value),
+          lanes);
+  u->set_lane_faults(&set);
+}
+
+void NetlistBatchSim::step_sample_batch(std::span<const hw::BatchWord> inputs,
+                                        std::span<hw::BatchWord> outputs) {
+  SCK_EXPECTS(inputs.size() == sem_.state.inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    sem_.state.inputs[i] = inputs[i];
+  }
+  run_plan_sample(plan_, sem_, outputs);
+}
+
+}  // namespace sck::hls

@@ -1,0 +1,389 @@
+// Compile-once execution plan for generated netlists, plus the two
+// lane-for-lane-identical execution backends that run it.
+//
+// compile_execution_plan lowers the FSM microcode of a Netlist into a flat
+// plan: operands resolved to dense slots (register / input / wire /
+// constant-pool index), constants pre-truncated, step boundaries and
+// end-of-iteration state loads laid out as plain arrays. The "wire written
+// before read, in the same step" invariant the interpreter used to check
+// per read with a stamp table is validated once at compile time, so the
+// execution loops index flat vectors with no hashing, no stamps and no
+// allocation.
+//
+// Backend interface: ONE templated executor (run_plan_sample) drives any
+// semantics type providing
+//   using Value = ...;                 // Word or hw::BatchWord
+//   ExecState<Value> state;           // slot storage
+//   Value eval(const ExecOp&, const Value& a, const Value& b);
+// Two semantics are provided:
+//   ScalarExecSemantics  Word values through the units' scalar models —
+//                        the NetlistSim path (hls/netlist_sim.h);
+//   BatchExecSemantics   64-lane BatchWord planes through the units'
+//                        *_batch models, where lane L simulates its own
+//                        injected fault — the NetlistBatchSim path below.
+// One executor, two value domains: the backends cannot drift apart, and
+// the differential tests (tests/test_netlist_batch.cpp) prove lane
+// exactness across the full FU fault universe.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/word.h"
+#include "hls/netlist.h"
+#include "hw/array_multiplier.h"
+#include "hw/batch.h"
+#include "hw/comparator.h"
+#include "hw/fault_site.h"
+#include "hw/restoring_divider.h"
+#include "hw/ripple_carry_adder.h"
+
+namespace sck::hls {
+
+/// A resolved operand: slot index into the backend's value tables. kConst
+/// operands index the plan's constant pool (literals pre-truncated to the
+/// data width at compile time).
+struct ExecOperand {
+  Operand::Kind kind = Operand::Kind::kNone;
+  std::int32_t index = -1;
+};
+
+/// One row of the compiled op stream: `op` executes on FU slot `fu` (< 0
+/// for combinational glue) at `width`, writes wire slot `wire`, and — when
+/// dst_reg >= 0 — latches into that register at the end of its step.
+struct ExecOp {
+  Op op = Op::kAdd;
+  std::int32_t fu = -1;
+  std::int32_t wire = -1;
+  std::int32_t dst_reg = -1;
+  std::int32_t width = 0;
+  ExecOperand src0;
+  ExecOperand src1;
+};
+
+/// The flat, preallocated execution plan shared by all backends. Compiled
+/// once per netlist; immutable afterwards.
+struct ExecPlan {
+  const Netlist* netlist = nullptr;
+  int data_width = 0;
+  int num_steps = 0;
+  std::int32_t num_regs = 0;
+  std::int32_t num_inputs = 0;
+  std::int32_t num_wires = 0;
+  std::vector<Word> const_pool;          ///< distinct pre-truncated literals
+  std::vector<ExecOp> ops;               ///< step-major, dataflow order
+  std::vector<std::uint32_t> step_begin; ///< ops[step_begin[s]..step_begin[s+1])
+  std::vector<ExecOperand> outputs;      ///< by netlist().outputs order
+  struct StateLoad {
+    std::int32_t dst_reg = -1;
+    ExecOperand source;
+  };
+  std::vector<StateLoad> state_loads;
+  std::int32_t error_output = -1;  ///< outputs index of "error", -1 if none
+};
+
+/// Lower the microcode into an ExecPlan. Validates the same-step
+/// wire-before-read discipline and resolves every slot; aborts on a
+/// malformed netlist.
+[[nodiscard]] ExecPlan compile_execution_plan(const Netlist& netlist);
+
+/// The functional-unit models of one backend instance, index-aligned with
+/// netlist.fus (checker-side classes carry no model). Owns the per-FU
+/// fault state: scalar backends inject broadcast faults with set_fault,
+/// the batched backend installs per-lane fault tables.
+class FuBank {
+ public:
+  explicit FuBank(const Netlist& netlist);
+
+  // Unit models are stateful (set_fault); a bank is pinned to its backend.
+  FuBank(const FuBank&) = delete;
+  FuBank& operator=(const FuBank&) = delete;
+
+  /// Inject a cell fault into one FU instance (or clear it with an
+  /// inactive FaultSite). Checker-side units accept no faults.
+  void set_fault(int fu_index, const hw::FaultSite& fault);
+
+  /// Enumerate the fault universe of one FU instance (empty for
+  /// checker-side units).
+  [[nodiscard]] std::vector<hw::FaultSite> fault_universe(int fu_index) const;
+
+  /// Generic unit access (nullptr for checker-side classes).
+  [[nodiscard]] hw::FaultableUnit* unit(int fu_index) const;
+
+  [[nodiscard]] const hw::RippleCarryAdder& addsub(std::int32_t fu) const {
+    return *addsub_[static_cast<std::size_t>(fu)];
+  }
+  [[nodiscard]] const hw::ArrayMultiplier& mul(std::int32_t fu) const {
+    return *mul_[static_cast<std::size_t>(fu)];
+  }
+  [[nodiscard]] const hw::RestoringDivider& div(std::int32_t fu) const {
+    return *div_[static_cast<std::size_t>(fu)];
+  }
+
+  [[nodiscard]] std::size_t size() const { return addsub_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<hw::RippleCarryAdder>> addsub_;
+  std::vector<std::unique_ptr<hw::ArrayMultiplier>> mul_;
+  std::vector<std::unique_ptr<hw::RestoringDivider>> div_;
+};
+
+/// Slot storage of one backend instance: registers, latched inputs, wires
+/// and the materialized constant pool, all preallocated to the plan's slot
+/// counts. V is Word (scalar) or hw::BatchWord (64-lane planes).
+template <typename V>
+struct ExecState {
+  std::vector<V> regs;
+  std::vector<V> inputs;
+  std::vector<V> wires;
+  std::vector<V> consts;
+  std::vector<std::pair<std::int32_t, V>> latches;
+  std::vector<std::pair<std::int32_t, V>> loads;
+  V zero{};
+
+  void init(const ExecPlan& plan) {
+    regs.assign(static_cast<std::size_t>(plan.num_regs), V{});
+    inputs.assign(static_cast<std::size_t>(plan.num_inputs), V{});
+    wires.assign(static_cast<std::size_t>(plan.num_wires), V{});
+    consts.resize(plan.const_pool.size());
+    latches.reserve(regs.size());
+    loads.reserve(plan.state_loads.size());
+  }
+
+  void reset() {
+    for (V& r : regs) r = V{};
+  }
+
+  [[nodiscard]] const V& read(const ExecOperand& op) const {
+    switch (op.kind) {
+      case Operand::Kind::kNone:
+        return zero;
+      case Operand::Kind::kReg:
+        return regs[static_cast<std::size_t>(op.index)];
+      case Operand::Kind::kConst:
+        return consts[static_cast<std::size_t>(op.index)];
+      case Operand::Kind::kInput:
+        return inputs[static_cast<std::size_t>(op.index)];
+      case Operand::Kind::kWire:
+        return wires[static_cast<std::size_t>(op.index)];
+    }
+    return zero;
+  }
+};
+
+/// Run one sample iteration of `plan` under `sem`, writing outputs by
+/// position in plan.outputs. The step structure is exactly the
+/// interpreter's: FU results latch at the end of their step, same-step
+/// glue reads wires, outputs are sampled before the parallel
+/// end-of-iteration state load. Inputs must already be in sem.state.inputs.
+template <typename Sem>
+void run_plan_sample(const ExecPlan& plan, Sem& sem,
+                     std::span<typename Sem::Value> outputs) {
+  auto& st = sem.state;
+  for (int step = 0; step < plan.num_steps; ++step) {
+    st.latches.clear();
+    const std::uint32_t end =
+        plan.step_begin[static_cast<std::size_t>(step) + 1];
+    for (std::uint32_t i = plan.step_begin[static_cast<std::size_t>(step)];
+         i < end; ++i) {
+      const ExecOp& op = plan.ops[i];
+      const auto& a = st.read(op.src0);
+      const auto& b = st.read(op.src1);
+      auto result = sem.eval(op, a, b);
+      if (op.dst_reg >= 0) st.latches.emplace_back(op.dst_reg, result);
+      st.wires[static_cast<std::size_t>(op.wire)] = std::move(result);
+    }
+    // Register writes commit at the end of the step.
+    for (const auto& [reg, value] : st.latches) {
+      st.regs[static_cast<std::size_t>(reg)] = value;
+    }
+  }
+
+  // Outputs are sampled before the state registers advance.
+  SCK_EXPECTS(outputs.size() == plan.outputs.size());
+  for (std::size_t i = 0; i < plan.outputs.size(); ++i) {
+    outputs[i] = st.read(plan.outputs[i]);
+  }
+
+  // Parallel end-of-iteration state load.
+  st.loads.clear();
+  for (const typename ExecPlan::StateLoad& load : plan.state_loads) {
+    st.loads.emplace_back(load.dst_reg, st.read(load.source));
+  }
+  for (const auto& [reg, value] : st.loads) {
+    st.regs[static_cast<std::size_t>(reg)] = value;
+  }
+}
+
+/// Scalar semantics: Word values through the units' scalar cell models —
+/// byte-for-byte the interpreter the plan was lowered from.
+struct ScalarExecSemantics {
+  using Value = Word;
+
+  const ExecPlan& plan;
+  const FuBank& bank;
+  ExecState<Word> state;
+
+  ScalarExecSemantics(const ExecPlan& p, const FuBank& b) : plan(p), bank(b) {
+    state.init(p);
+    for (std::size_t k = 0; k < p.const_pool.size(); ++k) {
+      state.consts[k] = p.const_pool[k];
+    }
+  }
+
+  [[nodiscard]] Word eval(const ExecOp& op, Word a, Word b) const {
+    const int w = op.width;
+    switch (op.op) {
+      case Op::kAdd:
+        return bank.addsub(op.fu).add(a, b);
+      case Op::kSub:
+        return bank.addsub(op.fu).sub(a, b);
+      case Op::kNeg:
+        return bank.addsub(op.fu).negate(a);
+      case Op::kMul:
+        return bank.mul(op.fu).mul(a, b);
+      case Op::kDiv:
+        return b == 0 ? 0 : trunc(bank.div(op.fu).divide(a, b).quotient, w);
+      case Op::kRem:
+        return b == 0 ? 0 : trunc(bank.div(op.fu).divide(a, b).remainder, w);
+      case Op::kEq:
+        return trunc(a, w) == trunc(b, w) ? 1 : 0;
+      case Op::kIsZero:
+        return trunc(a, w) == 0 ? 1 : 0;
+      case Op::kNot:
+        return (a & 1u) ^ 1u;
+      case Op::kAnd:
+        return a & b & 1u;
+      case Op::kOr:
+        return (a | b) & 1u;
+      default:
+        SCK_ASSERT(false && "non-executable op in execution plan");
+    }
+    return 0;
+  }
+};
+
+/// 64-lane bit-plane semantics: BatchWord planes through the units'
+/// *_batch models. Each value plane carries 64 independent simulations of
+/// the same netlist; per-lane faults enter through the FuBank units'
+/// LaneFaultSet hooks. Every case is the plane twin of the scalar case
+/// above (zero-divisor lanes produce 0 exactly like the scalar
+/// short-circuit; glue is evaluated on plane 0 of its 1-bit operands).
+struct BatchExecSemantics {
+  using Value = hw::BatchWord;
+
+  const ExecPlan& plan;
+  const FuBank& bank;
+  ExecState<hw::BatchWord> state;
+
+  BatchExecSemantics(const ExecPlan& p, const FuBank& b) : plan(p), bank(b) {
+    state.init(p);
+    for (std::size_t k = 0; k < p.const_pool.size(); ++k) {
+      state.consts[k] = hw::broadcast_word(p.const_pool[k], p.data_width);
+    }
+  }
+
+  [[nodiscard]] hw::BatchWord eval(const ExecOp& op, const hw::BatchWord& a,
+                                   const hw::BatchWord& b) const {
+    const int w = op.width;
+    hw::BatchWord out;
+    switch (op.op) {
+      case Op::kAdd:
+        return bank.addsub(op.fu).add_batch(a, b);
+      case Op::kSub:
+        return bank.addsub(op.fu).sub_batch(a, b);
+      case Op::kNeg:
+        return bank.addsub(op.fu).negate_batch(a);
+      case Op::kMul:
+        return bank.mul(op.fu).mul_batch(a, b);
+      case Op::kDiv:
+      case Op::kRem: {
+        // The scalar path truncates both operands to the divider width and
+        // forces the result to 0 on a zero divisor; mirror both in planes.
+        hw::BatchWord ta;
+        hw::BatchWord tb;
+        for (int i = 0; i < w; ++i) {
+          ta[i] = a[i];
+          tb[i] = b[i];
+        }
+        const hw::LaneMask b_nonzero = hw::nonzero_lanes(b);
+        const hw::BatchDivResult dr = bank.div(op.fu).divide_batch(ta, tb);
+        const hw::BatchWord& source =
+            op.op == Op::kDiv ? dr.quotient : dr.remainder;
+        for (int i = 0; i < w; ++i) out[i] = source[i] & b_nonzero;
+        return out;
+      }
+      case Op::kEq:
+        out[0] = hw::equal_batch(a, b, w);
+        return out;
+      case Op::kIsZero:
+        out[0] = hw::is_zero_batch(a, w);
+        return out;
+      case Op::kNot:
+        out[0] = ~a[0];
+        return out;
+      case Op::kAnd:
+        out[0] = a[0] & b[0];
+        return out;
+      case Op::kOr:
+        out[0] = a[0] | b[0];
+        return out;
+      default:
+        SCK_ASSERT(false && "non-executable op in execution plan");
+    }
+    return out;
+  }
+};
+
+/// 64-lane execution backend over a compiled plan: lane L runs the same
+/// netlist with lane L's injected fault (or fault-free on unassigned
+/// lanes). The batched campaign drivers pack 64 faults per batch, feed
+/// each lane its own input stream, and read back per-lane outputs.
+class NetlistBatchSim {
+ public:
+  explicit NetlistBatchSim(const Netlist& netlist);
+
+  // Holds internal references (plan/bank); pinned like the scalar sim.
+  NetlistBatchSim(const NetlistBatchSim&) = delete;
+  NetlistBatchSim& operator=(const NetlistBatchSim&) = delete;
+
+  /// Remove every per-lane fault (all lanes fault-free).
+  void clear_lane_faults();
+
+  /// Inject `fault` into FU `fu_index` on the lanes of `lanes`. A lane may
+  /// host at most one fault across the whole design.
+  void add_lane_fault(int fu_index, const hw::FaultSite& fault,
+                      hw::LaneMask lanes);
+
+  /// Enumerate the fault universe of one FU instance (empty for
+  /// checker-side units).
+  [[nodiscard]] std::vector<hw::FaultSite> fu_fault_universe(
+      int fu_index) const {
+    return bank_.fault_universe(fu_index);
+  }
+
+  /// Reset architectural state to zero on every lane.
+  void reset() { sem_.state.reset(); }
+
+  /// Run one sample iteration on all 64 lanes: `inputs` by position in
+  /// netlist().input_names (planes at or above the data width must be
+  /// zero, which pack() guarantees), `outputs` filled by position in
+  /// netlist().outputs.
+  void step_sample_batch(std::span<const hw::BatchWord> inputs,
+                         std::span<hw::BatchWord> outputs);
+
+  [[nodiscard]] const Netlist& netlist() const { return *plan_.netlist; }
+  [[nodiscard]] const ExecPlan& plan() const { return plan_; }
+
+ private:
+  ExecPlan plan_;
+  FuBank bank_;
+  std::vector<hw::LaneFaultSet> lane_faults_;  ///< per FU instance
+  BatchExecSemantics sem_;
+};
+
+}  // namespace sck::hls

@@ -1,207 +1,37 @@
 #include "hls/netlist_sim.h"
 
-#include <algorithm>
-
 #include "common/assert.h"
 
 namespace sck::hls {
 
-NetlistSim::NetlistSim(const Netlist& netlist) : netlist_(netlist) {
-  reg_value_.assign(netlist_.regs.size(), 0);
-  input_value_.assign(netlist_.input_names.size(), 0);
-
-  // Size the flat wire table to the highest producer node id.
-  NodeId max_node = -1;
-  for (const MicroOp& m : netlist_.micro) {
-    max_node = std::max(max_node, m.node);
-  }
-  wire_value_.assign(static_cast<std::size_t>(max_node + 1), 0);
-  wire_stamp_.assign(static_cast<std::size_t>(max_node + 1), 0);
-  latches_.reserve(netlist_.regs.size());
-  loads_.reserve(netlist_.state_loads.size());
-
-  addsub_.resize(netlist_.fus.size());
-  mul_.resize(netlist_.fus.size());
-  div_.resize(netlist_.fus.size());
-  for (std::size_t f = 0; f < netlist_.fus.size(); ++f) {
-    const FuInstance& fu = netlist_.fus[f];
-    switch (fu.cls) {
-      case ResourceClass::kAddSub:
-        addsub_[f] = std::make_unique<hw::RippleCarryAdder>(fu.width);
-        break;
-      case ResourceClass::kMul:
-        mul_[f] = std::make_unique<hw::ArrayMultiplier>(fu.width);
-        break;
-      case ResourceClass::kDivRem:
-        div_[f] = std::make_unique<hw::RestoringDivider>(fu.width);
-        break;
-      case ResourceClass::kCmp:
-      case ResourceClass::kLogic:
-        break;  // checker-side, host-evaluated
-    }
-  }
-}
-
-void NetlistSim::set_fu_fault(int fu_index, const hw::FaultSite& fault) {
-  SCK_EXPECTS(fu_index >= 0 &&
-              static_cast<std::size_t>(fu_index) < netlist_.fus.size());
-  const auto f = static_cast<std::size_t>(fu_index);
-  if (addsub_[f]) {
-    addsub_[f]->set_fault(fault);
-  } else if (mul_[f]) {
-    mul_[f]->set_fault(fault);
-  } else if (div_[f]) {
-    div_[f]->set_fault(fault);
-  } else {
-    SCK_EXPECTS(!fault.active() && "checker-side units accept no faults");
-  }
-}
-
-std::vector<hw::FaultSite> NetlistSim::fu_fault_universe(int fu_index) const {
-  SCK_EXPECTS(fu_index >= 0 &&
-              static_cast<std::size_t>(fu_index) < netlist_.fus.size());
-  const auto f = static_cast<std::size_t>(fu_index);
-  if (addsub_[f]) return addsub_[f]->fault_universe();
-  if (mul_[f]) return mul_[f]->fault_universe();
-  if (div_[f]) return div_[f]->fault_universe();
-  return {};
-}
-
-void NetlistSim::reset() {
-  reg_value_.assign(netlist_.regs.size(), 0);
-}
-
-Word NetlistSim::read_operand(const Operand& op) const {
-  switch (op.kind) {
-    case Operand::Kind::kNone:
-      return 0;
-    case Operand::Kind::kReg:
-      return reg_value_[static_cast<std::size_t>(op.index)];
-    case Operand::Kind::kConst:
-      return from_signed(op.value, netlist_.data_width);
-    case Operand::Kind::kInput:
-      return input_value_[static_cast<std::size_t>(op.index)];
-    case Operand::Kind::kWire: {
-      const auto idx = static_cast<std::size_t>(op.index);
-      SCK_ASSERT(idx < wire_value_.size() && wire_stamp_[idx] == stamp_ &&
-                 "wire read before write");
-      return wire_value_[idx];
-    }
-  }
-  return 0;
-}
-
-void NetlistSim::run_iteration() {
-  std::size_t cursor = 0;
-  for (int step = 0; step < netlist_.num_steps; ++step) {
-    ++stamp_;
-    latches_.clear();
-    for (; cursor < netlist_.micro.size() &&
-           netlist_.micro[cursor].step == step;
-         ++cursor) {
-      const MicroOp& m = netlist_.micro[cursor];
-      const Word a = read_operand(m.src[0]);
-      const Word b = read_operand(m.src[1]);
-      const int w =
-          m.fu >= 0 ? netlist_.fus[static_cast<std::size_t>(m.fu)].width
-                    : netlist_.data_width;
-      Word result = 0;
-      switch (m.op) {
-        case Op::kAdd:
-          result = addsub_[static_cast<std::size_t>(m.fu)]->add(a, b);
-          break;
-        case Op::kSub:
-          result = addsub_[static_cast<std::size_t>(m.fu)]->sub(a, b);
-          break;
-        case Op::kNeg:
-          result = addsub_[static_cast<std::size_t>(m.fu)]->negate(a);
-          break;
-        case Op::kMul:
-          result = mul_[static_cast<std::size_t>(m.fu)]->mul(a, b);
-          break;
-        case Op::kDiv:
-          result = b == 0 ? 0
-                          : trunc(div_[static_cast<std::size_t>(m.fu)]
-                                      ->divide(a, b)
-                                      .quotient,
-                                  w);
-          break;
-        case Op::kRem:
-          result = b == 0 ? 0
-                          : trunc(div_[static_cast<std::size_t>(m.fu)]
-                                      ->divide(a, b)
-                                      .remainder,
-                                  w);
-          break;
-        case Op::kEq:
-          result = trunc(a, w) == trunc(b, w) ? 1 : 0;
-          break;
-        case Op::kIsZero:
-          result = trunc(a, w) == 0 ? 1 : 0;
-          break;
-        case Op::kNot:
-          result = (a & 1u) ^ 1u;
-          break;
-        case Op::kAnd:
-          result = a & b & 1u;
-          break;
-        case Op::kOr:
-          result = (a | b) & 1u;
-          break;
-        default:
-          SCK_ASSERT(false && "non-executable op in microcode");
-      }
-      const auto node = static_cast<std::size_t>(m.node);
-      wire_value_[node] = result;
-      wire_stamp_[node] = stamp_;
-      if (m.dst_reg >= 0) latches_.emplace_back(m.dst_reg, result);
-    }
-    // Register writes commit at the end of the step.
-    for (const auto& [reg, value] : latches_) {
-      reg_value_[static_cast<std::size_t>(reg)] = value;
-    }
-  }
-  SCK_ASSERT(cursor == netlist_.micro.size());
-}
+NetlistSim::NetlistSim(const Netlist& netlist)
+    : plan_(compile_execution_plan(netlist)),
+      bank_(netlist),
+      sem_(plan_, bank_) {}
 
 void NetlistSim::step_sample_indexed(std::span<const Word> inputs,
                                      std::span<Word> outputs) {
-  SCK_EXPECTS(inputs.size() == netlist_.input_names.size());
-  SCK_EXPECTS(outputs.size() == netlist_.outputs.size());
+  SCK_EXPECTS(inputs.size() == sem_.state.inputs.size());
   for (std::size_t i = 0; i < inputs.size(); ++i) {
-    input_value_[i] = trunc(inputs[i], netlist_.data_width);
+    sem_.state.inputs[i] = trunc(inputs[i], plan_.data_width);
   }
-
-  run_iteration();
-
-  // Outputs are sampled before the state registers advance.
-  for (std::size_t i = 0; i < netlist_.outputs.size(); ++i) {
-    outputs[i] = read_operand(netlist_.outputs[i].source);
-  }
-
-  // Parallel end-of-iteration state load.
-  loads_.clear();
-  for (const StateLoad& load : netlist_.state_loads) {
-    loads_.emplace_back(load.dst_reg, read_operand(load.source));
-  }
-  for (const auto& [reg, value] : loads_) {
-    reg_value_[static_cast<std::size_t>(reg)] = value;
-  }
+  run_plan_sample(plan_, sem_, outputs);
 }
 
 std::unordered_map<std::string, Word> NetlistSim::step_sample(
     const std::unordered_map<std::string, Word>& inputs) {
-  std::vector<Word> in(netlist_.input_names.size(), 0);
-  for (std::size_t i = 0; i < netlist_.input_names.size(); ++i) {
-    const auto it = inputs.find(netlist_.input_names[i]);
+  const Netlist& nl = netlist();
+  std::vector<Word> in(nl.input_names.size(), 0);
+  for (std::size_t i = 0; i < nl.input_names.size(); ++i) {
+    const auto it = inputs.find(nl.input_names[i]);
     SCK_EXPECTS(it != inputs.end() && "missing input value");
     in[i] = it->second;
   }
-  std::vector<Word> out(netlist_.outputs.size(), 0);
+  std::vector<Word> out(nl.outputs.size(), 0);
   step_sample_indexed(in, out);
   std::unordered_map<std::string, Word> result;
-  for (std::size_t i = 0; i < netlist_.outputs.size(); ++i) {
-    result[netlist_.outputs[i].name] = out[i];
+  for (std::size_t i = 0; i < nl.outputs.size(); ++i) {
+    result[nl.outputs[i].name] = out[i];
   }
   return result;
 }

@@ -1,10 +1,13 @@
-// Cycle-accurate interpreter for generated netlists.
+// Cycle-accurate scalar execution backend for generated netlists.
 //
-// Executes the FSM microcode step by step exactly as the emitted RTL would:
-// inputs are latched for the iteration, FU results are registered at the
-// end of their step, same-step glue reads combinational wires, and the
-// architectural state registers load in parallel at the end of the
-// iteration.
+// NetlistSim is the scalar face of the two-phase design in
+// hls/netlist_exec.h: the constructor *compiles* the FSM microcode once
+// into a flat execution plan (resolved wire/latch/FU slots, pooled
+// constants, per-step latch boundaries), and step_sample_indexed then
+// *executes* that plan through the shared templated executor with Word
+// semantics. The 64-lane bit-plane twin (NetlistBatchSim, same plan, same
+// executor, BatchWord semantics) lives next to the plan; both backends
+// are lane-for-lane identical by construction and by differential test.
 //
 // The simulator evaluates arithmetic functional units through the
 // functional hardware models of src/hw, so a cell fault can be injected
@@ -14,26 +17,20 @@
 //
 // Hot path: step_sample_indexed takes inputs by position (the order of
 // netlist().input_names) and writes outputs by position (the order of
-// netlist().outputs); all per-step storage is preallocated flat vectors
-// indexed by node/register id, so a sample iteration performs no hashing
-// and no allocation. The name-keyed step_sample remains as a convenience
-// wrapper for tests and examples.
+// netlist().outputs); a sample iteration indexes preallocated flat
+// vectors only — no hashing, no stamps, no allocation. The name-keyed
+// step_sample remains as a convenience wrapper for tests and examples.
 #pragma once
 
-#include <cstdint>
-#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
-#include <utility>
 #include <vector>
 
 #include "common/word.h"
 #include "hls/netlist.h"
-#include "hw/array_multiplier.h"
+#include "hls/netlist_exec.h"
 #include "hw/fault_site.h"
-#include "hw/restoring_divider.h"
-#include "hw/ripple_carry_adder.h"
 
 namespace sck::hls {
 
@@ -41,18 +38,28 @@ class NetlistSim {
  public:
   explicit NetlistSim(const Netlist& netlist);
 
+  // The semantics object references the sim-owned plan and bank; copying
+  // or moving would rebind it to a dead sibling (see the context lifetime
+  // rule in fault/parallel.h).
+  NetlistSim(const NetlistSim&) = delete;
+  NetlistSim& operator=(const NetlistSim&) = delete;
+
   /// Inject a cell fault into one functional-unit instance (or clear it
   /// with an inactive FaultSite). Comparators and glue are checker-side and
   /// accept no faults (hw/comparator.h).
-  void set_fu_fault(int fu_index, const hw::FaultSite& fault);
+  void set_fu_fault(int fu_index, const hw::FaultSite& fault) {
+    bank_.set_fault(fu_index, fault);
+  }
 
   /// Enumerate the fault universe of one FU instance (empty for
   /// checker-side units).
   [[nodiscard]] std::vector<hw::FaultSite> fu_fault_universe(
-      int fu_index) const;
+      int fu_index) const {
+    return bank_.fault_universe(fu_index);
+  }
 
   /// Reset architectural state to zero.
-  void reset();
+  void reset() { sem_.state.reset(); }
 
   /// Run one sample iteration on the hot path: `inputs` by position in
   /// netlist().input_names, `outputs` filled by position in
@@ -64,33 +71,13 @@ class NetlistSim {
   [[nodiscard]] std::unordered_map<std::string, Word> step_sample(
       const std::unordered_map<std::string, Word>& inputs);
 
-  [[nodiscard]] const Netlist& netlist() const { return netlist_; }
+  [[nodiscard]] const Netlist& netlist() const { return *plan_.netlist; }
+  [[nodiscard]] const ExecPlan& plan() const { return plan_; }
 
  private:
-  [[nodiscard]] Word read_operand(const Operand& op) const;
-  void run_iteration();
-
-  const Netlist& netlist_;
-  std::vector<Word> reg_value_;
-  std::vector<Word> input_value_;
-
-  // Combinational wires, flat by producer NodeId. A wire is readable only
-  // in the step that wrote it; the stamp check enforces "wire read before
-  // write" without clearing the table every step.
-  std::vector<Word> wire_value_;
-  std::vector<std::uint32_t> wire_stamp_;
-  std::uint32_t stamp_ = 0;
-
-  // Reused per-step / per-iteration commit buffers (no allocation after
-  // the first iteration).
-  std::vector<std::pair<int, Word>> latches_;
-  std::vector<std::pair<int, Word>> loads_;
-
-  // One functional model per FU instance (index-aligned with netlist.fus;
-  // null for checker-side classes).
-  std::vector<std::unique_ptr<hw::RippleCarryAdder>> addsub_;
-  std::vector<std::unique_ptr<hw::ArrayMultiplier>> mul_;
-  std::vector<std::unique_ptr<hw::RestoringDivider>> div_;
+  ExecPlan plan_;
+  FuBank bank_;
+  ScalarExecSemantics sem_;
 };
 
 }  // namespace sck::hls

@@ -28,6 +28,7 @@
 #include <bit>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "common/assert.h"
 #include "common/word.h"
@@ -115,6 +116,38 @@ inline void transpose64(std::uint64_t m[kLanes]) {
   return v;
 }
 
+// ---- glue-op plane expressions (netlist execution backend) -----------------
+//
+// The compiled netlist backend evaluates the synthesized datapath's glue —
+// constant ROM reads and the campaign drivers' full-word comparisons — in
+// plane space. These helpers are the plane twins of the scalar glue.
+
+/// Broadcast one scalar n-bit word to all 64 lanes (constant-ROM plane).
+[[nodiscard]] inline BatchWord broadcast_word(Word v, int width) {
+  SCK_EXPECTS(width >= 1 && width <= kMaxWidth);
+  BatchWord out;
+  for (int i = 0; i < width; ++i) out[i] = lane_broadcast(bit(v, i));
+  return out;
+}
+
+/// Lanes whose value has any bit set in ANY plane — the plane twin of a
+/// full-word `v != 0` test (comparator glue; see also hw/comparator.h for
+/// the width-bounded checker-side planes).
+[[nodiscard]] inline LaneMask nonzero_lanes(const BatchWord& v) {
+  LaneMask any = 0;
+  for (int i = 0; i < kMaxWidth + 2; ++i) any |= v[i];
+  return any;
+}
+
+/// Lanes on which two batch words differ in ANY plane — the plane twin of a
+/// full-word `a != b` comparison.
+[[nodiscard]] inline LaneMask differing_lanes(const BatchWord& a,
+                                              const BatchWord& b) {
+  LaneMask diff = 0;
+  for (int i = 0; i < kMaxWidth + 2; ++i) diff |= a[i] ^ b[i];
+  return diff;
+}
+
 /// A CellLut compiled for bit-plane evaluation: tt[o] bit r is output o of
 /// truth-table row r. Evaluation is a sum of minterms over the input
 /// planes; it is only used for the unit's single faulty cell, so its cost
@@ -161,6 +194,62 @@ struct CellBatch {
     if (tt & 0x08) out |= a & b;
     return out;
   }
+};
+
+/// Per-lane fault assignment for one unit, used by the batched netlist
+/// execution backend where lane L of a batch simulates its own injected
+/// fault (lane = fault, not lane = input pattern). Unlike the single-fault
+/// CellBatch path, different lanes may corrupt different cells with
+/// different truth tables; each entry pins one compiled faulty LUT to a
+/// set of lanes of one cell. A unit evaluates the golden plane expression
+/// for every cell and blends each matching entry's CellBatch output into
+/// the entry's lanes (see FaultableUnit::set_lane_faults).
+///
+/// Lane discipline: a lane hosts at most one fault across the whole design,
+/// so entries targeting the same cell must carry disjoint lane masks.
+class LaneFaultSet {
+ public:
+  struct Entry {
+    int cell = -1;
+    CellBatch batch;
+    LaneMask lanes = 0;
+  };
+
+  /// Size the per-cell occupancy index once (cells never change).
+  explicit LaneFaultSet(int cell_count)
+      : faulty_lanes_(static_cast<std::size_t>(cell_count), 0) {}
+
+  /// Drop all entries (cheap: only previously-touched cells are cleared).
+  void clear() {
+    for (const Entry& e : entries_) {
+      faulty_lanes_[static_cast<std::size_t>(e.cell)] = 0;
+    }
+    entries_.clear();
+  }
+
+  /// Corrupt `cell` on `lanes` with the compiled faulty truth table.
+  void add(int cell, const CellLut& faulty_lut, LaneMask lanes) {
+    SCK_EXPECTS(cell >= 0 &&
+                static_cast<std::size_t>(cell) < faulty_lanes_.size());
+    SCK_EXPECTS((faulty_lanes_[static_cast<std::size_t>(cell)] & lanes) == 0 &&
+                "a lane hosts at most one fault per cell");
+    faulty_lanes_[static_cast<std::size_t>(cell)] |= lanes;
+    entries_.push_back(Entry{cell, CellBatch::compile(faulty_lut), lanes});
+  }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Hot-path occupancy probe: does any lane corrupt this cell?
+  [[nodiscard]] bool cell_faulty(int cell) const {
+    return faulty_lanes_[static_cast<std::size_t>(cell)] != 0;
+  }
+
+  /// All entries (callers filter by cell; a batch holds at most 64).
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<LaneMask> faulty_lanes_;  ///< per cell: lanes with a fault
+  std::vector<Entry> entries_;
 };
 
 /// Derived convenience ops shared by every adder architecture. An adder

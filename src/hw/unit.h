@@ -91,6 +91,17 @@ class FaultableUnit {
   /// hot campaign loops run without one.
   void set_recorder(CellUsageRecorder* recorder) { recorder_ = recorder; }
 
+  /// Install (or remove, with nullptr) a per-lane fault table for the
+  /// *_batch cell helpers: lane L of every batch evaluation then sees the
+  /// faults the table assigns to lane L (lane = fault, the batched netlist
+  /// backend's packing). Not owned; must outlive its installation and must
+  /// be sized with this unit's cell_count(). Orthogonal to set_fault — the
+  /// single broadcast fault takes precedence on its cell, so backends use
+  /// one mechanism or the other, not both.
+  void set_lane_faults(const LaneFaultSet* lane_faults) {
+    lane_faults_ = lane_faults;
+  }
+
   /// True when the fault can change this unit's behaviour at all: the
   /// faulty truth table must differ from the golden one in some row
   /// (redundant stuck-at faults — e.g. an OR input stuck at 0 on a line
@@ -134,28 +145,48 @@ class FaultableUnit {
               CellBatch::eval3(faulty_batch_.tt[1], a, b, c)};
     }
     const LaneMask x = a ^ b;
-    return {x ^ c, (a & b) | (x & c)};
+    LaneDuo out{x ^ c, (a & b) | (x & c)};
+    if (lane_faults_ != nullptr && lane_faults_->cell_faulty(cell))
+        [[unlikely]] {
+      out = blend_lane_faults3(cell, a, b, c, out);
+    }
+    return out;
   }
 
   [[nodiscard]] LaneMask and_batch(int cell, LaneMask a, LaneMask b) const {
     if (cell == fault_.cell) [[unlikely]] {
       return CellBatch::eval2(faulty_batch_.tt[0], a, b);
     }
-    return a & b;
+    LaneMask out = a & b;
+    if (lane_faults_ != nullptr && lane_faults_->cell_faulty(cell))
+        [[unlikely]] {
+      out = blend_lane_faults2(cell, a, b, out);
+    }
+    return out;
   }
 
   [[nodiscard]] LaneMask xor_batch(int cell, LaneMask a, LaneMask b) const {
     if (cell == fault_.cell) [[unlikely]] {
       return CellBatch::eval2(faulty_batch_.tt[0], a, b);
     }
-    return a ^ b;
+    LaneMask out = a ^ b;
+    if (lane_faults_ != nullptr && lane_faults_->cell_faulty(cell))
+        [[unlikely]] {
+      out = blend_lane_faults2(cell, a, b, out);
+    }
+    return out;
   }
 
   [[nodiscard]] LaneMask or_batch(int cell, LaneMask a, LaneMask b) const {
     if (cell == fault_.cell) [[unlikely]] {
       return CellBatch::eval2(faulty_batch_.tt[0], a, b);
     }
-    return a | b;
+    LaneMask out = a | b;
+    if (lane_faults_ != nullptr && lane_faults_->cell_faulty(cell))
+        [[unlikely]] {
+      out = blend_lane_faults2(cell, a, b, out);
+    }
+    return out;
   }
 
   [[nodiscard]] LaneDuo pg_batch(int cell, LaneMask a, LaneMask b) const {
@@ -163,7 +194,18 @@ class FaultableUnit {
       return {CellBatch::eval2(faulty_batch_.tt[0], a, b),
               CellBatch::eval2(faulty_batch_.tt[1], a, b)};
     }
-    return {a ^ b, a & b};
+    LaneDuo out{a ^ b, a & b};
+    if (lane_faults_ != nullptr && lane_faults_->cell_faulty(cell))
+        [[unlikely]] {
+      for (const LaneFaultSet::Entry& e : lane_faults_->entries()) {
+        if (e.cell != cell) continue;
+        out.out0 = (out.out0 & ~e.lanes) |
+                   (CellBatch::eval2(e.batch.tt[0], a, b) & e.lanes);
+        out.out1 = (out.out1 & ~e.lanes) |
+                   (CellBatch::eval2(e.batch.tt[1], a, b) & e.lanes);
+      }
+    }
+    return out;
   }
 
   [[nodiscard]] LaneMask carry_batch(int cell, LaneMask g, LaneMask p,
@@ -171,7 +213,12 @@ class FaultableUnit {
     if (cell == fault_.cell) [[unlikely]] {
       return CellBatch::eval3(faulty_batch_.tt[0], g, p, c);
     }
-    return g | (p & c);
+    LaneMask out = g | (p & c);
+    if (lane_faults_ != nullptr && lane_faults_->cell_faulty(cell))
+        [[unlikely]] {
+      out = blend_lane_faults3(cell, g, p, c, LaneDuo{out, 0}).out0;
+    }
+    return out;
   }
 
   [[nodiscard]] LaneMask mux_batch(int cell, LaneMask d0, LaneMask d1,
@@ -179,15 +226,46 @@ class FaultableUnit {
     if (cell == fault_.cell) [[unlikely]] {
       return CellBatch::eval3(faulty_batch_.tt[0], d0, d1, sel);
     }
-    return (d0 & ~sel) | (d1 & sel);
+    LaneMask out = (d0 & ~sel) | (d1 & sel);
+    if (lane_faults_ != nullptr && lane_faults_->cell_faulty(cell))
+        [[unlikely]] {
+      out = blend_lane_faults3(cell, d0, d1, sel, LaneDuo{out, 0}).out0;
+    }
+    return out;
   }
 
  private:
+  /// Replace the golden outputs of a 3-input cell on every lane the table
+  /// corrupts (at most 64 entries per batch; the scan is off the hot path).
+  [[nodiscard]] LaneDuo blend_lane_faults3(int cell, LaneMask a, LaneMask b,
+                                           LaneMask c, LaneDuo golden) const {
+    for (const LaneFaultSet::Entry& e : lane_faults_->entries()) {
+      if (e.cell != cell) continue;
+      golden.out0 = (golden.out0 & ~e.lanes) |
+                    (CellBatch::eval3(e.batch.tt[0], a, b, c) & e.lanes);
+      golden.out1 = (golden.out1 & ~e.lanes) |
+                    (CellBatch::eval3(e.batch.tt[1], a, b, c) & e.lanes);
+    }
+    return golden;
+  }
+
+  /// Single-output 2-input twin of blend_lane_faults3.
+  [[nodiscard]] LaneMask blend_lane_faults2(int cell, LaneMask a, LaneMask b,
+                                            LaneMask golden) const {
+    for (const LaneFaultSet::Entry& e : lane_faults_->entries()) {
+      if (e.cell != cell) continue;
+      golden = (golden & ~e.lanes) |
+               (CellBatch::eval2(e.batch.tt[0], a, b) & e.lanes);
+    }
+    return golden;
+  }
+
   int width_;
   FaultSite fault_{};
   CellLut faulty_lut_{};
   CellBatch faulty_batch_{};
   CellUsageRecorder* recorder_ = nullptr;
+  const LaneFaultSet* lane_faults_ = nullptr;
 };
 
 }  // namespace sck::hw
