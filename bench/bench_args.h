@@ -1,0 +1,51 @@
+// Shared command-line + JSON-output plumbing for the bench binaries.
+//
+// Every bench follows the same contract: `./bench [json_path] [iterations]`
+// writes its human-readable tables to stdout and one machine-readable
+// BENCH_<name>.json artifact (bench_json.h) so future sessions and CI can
+// diff results mechanically. This header is that contract in one place —
+// the per-binary argv parsing and save-or-fail boilerplate used to be
+// copy-pasted per bench.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+
+#include "bench_json.h"
+
+namespace sck::bench {
+
+struct BenchArgs {
+  std::string json_path;   ///< argv[1], else the bench's default
+  std::size_t iterations;  ///< argv[2], else the bench's default (the
+                           ///< bench-specific workload knob: SW samples,
+                           ///< samples per fault, ...)
+};
+
+[[nodiscard]] inline BenchArgs parse_args(int argc, char** argv,
+                                          std::string default_json_path,
+                                          std::size_t default_iterations) {
+  BenchArgs args{std::move(default_json_path), default_iterations};
+  if (argc > 1) args.json_path = argv[1];
+  if (argc > 2) {
+    const unsigned long long n = std::strtoull(argv[2], nullptr, 10);
+    if (n > 0) args.iterations = static_cast<std::size_t>(n);
+  }
+  return args;
+}
+
+/// Writes `doc` to `path` and reports; the return value is the bench's
+/// exit code (0 on success).
+[[nodiscard]] inline int save_json(const JsonValue& doc,
+                                   const std::string& path) {
+  if (!doc.save(path)) {
+    std::cerr << "failed to write " << path << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << path << "\n";
+  return 0;
+}
+
+}  // namespace sck::bench

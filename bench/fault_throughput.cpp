@@ -12,11 +12,12 @@
 // thread pool.
 //
 // This is the repository's perf trajectory file: it emits
-// machine-readable BENCH_fault_throughput.json (path: argv[1], default
-// ./BENCH_fault_throughput.json) so future sessions and CI can diff
-// trials/sec mechanically. Every engine pair is verified to produce
-// bit-identical results before any timing is reported — a perf number for
-// a wrong result is worthless.
+// machine-readable BENCH_fault_throughput.json so future sessions and CI
+// can diff trials/sec mechanically. Every engine pair is verified to
+// produce bit-identical results before any timing is reported — a perf
+// number for a wrong result is worthless.
+//
+// Usage: ./fault_throughput [json_path] [system_samples_per_fault]
 #include <chrono>
 #include <cstdint>
 #include <iostream>
@@ -24,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_args.h"
 #include "bench_json.h"
 #include "codesign/flow.h"
 #include "common/table.h"
@@ -113,8 +115,8 @@ bool same_netlist_result(const sck::hls::NetlistCampaignResult& x,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string json_path =
-      argc > 1 ? argv[1] : "BENCH_fault_throughput.json";
+  const sck::bench::BenchArgs args = sck::bench::parse_args(
+      argc, argv, "BENCH_fault_throughput.json", /*default_iterations=*/24);
   const int hw_threads = sck::fault::resolve_threads(0);
 
   sck::hw::RippleCarryAdder adder(kWidth);
@@ -180,7 +182,7 @@ int main(int argc, char** argv) {
       fir_spec, sck::codesign::Variant::kSck, /*min_area=*/true);
 
   sck::hls::NetlistCampaignOptions sys_opt;
-  sys_opt.samples_per_fault = 24;
+  sys_opt.samples_per_fault = static_cast<int>(args.iterations);
   sys_opt.seed = 0x2005;
   sys_opt.threads = 1;
 
@@ -319,10 +321,5 @@ int main(int argc, char** argv) {
       .set("system_speedup_batched_threads", sys_scalar_s / sys_parallel_s)
       .set("system_results", std::move(system_results));
 
-  if (!doc.save(json_path)) {
-    std::cerr << "failed to write " << json_path << "\n";
-    return 1;
-  }
-  std::cout << "\nwrote " << json_path << "\n";
-  return 0;
+  return sck::bench::save_json(doc, args.json_path);
 }

@@ -5,84 +5,97 @@
 // final realization with respect to the on-line fault detection
 // properties, yet the local fault coverage analysis ... can be used as an
 // estimation of the reliability level that will be achieved." This bench
-// provides the missing measurement for our substrate: it synthesizes the
-// three FIR variants, sweeps the complete stuck-at universe of every
-// functional unit of each *netlist*, and reports the realization-level
-// coverage — which can then be compared against the paper's local
-// (per-operator) estimates from Table 1/Table 2.
+// provides the missing measurement for our substrate, now through the
+// kernel-generic explorer: one Explorer run synthesizes the three FIR
+// variants and sweeps the complete stuck-at universe of every functional
+// unit of each *netlist*, reporting the realization-level coverage — which
+// can then be compared against the paper's local (per-operator) estimates
+// from Table 1/Table 2.
 //
 // The sweep runs on the 64-lane bit-plane netlist backend (64 faults per
 // batch through the compiled execution plan, sharded across the worker
 // pool); results are bit-identical to the scalar interpreter at any lane
 // packing and thread count (tests/test_netlist_batch.cpp).
+//
+// Usage: ./system_coverage [json_path] [samples_per_fault]
 #include <iostream>
 #include <string>
 
-#include "codesign/flow.h"
+#include "bench_args.h"
+#include "codesign/explorer.h"
 #include "common/table.h"
-#include "hls/builder.h"
-#include "hls/expand_sck.h"
+#include "explorer_json.h"
 #include "hls/netlist_campaign.h"
 
 namespace {
 
-using namespace sck::hls;
+using sck::codesign::DesignGrid;
+using sck::codesign::DesignPoint;
+using sck::codesign::Explorer;
+using sck::codesign::PointResult;
 using sck::codesign::Variant;
 
-Dfg graph_for(const FirSpec& spec, Variant v) {
-  Dfg g = build_fir(spec);
-  if (v == Variant::kPlain) return g;
-  CedOptions opt;
-  opt.style = v == Variant::kSck ? CedStyle::kClassBased : CedStyle::kEmbedded;
-  return insert_ced(g, opt);
-}
+constexpr int kWidth = 12;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const sck::bench::BenchArgs args = sck::bench::parse_args(
+      argc, argv, "BENCH_system_coverage.json", /*default_iterations=*/48);
+
   std::cout
       << "System-level fault coverage of the synthesized FIR variants\n"
-      << "(5 taps, 12-bit data path, min-area synthesis; every stuck-at\n"
-      << "fault of every datapath FU, 48 random samples per fault)\n\n";
+      << "(5 taps, " << kWidth
+      << "-bit data path, min-area synthesis; every stuck-at\n"
+      << "fault of every datapath FU, " << args.iterations
+      << " random samples per fault)\n\n";
 
-  const FirSpec spec{{3, -5, 7, -5, 3}, 12};
-  NetlistCampaignOptions opt;
-  opt.samples_per_fault = 48;
-  opt.seed = 0x51C0;
-  opt.threads = 0;  // full worker pool; results are thread-count invariant
-  opt.backend = NetlistBackend::kBatched;  // 64 faults per bit-plane sweep
+  sck::codesign::KernelRegistry registry;
+  registry.add(sck::codesign::make_fir_kernel({3, -5, 7, -5, 3}));
+
+  sck::codesign::ExplorerOptions opt;
+  opt.campaign.samples_per_fault = static_cast<int>(args.iterations);
+  opt.campaign.seed = 0x51C0;
+  opt.campaign.threads = 0;  // full pool; results are thread-count invariant
+  opt.campaign.backend =
+      sck::hls::NetlistBackend::kBatched;  // 64 faults per bit-plane sweep
+  Explorer explorer(registry, opt);
+
+  DesignGrid grid;
+  grid.kernels = {"fir"};
+  grid.objectives = {true};  // min-area rows only
+  grid.widths = {kWidth};
+  const auto report = explorer.run(grid.points());
 
   sck::TextTable table("final-realization coverage per variant");
   table.set_header({"variant", "faults", "erroneous samples", "detected",
                     "masked", "error detection rate", "coverage"});
-  for (const Variant v :
-       {Variant::kPlain, Variant::kSck, Variant::kEmbedded}) {
-    const Dfg graph = graph_for(spec, v);
-    const auto design = sck::codesign::synthesize_fir(spec, v, true);
-    const auto r = run_netlist_campaign(graph, design.netlist, opt);
+  for (const PointResult& r : report.points) {
     const double detection_rate =
-        r.aggregate.observable_errors() == 0
+        r.stats.observable_errors() == 0
             ? 1.0
-            : static_cast<double>(r.aggregate.detected_erroneous) /
-                  static_cast<double>(r.aggregate.observable_errors());
-    table.add_row({std::string(to_string(v)),
-                   std::to_string(r.fault_universe_size),
-                   std::to_string(r.aggregate.observable_errors()),
-                   std::to_string(r.aggregate.detected_erroneous),
-                   std::to_string(r.aggregate.masked),
+            : static_cast<double>(r.stats.detected_erroneous) /
+                  static_cast<double>(r.stats.observable_errors());
+    table.add_row({std::string(to_string(r.point.variant)),
+                   std::to_string(r.faults),
+                   std::to_string(r.stats.observable_errors()),
+                   std::to_string(r.stats.detected_erroneous),
+                   std::to_string(r.stats.masked),
                    sck::format_percent(detection_rate),
-                   sck::format_percent(r.aggregate.coverage())});
+                   sck::format_percent(r.coverage())});
   }
   table.print(std::cout);
 
   // Per-unit breakdown for the class-based variant: the shared nominal
   // units are fully covered (checks run on private units), so residual
-  // masking concentrates in the private check clusters themselves.
+  // masking concentrates in the private check clusters themselves. The
+  // explorer's cache hands back the already-synthesized design.
+  sck::bench::JsonValue per_unit_json;
   {
-    const Dfg graph = graph_for(spec, Variant::kSck);
-    const auto design =
-        sck::codesign::synthesize_fir(spec, Variant::kSck, true);
-    const auto r = run_netlist_campaign(graph, design.netlist, opt);
+    const DesignPoint point{"fir", Variant::kSck, true, kWidth};
+    const auto r = run_netlist_campaign(explorer.reference_graph(point),
+                                        explorer.synthesize(point).netlist,
+                                        opt.campaign);
     sck::TextTable per_unit("FIR with SCK: per-unit breakdown");
     per_unit.set_header({"functional unit", "faults", "erroneous", "masked",
                          "false alarms", "coverage"});
@@ -92,6 +105,14 @@ int main() {
                         std::to_string(u.stats.masked),
                         std::to_string(u.stats.detected_correct),
                         sck::format_percent(u.stats.coverage())});
+      sck::bench::JsonValue j;
+      j.set("fu", u.fu_name)
+          .set("faults", static_cast<std::uint64_t>(u.faults))
+          .set("erroneous", u.stats.observable_errors())
+          .set("masked", u.stats.masked)
+          .set("false_alarms", u.stats.detected_correct)
+          .set("coverage", u.stats.coverage());
+      per_unit_json.push(std::move(j));
     }
     std::cout << "\n";
     per_unit.print(std::cout);
@@ -108,5 +129,11 @@ int main() {
       << " * the embedded variant covers the accumulation but not the\n"
       << "   multipliers — the documented trade-off, now quantified at\n"
       << "   the final-realization level the paper could not measure.\n";
-  return 0;
+
+  sck::bench::JsonValue doc = sck::bench::to_json(report);
+  doc.set("bench", "system_coverage")
+      .set("width", kWidth)
+      .set("samples_per_fault", static_cast<std::uint64_t>(args.iterations))
+      .set("sck_per_unit", std::move(per_unit_json));
+  return sck::bench::save_json(doc, args.json_path);
 }

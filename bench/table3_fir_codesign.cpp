@@ -2,15 +2,20 @@
 // FIR" — the cost of the three FIR variants (plain / with SCK / embedded
 // SCK) in hardware (latency formula, clock, CLB slices via our synthesis
 // substrate and area model) and in software (execution time and a static
-// code-size proxy on this host).
+// code-size proxy on this host), plus the reliability leg the paper could
+// not measure and the resulting (area, latency, coverage) Pareto verdict.
 //
 // The paper's testbed was OFFIS SystemC-Plus -> Synopsys CoCentric -> a
 // Xilinx device, and a 2005-era g++ host; we regenerate the table's *shape*
 // (who costs what relative to whom) — see EXPERIMENTS.md for the mapping.
+//
+// Usage: ./table3_fir_codesign [json_path] [sw_samples]
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_args.h"
+#include "codesign/explorer.h"
 #include "codesign/flow.h"
 #include "common/table.h"
 
@@ -23,13 +28,16 @@ using sck::codesign::SwReport;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const sck::bench::BenchArgs args = sck::bench::parse_args(
+      argc, argv, "BENCH_table3_fir_codesign.json",
+      /*default_iterations=*/40'000'000);
+
   std::cout << "Reproduction of Bolchini et al. (DATE 2005), Table 3\n"
             << "FIR case study: 5 taps, 16-bit data path.\n\n";
 
   const sck::hls::FirSpec spec{{3, -5, 7, -5, 3}, 16};
-  constexpr std::size_t kSwSamples = 40'000'000;
-  const FlowReport flow = sck::codesign::run_fir_flow(spec, kSwSamples);
+  const FlowReport flow = sck::codesign::run_fir_flow(spec, args.iterations);
 
   TextTable hw("Table 3 (hardware): latency and area");
   hw.set_header({"Implementation", "objective", "latency (cycles)",
@@ -104,5 +112,62 @@ int main() {
                  sck::format_percent(c.coverage())});
   }
   cov.print(std::cout);
-  return 0;
+
+  // Pareto verdict over (area, latency, coverage) — the explorer's
+  // trade-off extraction applied to the six designs above.
+  std::vector<sck::codesign::ParetoMetrics> metrics;
+  for (std::size_t i = 0; i < flow.hardware.size(); ++i) {
+    metrics.push_back(sck::codesign::ParetoMetrics{
+        flow.hardware[i].report.slices,
+        static_cast<double>(flow.hardware[i].report.steps),
+        coverage[i].coverage()});
+  }
+  const std::vector<std::size_t> frontier =
+      sck::codesign::pareto_frontier(metrics);
+  std::cout << "\nPareto-efficient designs (area, latency, coverage):\n";
+  for (const std::size_t i : frontier) {
+    std::cout << "  * " << to_string(flow.hardware[i].variant) << ", "
+              << (flow.hardware[i].min_area ? "min area" : "min latency")
+              << "\n";
+  }
+
+  sck::bench::JsonValue hardware;
+  for (std::size_t i = 0; i < flow.hardware.size(); ++i) {
+    const HwDesign& d = flow.hardware[i];
+    sck::bench::JsonValue r;
+    r.set("variant",
+          std::string(sck::codesign::variant_name(d.variant)))
+        .set("objective", d.min_area ? "min_area" : "min_latency")
+        .set("steps", d.report.steps)
+        .set("data_ready_step", d.report.data_ready_step)
+        .set("slices", d.report.slices)
+        .set("fmax_mhz", d.report.fmax_mhz)
+        .set("faults", coverage[i].faults)
+        .set("detected_erroneous", coverage[i].stats.detected_erroneous)
+        .set("masked", coverage[i].stats.masked)
+        .set("coverage", coverage[i].coverage());
+    bool on_frontier = false;
+    for (const std::size_t f : frontier) on_frontier = on_frontier || f == i;
+    r.set("on_frontier", on_frontier);
+    hardware.push(std::move(r));
+  }
+  sck::bench::JsonValue software;
+  for (const SwReport& r : flow.software) {
+    sck::bench::JsonValue s;
+    s.set("variant", std::string(sck::codesign::variant_name(r.variant)))
+        .set("seconds", r.seconds)
+        .set("ratio_vs_plain", r.ratio_vs_plain)
+        .set("ops_per_sample", r.ops_per_sample);
+    software.push(std::move(s));
+  }
+  sck::bench::JsonValue doc;
+  doc.set("bench", "table3_fir_codesign")
+      .set("taps", 5)
+      .set("width", spec.width)
+      .set("sw_samples", static_cast<std::uint64_t>(args.iterations))
+      .set("samples_per_fault", cov_opt.samples_per_fault)
+      .set("fault_stride", cov_opt.fault_stride)
+      .set("hardware", std::move(hardware))
+      .set("software", std::move(software));
+  return sck::bench::save_json(doc, args.json_path);
 }

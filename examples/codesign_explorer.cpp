@@ -1,79 +1,93 @@
-// Exploring the co-design space of the reliable FIR.
+// Exploring the reliable co-design space across every registered kernel.
 //
 // The paper's flow (Fig. 3) feeds one specification into both synthesis
-// legs. This example sweeps the hardware design space — CED style x
-// resource constraints — and prints an area/latency map a designer would
-// use to pick an implementation, plus the software measurements for the
-// same specification.
+// legs and leaves the trade-off decision to the designer. This example
+// runs that loop in bulk with the kernel-generic explorer: the built-in
+// kernel registry (FIR, IIR biquad, dot product, divider) x protection
+// variants (plain / class-based SCK / embedded checks) x synthesis
+// objectives (min area / min latency), each point synthesized to a
+// netlist, swept through the batched system-level fault campaign, and the
+// (area, latency, coverage) Pareto frontier extracted — the map a designer
+// would use to pick an implementation.
 //
-// Build & run:  ./build/examples/codesign_explorer
+// Build & run:  ./build/codesign_explorer [width] [samples_per_fault] [sw_samples]
+#include <cstdlib>
 #include <iostream>
-#include <vector>
+#include <string>
 
-#include "codesign/flow.h"
+#include "codesign/explorer.h"
 #include "common/table.h"
-#include "hls/bind.h"
-#include "hls/expand_sck.h"
-#include "hls/schedule.h"
 
-using namespace sck::hls;
+using namespace sck::codesign;
 
-int main() {
-  const FirSpec spec{{3, -5, 7, -5, 3}, 16};
-  const Dfg plain = build_fir(spec);
-  CedOptions embedded_opt;
-  embedded_opt.style = CedStyle::kEmbedded;
-  CedOptions class_opt;
-  class_opt.style = CedStyle::kClassBased;
-  const Dfg embedded = insert_ced(plain, embedded_opt);
-  const Dfg class_based = insert_ced(plain, class_opt);
+int main(int argc, char** argv) {
+  const int width = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int samples_per_fault = argc > 2 ? std::atoi(argv[2]) : 12;
+  const std::size_t sw_samples =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1'000'000;
 
-  sck::TextTable table("FIR design space: units vs area/latency");
-  table.set_header({"variant", "addsub", "mul", "slices", "II", "data-ready",
-                    "fmax (MHz)"});
-  const struct {
-    const char* name;
-    const Dfg* graph;
-  } variants[] = {{"plain", &plain},
-                  {"embedded SCK", &embedded},
-                  {"class-based SCK", &class_based}};
-  for (const auto& v : variants) {
-    for (const int addsub : {1, 2}) {
-      for (const int mul : {1, 2}) {
-        ResourceConstraints rc;
-        rc.addsub = addsub;
-        rc.mul = mul;
-        rc.cmp = 1;
-        rc.divrem = 1;
-        const Schedule s = schedule_list(*v.graph, rc);
-        const Binding b = bind(*v.graph, s, rc);
-        const Netlist nl = generate_netlist(*v.graph, s, b, "fir");
-        const HwReport r = evaluate_netlist(nl);
-        table.add_row({v.name, std::to_string(addsub), std::to_string(mul),
-                       sck::format_fixed(r.slices, 0),
-                       std::to_string(r.steps),
-                       std::to_string(r.data_ready_step),
-                       sck::format_fixed(r.fmax_mhz, 1)});
-      }
+  const KernelRegistry registry = builtin_registry();
+
+  ExplorerOptions opt;
+  opt.campaign.samples_per_fault = samples_per_fault;
+  opt.campaign.fault_stride = 2;
+  opt.campaign.threads = 0;  // all hardware threads; result thread-invariant
+  opt.sw_samples = sw_samples;
+  Explorer explorer(registry, opt);
+
+  DesignGrid grid;
+  grid.kernels = registry.names();
+  grid.widths = {width};
+  const std::vector<DesignPoint> points = grid.points();
+
+  std::cout << "Kernel-generic co-design exploration: " << points.size()
+            << " design points (" << grid.kernels.size() << " kernels x "
+            << grid.variants.size() << " variants x " << grid.objectives.size()
+            << " objectives, " << width << "-bit, " << samples_per_fault
+            << " samples/fault)\n\n";
+
+  const ExplorationReport report = explorer.run(points);
+
+  sck::TextTable table("design space: area / latency / coverage");
+  table.set_header({"design point", "slices", "II", "data-ready",
+                    "fmax (MHz)", "faults", "coverage", "Pareto"});
+  std::string last_kernel;
+  for (const PointResult& r : report.points) {
+    if (!last_kernel.empty() && r.point.kernel != last_kernel) {
+      table.add_separator();
     }
-    table.add_separator();
+    last_kernel = r.point.kernel;
+    table.add_row({to_string(r.point), sck::format_fixed(r.hw.slices, 0),
+                   std::to_string(r.hw.steps),
+                   std::to_string(r.hw.data_ready_step),
+                   sck::format_fixed(r.hw.fmax_mhz, 1),
+                   std::to_string(r.faults),
+                   sck::format_percent(r.coverage()),
+                   r.on_frontier ? "*" : ""});
   }
   table.print(std::cout);
+  std::cout << "\n" << report.frontier.size()
+            << " Pareto-efficient points (no other design is at least as\n"
+            << "good on area, latency AND coverage, and better on one).\n";
 
-  std::cout << "\nSoftware leg (same specification, this host):\n";
-  const auto sw = sck::codesign::measure_fir_sw({3, -5, 7, -5, 3}, 10'000'000);
-  for (const auto& r : sw) {
-    std::cout << "  " << to_string(r.variant) << ": "
-              << sck::format_fixed(r.seconds, 3) << " s ("
-              << sck::format_fixed(r.ratio_vs_plain, 2) << "x), "
-              << r.ops_per_sample << " ops/sample\n";
+  std::cout << "\nSoftware leg (same specifications, this host, "
+            << sw_samples << " samples):\n";
+  for (const KernelSwLeg& leg : report.software) {
+    std::cout << "  " << registry.at(leg.kernel).display << ":\n";
+    for (const SwReport& r : leg.reports) {
+      std::cout << "    " << variant_name(r.variant) << ": "
+                << sck::format_fixed(r.seconds, 3) << " s ("
+                << sck::format_fixed(r.ratio_vs_plain, 2) << "x), "
+                << r.ops_per_sample << " ops/sample\n";
+    }
   }
-  std::cout << "\nReading the map: a second multiplier shortens every\n"
-            << "variant (the products are the bottleneck), while a second\n"
-            << "adder/subtractor helps none of them — the embedded check is\n"
-            << "a *serial* running difference (dependency-bound, not\n"
-            << "resource-bound), and the class-based checks already run on\n"
-            << "private units. Slices differ across CED styles exactly as\n"
-            << "in Table 3.\n";
+
+  std::cout
+      << "\nReading the map: the class-based variants buy near-complete\n"
+      << "realization-level coverage at a large area cost (private check\n"
+      << "clusters), the embedded variants cover the accumulation only,\n"
+      << "and the plain designs anchor the frontier's cheap/uncovered end\n"
+      << "— Table 3's trade-off, reproduced per kernel by one registry-\n"
+      << "driven pipeline.\n";
   return 0;
 }

@@ -1,0 +1,161 @@
+#include "codesign/explorer.h"
+
+#include <numeric>
+#include <utility>
+
+#include "common/assert.h"
+#include "hls/bind.h"
+#include "hls/schedule.h"
+
+namespace sck::codesign {
+
+std::string to_string(const DesignPoint& p) {
+  std::string s = p.kernel;
+  s += '/';
+  s += variant_name(p.variant);
+  s += p.min_area ? "/min_area/w" : "/min_latency/w";
+  s += std::to_string(p.width);
+  return s;
+}
+
+std::vector<DesignPoint> DesignGrid::points() const {
+  std::vector<DesignPoint> out;
+  out.reserve(kernels.size() * variants.size() * objectives.size() *
+              widths.size());
+  for (const std::string& k : kernels) {
+    for (const Variant v : variants) {
+      for (const bool min_area : objectives) {
+        for (const int w : widths) {
+          out.push_back(DesignPoint{k, v, min_area, w});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> pareto_frontier(
+    const std::vector<ParetoMetrics>& points) {
+  const auto dominates = [](const ParetoMetrics& a, const ParetoMetrics& b) {
+    return a.area <= b.area && a.latency <= b.latency &&
+           a.coverage >= b.coverage &&
+           (a.area < b.area || a.latency < b.latency ||
+            a.coverage > b.coverage);
+  };
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      dominated = j != i && dominates(points[j], points[i]);
+    }
+    if (!dominated) frontier.push_back(i);
+  }
+  return frontier;
+}
+
+Explorer::Explorer(const KernelRegistry& registry, ExplorerOptions options)
+    : registry_(registry), options_(std::move(options)) {}
+
+const hls::Dfg& Explorer::reference_graph(const DesignPoint& point) {
+  // '/'-separated like to_string(DesignPoint): kernel names may themselves
+  // end in a variant suffix ("foo" vs "foo_sck"), so plain concatenation
+  // could collide distinct (kernel, variant) pairs onto one cache slot.
+  std::string key = point.kernel;
+  key += '/';
+  key += variant_name(point.variant);
+  key += "/w";
+  key += std::to_string(point.width);
+  const auto it = graphs_.find(key);
+  if (it != graphs_.end()) return it->second;
+  const KernelSpec& kernel = registry_.at(point.kernel);
+  return graphs_
+      .emplace(std::move(key),
+               variant_graph(kernel, point.width, point.variant))
+      .first->second;
+}
+
+const SynthesizedPoint& Explorer::synthesize(const DesignPoint& point) {
+  const std::string key = to_string(point);
+  const auto it = designs_.find(key);
+  if (it != designs_.end()) return it->second;
+
+  const hls::Dfg& g = reference_graph(point);
+  const hls::ResourceConstraints rc =
+      point.min_area ? hls::ResourceConstraints::min_area()
+                     : hls::ResourceConstraints::min_latency();
+  const hls::Schedule s =
+      point.min_area ? hls::schedule_list(g, rc) : hls::schedule_asap(g);
+  hls::validate_schedule(g, s, rc);
+  const hls::Binding b = hls::bind(g, s, rc);
+  hls::validate_binding(g, s, b);
+
+  SynthesizedPoint design;
+  design.point = point;
+  std::string name = point.kernel;
+  name += variant_suffix(point.variant);
+  name += point.min_area ? "_min_area" : "_min_latency";
+  design.netlist = hls::generate_netlist(g, s, b, name);
+  design.report = hls::evaluate_netlist(design.netlist);
+  return designs_.emplace(key, std::move(design)).first->second;
+}
+
+ExplorationReport Explorer::run(const std::vector<DesignPoint>& grid) {
+  ExplorationReport report;
+  report.points.resize(grid.size());
+
+  std::vector<std::size_t> order = options_.evaluation_order;
+  if (order.empty()) {
+    order.resize(grid.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+  }
+  SCK_EXPECTS(order.size() == grid.size());
+
+  // Results land in grid-index slots regardless of evaluation order.
+  std::vector<char> seen(grid.size(), 0);
+  for (const std::size_t idx : order) {
+    SCK_EXPECTS(idx < grid.size());
+    SCK_EXPECTS(!seen[idx] && "evaluation_order must be a permutation");
+    seen[idx] = 1;
+    const DesignPoint& point = grid[idx];
+    const SynthesizedPoint& design = synthesize(point);
+    PointResult r;
+    r.point = point;
+    r.hw = design.report;
+    if (options_.coverage) {
+      const hls::NetlistCampaignResult campaign = hls::run_netlist_campaign(
+          reference_graph(point), design.netlist, options_.campaign);
+      r.stats = campaign.aggregate;
+      r.faults = campaign.fault_universe_size;
+    }
+    report.points[idx] = std::move(r);
+  }
+
+  std::vector<ParetoMetrics> metrics;
+  metrics.reserve(report.points.size());
+  for (const PointResult& r : report.points) {
+    metrics.push_back(ParetoMetrics{r.hw.slices,
+                                    static_cast<double>(r.hw.steps),
+                                    options_.coverage ? r.coverage() : 0.0});
+  }
+  report.frontier = pareto_frontier(metrics);
+  for (const std::size_t i : report.frontier) {
+    report.points[i].on_frontier = true;
+  }
+
+  if (options_.sw_samples > 0) {
+    for (const DesignPoint& point : grid) {
+      bool done = false;
+      for (const KernelSwLeg& leg : report.software) {
+        done = done || leg.kernel == point.kernel;
+      }
+      if (done) continue;
+      const KernelSpec& kernel = registry_.at(point.kernel);
+      if (!kernel.measure_sw) continue;
+      report.software.push_back(
+          KernelSwLeg{point.kernel, kernel.measure_sw(options_.sw_samples)});
+    }
+  }
+  return report;
+}
+
+}  // namespace sck::codesign

@@ -1,0 +1,146 @@
+// Kernel-generic design-space exploration over the reliable co-design
+// grid — the paper's Fig. 3 loop, run in bulk.
+//
+// A DesignPoint is one candidate realization: kernel x protection variant
+// x synthesis objective x data width. The Explorer synthesizes each point
+// through the HLS substrate (builder -> schedule -> bind -> netlist ->
+// area/time model), caches the synthesized design keyed by point, measures
+// its realization-level fault coverage through the batched system-level
+// campaign engine (hls::run_netlist_campaign: 64 faults per bit-plane
+// sweep, sharded across fault/parallel.h, reduced in fault-index order),
+// and extracts the Pareto frontier over (area, latency, coverage).
+//
+// Determinism: every per-point evaluation depends only on the point and
+// the options — synthesis is a pure function of the DFG and the campaign
+// is bit-identical at any backend/lane/thread count — and results are
+// written into grid-index slots, so the ExplorationReport is invariant
+// under both the campaign thread count and the point evaluation order
+// (tests/test_explorer.cpp proves it).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "codesign/kernel.h"
+#include "fault/stats.h"
+#include "hls/area_time.h"
+#include "hls/netlist.h"
+#include "hls/netlist_campaign.h"
+
+namespace sck::codesign {
+
+/// One candidate realization of the co-design grid.
+struct DesignPoint {
+  std::string kernel;  ///< registry name
+  Variant variant = Variant::kPlain;
+  bool min_area = true;  ///< synthesis objective (false = min latency)
+  int width = 16;
+
+  friend bool operator==(const DesignPoint&, const DesignPoint&) = default;
+};
+
+/// "fir/sck/min_area/w16" — stable label for tables, JSON and cache keys.
+[[nodiscard]] std::string to_string(const DesignPoint& p);
+
+/// Cross-product grid description; points() enumerates kernel-major, then
+/// variant, objective, width — a fixed order the report's slots follow.
+struct DesignGrid {
+  std::vector<std::string> kernels;
+  std::vector<Variant> variants{Variant::kPlain, Variant::kSck,
+                                Variant::kEmbedded};
+  std::vector<bool> objectives{true, false};  ///< min_area values
+  std::vector<int> widths{16};
+
+  [[nodiscard]] std::vector<DesignPoint> points() const;
+};
+
+struct ExplorerOptions {
+  /// Coverage-leg configuration (backend, samples/fault, stride, threads).
+  hls::NetlistCampaignOptions campaign;
+  bool coverage = true;     ///< false = HW-only sweep (area/latency map)
+  std::size_t sw_samples = 0;  ///< per-kernel SW leg workload; 0 = skip
+  /// Testing knob: evaluate grid indices in this order (must be a
+  /// permutation of the grid). Empty = natural order. The report is
+  /// invariant under this order by construction.
+  std::vector<std::size_t> evaluation_order;
+};
+
+/// One synthesized realization (cached inside the Explorer).
+struct SynthesizedPoint {
+  DesignPoint point;
+  hls::Netlist netlist;
+  hls::HwReport report;
+};
+
+/// Result of evaluating one design point.
+struct PointResult {
+  DesignPoint point;
+  hls::HwReport hw;
+  fault::CampaignStats stats;  ///< realization-level coverage counters
+  std::uint64_t faults = 0;    ///< FU stuck-at universe size swept
+  bool on_frontier = false;
+
+  [[nodiscard]] double coverage() const { return stats.coverage(); }
+};
+
+/// SW leg of one kernel (host measurements of its variants).
+struct KernelSwLeg {
+  std::string kernel;
+  std::vector<SwReport> reports;
+};
+
+struct ExplorationReport {
+  std::vector<PointResult> points;      ///< grid order
+  std::vector<std::size_t> frontier;    ///< indices into points, ascending
+  std::vector<KernelSwLeg> software;    ///< kernel first-appearance order
+};
+
+/// One point's position in the (minimize, minimize, maximize) trade-off
+/// space the frontier is extracted over.
+struct ParetoMetrics {
+  double area = 0.0;      ///< estimated CLB slices (minimize)
+  double latency = 0.0;   ///< control steps per sample (minimize)
+  double coverage = 0.0;  ///< realization-level fault coverage (maximize)
+};
+
+/// Indices of the non-dominated points, ascending. A point is dominated if
+/// another is no worse on every axis and strictly better on at least one;
+/// metric-identical duplicates are all kept.
+[[nodiscard]] std::vector<std::size_t> pareto_frontier(
+    const std::vector<ParetoMetrics>& points);
+
+class Explorer {
+ public:
+  /// The registry must outlive the explorer (binding a temporary is a
+  /// compile error, not a dangling reference).
+  Explorer(const KernelRegistry& registry, ExplorerOptions options);
+  Explorer(const KernelRegistry&& registry, ExplorerOptions options) = delete;
+
+  /// Synthesizes one point (cached: repeated calls return the same
+  /// design). Returned reference lives as long as the explorer.
+  const SynthesizedPoint& synthesize(const DesignPoint& point);
+
+  /// Reference (fault-free) graph of one point's kernel x width x variant
+  /// — the campaign's golden model. Cached and shared across objectives.
+  const hls::Dfg& reference_graph(const DesignPoint& point);
+
+  /// Evaluates every grid point (synthesis + coverage leg), extracts the
+  /// Pareto frontier and runs the per-kernel SW leg.
+  [[nodiscard]] ExplorationReport run(const std::vector<DesignPoint>& grid);
+
+  [[nodiscard]] std::size_t cache_size() const { return designs_.size(); }
+  [[nodiscard]] const KernelRegistry& registry() const { return registry_; }
+  [[nodiscard]] const ExplorerOptions& options() const { return options_; }
+
+ private:
+  const KernelRegistry& registry_;
+  ExplorerOptions options_;
+  // node-based maps: references handed out stay valid across inserts.
+  std::map<std::string, SynthesizedPoint> designs_;
+  std::map<std::string, hls::Dfg> graphs_;
+};
+
+}  // namespace sck::codesign

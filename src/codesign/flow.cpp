@@ -1,177 +1,75 @@
 #include "codesign/flow.h"
 
-#include <chrono>
-#include <optional>
-
-#include "apps/fir.h"
-#include "common/assert.h"
-#include "core/sck.h"
-#include "hls/bind.h"
-#include "hls/expand_sck.h"
-#include "hls/schedule.h"
+#include "codesign/explorer.h"
 
 namespace sck::codesign {
 
 namespace {
 
-hls::Dfg variant_graph(const hls::FirSpec& spec, Variant variant) {
-  const hls::Dfg plain = hls::build_fir(spec);
-  switch (variant) {
-    case Variant::kPlain:
-      return plain;
-    case Variant::kSck: {
-      hls::CedOptions opt;
-      opt.style = hls::CedStyle::kClassBased;
-      return hls::insert_ced(plain, opt);
-    }
-    case Variant::kEmbedded: {
-      hls::CedOptions opt;
-      opt.style = hls::CedStyle::kEmbedded;
-      return hls::insert_ced(plain, opt);
-    }
-  }
-  return plain;
+/// A single-kernel registry for the given FIR taps. The explorer borrows
+/// the registry, so callers keep it alive for the explorer's lifetime.
+KernelRegistry fir_registry(const hls::FirSpec& spec) {
+  KernelRegistry reg;
+  reg.add(make_fir_kernel(spec.coeffs));
+  return reg;
 }
 
-template <typename F>
-double time_seconds(F&& body) {
-  const auto start = std::chrono::steady_clock::now();
-  body();
-  const auto stop = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(stop - start).count();
+ExplorerOptions hw_only_options() {
+  ExplorerOptions opt;
+  opt.coverage = false;
+  return opt;
 }
 
-/// Deterministic input stream (cheap LCG so generation cost is negligible
-/// against the filter work).
-class InputStream {
- public:
-  [[nodiscard]] int next() {
-    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
-    return static_cast<int>(state_ >> 40) - (1 << 23);
-  }
-
- private:
-  unsigned long long state_ = 0x5CADA7A5ULL;
-};
+HwDesign to_hw_design(const SynthesizedPoint& p) {
+  HwDesign design;
+  design.variant = p.point.variant;
+  design.min_area = p.point.min_area;
+  design.netlist = p.netlist;
+  design.report = p.report;
+  return design;
+}
 
 }  // namespace
 
 HwDesign synthesize_fir(const hls::FirSpec& spec, Variant variant,
                         bool min_area) {
-  const hls::Dfg g = variant_graph(spec, variant);
-  const hls::ResourceConstraints rc = min_area
-                                          ? hls::ResourceConstraints::min_area()
-                                          : hls::ResourceConstraints::min_latency();
-  const hls::Schedule s =
-      min_area ? hls::schedule_list(g, rc) : hls::schedule_asap(g);
-  hls::validate_schedule(g, s, rc);
-  const hls::Binding b = hls::bind(g, s, rc);
-  hls::validate_binding(g, s, b);
-
-  HwDesign design;
-  design.variant = variant;
-  design.min_area = min_area;
-  std::string name = "fir";
-  if (variant == Variant::kSck) name += "_sck";
-  if (variant == Variant::kEmbedded) name += "_embedded";
-  name += min_area ? "_min_area" : "_min_latency";
-  design.netlist = hls::generate_netlist(g, s, b, name);
-  design.report = hls::evaluate_netlist(design.netlist);
-  return design;
+  const KernelRegistry reg = fir_registry(spec);
+  Explorer explorer(reg, hw_only_options());
+  return to_hw_design(
+      explorer.synthesize(DesignPoint{"fir", variant, min_area, spec.width}));
 }
 
-std::vector<SwReport> measure_fir_sw(const std::vector<int>& coeffs,
-                                     std::size_t samples) {
-  SCK_EXPECTS(!coeffs.empty());
-  const int taps = static_cast<int>(coeffs.size());
-  std::vector<SwReport> reports;
-
-  // ---- plain -----------------------------------------------------------
-  {
-    apps::Fir<int> fir(coeffs);
-    InputStream in;
-    unsigned checksum = 0;
-    SwReport r;
-    r.variant = Variant::kPlain;
-    r.seconds = time_seconds([&] {
-      for (std::size_t k = 0; k < samples; ++k) {
-        checksum += static_cast<unsigned>(fir.step(in.next()));
-      }
-    });
-    r.checksum = checksum;
-    r.ops_per_sample = 2 * taps - 1;  // taps muls + (taps-1) adds
-    reports.push_back(r);
+FlowReport run_fir_flow(const hls::FirSpec& spec, std::size_t sw_samples) {
+  const KernelRegistry reg = fir_registry(spec);
+  Explorer explorer(reg, hw_only_options());
+  FlowReport flow;
+  for (const Variant v : kAllVariants) {
+    for (const bool min_area : {true, false}) {
+      flow.hardware.push_back(to_hw_design(
+          explorer.synthesize(DesignPoint{"fir", v, min_area, spec.width})));
+    }
   }
-
-  // ---- with SCK --------------------------------------------------------
-  {
-    std::vector<SCK<int>> sck_coeffs(coeffs.begin(), coeffs.end());
-    apps::Fir<SCK<int>> fir(sck_coeffs);
-    InputStream in;
-    unsigned checksum = 0;
-    bool any_error = false;
-    SwReport r;
-    r.variant = Variant::kSck;
-    r.seconds = time_seconds([&] {
-      for (std::size_t k = 0; k < samples; ++k) {
-        const SCK<int> y = fir.step(SCK<int>(in.next()));
-        checksum += static_cast<unsigned>(y.GetID());
-        any_error = any_error || y.GetError();
-      }
-    });
-    SCK_ASSERT(!any_error && "SCK flagged an error on a fault-free host");
-    r.checksum = checksum;
-    // Tech1: each mul gains neg+mul+add+cmp, each add gains sub+cmp.
-    r.ops_per_sample = (2 * taps - 1) + 4 * taps + 2 * (taps - 1);
-    reports.push_back(r);
-  }
-
-  // ---- embedded --------------------------------------------------------
-  {
-    apps::EmbeddedCheckedFir fir(coeffs);
-    InputStream in;
-    unsigned checksum = 0;
-    bool any_error = false;
-    SwReport r;
-    r.variant = Variant::kEmbedded;
-    r.seconds = time_seconds([&] {
-      for (std::size_t k = 0; k < samples; ++k) {
-        const apps::CheckedSample y = fir.step(in.next());
-        checksum += static_cast<unsigned>(y.y);
-        any_error = any_error || y.error;
-      }
-    });
-    SCK_ASSERT(!any_error && "embedded check fired on a fault-free host");
-    r.checksum = checksum;
-    r.ops_per_sample = (2 * taps - 1) + taps + 1;  // + taps subs + zero test
-    reports.push_back(r);
-  }
-
-  // All variants must compute the same stream.
-  SCK_ASSERT(reports[0].checksum == reports[1].checksum);
-  SCK_ASSERT(reports[0].checksum == reports[2].checksum);
-  for (SwReport& r : reports) {
-    r.ratio_vs_plain =
-        reports[0].seconds > 0 ? r.seconds / reports[0].seconds : 1.0;
-  }
-  return reports;
+  // The registered kernel's SW leg narrows the taps with an int-range
+  // guard (the software realizations are int-typed, as in the paper).
+  flow.software = reg.at("fir").measure_sw(sw_samples);
+  return flow;
 }
 
 std::vector<CoverageReport> evaluate_flow_coverage(
     const hls::FirSpec& spec, const FlowReport& flow,
     const hls::NetlistCampaignOptions& options) {
+  const KernelRegistry reg = fir_registry(spec);
+  ExplorerOptions eopt;
+  eopt.campaign = options;
+  Explorer explorer(reg, std::move(eopt));
   std::vector<CoverageReport> reports;
   reports.reserve(flow.hardware.size());
-  // One reference graph per variant, shared across the min-area and
-  // min-latency designs (the campaign engine keys its reference model and
-  // topo-order cache on the graph, so reuse is free speed).
-  std::optional<Variant> cached_variant;
-  hls::Dfg graph;
+  // The explorer's graph cache plays the role of the old per-variant
+  // reference-graph reuse: one graph per (variant, width), shared across
+  // the min-area and min-latency designs.
   for (const HwDesign& design : flow.hardware) {
-    if (!cached_variant || *cached_variant != design.variant) {
-      graph = variant_graph(spec, design.variant);
-      cached_variant = design.variant;
-    }
+    const hls::Dfg& graph = explorer.reference_graph(
+        DesignPoint{"fir", design.variant, design.min_area, spec.width});
     const hls::NetlistCampaignResult r =
         hls::run_netlist_campaign(graph, design.netlist, options);
     CoverageReport c;
@@ -182,20 +80,6 @@ std::vector<CoverageReport> evaluate_flow_coverage(
     reports.push_back(c);
   }
   return reports;
-}
-
-FlowReport run_fir_flow(const hls::FirSpec& spec, std::size_t sw_samples) {
-  FlowReport flow;
-  for (const Variant v : {Variant::kPlain, Variant::kSck, Variant::kEmbedded}) {
-    for (const bool min_area : {true, false}) {
-      flow.hardware.push_back(synthesize_fir(spec, v, min_area));
-    }
-  }
-  std::vector<int> coeffs;
-  coeffs.reserve(spec.coeffs.size());
-  for (const long long c : spec.coeffs) coeffs.push_back(static_cast<int>(c));
-  flow.software = measure_fir_sw(coeffs, sw_samples);
-  return flow;
 }
 
 }  // namespace sck::codesign

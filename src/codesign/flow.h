@@ -1,8 +1,12 @@
-// The reliable co-design flow of the paper's Fig. 3, end to end: from a
-// (self-checking) specification to a hardware implementation — via our
-// behavioural-synthesis substrate — and to a software implementation —
-// via the templated kernels running on the host. The flow evaluates the
-// same three FIR variants Table 3 compares:
+// The reliable co-design flow of the paper's Fig. 3 for the FIR case
+// study — now a thin wrapper over the kernel-generic exploration pipeline
+// (codesign/kernel.h + codesign/explorer.h). The entry points and their
+// reports are bit-identical to the pre-refactor FIR-only flow
+// (tests/test_explorer.cpp holds them against an inline replica of the
+// legacy synthesis path); new workloads should register a KernelSpec and
+// drive the Explorer directly instead of forking these wrappers.
+//
+// The flow evaluates the same three FIR variants Table 3 compares:
 //
 //   kPlain     the unprotected specification,
 //   kSck       SCK<int> data types (class-based CED, transparent but
@@ -13,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "codesign/kernel.h"
+#include "codesign/variant.h"
 #include "fault/stats.h"
 #include "hls/area_time.h"
 #include "hls/builder.h"
@@ -20,20 +26,6 @@
 #include "hls/netlist_campaign.h"
 
 namespace sck::codesign {
-
-enum class Variant : unsigned char { kPlain, kSck, kEmbedded };
-
-[[nodiscard]] constexpr std::string_view to_string(Variant v) {
-  switch (v) {
-    case Variant::kPlain:
-      return "FIR";
-    case Variant::kSck:
-      return "FIR with SCK";
-    case Variant::kEmbedded:
-      return "FIR embedded SCK";
-  }
-  return "?";
-}
 
 /// Hardware leg: synthesize one FIR variant under one objective.
 struct HwDesign {
@@ -46,22 +38,9 @@ struct HwDesign {
 [[nodiscard]] HwDesign synthesize_fir(const hls::FirSpec& spec,
                                       Variant variant, bool min_area);
 
-/// Software leg: run the variant on the host over a fixed workload.
-struct SwReport {
-  Variant variant = Variant::kPlain;
-  double seconds = 0.0;
-  double ratio_vs_plain = 1.0;
-  /// Static data-path operation count per sample (code-size proxy; the
-  /// paper's binary sizes are dominated by the runtime and nearly equal).
-  int ops_per_sample = 0;
-  unsigned checksum = 0;  ///< anti-DCE output fold, also a determinism check
-};
-
-[[nodiscard]] std::vector<SwReport> measure_fir_sw(
-    const std::vector<int>& coeffs, std::size_t samples);
-
 /// The full Fig. 3 flow: all six hardware designs plus the three software
-/// measurements for one FIR specification.
+/// measurements for one FIR specification. (SwReport and measure_fir_sw
+/// live in codesign/kernel.h — the SW leg is kernel-generic now.)
 struct FlowReport {
   std::vector<HwDesign> hardware;  // 3 variants x {min-area, min-latency}
   std::vector<SwReport> software;  // 3 variants

@@ -1,0 +1,331 @@
+#include "codesign/kernel.h"
+
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "apps/dot.h"
+#include "apps/fir.h"
+#include "apps/iir.h"
+#include "common/assert.h"
+#include "core/sck.h"
+#include "hls/builder.h"
+#include "hls/expand_sck.h"
+
+namespace sck::codesign {
+
+namespace {
+
+template <typename F>
+double time_seconds(F&& body) {
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+/// Deterministic input stream (cheap LCG so generation cost is negligible
+/// against the kernel work).
+class InputStream {
+ public:
+  /// 24-bit signed draw — the FIR leg's historical stream (its int
+  /// accumulation stays within range for bounded taps; see measure_fir_sw).
+  [[nodiscard]] int next() {
+    advance();
+    return static_cast<int>(state_ >> 40) - (1 << 23);
+  }
+
+  /// 10-bit signed draw for kernels with feedback: the IIR's marginally
+  /// stable output random-walks, so the draw is kept small and the
+  /// accumulation wide (long long) to bound it far inside the non-UB range.
+  [[nodiscard]] long long next_small() {
+    advance();
+    return static_cast<long long>(state_ >> 54) - 512;
+  }
+
+ private:
+  void advance() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+
+  unsigned long long state_ = 0x5CADA7A5ULL;
+};
+
+/// One sample of a measured variant: the output fold source and the
+/// variant's error flag (false for unchecked legs).
+struct StepResult {
+  long long value = 0;
+  bool error = false;
+};
+
+/// The shared measure-one-variant recipe: a fresh input stream, a timed
+/// loop folding every output into the anti-DCE checksum, and the
+/// clean-error-line invariant of a fault-free host. `step(in)` advances
+/// the kernel by one sample.
+template <typename Step>
+SwReport measure_variant(Variant variant, int ops_per_sample,
+                         std::size_t samples, Step&& step) {
+  InputStream in;
+  unsigned checksum = 0;
+  bool any_error = false;
+  SwReport r;
+  r.variant = variant;
+  r.ops_per_sample = ops_per_sample;
+  r.seconds = time_seconds([&] {
+    for (std::size_t k = 0; k < samples; ++k) {
+      const StepResult s = step(in);
+      checksum += static_cast<unsigned>(s.value);
+      any_error = any_error || s.error;
+    }
+  });
+  SCK_ASSERT(!any_error && "a check fired on a fault-free host");
+  r.checksum = checksum;
+  return r;
+}
+
+void finish_ratios(std::vector<SwReport>& reports) {
+  // All variants must compute the same stream.
+  for (const SwReport& r : reports) {
+    SCK_ASSERT(r.checksum == reports[0].checksum);
+  }
+  for (SwReport& r : reports) {
+    r.ratio_vs_plain =
+        reports[0].seconds > 0 ? r.seconds / reports[0].seconds : 1.0;
+  }
+}
+
+/// IIR SW leg on widened (long long) arithmetic — see make_iir_kernel.
+std::vector<SwReport> measure_iir_sw(long long b0, long long b1, long long b2,
+                                     long long a1, long long a2,
+                                     std::size_t samples) {
+  constexpr int kOps = 5 + 3 + 1;  // 5 muls + 3 adds + 1 sub
+  std::vector<SwReport> reports;
+  {
+    apps::IirBiquad<long long> iir(b0, b1, b2, a1, a2);
+    reports.push_back(
+        measure_variant(Variant::kPlain, kOps, samples, [&](InputStream& in) {
+          return StepResult{iir.step(in.next_small()), false};
+        }));
+  }
+  {
+    apps::IirBiquad<SCK<long long>> iir(b0, b1, b2, a1, a2);
+    // Tech1: each mul gains neg+mul+add+cmp, each add/sub its inverse+cmp.
+    reports.push_back(measure_variant(
+        Variant::kSck, kOps + 4 * 5 + 2 * 4, samples, [&](InputStream& in) {
+          const SCK<long long> y = iir.step(SCK<long long>(in.next_small()));
+          return StepResult{y.GetID(), y.GetError()};
+        }));
+  }
+  finish_ratios(reports);
+  return reports;
+}
+
+/// Dot-product SW leg: a fresh `length`-element window per iteration,
+/// widened (long long) accumulation.
+std::vector<SwReport> measure_dot_sw(int length, std::size_t samples) {
+  const auto n = static_cast<std::size_t>(length);
+  const int ops = 2 * length - 1;
+  std::vector<SwReport> reports;
+  {
+    std::vector<long long> a(n);
+    std::vector<long long> b(n);
+    reports.push_back(
+        measure_variant(Variant::kPlain, ops, samples, [&](InputStream& in) {
+          for (std::size_t i = 0; i < n; ++i) {
+            a[i] = in.next_small();
+            b[i] = in.next_small();
+          }
+          return StepResult{apps::dot<long long>(a, b), false};
+        }));
+  }
+  {
+    std::vector<SCK<long long>> a(n);
+    std::vector<SCK<long long>> b(n);
+    reports.push_back(measure_variant(
+        Variant::kSck, ops + 4 * length + 2 * (length - 1), samples,
+        [&](InputStream& in) {
+          for (std::size_t i = 0; i < n; ++i) {
+            a[i] = in.next_small();
+            b[i] = in.next_small();
+          }
+          const SCK<long long> d = apps::dot<SCK<long long>>(a, b);
+          return StepResult{d.GetID(), d.GetError()};
+        }));
+  }
+  finish_ratios(reports);
+  return reports;
+}
+
+}  // namespace
+
+void KernelRegistry::add(KernelSpec spec) {
+  SCK_EXPECTS(!spec.name.empty());
+  SCK_EXPECTS(static_cast<bool>(spec.build));
+  SCK_EXPECTS(find(spec.name) == nullptr);
+  kernels_.push_back(std::move(spec));
+}
+
+const KernelSpec* KernelRegistry::find(std::string_view name) const {
+  for (const KernelSpec& k : kernels_) {
+    if (k.name == name) return &k;
+  }
+  return nullptr;
+}
+
+const KernelSpec& KernelRegistry::at(std::string_view name) const {
+  const KernelSpec* k = find(name);
+  SCK_EXPECTS(k != nullptr && "unknown kernel name");
+  return *k;
+}
+
+std::vector<std::string> KernelRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(kernels_.size());
+  for (const KernelSpec& k : kernels_) out.push_back(k.name);
+  return out;
+}
+
+KernelSpec make_fir_kernel(std::vector<long long> coeffs) {
+  SCK_EXPECTS(!coeffs.empty());
+  KernelSpec k;
+  k.name = "fir";
+  k.display = "FIR";
+  k.build = [coeffs](int width) {
+    return hls::build_fir(hls::FirSpec{coeffs, width});
+  };
+  k.measure_sw = [coeffs](std::size_t samples) {
+    std::vector<int> narrow;
+    narrow.reserve(coeffs.size());
+    for (const long long c : coeffs) {
+      // The SW leg runs the paper's int-typed realizations; taps outside
+      // int would wrap silently in this cast (measure_fir_sw additionally
+      // bounds the accumulation).
+      SCK_EXPECTS(c >= std::numeric_limits<int>::min() &&
+                  c <= std::numeric_limits<int>::max());
+      narrow.push_back(static_cast<int>(c));
+    }
+    return measure_fir_sw(narrow, samples);
+  };
+  return k;
+}
+
+KernelSpec make_iir_kernel(long long b0, long long b1, long long b2,
+                           long long a1, long long a2) {
+  KernelSpec k;
+  k.name = "iir";
+  k.display = "IIR biquad";
+  k.build = [b0, b1, b2, a1, a2](int width) {
+    hls::IirBiquadSpec spec;
+    spec.b0 = b0;
+    spec.b1 = b1;
+    spec.b2 = b2;
+    spec.a1 = a1;
+    spec.a2 = a2;
+    spec.width = width;
+    return hls::build_iir_biquad(spec);
+  };
+  k.measure_sw = [b0, b1, b2, a1, a2](std::size_t samples) {
+    return measure_iir_sw(b0, b1, b2, a1, a2, samples);
+  };
+  return k;
+}
+
+KernelSpec make_dot_kernel(int length) {
+  SCK_EXPECTS(length >= 1);
+  KernelSpec k;
+  k.name = "dot";
+  k.display = "dot product (" + std::to_string(length) + ")";
+  k.build = [length](int width) { return hls::build_dot(length, width); };
+  k.measure_sw = [length](std::size_t samples) {
+    return measure_dot_sw(length, samples);
+  };
+  return k;
+}
+
+KernelSpec make_divmod_kernel() {
+  KernelSpec k;
+  k.name = "divmod";
+  k.display = "divider (q, r)";
+  k.build = [](int width) { return hls::build_divmod(width); };
+  return k;
+}
+
+KernelRegistry builtin_registry() {
+  KernelRegistry reg;
+  reg.add(make_fir_kernel({3, -5, 7, -5, 3}));
+  // a1 = 1, a2 = 0: genuinely recursive (the feedback term exercises the
+  // y-register path in hardware) yet only marginally unstable — the output
+  // is an alternating partial sum of bounded terms, which the widened SW
+  // leg bounds far inside long long for any campaign-scale sample count.
+  reg.add(make_iir_kernel(3, -2, 1, 1, 0));
+  reg.add(make_dot_kernel(4));
+  reg.add(make_divmod_kernel());
+  return reg;
+}
+
+hls::Dfg variant_graph(const KernelSpec& kernel, int width, Variant variant) {
+  hls::Dfg plain = kernel.build(width);
+  switch (variant) {
+    case Variant::kPlain:
+      return plain;
+    case Variant::kSck: {
+      hls::CedOptions opt;
+      opt.style = hls::CedStyle::kClassBased;
+      return hls::insert_ced(plain, opt);
+    }
+    case Variant::kEmbedded: {
+      hls::CedOptions opt;
+      opt.style = hls::CedStyle::kEmbedded;
+      return hls::insert_ced(plain, opt);
+    }
+  }
+  SCK_UNREACHABLE();
+}
+
+std::vector<SwReport> measure_fir_sw(const std::vector<int>& coeffs,
+                                     std::size_t samples) {
+  SCK_EXPECTS(!coeffs.empty());
+  // The plain leg accumulates in int over 24-bit draws: |acc| <=
+  // sum|coeff| * 2^23, so sum|coeff| must stay below 2^8 for the
+  // accumulation to remain inside int (signed overflow is UB). The Table 3
+  // taps sum to 23; aborting here beats silently-undefined measurements
+  // for oversized user taps.
+  long long abs_sum = 0;
+  for (const int c : coeffs) abs_sum += c < 0 ? -static_cast<long long>(c) : c;
+  SCK_EXPECTS(abs_sum < (1LL << 8) &&
+              "FIR SW leg: sum|coeffs| too large for int accumulation");
+  const int taps = static_cast<int>(coeffs.size());
+  std::vector<SwReport> reports;
+  {
+    apps::Fir<int> fir(coeffs);
+    reports.push_back(measure_variant(
+        Variant::kPlain, 2 * taps - 1,  // taps muls + (taps-1) adds
+        samples, [&](InputStream& in) {
+          return StepResult{fir.step(in.next()), false};
+        }));
+  }
+  {
+    std::vector<SCK<int>> sck_coeffs(coeffs.begin(), coeffs.end());
+    apps::Fir<SCK<int>> fir(sck_coeffs);
+    // Tech1: each mul gains neg+mul+add+cmp, each add gains sub+cmp.
+    reports.push_back(measure_variant(
+        Variant::kSck, (2 * taps - 1) + 4 * taps + 2 * (taps - 1), samples,
+        [&](InputStream& in) {
+          const SCK<int> y = fir.step(SCK<int>(in.next()));
+          return StepResult{y.GetID(), y.GetError()};
+        }));
+  }
+  {
+    apps::EmbeddedCheckedFir fir(coeffs);
+    reports.push_back(measure_variant(
+        Variant::kEmbedded, (2 * taps - 1) + taps + 1,  // + subs + zero test
+        samples, [&](InputStream& in) {
+          const apps::CheckedSample y = fir.step(in.next());
+          return StepResult{y.y, y.error};
+        }));
+  }
+  finish_ratios(reports);
+  return reports;
+}
+
+}  // namespace sck::codesign

@@ -1,0 +1,109 @@
+// Kernel registry for the co-design explorer.
+//
+// The paper's Fig. 3 flow is a *general* reliable co-design loop: one
+// specification, several hardware/software realizations, one trade-off
+// decision. A KernelSpec captures everything the explorer needs to drive
+// that loop for one kernel: how to build its plain DFG at a given data
+// width (the HLS leg: builder -> schedule -> bind -> area_time -> netlist),
+// and — optionally — how to measure its software realizations on the host
+// (the SW leg). Protection variants (plain / class-based SCK / embedded
+// checks) are applied generically via hls::insert_ced, so registering a
+// kernel is all it takes to pull a new workload through the whole
+// exploration pipeline.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "codesign/variant.h"
+#include "hls/dfg.h"
+
+namespace sck::codesign {
+
+/// Software leg: one variant of a kernel run on the host over a fixed
+/// deterministic workload.
+struct SwReport {
+  Variant variant = Variant::kPlain;
+  double seconds = 0.0;
+  double ratio_vs_plain = 1.0;
+  /// Static data-path operation count per sample (code-size proxy; the
+  /// paper's binary sizes are dominated by the runtime and nearly equal).
+  int ops_per_sample = 0;
+  unsigned checksum = 0;  ///< anti-DCE output fold, also a determinism check
+};
+
+/// One registered kernel: a name (registry key and netlist-name prefix), a
+/// display label, the DFG builder for the plain specification and an
+/// optional host-side measurement of its software variants.
+struct KernelSpec {
+  std::string name;     ///< registry key; also prefixes generated netlists
+  std::string display;  ///< human-readable label ("FIR", "IIR biquad", ...)
+  std::function<hls::Dfg(int width)> build;  ///< plain DFG at `width`
+  /// Optional SW leg: measure the host realizations over `samples`
+  /// iterations. Kernels without hand-written embedded checks report only
+  /// the variants they support (always led by kPlain).
+  std::function<std::vector<SwReport>(std::size_t samples)> measure_sw;
+};
+
+/// Name-keyed kernel collection. Registration order is preserved (it is
+/// the default exploration order).
+class KernelRegistry {
+ public:
+  /// Registers a kernel; the name must be non-empty and unique.
+  void add(KernelSpec spec);
+
+  [[nodiscard]] const KernelSpec* find(std::string_view name) const;
+  /// Like find, but aborts on unknown names (explorer-internal lookups).
+  [[nodiscard]] const KernelSpec& at(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t size() const { return kernels_.size(); }
+
+ private:
+  std::vector<KernelSpec> kernels_;
+};
+
+// ---- kernel factories ------------------------------------------------------
+
+/// FIR filter with the given taps (the paper's case study). The SW leg
+/// measures all three variants (plain / SCK<int> / embedded running
+/// difference) — see measure_fir_sw.
+[[nodiscard]] KernelSpec make_fir_kernel(std::vector<long long> coeffs);
+
+/// Direct-form-I IIR biquad. The SW leg runs on widened (long long)
+/// arithmetic: integer biquads with non-trivial feedback random-walk, and
+/// int accumulation over campaign-scale sample counts is signed-overflow UB
+/// (the pattern flagged in tests/test_apps.cpp).
+[[nodiscard]] KernelSpec make_iir_kernel(long long b0, long long b1,
+                                         long long b2, long long a1,
+                                         long long a2);
+
+/// Dot product of two streamed vectors of the given length (widened
+/// long long accumulation on the SW leg, as for the IIR).
+[[nodiscard]] KernelSpec make_dot_kernel(int length);
+
+/// Combinational divider: q = a / b, r = a % b. HW leg only (the host SW
+/// realization adds nothing beyond the dot/FIR measurements).
+[[nodiscard]] KernelSpec make_divmod_kernel();
+
+/// The built-in kernel set: fir {3,-5,7,-5,3}, iir biquad {3,-2,1,1,0},
+/// dot-product length 4, divmod.
+[[nodiscard]] KernelRegistry builtin_registry();
+
+// ---- generic legs ----------------------------------------------------------
+
+/// Builds the kernel's DFG at `width` with the CED style of `variant`
+/// applied (identity for kPlain).
+[[nodiscard]] hls::Dfg variant_graph(const KernelSpec& kernel, int width,
+                                     Variant variant);
+
+/// The FIR software measurement (all three Table 3 variants, int-typed as
+/// in the paper; the int accumulation is overflow-safe for the bounded
+/// 24-bit input stream). Kept public: bench/table3_fir_codesign.cpp and
+/// the flow wrapper report it directly.
+[[nodiscard]] std::vector<SwReport> measure_fir_sw(
+    const std::vector<int>& coeffs, std::size_t samples);
+
+}  // namespace sck::codesign

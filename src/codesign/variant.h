@@ -1,0 +1,65 @@
+// Protection variants of the co-design layer — the three realizations the
+// paper's Fig. 3 flow compares for any kernel, not just the FIR case study:
+//
+//   kPlain     the unprotected specification,
+//   kSck       SCK<T> data types (class-based CED, transparent to the
+//              source but expensive in hardware),
+//   kEmbedded  hand-embedded checks at the specification level.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/assert.h"
+
+namespace sck::codesign {
+
+enum class Variant : unsigned char { kPlain, kSck, kEmbedded };
+
+inline constexpr Variant kAllVariants[] = {Variant::kPlain, Variant::kSck,
+                                           Variant::kEmbedded};
+
+/// Paper-facing row label (Table 3 names its rows after the FIR case
+/// study; bench/table3_fir_codesign.cpp and the legacy-flow tests print
+/// these). For kernel-generic display use variant_name / point labels.
+[[nodiscard]] constexpr std::string_view to_string(Variant v) {
+  switch (v) {
+    case Variant::kPlain:
+      return "FIR";
+    case Variant::kSck:
+      return "FIR with SCK";
+    case Variant::kEmbedded:
+      return "FIR embedded SCK";
+  }
+  SCK_UNREACHABLE();
+}
+
+/// Kernel-independent variant name for tables and JSON.
+[[nodiscard]] constexpr std::string_view variant_name(Variant v) {
+  switch (v) {
+    case Variant::kPlain:
+      return "plain";
+    case Variant::kSck:
+      return "sck";
+    case Variant::kEmbedded:
+      return "embedded";
+  }
+  SCK_UNREACHABLE();
+}
+
+/// Netlist-name suffix per variant. Chosen so the generic synthesis path
+/// reproduces the pre-refactor FIR netlist names exactly ("fir",
+/// "fir_sck_min_area", ...).
+[[nodiscard]] constexpr std::string_view variant_suffix(Variant v) {
+  switch (v) {
+    case Variant::kPlain:
+      return "";
+    case Variant::kSck:
+      return "_sck";
+    case Variant::kEmbedded:
+      return "_embedded";
+  }
+  SCK_UNREACHABLE();
+}
+
+}  // namespace sck::codesign

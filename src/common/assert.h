@@ -31,3 +31,12 @@ namespace sck::detail {
   ((cond) ? static_cast<void>(0)                                           \
           : ::sck::detail::contract_violation("Invariant", #cond, __FILE__, \
                                               __LINE__))
+
+// Marks code after an exhaustive switch over an enum. Unlike a `default` /
+// trailing-return fallback, the switch stays coverage-checked: adding an
+// enumerator without a case is a compile error (-Werror=switch), and
+// reaching this line at runtime (a corrupted enum value) aborts instead of
+// silently returning a placeholder.
+#define SCK_UNREACHABLE()                                              \
+  ::sck::detail::contract_violation("Unreachable", "covered switch",   \
+                                    __FILE__, __LINE__)

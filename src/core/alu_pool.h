@@ -49,7 +49,7 @@ enum class UnitKind : unsigned char { kAdder, kMultiplier, kDivider };
     case AllocationPolicy::kRoundRobin:
       return "round-robin";
   }
-  return "?";
+  SCK_UNREACHABLE();
 }
 
 /// A pair of instances per unit class plus the allocation policy.

@@ -22,6 +22,7 @@
 // they compose with run_exhaustive / run_sampled unchanged.
 #pragma once
 
+#include "common/assert.h"
 #include "common/rng.h"
 #include "common/word.h"
 #include "fault/outcome.h"
@@ -47,7 +48,7 @@ enum class FaultDuration : unsigned char {
     case FaultDuration::kIntermittent:
       return "intermittent";
   }
-  return "?";
+  SCK_UNREACHABLE();
 }
 
 /// Per-trial fault toggling for one unit. Captures the campaign-injected

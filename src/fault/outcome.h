@@ -14,6 +14,8 @@
 
 #include <string_view>
 
+#include "common/assert.h"
+
 namespace sck::fault {
 
 /// Four-way classification of a single (fault, input) trial.
@@ -44,7 +46,7 @@ enum class Outcome : unsigned char {
     case Outcome::kMasked:
       return "masked";
   }
-  return "?";
+  SCK_UNREACHABLE();
 }
 
 }  // namespace sck::fault

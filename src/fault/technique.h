@@ -10,6 +10,8 @@
 
 #include <string_view>
 
+#include "common/assert.h"
+
 namespace sck::fault {
 
 /// Which hidden control a checked operator applies.
@@ -37,7 +39,7 @@ enum class OpKind : unsigned char { kAdd, kSub, kMul, kDiv };
     case Technique::kResidue3:
       return "Residue3";
   }
-  return "?";
+  SCK_UNREACHABLE();
 }
 
 [[nodiscard]] constexpr std::string_view to_string(OpKind k) {
@@ -51,7 +53,7 @@ enum class OpKind : unsigned char { kAdd, kSub, kMul, kDiv };
     case OpKind::kDiv:
       return "Div";
   }
-  return "?";
+  SCK_UNREACHABLE();
 }
 
 /// True when the technique includes the Tech1 control.

@@ -28,12 +28,16 @@ struct FuInstance {
   int width = 0;
   int group = kSharedGroup;  ///< kSharedGroup = shared-pool instance
   std::string name;
+
+  friend bool operator==(const FuInstance&, const FuInstance&) = default;
 };
 
 struct RegisterInfo {
   int width = 0;
   bool architectural = false;  ///< dedicated state register (kReg)
   std::string name;
+
+  friend bool operator==(const RegisterInfo&, const RegisterInfo&) = default;
 };
 
 struct Binding {

@@ -122,4 +122,14 @@ Dfg build_matvec(const std::vector<std::vector<long long>>& m, int width) {
   return g;
 }
 
+Dfg build_divmod(int width) {
+  Dfg g;
+  const NodeId a = g.input("a", width);
+  const NodeId b = g.input("b", width);
+  (void)g.output("q", g.op(Op::kDiv, {a, b}, width));
+  (void)g.output("r", g.op(Op::kRem, {a, b}, width));
+  g.validate();
+  return g;
+}
+
 }  // namespace sck::hls

@@ -36,4 +36,8 @@ struct IirBiquadSpec {
 [[nodiscard]] Dfg build_matvec(const std::vector<std::vector<long long>>& m,
                                int width);
 
+/// Combinational divider kernel: q = a / b, r = a % b per sample (input
+/// ports "a", "b"; outputs "q", "r").
+[[nodiscard]] Dfg build_divmod(int width);
+
 }  // namespace sck::hls

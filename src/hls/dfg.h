@@ -104,7 +104,7 @@ enum class Op : std::uint8_t {
     case Op::kOr:
       return "or";
   }
-  return "?";
+  SCK_UNREACHABLE();
 }
 
 /// True for operations that occupy a data-path functional unit when

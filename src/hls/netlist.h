@@ -48,17 +48,23 @@ struct MicroOp {
   int fu = -1;
   std::array<Operand, 2> src{};
   int dst_reg = -1;
+
+  friend bool operator==(const MicroOp&, const MicroOp&) = default;
 };
 
 struct OutputPort {
   std::string name;
   Operand source;  ///< register (usual case) or pass-through operand
+
+  friend bool operator==(const OutputPort&, const OutputPort&) = default;
 };
 
 /// End-of-iteration load of an architectural (state) register.
 struct StateLoad {
   int dst_reg = -1;
   Operand source;
+
+  friend bool operator==(const StateLoad&, const StateLoad&) = default;
 };
 
 struct Netlist {

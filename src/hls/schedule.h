@@ -66,7 +66,7 @@ inline constexpr int kResourceClassCount = 5;
     case ResourceClass::kLogic:
       return "logic";
   }
-  return "?";
+  SCK_UNREACHABLE();
 }
 
 /// Per-class unit limits for the shared pool. -1 = unlimited. The 1-bit

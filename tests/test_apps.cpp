@@ -115,15 +115,17 @@ TEST(EmbeddedFir, ResetRestoresInitialBehaviour) {
 }
 
 TEST(IirKernel, MatchesDifferenceEquation) {
-  IirBiquad<int> iir(3, -2, 1, 1, -1);
-  int x1 = 0, x2 = 0, y1 = 0, y2 = 0;
+  // Widened (long long) instantiation — the same configuration the
+  // codesign explorer's SW leg runs. This feedback is unstable (|y| grows
+  // ~1.618x per sample), so an int instantiation overflows (UB) within a
+  // few dozen samples; the wide type keeps the whole sweep defined while
+  // the golden recurrence tracks it exactly.
+  IirBiquad<long long> iir(3, -2, 1, 1, -1);
+  long long x1 = 0, x2 = 0, y1 = 0, y2 = 0;
   Xoshiro256 rng(0xAA04);
-  // This feedback is unstable (|y| grows ~1.618x per sample), so the
-  // iteration count must keep int arithmetic inside the non-overflowing
-  // range — signed overflow is UB and trips UBSan.
-  for (int k = 0; k < 24; ++k) {
-    const int x = static_cast<int>(rng.bounded(100)) - 50;
-    const int want = 3 * x - 2 * x1 + x2 - (y1 - y2);
+  for (int k = 0; k < 70; ++k) {  // |y| ~ 300 * 1.618^k stays < 2^63
+    const long long x = static_cast<long long>(rng.bounded(100)) - 50;
+    const long long want = 3 * x - 2 * x1 + x2 - (y1 - y2);
     ASSERT_EQ(iir.step(x), want);
     x2 = x1;
     x1 = x;
@@ -133,14 +135,32 @@ TEST(IirKernel, MatchesDifferenceEquation) {
 }
 
 TEST(IirKernel, SckInstantiationIsTransparent) {
-  IirBiquad<int> plain(3, -2, 1, 1, -1);
-  IirBiquad<SCK<int>> checked(3, -2, 1, 1, -1);
-  // Bounded sweep: the unstable feedback overflows int (UB) past ~34
-  // samples at this input magnitude.
-  for (int x = -16; x <= 16; ++x) {
-    const SCK<int> y = checked.step(SCK<int>(x));
+  // Same widening as above: SCK<long long> runs the checks in the 2^64
+  // ring, so transparency holds across a sweep an int instantiation could
+  // not survive without UB.
+  IirBiquad<long long> plain(3, -2, 1, 1, -1);
+  IirBiquad<SCK<long long>> checked(3, -2, 1, 1, -1);
+  for (long long x = -40; x <= 40; ++x) {
+    const SCK<long long> y = checked.step(SCK<long long>(x));
     ASSERT_EQ(y.GetID(), plain.step(x));
     ASSERT_FALSE(y.GetError());
+  }
+}
+
+TEST(IirKernel, MarginallyStableConfigurationStaysBounded) {
+  // The built-in explorer kernel uses (a1, a2) = (1, 0): y[k] alternates
+  // as a partial sum of bounded terms, so the widened type bounds |y| by
+  // samples x max|b x| — the invariant that keeps the SW leg UB-free at
+  // campaign-scale sample counts.
+  IirBiquad<long long> iir(3, -2, 1, 1, 0);
+  Xoshiro256 rng(0xAA05);
+  constexpr int kSamples = 5000;
+  constexpr long long kBound = 6LL * 512 * kSamples;
+  for (int k = 0; k < kSamples; ++k) {
+    const long long x = static_cast<long long>(rng.bounded(1024)) - 512;
+    const long long y = iir.step(x);
+    ASSERT_LT(y, kBound);
+    ASSERT_GT(y, -kBound);
   }
 }
 

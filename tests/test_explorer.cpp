@@ -1,0 +1,362 @@
+// Tests for the kernel-generic co-design explorer:
+//  (a) the FIR flow wrappers reproduce the pre-refactor FlowReport /
+//      CoverageReport bit for bit (held against an inline replica of the
+//      legacy FIR-only synthesis path),
+//  (b) Pareto-frontier extraction on hand-built point sets,
+//  (c) explorer results are invariant under the campaign thread count and
+//      the point evaluation order,
+// plus registry behaviour, the synthesis cache and the widened SW legs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "codesign/explorer.h"
+#include "codesign/flow.h"
+#include "hls/bind.h"
+#include "hls/expand_sck.h"
+#include "hls/schedule.h"
+
+namespace sck::codesign {
+namespace {
+
+const hls::FirSpec kSpec{{3, -5, 7, -5, 3}, 8};
+
+// ---- legacy replica --------------------------------------------------------
+// The pre-refactor FIR-only flow (codesign/flow.cpp before the explorer
+// rebase), kept verbatim as the bit-identity reference for the wrappers.
+
+hls::Dfg legacy_variant_graph(const hls::FirSpec& spec, Variant variant) {
+  const hls::Dfg plain = hls::build_fir(spec);
+  if (variant == Variant::kPlain) return plain;
+  hls::CedOptions opt;
+  opt.style = variant == Variant::kSck ? hls::CedStyle::kClassBased
+                                       : hls::CedStyle::kEmbedded;
+  return hls::insert_ced(plain, opt);
+}
+
+HwDesign legacy_synthesize_fir(const hls::FirSpec& spec, Variant variant,
+                               bool min_area) {
+  const hls::Dfg g = legacy_variant_graph(spec, variant);
+  const hls::ResourceConstraints rc =
+      min_area ? hls::ResourceConstraints::min_area()
+               : hls::ResourceConstraints::min_latency();
+  const hls::Schedule s =
+      min_area ? hls::schedule_list(g, rc) : hls::schedule_asap(g);
+  hls::validate_schedule(g, s, rc);
+  const hls::Binding b = hls::bind(g, s, rc);
+  hls::validate_binding(g, s, b);
+
+  HwDesign design;
+  design.variant = variant;
+  design.min_area = min_area;
+  std::string name = "fir";
+  if (variant == Variant::kSck) name += "_sck";
+  if (variant == Variant::kEmbedded) name += "_embedded";
+  name += min_area ? "_min_area" : "_min_latency";
+  design.netlist = hls::generate_netlist(g, s, b, name);
+  design.report = hls::evaluate_netlist(design.netlist);
+  return design;
+}
+
+void expect_netlist_identical(const hls::Netlist& got,
+                              const hls::Netlist& want) {
+  EXPECT_EQ(got.name, want.name);
+  EXPECT_EQ(got.data_width, want.data_width);
+  EXPECT_EQ(got.num_steps, want.num_steps);
+  EXPECT_EQ(got.fus, want.fus);
+  EXPECT_EQ(got.regs, want.regs);
+  EXPECT_EQ(got.input_names, want.input_names);
+  EXPECT_EQ(got.outputs, want.outputs);
+  EXPECT_EQ(got.state_loads, want.state_loads);
+  EXPECT_EQ(got.micro, want.micro);
+}
+
+void expect_report_identical(const hls::HwReport& got,
+                             const hls::HwReport& want) {
+  EXPECT_EQ(got.steps, want.steps);
+  EXPECT_EQ(got.data_ready_step, want.data_ready_step);
+  EXPECT_EQ(got.slices, want.slices);  // exact: same deterministic model
+  EXPECT_EQ(got.fmax_mhz, want.fmax_mhz);
+  EXPECT_EQ(got.slices_fu, want.slices_fu);
+  EXPECT_EQ(got.slices_reg, want.slices_reg);
+  EXPECT_EQ(got.slices_mux, want.slices_mux);
+  EXPECT_EQ(got.slices_ctrl, want.slices_ctrl);
+  EXPECT_EQ(got.latency_formula, want.latency_formula);
+}
+
+void expect_stats_identical(const fault::CampaignStats& got,
+                            const fault::CampaignStats& want) {
+  EXPECT_EQ(got.silent_correct, want.silent_correct);
+  EXPECT_EQ(got.detected_correct, want.detected_correct);
+  EXPECT_EQ(got.detected_erroneous, want.detected_erroneous);
+  EXPECT_EQ(got.masked, want.masked);
+}
+
+hls::NetlistCampaignOptions small_campaign() {
+  hls::NetlistCampaignOptions opt;
+  opt.samples_per_fault = 6;
+  opt.fault_stride = 5;
+  opt.threads = 2;
+  return opt;
+}
+
+// ---- (a) wrapper bit-identity ---------------------------------------------
+
+TEST(ExplorerWrappers, FirFlowReproducesLegacyFlowBitForBit) {
+  const FlowReport flow = run_fir_flow(kSpec, /*sw_samples=*/50'000);
+  ASSERT_EQ(flow.hardware.size(), 6u);
+  std::size_t i = 0;
+  for (const Variant v : kAllVariants) {
+    for (const bool min_area : {true, false}) {
+      const HwDesign legacy = legacy_synthesize_fir(kSpec, v, min_area);
+      EXPECT_EQ(flow.hardware[i].variant, v);
+      EXPECT_EQ(flow.hardware[i].min_area, min_area);
+      expect_netlist_identical(flow.hardware[i].netlist, legacy.netlist);
+      expect_report_identical(flow.hardware[i].report, legacy.report);
+      ++i;
+    }
+  }
+}
+
+TEST(ExplorerWrappers, SynthesizeFirMatchesLegacyPath) {
+  const HwDesign got = synthesize_fir(kSpec, Variant::kEmbedded, false);
+  const HwDesign want =
+      legacy_synthesize_fir(kSpec, Variant::kEmbedded, false);
+  expect_netlist_identical(got.netlist, want.netlist);
+  expect_report_identical(got.report, want.report);
+}
+
+TEST(ExplorerWrappers, CoverageReproducesLegacyCampaignBitForBit) {
+  const FlowReport flow = run_fir_flow(kSpec, /*sw_samples=*/10'000);
+  const hls::NetlistCampaignOptions opt = small_campaign();
+  const std::vector<CoverageReport> got =
+      evaluate_flow_coverage(kSpec, flow, opt);
+  ASSERT_EQ(got.size(), flow.hardware.size());
+  // Legacy loop: per-design campaign against a per-variant rebuilt graph.
+  for (std::size_t i = 0; i < flow.hardware.size(); ++i) {
+    const HwDesign& design = flow.hardware[i];
+    const hls::Dfg graph = legacy_variant_graph(kSpec, design.variant);
+    const hls::NetlistCampaignResult want =
+        hls::run_netlist_campaign(graph, design.netlist, opt);
+    EXPECT_EQ(got[i].variant, design.variant);
+    EXPECT_EQ(got[i].min_area, design.min_area);
+    EXPECT_EQ(got[i].faults, want.fault_universe_size);
+    expect_stats_identical(got[i].stats, want.aggregate);
+  }
+}
+
+TEST(ExplorerWrappers, ExplorerRunMatchesWrapperOutputs) {
+  // The acceptance check: the generic pipeline evaluated over the FIR grid
+  // produces the same numbers the wrappers report.
+  const hls::NetlistCampaignOptions opt = small_campaign();
+  const FlowReport flow = run_fir_flow(kSpec, /*sw_samples=*/10'000);
+  const std::vector<CoverageReport> cov =
+      evaluate_flow_coverage(kSpec, flow, opt);
+
+  KernelRegistry reg;
+  reg.add(make_fir_kernel(kSpec.coeffs));
+  ExplorerOptions eopt;
+  eopt.campaign = opt;
+  Explorer explorer(reg, eopt);
+  DesignGrid grid;
+  grid.kernels = {"fir"};
+  grid.widths = {kSpec.width};
+  const ExplorationReport report = explorer.run(grid.points());
+
+  ASSERT_EQ(report.points.size(), flow.hardware.size());
+  for (std::size_t i = 0; i < report.points.size(); ++i) {
+    EXPECT_EQ(report.points[i].point.variant, flow.hardware[i].variant);
+    EXPECT_EQ(report.points[i].point.min_area, flow.hardware[i].min_area);
+    expect_report_identical(report.points[i].hw, flow.hardware[i].report);
+    EXPECT_EQ(report.points[i].faults, cov[i].faults);
+    expect_stats_identical(report.points[i].stats, cov[i].stats);
+  }
+}
+
+// ---- (b) Pareto frontier ---------------------------------------------------
+
+TEST(ParetoFrontier, HandBuiltPointSet) {
+  //               area  latency  coverage
+  const std::vector<ParetoMetrics> pts{
+      {10.0, 5.0, 0.90},   // 0: dominated by 2 (same cost, more coverage)
+      {12.0, 5.0, 0.90},   // 1: dominated by 0 and 2
+      {10.0, 5.0, 0.95},   // 2: efficient
+      {8.0, 7.0, 0.50},    // 3: efficient (cheapest area)
+      {10.0, 5.0, 0.95},   // 4: duplicate of 2 — both kept
+      {11.0, 4.0, 0.95},   // 5: efficient (fastest at top coverage)
+      {11.0, 6.0, 0.94}};  // 6: dominated by 2
+  EXPECT_EQ(pareto_frontier(pts), (std::vector<std::size_t>{2, 3, 4, 5}));
+}
+
+TEST(ParetoFrontier, EdgeCases) {
+  EXPECT_TRUE(pareto_frontier({}).empty());
+  EXPECT_EQ(pareto_frontier({{1.0, 1.0, 1.0}}),
+            (std::vector<std::size_t>{0}));
+  // A single point dominating everything.
+  const std::vector<ParetoMetrics> pts{
+      {1.0, 1.0, 1.0}, {2.0, 2.0, 0.5}, {3.0, 1.0, 0.2}};
+  EXPECT_EQ(pareto_frontier(pts), (std::vector<std::size_t>{0}));
+}
+
+// ---- (c) thread-count and evaluation-order invariance ---------------------
+
+void expect_reports_identical(const ExplorationReport& got,
+                              const ExplorationReport& want) {
+  ASSERT_EQ(got.points.size(), want.points.size());
+  for (std::size_t i = 0; i < got.points.size(); ++i) {
+    EXPECT_EQ(got.points[i].point, want.points[i].point);
+    expect_report_identical(got.points[i].hw, want.points[i].hw);
+    EXPECT_EQ(got.points[i].faults, want.points[i].faults);
+    EXPECT_EQ(got.points[i].on_frontier, want.points[i].on_frontier);
+    expect_stats_identical(got.points[i].stats, want.points[i].stats);
+  }
+  EXPECT_EQ(got.frontier, want.frontier);
+}
+
+TEST(Explorer, ResultsInvariantUnderThreadsAndEvaluationOrder) {
+  const KernelRegistry registry = builtin_registry();
+  DesignGrid grid;
+  grid.kernels = {"fir", "iir", "dot"};
+  grid.variants = {Variant::kPlain, Variant::kEmbedded};
+  grid.widths = {5};
+  const std::vector<DesignPoint> points = grid.points();
+  ASSERT_EQ(points.size(), 12u);
+
+  const auto run_with = [&](int threads,
+                            std::vector<std::size_t> order) {
+    ExplorerOptions opt;
+    opt.campaign = small_campaign();
+    opt.campaign.threads = threads;
+    opt.evaluation_order = std::move(order);
+    Explorer explorer(registry, opt);
+    return explorer.run(points);
+  };
+
+  const ExplorationReport baseline = run_with(1, {});
+
+  // Thread-count invariance (campaign sharding).
+  expect_reports_identical(run_with(3, {}), baseline);
+  expect_reports_identical(run_with(0, {}), baseline);
+
+  // Evaluation-order invariance (results land in grid-index slots).
+  std::vector<std::size_t> reversed(points.size());
+  for (std::size_t i = 0; i < reversed.size(); ++i) {
+    reversed[i] = points.size() - 1 - i;
+  }
+  expect_reports_identical(run_with(2, reversed), baseline);
+  std::vector<std::size_t> interleaved;
+  for (std::size_t i = 0; i < points.size(); i += 2) interleaved.push_back(i);
+  for (std::size_t i = 1; i < points.size(); i += 2) interleaved.push_back(i);
+  expect_reports_identical(run_with(2, interleaved), baseline);
+}
+
+// ---- cross-kernel grid -----------------------------------------------------
+
+TEST(Explorer, CrossKernelGridEvaluatesEveryPoint) {
+  // >= 3 kernels x >= 2 variants x 2 objectives in one run (the ISSUE's
+  // acceptance grid), every point synthesized and coverage-swept.
+  const KernelRegistry registry = builtin_registry();
+  ExplorerOptions opt;
+  opt.campaign = small_campaign();
+  Explorer explorer(registry, opt);
+  DesignGrid grid;
+  grid.kernels = {"fir", "iir", "dot", "divmod"};
+  grid.variants = {Variant::kPlain, Variant::kSck};
+  grid.widths = {5};
+  const std::vector<DesignPoint> points = grid.points();
+  ASSERT_EQ(points.size(), 16u);
+
+  const ExplorationReport report = explorer.run(points);
+  ASSERT_EQ(report.points.size(), 16u);
+  for (const PointResult& r : report.points) {
+    EXPECT_GT(r.hw.slices, 0.0) << to_string(r.point);
+    EXPECT_GT(r.hw.steps, 0) << to_string(r.point);
+    EXPECT_GT(r.faults, 0u) << to_string(r.point);
+    EXPECT_GT(r.stats.total(), 0u) << to_string(r.point);
+  }
+  // Class-based CED buys coverage: for every kernel x objective, the SCK
+  // realization covers at least as much as the matching plain one.
+  for (std::size_t i = 0; i + 2 < report.points.size(); ++i) {
+    const PointResult& r = report.points[i];
+    if (r.point.variant != Variant::kPlain) continue;
+    const PointResult& sck = report.points[i + 2];  // same kernel, kSck row
+    ASSERT_EQ(sck.point.kernel, r.point.kernel);
+    ASSERT_EQ(sck.point.variant, Variant::kSck);
+    ASSERT_EQ(sck.point.min_area, r.point.min_area);
+    EXPECT_GE(sck.coverage(), r.coverage()) << to_string(r.point);
+  }
+  // The frontier is non-empty and mutually non-dominated.
+  ASSERT_FALSE(report.frontier.empty());
+  for (const std::size_t i : report.frontier) {
+    EXPECT_TRUE(report.points[i].on_frontier);
+    for (const std::size_t j : report.frontier) {
+      if (i == j) continue;
+      const PointResult& a = report.points[j];
+      const PointResult& b = report.points[i];
+      const bool dominates =
+          a.hw.slices <= b.hw.slices && a.hw.steps <= b.hw.steps &&
+          a.coverage() >= b.coverage() &&
+          (a.hw.slices < b.hw.slices || a.hw.steps < b.hw.steps ||
+           a.coverage() > b.coverage());
+      EXPECT_FALSE(dominates);
+    }
+  }
+  // One synthesized design per point in the cache.
+  EXPECT_EQ(explorer.cache_size(), 16u);
+}
+
+TEST(Explorer, SynthesisCacheReturnsSameDesign) {
+  const KernelRegistry registry = builtin_registry();
+  ExplorerOptions opt;
+  opt.coverage = false;
+  Explorer explorer(registry, opt);
+  const DesignPoint p{"iir", Variant::kSck, true, 6};
+  const SynthesizedPoint& a = explorer.synthesize(p);
+  const SynthesizedPoint& b = explorer.synthesize(p);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(explorer.cache_size(), 1u);
+  EXPECT_EQ(a.netlist.name, "iir_sck_min_area");
+}
+
+// ---- registry --------------------------------------------------------------
+
+TEST(KernelRegistry, BuiltinSetAndLookup) {
+  const KernelRegistry reg = builtin_registry();
+  EXPECT_EQ(reg.names(),
+            (std::vector<std::string>{"fir", "iir", "dot", "divmod"}));
+  EXPECT_NE(reg.find("fir"), nullptr);
+  EXPECT_EQ(reg.find("fft"), nullptr);
+  EXPECT_EQ(reg.at("dot").display, "dot product (4)");
+  // Every built-in kernel builds a valid graph at a non-default width.
+  for (const std::string& name : reg.names()) {
+    const hls::Dfg g = reg.at(name).build(6);
+    EXPECT_FALSE(g.outputs().empty()) << name;
+  }
+}
+
+// ---- SW legs (widened accumulation, satellite UB audit) -------------------
+
+TEST(SwLeg, WidenedKernelsAgreeAcrossVariants) {
+  // The IIR/dot SW legs run on long long so campaign-scale sample counts
+  // cannot push the feedback random-walk into signed-overflow UB; the
+  // plain/SCK checksum-equality and clean-error invariants are asserted
+  // inside the measurement itself.
+  const KernelRegistry reg = builtin_registry();
+  for (const std::string& name : {std::string("iir"), std::string("dot")}) {
+    const auto reports = reg.at(name).measure_sw(20'000);
+    ASSERT_EQ(reports.size(), 2u) << name;
+    EXPECT_EQ(reports[0].variant, Variant::kPlain);
+    EXPECT_EQ(reports[1].variant, Variant::kSck);
+    EXPECT_EQ(reports[0].checksum, reports[1].checksum);
+    EXPECT_LT(reports[0].ops_per_sample, reports[1].ops_per_sample);
+  }
+  const auto fir = reg.at("fir").measure_sw(20'000);
+  ASSERT_EQ(fir.size(), 3u);
+  EXPECT_EQ(fir[0].checksum, fir[1].checksum);
+  EXPECT_EQ(fir[0].checksum, fir[2].checksum);
+}
+
+}  // namespace
+}  // namespace sck::codesign
