@@ -5,19 +5,26 @@
 // ripple-carry adder, exhaustive: 256 faults x 2^16 input pairs = 16.7M
 // faulty situations).
 //
-// System level: the same three engines on the netlist campaign — the
-// complete FU stuck-at sweep of a synthesized self-checking FIR through
-// the compiled execution plan (hls/netlist_exec.h), scalar interpreter
-// backend vs the 64-lane bit-plane backend (lane = fault) vs bit-plane +
-// thread pool.
+// System level: the netlist-campaign engines on the complete FU stuck-at
+// sweep of a synthesized self-checking FIR through the compiled execution
+// plan (hls/netlist_exec.h) — scalar interpreter vs the 64-lane bit-plane
+// backend (lane = fault, per-fault streams) vs bit-plane + thread pool,
+// then the shared-stream section: bit-plane under one shared stream vs
+// the golden-trace incremental backend (fault-cone replay) plain and with
+// fault dropping, swept over --threads pool sizes.
 //
 // This is the repository's perf trajectory file: it emits
 // machine-readable BENCH_fault_throughput.json so future sessions and CI
 // can diff trials/sec mechanically. Every engine pair is verified to
 // produce bit-identical results before any timing is reported — a perf
-// number for a wrong result is worthless.
+// number for a wrong result is worthless. (The fault-dropping row is the
+// one exception by design: it answers the cheaper "is every fault ever
+// detected?" query, so it is checked for detection-set consistency
+// instead.)
 //
 // Usage: ./fault_throughput [json_path] [system_samples_per_fault]
+//                           [--threads=a,b,c]
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <iostream>
@@ -36,6 +43,7 @@
 #include "hls/builder.h"
 #include "hls/expand_sck.h"
 #include "hls/netlist_campaign.h"
+#include "hls/netlist_exec.h"
 #include "hw/ripple_carry_adder.h"
 
 namespace {
@@ -241,6 +249,155 @@ int main(int argc, char** argv) {
                          "x"});
   sys_table.print(std::cout);
 
+  // ---- system level, shared streams: incremental fault-cone replay --------
+  // Same campaign under StreamMode::kShared: every fault sees identical
+  // stimuli, the fault-free work collapses to one golden trace, and the
+  // incremental backend replays only each batch's union fault cone. Swept
+  // over the --threads pool sizes so the JSON records scaling.
+  // Thread count 1 must run first (it anchors the identity checks and the
+  // speedup baseline); the rest of the requested sweep follows in order,
+  // deduplicated.
+  std::vector<int> sweep{1};
+  for (const int t : args.threads.empty() ? std::vector<int>{hw_threads}
+                                          : args.threads) {
+    if (std::find(sweep.begin(), sweep.end(), t) == sweep.end()) {
+      sweep.push_back(t);
+    }
+  }
+
+  {
+    const sck::hls::ExecPlan plan =
+        sck::hls::compile_execution_plan(fir_design.netlist);
+    const sck::hls::FaultCones cones(plan);
+    std::size_t cone_ops = 0;
+    for (int f = 0; f < cones.num_fus(); ++f) {
+      cone_ops += cones.cone_op_count(f);
+    }
+    std::cout << "\nShared-stream campaign: mean fault cone "
+              << sck::format_fixed(static_cast<double>(cone_ops) /
+                                       static_cast<double>(cones.num_fus()),
+                                   1)
+              << " of " << plan.ops.size() << " plan ops\n\n";
+  }
+
+  sck::hls::NetlistCampaignOptions shr_opt;
+  shr_opt.samples_per_fault = static_cast<int>(args.iterations);
+  shr_opt.seed = 0x2005;
+  shr_opt.stream = sck::hls::StreamMode::kShared;
+
+  sck::hls::NetlistCampaignResult shared_anchor_r;
+  bool shared_identical = true;
+  double shared_1_s = 0;
+  double inc_1_s = 0;
+  sck::TextTable shr_table(
+      "shared-stream campaign throughput (identical results; drop row: "
+      "identical detection set)");
+  shr_table.set_header(
+      {"engine", "threads", "seconds", "samples/sec", "speedup vs shared"});
+  sck::bench::JsonValue shared_results;
+  for (const int threads : sweep) {
+    shr_opt.threads = threads;
+    sck::hls::NetlistCampaignResult batched_r;
+    sck::hls::NetlistCampaignResult inc_r;
+    shr_opt.backend = sck::hls::NetlistBackend::kBatched;
+    const double batched_s = seconds([&] {
+      batched_r = run_netlist_campaign(fir_graph, fir_design.netlist, shr_opt);
+    });
+    shr_opt.backend = sck::hls::NetlistBackend::kIncremental;
+    const double inc_s = seconds([&] {
+      inc_r = run_netlist_campaign(fir_graph, fir_design.netlist, shr_opt);
+    });
+    if (threads == 1) {
+      shared_anchor_r = batched_r;
+      shared_1_s = batched_s;
+      inc_1_s = inc_s;
+    }
+    shared_identical = shared_identical &&
+                       same_netlist_result(shared_anchor_r, batched_r) &&
+                       same_netlist_result(shared_anchor_r, inc_r);
+
+    const auto shr_trials =
+        static_cast<double>(shared_anchor_r.aggregate.total());
+    shr_table.add_row({"bit-plane shared", std::to_string(threads),
+                       sck::format_fixed(batched_s, 3),
+                       sck::format_fixed(shr_trials / batched_s, 0),
+                       sck::format_fixed(shared_1_s / batched_s, 2) + "x"});
+    shr_table.add_row({"incremental cone replay", std::to_string(threads),
+                       sck::format_fixed(inc_s, 3),
+                       sck::format_fixed(shr_trials / inc_s, 0),
+                       sck::format_fixed(shared_1_s / inc_s, 2) + "x"});
+    {
+      sck::bench::JsonValue r;
+      r.set("engine", "netlist-batched-shared")
+          .set("threads", threads)
+          .set("seconds", batched_s)
+          .set("samples_per_sec", shr_trials / batched_s)
+          .set("speedup_vs_shared_1t", shared_1_s / batched_s);
+      shared_results.push(std::move(r));
+    }
+    {
+      sck::bench::JsonValue r;
+      r.set("engine", "system-incremental")
+          .set("threads", threads)
+          .set("seconds", inc_s)
+          .set("samples_per_sec", shr_trials / inc_s)
+          .set("speedup_vs_shared_1t", shared_1_s / inc_s)
+          .set("results_identical",
+               same_netlist_result(shared_anchor_r, inc_r));
+      shared_results.push(std::move(r));
+    }
+  }
+
+  // Fault dropping: lanes retire at first detection, so totals shrink —
+  // verified for detection-set consistency against the full run instead
+  // of bit identity (per unit: detects iff the full run detects; units
+  // that never detect are bit-identical; dropped lanes only remove work).
+  shr_opt.threads = 1;
+  shr_opt.backend = sck::hls::NetlistBackend::kIncremental;
+  shr_opt.fault_dropping = true;
+  sck::hls::NetlistCampaignResult drop_r;
+  const double drop_s = seconds([&] {
+    drop_r = run_netlist_campaign(fir_graph, fir_design.netlist, shr_opt);
+  });
+  bool drop_consistent =
+      drop_r.per_unit.size() == shared_anchor_r.per_unit.size() &&
+      drop_r.aggregate.total() <= shared_anchor_r.aggregate.total();
+  for (std::size_t u = 0;
+       drop_consistent && u < shared_anchor_r.per_unit.size(); ++u) {
+    const auto& full = shared_anchor_r.per_unit[u].stats;
+    const auto& drop = drop_r.per_unit[u].stats;
+    drop_consistent = (drop.detections() > 0) == (full.detections() > 0) &&
+                      drop.total() <= full.total() &&
+                      (full.detections() > 0 ||
+                       (drop.silent_correct == full.silent_correct &&
+                        drop.masked == full.masked));
+  }
+  shr_table.add_row({"incremental + fault dropping", "1",
+                     sck::format_fixed(drop_s, 3),
+                     sck::format_fixed(
+                         static_cast<double>(drop_r.aggregate.total()) /
+                             drop_s,
+                         0),
+                     sck::format_fixed(shared_1_s / drop_s, 2) + "x"});
+  shr_table.print(std::cout);
+
+  if (!shared_identical || !drop_consistent) {
+    std::cerr << "SHARED-STREAM ENGINE MISMATCH: incremental results "
+                 "diverged from the batched backend — refusing to report "
+                 "timings\n";
+    return 1;
+  }
+  {
+    sck::bench::JsonValue r;
+    r.set("engine", "system-incremental+drop")
+        .set("threads", 1)
+        .set("seconds", drop_s)
+        .set("samples_recorded", drop_r.aggregate.total())
+        .set("campaign_speedup_vs_shared_1t", shared_1_s / drop_s)
+        .set("detection_set_consistent", drop_consistent);
+    shared_results.push(std::move(r));
+  }
+
   sck::bench::JsonValue results;
   {
     sck::bench::JsonValue r;
@@ -319,7 +476,16 @@ int main(int argc, char** argv) {
       .set("system_results_identical", true)
       .set("system_speedup_batched", sys_scalar_s / sys_batched_s)
       .set("system_speedup_batched_threads", sys_scalar_s / sys_parallel_s)
-      .set("system_results", std::move(system_results));
+      .set("system_results", std::move(system_results))
+      .set("system_shared_campaign", "netlist/fir_sck_min_area/w8 shared")
+      .set("system_shared_trials", shared_anchor_r.aggregate.total())
+      .set("system_shared_results_identical", shared_identical)
+      .set("system_incremental_results_identical", shared_identical)
+      .set("system_speedup_incremental", shared_1_s / inc_1_s)
+      .set("system_speedup_incremental_vs_batched", sys_batched_s / inc_1_s)
+      .set("system_drop_detection_consistent", drop_consistent)
+      .set("system_drop_campaign_speedup", shared_1_s / drop_s)
+      .set("system_shared_results", std::move(shared_results));
 
   return sck::bench::save_json(doc, args.json_path);
 }

@@ -1,9 +1,12 @@
 #include "codesign/explorer.h"
 
+#include <algorithm>
 #include <numeric>
+#include <unordered_set>
 #include <utility>
 
 #include "common/assert.h"
+#include "fault/parallel.h"
 #include "hls/bind.h"
 #include "hls/schedule.h"
 
@@ -110,7 +113,16 @@ ExplorationReport Explorer::run(const std::vector<DesignPoint>& grid) {
   }
   SCK_EXPECTS(order.size() == grid.size());
 
-  // Results land in grid-index slots regardless of evaluation order.
+  // Phase 1 (sequential): synthesize every point in evaluation order and
+  // fill the design/graph caches — campaigns read them concurrently in
+  // phase 2, so every cache mutation (including the graphs' lazy topo
+  // caches) must happen here. Results land in grid-index slots regardless
+  // of evaluation order.
+  struct CoverageJob {
+    const hls::Dfg* graph = nullptr;
+    const hls::Netlist* netlist = nullptr;
+  };
+  std::vector<CoverageJob> jobs(grid.size());
   std::vector<char> seen(grid.size(), 0);
   for (const std::size_t idx : order) {
     SCK_EXPECTS(idx < grid.size());
@@ -121,13 +133,36 @@ ExplorationReport Explorer::run(const std::vector<DesignPoint>& grid) {
     PointResult r;
     r.point = point;
     r.hw = design.report;
-    if (options_.coverage) {
-      const hls::NetlistCampaignResult campaign = hls::run_netlist_campaign(
-          reference_graph(point), design.netlist, options_.campaign);
-      r.stats = campaign.aggregate;
-      r.faults = campaign.fault_universe_size;
-    }
     report.points[idx] = std::move(r);
+    if (options_.coverage) {
+      const hls::Dfg& graph = reference_graph(point);
+      (void)graph.topo_order();  // warm before phase-2 workers share it
+      jobs[idx] = CoverageJob{&graph, &design.netlist};
+    }
+  }
+
+  // Phase 2: coverage campaigns, whole points sharded across the pool
+  // with grid-index-slot reduction. Campaigns are bit-identical at any
+  // (inner) thread count, so dividing the campaign budget by the pool
+  // size — which keeps point-level x campaign-level threads within one
+  // machine's worth — cannot change the report.
+  if (options_.coverage) {
+    const int pool = std::min<int>(
+        fault::resolve_threads(options_.point_threads),
+        static_cast<int>(std::max<std::size_t>(grid.size(), 1)));
+    hls::NetlistCampaignOptions campaign_opt = options_.campaign;
+    if (pool > 1) {
+      campaign_opt.threads =
+          std::max(1, fault::resolve_threads(campaign_opt.threads) / pool);
+    }
+    fault::parallel_shard(
+        grid.size(), options_.point_threads, [] { return 0; },
+        [&](int& /*ctx*/, std::size_t idx) {
+          const hls::NetlistCampaignResult campaign = hls::run_netlist_campaign(
+              *jobs[idx].graph, *jobs[idx].netlist, campaign_opt);
+          report.points[idx].stats = campaign.aggregate;
+          report.points[idx].faults = campaign.fault_universe_size;
+        });
   }
 
   std::vector<ParetoMetrics> metrics;
@@ -143,12 +178,10 @@ ExplorationReport Explorer::run(const std::vector<DesignPoint>& grid) {
   }
 
   if (options_.sw_samples > 0) {
+    // One SW leg per distinct kernel, in first-appearance order.
+    std::unordered_set<std::string> measured;
     for (const DesignPoint& point : grid) {
-      bool done = false;
-      for (const KernelSwLeg& leg : report.software) {
-        done = done || leg.kernel == point.kernel;
-      }
-      if (done) continue;
+      if (!measured.insert(point.kernel).second) continue;
       const KernelSpec& kernel = registry_.at(point.kernel);
       if (!kernel.measure_sw) continue;
       report.software.push_back(

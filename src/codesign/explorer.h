@@ -14,8 +14,9 @@
 // the options — synthesis is a pure function of the DFG and the campaign
 // is bit-identical at any backend/lane/thread count — and results are
 // written into grid-index slots, so the ExplorationReport is invariant
-// under both the campaign thread count and the point evaluation order
-// (tests/test_explorer.cpp proves it).
+// under the campaign thread count, the point evaluation order AND the
+// point-sharding pool size (point_threads shards whole points across
+// fault::parallel_shard; tests/test_explorer.cpp proves it).
 #pragma once
 
 #include <cstddef>
@@ -62,6 +63,14 @@ struct ExplorerOptions {
   hls::NetlistCampaignOptions campaign;
   bool coverage = true;     ///< false = HW-only sweep (area/latency map)
   std::size_t sw_samples = 0;  ///< per-kernel SW leg workload; 0 = skip
+  /// Worker threads sharding WHOLE design points across the grid (0 = all
+  /// hardware threads): synthesis stays sequential (it fills the caches),
+  /// then each point's coverage campaign runs on its own worker with
+  /// grid-index-slot reduction. The per-point campaign thread budget is
+  /// divided by the pool size so point-level x campaign-level threads do
+  /// not oversubscribe; campaigns are thread-invariant, so the report is
+  /// bit-identical to the sequential evaluation at any value.
+  int point_threads = 1;
   /// Testing knob: evaluate grid indices in this order (must be a
   /// permutation of the grid). Empty = natural order. The report is
   /// invariant under this order by construction.

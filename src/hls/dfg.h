@@ -234,6 +234,11 @@ class DfgBatchEvaluator {
   explicit DfgBatchEvaluator(const Dfg& graph,
                              std::string_view skip_output = {});
 
+  /// Copying duplicates the compiled order/liveness tables and the scratch
+  /// planes but NOT the compile work itself — campaign workers copy one
+  /// prototype instead of redoing topo + check-cone DCE per worker.
+  DfgBatchEvaluator(const DfgBatchEvaluator&) = default;
+
   /// Evaluate one sample on all 64 lanes. `inputs` by position in
   /// graph.inputs() (planes at or above each input's width must be zero,
   /// which pack() guarantees); `reg_state` is the per-lane architectural

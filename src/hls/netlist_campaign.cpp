@@ -16,13 +16,43 @@ namespace sck::hls {
 
 namespace {
 
-/// Per-fault seed derivation: fault streams must depend only on (seed,
-/// global fault index) so the campaign is invariant under the thread count,
-/// the lane packing and the dynamic schedule (the Xoshiro constructor
-/// SplitMix-expands the mixed value).
+/// Per-fault seed derivation (StreamMode::kPerFault): fault streams must
+/// depend only on (seed, global fault index) so the campaign is invariant
+/// under the thread count, the lane packing and the dynamic schedule (the
+/// Xoshiro constructor SplitMix-expands the mixed value).
 [[nodiscard]] std::uint64_t fault_stream_seed(std::uint64_t seed,
                                               std::uint64_t fault_index) {
   return seed ^ ((fault_index + 1) * 0x9E3779B97F4A7C15ULL);
+}
+
+/// Per-sample seed derivation (StreamMode::kShared): one stream keyed by
+/// (seed, sample index), identical for every fault. The extra constant
+/// decouples it from the per-fault keying above, so switching modes never
+/// replays the same stimuli under a different meaning.
+[[nodiscard]] std::uint64_t sample_stream_seed(std::uint64_t seed,
+                                               std::uint64_t sample_index) {
+  return seed ^ 0xD1B54A32D192ED03ULL ^
+         ((sample_index + 1) * 0x9E3779B97F4A7C15ULL);
+}
+
+/// Materialise the shared input stream (samples x graph inputs,
+/// sample-major), bounded per input width exactly like the per-fault
+/// generation.
+[[nodiscard]] std::vector<Word> make_shared_stream(
+    const Dfg& graph, const NetlistCampaignOptions& options) {
+  const std::size_t num_inputs = graph.inputs().size();
+  std::vector<Word> stream(
+      static_cast<std::size_t>(options.samples_per_fault) * num_inputs);
+  for (int k = 0; k < options.samples_per_fault; ++k) {
+    Xoshiro256 rng(sample_stream_seed(options.seed,
+                                      static_cast<std::uint64_t>(k)));
+    for (std::size_t i = 0; i < num_inputs; ++i) {
+      const Node& n = graph.node(graph.inputs()[i]);
+      stream[static_cast<std::size_t>(k) * num_inputs + i] =
+          rng.bounded(Word{1} << n.width);
+    }
+  }
+  return stream;
 }
 
 /// One entry of the (strided) fault job list. Job order is the
@@ -33,24 +63,33 @@ struct Job {
   hw::FaultSite site;
 };
 
-/// One injected-fault run on the scalar backend: a fresh input stream
-/// through the faulty netlist against the fault-free reference model.
+/// One injected-fault run on the scalar backend: an input stream through
+/// the faulty netlist against the fault-free reference model. The stream
+/// is per-fault (seeded by `fault_index`) or, when `shared_stream` is
+/// non-empty, the campaign-wide shared one.
 fault::CampaignStats run_one_fault(const Dfg& graph, NetlistSim& sim,
-                                   int samples, Xoshiro256 rng) {
+                                   const NetlistCampaignOptions& options,
+                                   std::size_t fault_index,
+                                   std::span<const Word> shared_stream) {
   const Netlist& netlist = sim.netlist();
   const std::int32_t error_output = sim.plan().error_output;
+  const std::size_t num_inputs = graph.inputs().size();
+  Xoshiro256 rng(fault_stream_seed(options.seed, fault_index));
   fault::CampaignStats stats;
   sim.reset();
   std::vector<std::uint64_t> ref_state(graph.state_regs().size(), 0);
   std::vector<Word> in(netlist.input_names.size(), 0);
   std::vector<Word> out(netlist.outputs.size(), 0);
   std::unordered_map<std::string, std::uint64_t> ref_in;
-  for (int k = 0; k < samples; ++k) {
+  for (int k = 0; k < options.samples_per_fault; ++k) {
     // Input i of the netlist is input i of the graph (the netlist builder
     // preserves the graph's input order).
-    for (std::size_t i = 0; i < graph.inputs().size(); ++i) {
+    for (std::size_t i = 0; i < num_inputs; ++i) {
       const Node& n = graph.node(graph.inputs()[i]);
-      const Word v = rng.bounded(Word{1} << n.width);
+      const Word v =
+          shared_stream.empty()
+              ? rng.bounded(Word{1} << n.width)
+              : shared_stream[static_cast<std::size_t>(k) * num_inputs + i];
       in[i] = v;
       ref_in[n.name] = v;
     }
@@ -71,27 +110,32 @@ fault::CampaignStats run_one_fault(const Dfg& graph, NetlistSim& sim,
 }
 
 /// One 64-fault batch on the bit-plane backend: lane L runs job
-/// jobs[base + L]'s fault with job (base + L)'s input stream, checked
-/// against the plane-wise reference model. Writes each lane's stats into
-/// its job slot — per-lane classification is exactly the scalar
+/// jobs[base + L]'s fault with job (base + L)'s input stream — or, under
+/// shared streams, the one campaign-wide stream broadcast to every lane —
+/// checked against the plane-wise reference model. Writes each lane's
+/// stats into its job slot — per-lane classification is exactly the scalar
 /// classify(), so the slot contents match run_one_fault bit for bit.
 void run_fault_batch(const Dfg& graph, NetlistBatchSim& sim,
                      DfgBatchEvaluator& ref, const std::vector<Job>& jobs,
                      std::size_t base, const NetlistCampaignOptions& options,
+                     std::span<const Word> shared_stream,
                      std::vector<fault::CampaignStats>& per_job) {
   const Netlist& netlist = sim.netlist();
   const std::int32_t error_output = sim.plan().error_output;
+  const std::size_t num_inputs = graph.inputs().size();
   const int lanes = static_cast<int>(
       std::min<std::size_t>(hw::kLanes, jobs.size() - base));
 
   sim.clear_lane_faults();
   std::vector<Xoshiro256> rng;
-  rng.reserve(static_cast<std::size_t>(lanes));
+  if (shared_stream.empty()) rng.reserve(static_cast<std::size_t>(lanes));
   for (int lane = 0; lane < lanes; ++lane) {
     const std::size_t j = base + static_cast<std::size_t>(lane);
     sim.add_lane_fault(static_cast<int>(jobs[j].fu), jobs[j].site,
                        hw::LaneMask{1} << lane);
-    rng.emplace_back(fault_stream_seed(options.seed, j));
+    if (shared_stream.empty()) {
+      rng.emplace_back(fault_stream_seed(options.seed, j));
+    }
   }
   sim.reset();
 
@@ -109,13 +153,19 @@ void run_fault_batch(const Dfg& graph, NetlistBatchSim& sim,
   }
 
   for (int k = 0; k < options.samples_per_fault; ++k) {
-    for (std::size_t i = 0; i < graph.inputs().size(); ++i) {
+    for (std::size_t i = 0; i < num_inputs; ++i) {
       const Node& n = graph.node(graph.inputs()[i]);
-      for (int lane = 0; lane < lanes; ++lane) {
-        lane_vals[static_cast<std::size_t>(lane)] =
-            rng[static_cast<std::size_t>(lane)].bounded(Word{1} << n.width);
+      if (shared_stream.empty()) {
+        for (int lane = 0; lane < lanes; ++lane) {
+          lane_vals[static_cast<std::size_t>(lane)] =
+              rng[static_cast<std::size_t>(lane)].bounded(Word{1} << n.width);
+        }
+        in[i] = hw::pack(lane_vals, n.width);
+      } else {
+        in[i] = hw::broadcast_word(
+            shared_stream[static_cast<std::size_t>(k) * num_inputs + i],
+            n.width);
       }
-      in[i] = hw::pack(lane_vals, n.width);
     }
     ref.eval(in, ref_state, want);
     sim.step_sample_batch(in, out);
@@ -136,6 +186,65 @@ void run_fault_batch(const Dfg& graph, NetlistBatchSim& sim,
   }
 }
 
+/// One 64-fault batch on the incremental backend: replay the union
+/// fan-out cone of the batch's faults over the precomputed golden trace,
+/// classifying against the pre-broadcast reference outputs. With fault
+/// dropping, a lane retires after its first detected sample (recorded,
+/// then excluded); once every lane retired the batch ends early.
+void run_incremental_batch(NetlistIncrementalSim& sim,
+                           const GoldenTrace& trace,
+                           std::span<const hw::BatchWord> want_planes,
+                           const std::vector<Job>& jobs, std::size_t base,
+                           const NetlistCampaignOptions& options,
+                           std::vector<fault::CampaignStats>& per_job) {
+  const ExecPlan& plan = sim.plan();
+  const std::int32_t error_output = plan.error_output;
+  const std::size_t num_outputs = plan.outputs.size();
+  const int lanes = static_cast<int>(
+      std::min<std::size_t>(hw::kLanes, jobs.size() - base));
+
+  sim.clear_lane_faults();
+  for (int lane = 0; lane < lanes; ++lane) {
+    const std::size_t j = base + static_cast<std::size_t>(lane);
+    sim.add_lane_fault(static_cast<int>(jobs[j].fu), jobs[j].site,
+                       hw::LaneMask{1} << lane);
+  }
+  sim.reset();
+
+  std::vector<hw::BatchWord> out(num_outputs);
+  hw::LaneMask active = hw::lane_prefix(lanes);
+  for (int k = 0; k < options.samples_per_fault; ++k) {
+    sim.replay_sample(trace, k, out);
+
+    hw::LaneMask erroneous = 0;
+    for (std::size_t i = 0; i < num_outputs; ++i) {
+      if (static_cast<std::int32_t>(i) == error_output) continue;
+      erroneous |= hw::differing_lanes(
+          out[i],
+          want_planes[static_cast<std::size_t>(k) * num_outputs + i]);
+    }
+    const hw::LaneMask detected =
+        error_output >= 0 ? out[static_cast<std::size_t>(error_output)][0]
+                          : 0;
+    const fault::LaneVerdict verdict{erroneous, detected};
+    for (int lane = 0; lane < lanes; ++lane) {
+      if ((active >> lane) & 1) {
+        per_job[base + static_cast<std::size_t>(lane)].record(
+            fault::lane_outcome(verdict, lane));
+      }
+    }
+
+    if (options.fault_dropping) {
+      const hw::LaneMask retire = detected & active;
+      if (retire != 0) {
+        active &= ~retire;
+        if (active == 0) break;
+        sim.set_active_lanes(active);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 NetlistCampaignResult run_netlist_campaign(
@@ -144,11 +253,28 @@ NetlistCampaignResult run_netlist_campaign(
   SCK_EXPECTS(options.samples_per_fault > 0);
   SCK_EXPECTS(options.fault_stride > 0);
   SCK_EXPECTS(netlist.input_names.size() == graph.inputs().size());
+  SCK_EXPECTS((options.backend != NetlistBackend::kIncremental ||
+               options.stream == StreamMode::kShared) &&
+              "the incremental backend replays one shared golden trace");
+  SCK_EXPECTS((!options.fault_dropping ||
+               options.backend == NetlistBackend::kIncremental) &&
+              "fault dropping is an incremental-backend feature");
 
   // Warm the graph's topo-order cache before any worker thread reads it
-  // (Dfg::topo_order fills lazily and unsynchronized). The "error" output
-  // position comes from each backend's compiled plan (ExecPlan).
+  // (Dfg::topo_order fills lazily and unsynchronized).
   (void)graph.topo_order();
+
+  // Compile the execution plan ONCE and share it const across every
+  // worker context — workers used to recompile per clone. The "error"
+  // output position comes from this plan.
+  const ExecPlan plan = compile_execution_plan(netlist);
+
+  // The shared input stream (kShared only): one (seed, sample index)-keyed
+  // stream every fault replays.
+  const std::vector<Word> shared_stream =
+      options.stream == StreamMode::kShared
+          ? make_shared_stream(graph, options)
+          : std::vector<Word>{};
 
   // Materialise the (strided) job list up front.
   std::vector<Job> jobs;
@@ -172,41 +298,93 @@ NetlistCampaignResult run_netlist_campaign(
   }
 
   std::vector<fault::CampaignStats> per_job(jobs.size());
+  const std::size_t batches =
+      (jobs.size() + hw::kLanes - 1) / static_cast<std::size_t>(hw::kLanes);
   if (options.backend == NetlistBackend::kScalar) {
-    // Shard one fault per job; each worker owns a cloned simulator (units
-    // are stateful via set_fault).
+    // Shard one fault per job; each worker owns a simulator over the
+    // shared plan (units are stateful via set_fault).
     fault::parallel_shard(
-        jobs.size(), options.threads,
-        [&netlist] { return NetlistSim(netlist); },
+        jobs.size(), options.threads, [&plan] { return NetlistSim(plan); },
         [&](NetlistSim& sim, std::size_t j) {
           sim.set_fu_fault(static_cast<int>(jobs[j].fu), jobs[j].site);
-          per_job[j] = run_one_fault(
-              graph, sim, options.samples_per_fault,
-              Xoshiro256(fault_stream_seed(options.seed, j)));
+          per_job[j] = run_one_fault(graph, sim, options, j, shared_stream);
           sim.set_fu_fault(static_cast<int>(jobs[j].fu), hw::FaultSite{});
         });
-  } else {
-    // Shard 64-fault batches; each worker owns a batched simulator plus a
-    // plane-wise reference evaluator.
+  } else if (options.backend == NetlistBackend::kBatched) {
+    // Shard 64-fault batches; each worker owns a batched simulator over
+    // the shared plan plus a copy of one compiled reference evaluator.
+    //
+    // The reference "error" flag is never read (it is 0 by construction
+    // on fault-free hardware), so the reference skips the check cone; the
+    // prototype is compiled (topo + DCE) once and copied per worker.
+    const DfgBatchEvaluator ref_proto(graph, "error");
     struct BatchContext {
       NetlistBatchSim sim;
-      // The reference "error" flag is never read (it is 0 by construction
-      // on fault-free hardware), so the reference skips the check cone.
       DfgBatchEvaluator ref;
-      BatchContext(const Netlist& nl, const Dfg& g)
-          : sim(nl), ref(g, "error") {}
+      BatchContext(const ExecPlan& p, const DfgBatchEvaluator& proto)
+          : sim(p), ref(proto) {}
       BatchContext(const BatchContext&) = delete;
       BatchContext& operator=(const BatchContext&) = delete;
     };
-    const std::size_t batches =
-        (jobs.size() + hw::kLanes - 1) / static_cast<std::size_t>(hw::kLanes);
     fault::parallel_shard(
         batches, options.threads,
-        [&netlist, &graph] { return BatchContext(netlist, graph); },
+        [&plan, &ref_proto] { return BatchContext(plan, ref_proto); },
         [&](BatchContext& ctx, std::size_t b) {
           run_fault_batch(graph, ctx.sim, ctx.ref, jobs,
                           b * static_cast<std::size_t>(hw::kLanes), options,
-                          per_job);
+                          shared_stream, per_job);
+        });
+  } else {
+    // Incremental: the fault-free work happens ONCE per campaign — the
+    // golden trace (scalar replay recording every wire) and the scalar
+    // Dfg reference outputs, pre-broadcast to planes — then each batch
+    // replays only the union fan-out cone of its faults.
+    const FaultCones cones(plan);
+    const GoldenTrace trace =
+        record_golden_trace(plan, shared_stream, options.samples_per_fault);
+
+    const std::size_t num_outputs = netlist.outputs.size();
+    for (std::size_t i = 0; i < num_outputs; ++i) {
+      SCK_EXPECTS(graph.node(graph.outputs()[i]).name ==
+                  netlist.outputs[i].name);
+    }
+    std::vector<hw::BatchWord> want_planes(
+        static_cast<std::size_t>(options.samples_per_fault) * num_outputs);
+    {
+      std::vector<std::uint64_t> ref_state(graph.state_regs().size(), 0);
+      std::unordered_map<std::string, std::uint64_t> ref_in;
+      for (int k = 0; k < options.samples_per_fault; ++k) {
+        for (std::size_t i = 0; i < graph.inputs().size(); ++i) {
+          const Node& n = graph.node(graph.inputs()[i]);
+          ref_in[n.name] =
+              shared_stream[static_cast<std::size_t>(k) *
+                                graph.inputs().size() +
+                            i];
+        }
+        const auto want = graph.eval(ref_in, ref_state);
+        for (std::size_t i = 0; i < num_outputs; ++i) {
+          const Node& n = graph.node(graph.outputs()[i]);
+          want_planes[static_cast<std::size_t>(k) * num_outputs + i] =
+              hw::broadcast_word(
+                  trunc(want.outputs.at(n.name), n.width), n.width);
+        }
+      }
+    }
+
+    struct IncrementalContext {
+      NetlistIncrementalSim sim;
+      IncrementalContext(const ExecPlan& p, const FaultCones& c)
+          : sim(p, c) {}
+      IncrementalContext(const IncrementalContext&) = delete;
+      IncrementalContext& operator=(const IncrementalContext&) = delete;
+    };
+    fault::parallel_shard(
+        batches, options.threads,
+        [&plan, &cones] { return IncrementalContext(plan, cones); },
+        [&](IncrementalContext& ctx, std::size_t b) {
+          run_incremental_batch(ctx.sim, trace, want_planes, jobs,
+                                b * static_cast<std::size_t>(hw::kLanes),
+                                options, per_job);
         });
   }
 

@@ -11,16 +11,22 @@
 // four-way taxonomy as the unit-level campaigns — yielding the *final
 // realization's* coverage, which the paper could only estimate.
 //
-// Two execution backends drive the sweep (hls/netlist_exec.h):
-//   kScalar   the compiled scalar interpreter, one fault at a time;
-//   kBatched  the 64-lane bit-plane engine — 64 faults per batch (lane =
-//             fault, via per-lane LaneFaultSet hooks), each lane fed its
-//             own seeded input stream, checked against the plane-wise Dfg
-//             reference model (DfgBatchEvaluator).
-// Both backends shard the fault universe through fault/parallel.h and
-// reduce per-fault stats in fault-index order, so the result is
-// bit-identical for ANY backend, lane packing and thread count
-// (tests/test_netlist_batch.cpp proves it).
+// Three execution backends drive the sweep (hls/netlist_exec.h):
+//   kScalar       the compiled scalar interpreter, one fault at a time;
+//   kBatched      the 64-lane bit-plane engine — 64 faults per batch (lane
+//                 = fault, via per-lane LaneFaultSet hooks), checked
+//                 against the plane-wise Dfg reference model
+//                 (DfgBatchEvaluator);
+//   kIncremental  golden-trace fault-cone replay (shared streams only):
+//                 the fault-free execution and the Dfg reference are
+//                 computed ONCE per campaign, and each batch replays only
+//                 the union fan-out cone of its ≤64 faulted FUs, splicing
+//                 everything else from the golden trace.
+// All backends shard the fault universe through fault/parallel.h over ONE
+// compiled ExecPlan and reduce per-fault stats in fault-index order, so
+// the result is bit-identical for ANY backend, lane packing and thread
+// count under the same StreamMode (tests/test_netlist_batch.cpp and
+// tests/test_netlist_incremental.cpp prove it).
 #pragma once
 
 #include <cstdint>
@@ -48,19 +54,41 @@ struct NetlistCampaignResult {
   std::uint64_t fault_universe_size = 0;
 };
 
-/// Execution backend selection for the sweep (results are identical; the
-/// batched engine packs 64 faults per evaluation and is the default).
-enum class NetlistBackend : unsigned char { kScalar, kBatched };
+/// Execution backend selection for the sweep (results are identical under
+/// the same StreamMode; the batched engine packs 64 faults per evaluation
+/// and is the default; the incremental engine requires kShared streams).
+enum class NetlistBackend : unsigned char { kScalar, kBatched, kIncremental };
+
+/// Input-stream semantics of the sweep.
+enum class StreamMode : unsigned char {
+  /// Streams keyed by (seed, fault index): every fault sees its own
+  /// stimuli. Legacy default — every pre-existing campaign result (and the
+  /// explorer reports built on them) is bit-compatible with this mode.
+  kPerFault,
+  /// Streams keyed by (seed, sample index): every fault sees IDENTICAL
+  /// stimuli, so the fault-free execution collapses to one golden trace
+  /// per campaign. Required by kIncremental; supported by all backends and
+  /// bit-identical across them.
+  kShared,
+};
 
 struct NetlistCampaignOptions {
   int samples_per_fault = 32;  ///< stream length per injected fault
   std::uint64_t seed = 0x2005;
   int fault_stride = 1;  ///< evaluate every k-th fault of each unit
-  /// Worker threads for the fault sweep (0 = all hardware threads). Each
-  /// fault's input stream is derived from (seed, fault index), so the
-  /// result is bit-identical for any thread count.
+  /// Worker threads for the fault sweep (0 = all hardware threads). Input
+  /// streams depend only on (seed, fault index) — or (seed, sample index)
+  /// under kShared — so the result is bit-identical for any thread count.
   int threads = 1;
   NetlistBackend backend = NetlistBackend::kBatched;
+  StreamMode stream = StreamMode::kPerFault;
+  /// Retire a lane at its first detected sample (kIncremental only): the
+  /// remaining samples of that fault are neither simulated nor recorded,
+  /// so aggregate totals shrink. The detection set is preserved — a fault
+  /// detects at the same first sample either way — which makes this the
+  /// cheap mode for "is every fault ever detected?" coverage queries, but
+  /// NOT for the sample-exact four-way taxonomy.
+  bool fault_dropping = false;
 };
 
 /// Sweep every FU fault of `netlist` (generated from `graph`), comparing

@@ -1,6 +1,7 @@
 #include "hls/netlist_exec.h"
 
 #include <algorithm>
+#include <bit>
 
 namespace sck::hls {
 
@@ -180,10 +181,214 @@ std::vector<hw::FaultSite> FuBank::fault_universe(int fu_index) const {
   return u == nullptr ? std::vector<hw::FaultSite>{} : u->fault_universe();
 }
 
+FaultCones::FaultCones(const ExecPlan& plan)
+    : num_fus_(static_cast<int>(plan.netlist->fus.size())),
+      num_steps_(plan.num_steps),
+      words_((plan.ops.size() + 63) / 64),
+      reg_words_((static_cast<std::size_t>(plan.num_regs) + 63) / 64) {
+  // Wire slot -> producing op index (wire slots happen to be allocated in
+  // op order, but derive the map rather than rely on it).
+  std::vector<std::uint32_t> producer(static_cast<std::size_t>(plan.num_wires),
+                                      0);
+  for (std::size_t i = 0; i < plan.ops.size(); ++i) {
+    producer[static_cast<std::size_t>(plan.ops[i].wire)] =
+        static_cast<std::uint32_t>(i);
+  }
+
+  const std::size_t fences = static_cast<std::size_t>(num_steps_) + 1;
+  const std::size_t num_regs = static_cast<std::size_t>(plan.num_regs);
+  masks_.assign(static_cast<std::size_t>(num_fus_) * words_, 0);
+  reg_masks_.assign(static_cast<std::size_t>(num_fus_) * fences * reg_words_,
+                    0);
+  std::vector<char> op_taint(plan.ops.size());
+  // reg_taint[s * num_regs + r]: register r diverges at fence s (fence s =
+  // the register file step s's ops read; fence num_steps_ = what outputs
+  // and state-load sources read).
+  std::vector<char> reg_taint(fences * num_regs);
+  for (int fu = 0; fu < num_fus_; ++fu) {
+    std::fill(op_taint.begin(), op_taint.end(), 0);
+    std::fill(reg_taint.begin(), reg_taint.end(), 0);
+    const auto tainted_at = [&](const ExecOperand& s, std::size_t fence) {
+      switch (s.kind) {
+        case Operand::Kind::kWire:
+          return op_taint[producer[static_cast<std::size_t>(s.index)]] != 0;
+        case Operand::Kind::kReg:
+          return reg_taint[fence * num_regs +
+                           static_cast<std::size_t>(s.index)] != 0;
+        default:
+          return false;  // inputs/constants are fault-free by definition
+      }
+    };
+    // Fence-granular forward pass, iterated to the cross-sample fixpoint:
+    // a latch carries its op's taint to the NEXT fence — so a later golden
+    // write to a shared register makes it clean again — and the state
+    // loads (plus plain carry-over) feed fence 0 of the next iteration.
+    // Fence-0 taint only ever grows, so the iteration converges.
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (int step = 0; step < num_steps_; ++step) {
+        const auto fence = static_cast<std::size_t>(step);
+        // Registers carry over by default; latches override below.
+        std::copy(reg_taint.begin() +
+                      static_cast<std::ptrdiff_t>(fence * num_regs),
+                  reg_taint.begin() +
+                      static_cast<std::ptrdiff_t>((fence + 1) * num_regs),
+                  reg_taint.begin() +
+                      static_cast<std::ptrdiff_t>((fence + 1) * num_regs));
+        const std::uint32_t end =
+            plan.step_begin[static_cast<std::size_t>(step) + 1];
+        for (std::uint32_t i = plan.step_begin[static_cast<std::size_t>(step)];
+             i < end; ++i) {
+          const ExecOp& op = plan.ops[i];
+          const bool t = op.fu == fu || tainted_at(op.src0, fence) ||
+                         tainted_at(op.src1, fence);
+          if (t && !op_taint[i]) {
+            op_taint[i] = 1;
+            changed = true;
+          }
+          if (op.dst_reg >= 0) {
+            // Commit order within the step: the LAST writer wins, tainted
+            // or golden (op_taint is sticky across iterations, so use the
+            // current-pass taint `t` for the golden case).
+            reg_taint[(fence + 1) * num_regs +
+                      static_cast<std::size_t>(op.dst_reg)] =
+                op_taint[i] != 0 || t;
+          }
+        }
+      }
+      // End-of-iteration state loads feed fence 0 of the next sample;
+      // un-loaded registers carry their final-fence state over. Fence 0
+      // grows monotonically (|=), which drives the fixpoint.
+      const std::size_t last = static_cast<std::size_t>(num_steps_) * num_regs;
+      for (std::size_t r = 0; r < num_regs; ++r) {
+        char next = reg_taint[last + r];
+        for (const ExecPlan::StateLoad& load : plan.state_loads) {
+          if (static_cast<std::size_t>(load.dst_reg) == r) {
+            next = tainted_at(load.source,
+                              static_cast<std::size_t>(num_steps_))
+                       ? 1
+                       : 0;
+          }
+        }
+        if (next && !reg_taint[r]) {
+          reg_taint[r] = 1;
+          changed = true;
+        }
+      }
+    }
+    std::uint64_t* mask = masks_.data() + static_cast<std::size_t>(fu) * words_;
+    for (std::size_t i = 0; i < plan.ops.size(); ++i) {
+      if (op_taint[i]) mask[i >> 6] |= std::uint64_t{1} << (i & 63);
+    }
+    std::uint64_t* reg_mask =
+        reg_masks_.data() +
+        static_cast<std::size_t>(fu) * fences * reg_words_;
+    for (std::size_t s = 0; s < fences; ++s) {
+      for (std::size_t r = 0; r < num_regs; ++r) {
+        if (reg_taint[s * num_regs + r]) {
+          reg_mask[s * reg_words_ + (r >> 6)] |= std::uint64_t{1} << (r & 63);
+        }
+      }
+    }
+  }
+}
+
+std::size_t FaultCones::cone_op_count(int fu) const {
+  std::size_t count = 0;
+  for (const std::uint64_t w : op_cone(fu)) {
+    count += static_cast<std::size_t>(std::popcount(w));
+  }
+  return count;
+}
+
+GoldenTrace record_golden_trace(const ExecPlan& plan,
+                                std::span<const Word> input_stream,
+                                int samples) {
+  SCK_EXPECTS(samples > 0);
+  SCK_EXPECTS(input_stream.size() ==
+              static_cast<std::size_t>(samples) *
+                  static_cast<std::size_t>(plan.num_inputs));
+  GoldenTrace trace;
+  trace.samples = samples;
+  trace.num_steps = plan.num_steps;
+  trace.num_inputs = plan.num_inputs;
+  trace.num_wires = plan.num_wires;
+  trace.num_regs = plan.num_regs;
+  trace.inputs.assign(input_stream.begin(), input_stream.end());
+  trace.wires.resize(static_cast<std::size_t>(samples) *
+                     static_cast<std::size_t>(plan.num_wires));
+  trace.regs.resize(static_cast<std::size_t>(samples) *
+                    (static_cast<std::size_t>(plan.num_steps) + 1) *
+                    static_cast<std::size_t>(plan.num_regs));
+
+  // The step loop is run_plan_sample's, unrolled here to snapshot the
+  // register file at every step fence (the splice points of the
+  // incremental replay).
+  FuBank bank(*plan.netlist);  // fault-free
+  ScalarExecSemantics sem(plan, bank);
+  auto& st = sem.state;
+  const auto snapshot_regs = [&](int k, int step_point) {
+    std::copy(st.regs.begin(), st.regs.end(),
+              trace.regs.begin() +
+                  (static_cast<std::size_t>(k) *
+                       (static_cast<std::size_t>(plan.num_steps) + 1) +
+                   static_cast<std::size_t>(step_point)) *
+                      static_cast<std::size_t>(plan.num_regs));
+  };
+  for (int k = 0; k < samples; ++k) {
+    const std::span<const Word> in = trace.sample_inputs(k);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      st.inputs[i] = trunc(in[i], plan.data_width);
+    }
+    snapshot_regs(k, 0);
+    for (int step = 0; step < plan.num_steps; ++step) {
+      st.latches.clear();
+      const std::uint32_t end =
+          plan.step_begin[static_cast<std::size_t>(step) + 1];
+      for (std::uint32_t i = plan.step_begin[static_cast<std::size_t>(step)];
+           i < end; ++i) {
+        const ExecOp& op = plan.ops[i];
+        const Word result = sem.eval(op, st.read(op.src0), st.read(op.src1));
+        if (op.dst_reg >= 0) st.latches.emplace_back(op.dst_reg, result);
+        st.wires[static_cast<std::size_t>(op.wire)] = result;
+      }
+      for (const auto& [reg, value] : st.latches) {
+        st.regs[static_cast<std::size_t>(reg)] = value;
+      }
+      snapshot_regs(k, step + 1);
+    }
+    // Every plan op wrote its wire slot, so the wire array holds exactly
+    // this sample's values.
+    std::copy(st.wires.begin(), st.wires.end(),
+              trace.wires.begin() + static_cast<std::size_t>(k) *
+                                        static_cast<std::size_t>(
+                                            plan.num_wires));
+    // Parallel end-of-iteration state load (next sample's step-0 fence).
+    st.loads.clear();
+    for (const ExecPlan::StateLoad& load : plan.state_loads) {
+      st.loads.emplace_back(load.dst_reg, st.read(load.source));
+    }
+    for (const auto& [reg, value] : st.loads) {
+      st.regs[static_cast<std::size_t>(reg)] = value;
+    }
+  }
+  return trace;
+}
+
 NetlistBatchSim::NetlistBatchSim(const Netlist& netlist)
-    : plan_(compile_execution_plan(netlist)),
+    : owned_plan_(compile_execution_plan(netlist)),
+      plan_(owned_plan_),
       bank_(netlist),
       sem_(plan_, bank_) {
+  lane_faults_.reserve(bank_.size());
+  for (std::size_t f = 0; f < bank_.size(); ++f) {
+    const hw::FaultableUnit* u = bank_.unit(static_cast<int>(f));
+    lane_faults_.emplace_back(u == nullptr ? 0 : u->cell_count());
+  }
+}
+
+NetlistBatchSim::NetlistBatchSim(const ExecPlan& plan)
+    : plan_(plan), bank_(*plan.netlist), sem_(plan_, bank_) {
   lane_faults_.reserve(bank_.size());
   for (std::size_t f = 0; f < bank_.size(); ++f) {
     const hw::FaultableUnit* u = bank_.unit(static_cast<int>(f));
@@ -220,6 +425,242 @@ void NetlistBatchSim::step_sample_batch(std::span<const hw::BatchWord> inputs,
     sem_.state.inputs[i] = inputs[i];
   }
   run_plan_sample(plan_, sem_, outputs);
+}
+
+NetlistIncrementalSim::NetlistIncrementalSim(const ExecPlan& plan,
+                                             const FaultCones& cones)
+    : plan_(plan),
+      cones_(cones),
+      bank_(*plan.netlist),
+      sem_(plan_, bank_),
+      producer_(static_cast<std::size_t>(plan.num_wires), 0),
+      cone_(cones.mask_words(), 0),
+      reg_cone_((static_cast<std::size_t>(plan.num_steps) + 1) *
+                    cones.reg_mask_words(),
+                0) {
+  SCK_EXPECTS(cones.num_fus() ==
+              static_cast<int>(plan.netlist->fus.size()));
+  lane_faults_.reserve(bank_.size());
+  for (std::size_t f = 0; f < bank_.size(); ++f) {
+    const hw::FaultableUnit* u = bank_.unit(static_cast<int>(f));
+    lane_faults_.emplace_back(u == nullptr ? 0 : u->cell_count());
+  }
+  for (std::size_t i = 0; i < plan.ops.size(); ++i) {
+    producer_[static_cast<std::size_t>(plan.ops[i].wire)] =
+        static_cast<std::uint32_t>(i);
+  }
+}
+
+void NetlistIncrementalSim::clear_lane_faults() {
+  for (std::size_t f = 0; f < lane_faults_.size(); ++f) {
+    if (lane_faults_[f].empty()) continue;
+    lane_faults_[f].clear();
+    bank_.unit(static_cast<int>(f))->set_lane_faults(nullptr);
+  }
+  faults_.clear();
+  std::fill(cone_.begin(), cone_.end(), 0);
+  std::fill(reg_cone_.begin(), reg_cone_.end(), 0);
+  program_dirty_ = true;
+}
+
+void NetlistIncrementalSim::add_lane_fault(int fu_index,
+                                           const hw::FaultSite& fault,
+                                           hw::LaneMask lanes) {
+  hw::FaultableUnit* u = bank_.unit(fu_index);
+  SCK_EXPECTS(u != nullptr && "checker-side units accept no faults");
+  SCK_EXPECTS(fault.active());
+  SCK_EXPECTS(fault.cell >= 0 && fault.cell < u->cell_count());
+  const hw::CellKind kind = u->cell_kind(fault.cell);
+  SCK_EXPECTS(fault.line < hw::cell_line_count(kind));
+  hw::LaneFaultSet& set = lane_faults_[static_cast<std::size_t>(fu_index)];
+  set.add(fault.cell, hw::faulty_cell_lut(kind, fault.line, fault.stuck_value),
+          lanes);
+  u->set_lane_faults(&set);
+
+  faults_.emplace_back(fu_index, lanes);
+  const std::span<const std::uint64_t> cone = cones_.op_cone(fu_index);
+  for (std::size_t w = 0; w < cone_.size(); ++w) cone_[w] |= cone[w];
+  const std::size_t rw = cones_.reg_mask_words();
+  for (int s = 0; s <= plan_.num_steps; ++s) {
+    const std::span<const std::uint64_t> regs = cones_.reg_cone(fu_index, s);
+    std::uint64_t* fence = reg_cone_.data() + static_cast<std::size_t>(s) * rw;
+    for (std::size_t w = 0; w < rw; ++w) fence[w] |= regs[w];
+  }
+  program_dirty_ = true;
+}
+
+void NetlistIncrementalSim::set_active_lanes(hw::LaneMask active) {
+  rebuild_masks(active);
+  program_dirty_ = true;
+}
+
+void NetlistIncrementalSim::rebuild_masks(hw::LaneMask active) {
+  std::fill(cone_.begin(), cone_.end(), 0);
+  std::fill(reg_cone_.begin(), reg_cone_.end(), 0);
+  const std::size_t rw = cones_.reg_mask_words();
+  for (const auto& [fu, lanes] : faults_) {
+    if ((lanes & active) == 0) continue;
+    const std::span<const std::uint64_t> cone = cones_.op_cone(fu);
+    for (std::size_t w = 0; w < cone_.size(); ++w) cone_[w] |= cone[w];
+    for (int s = 0; s <= plan_.num_steps; ++s) {
+      const std::span<const std::uint64_t> regs = cones_.reg_cone(fu, s);
+      std::uint64_t* fence =
+          reg_cone_.data() + static_cast<std::size_t>(s) * rw;
+      for (std::size_t w = 0; w < rw; ++w) fence[w] |= regs[w];
+    }
+  }
+}
+
+std::size_t NetlistIncrementalSim::cone_op_count() const {
+  std::size_t count = 0;
+  for (const std::uint64_t w : cone_) {
+    count += static_cast<std::size_t>(std::popcount(w));
+  }
+  return count;
+}
+
+/// Lower the union masks into the per-step cone program: the cone ops (the
+/// only ops that execute — golden writers never latch, because a register
+/// is read from batch state only at fences where it is tainted, i.e. where
+/// a cone latch or load last wrote it) and the state loads whose source is
+/// tainted at the final fence (all other registers stay golden at fence 0
+/// and are spliced on read).
+void NetlistIncrementalSim::compile_cone_program() {
+  const auto in_cone = [this](std::size_t i) {
+    return ((cone_[i >> 6] >> (i & 63)) & 1) != 0;
+  };
+
+  cone_ops_.clear();
+  cone_step_begin_.assign(static_cast<std::size_t>(plan_.num_steps) + 1, 0);
+  for (int step = 0; step < plan_.num_steps; ++step) {
+    cone_step_begin_[static_cast<std::size_t>(step)] =
+        static_cast<std::uint32_t>(cone_ops_.size());
+    const std::uint32_t end =
+        plan_.step_begin[static_cast<std::size_t>(step) + 1];
+    for (std::uint32_t i = plan_.step_begin[static_cast<std::size_t>(step)];
+         i < end; ++i) {
+      if (in_cone(i)) cone_ops_.push_back(i);
+    }
+  }
+  cone_step_begin_[static_cast<std::size_t>(plan_.num_steps)] =
+      static_cast<std::uint32_t>(cone_ops_.size());
+
+  loads_.clear();
+  for (const ExecPlan::StateLoad& load : plan_.state_loads) {
+    bool tainted_source = false;
+    switch (load.source.kind) {
+      case Operand::Kind::kWire:
+        tainted_source = in_cone(
+            producer_[static_cast<std::size_t>(load.source.index)]);
+        break;
+      case Operand::Kind::kReg:
+        tainted_source = reg_tainted_at(load.source.index, plan_.num_steps);
+        break;
+      default:
+        break;  // constants/inputs are golden broadcasts by definition
+    }
+    if (tainted_source) loads_.push_back(load);
+  }
+  program_dirty_ = false;
+}
+
+const hw::BatchWord& NetlistIncrementalSim::read_spliced(
+    const ExecOperand& op, const GoldenTrace& trace, int k, int step,
+    hw::BatchWord& scratch) const {
+  const auto& st = sem_.state;
+  switch (op.kind) {
+    case Operand::Kind::kNone:
+      return st.zero;
+    case Operand::Kind::kConst:
+      return st.consts[static_cast<std::size_t>(op.index)];
+    case Operand::Kind::kInput:
+      return st.inputs[static_cast<std::size_t>(op.index)];
+    case Operand::Kind::kWire: {
+      const std::size_t p = producer_[static_cast<std::size_t>(op.index)];
+      if ((cone_[p >> 6] >> (p & 63)) & 1) {
+        return st.wires[static_cast<std::size_t>(op.index)];
+      }
+      scratch = hw::broadcast_word(
+          trace.sample_wires(k)[static_cast<std::size_t>(op.index)],
+          plan_.ops[p].width);
+      return scratch;
+    }
+    case Operand::Kind::kReg: {
+      if (reg_tainted_at(op.index, step)) {
+        return st.regs[static_cast<std::size_t>(op.index)];
+      }
+      scratch = hw::broadcast_word(
+          trace.sample_regs(k, step)[static_cast<std::size_t>(op.index)],
+          plan_.data_width);
+      return scratch;
+    }
+  }
+  return st.zero;
+}
+
+void NetlistIncrementalSim::replay_sample(const GoldenTrace& trace, int k,
+                                          std::span<hw::BatchWord> outputs) {
+  SCK_EXPECTS(trace.num_inputs == plan_.num_inputs);
+  SCK_EXPECTS(trace.num_wires == plan_.num_wires);
+  SCK_EXPECTS(trace.num_regs == plan_.num_regs);
+  SCK_EXPECTS(trace.num_steps == plan_.num_steps);
+  SCK_EXPECTS(k >= 0 && k < trace.samples);
+  if (program_dirty_) compile_cone_program();
+  auto& st = sem_.state;
+
+  // Inputs are shared across lanes: broadcast straight from the trace (no
+  // per-lane packing/transpose).
+  const std::span<const Word> in = trace.sample_inputs(k);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    st.inputs[i] =
+        hw::broadcast_word(trunc(in[i], plan_.data_width), plan_.data_width);
+  }
+
+  // run_plan_sample's step loop, restricted to the cone ops: boundary
+  // operands — non-cone wires, registers clean at the reading fence — are
+  // spliced from the trace at read time; nothing else runs. Batch register
+  // slots are only ever read at fences where the union cone taints them,
+  // i.e. where the last writer was a cone latch or a cone state load, so
+  // golden writers need no latches at all.
+  hw::BatchWord scratch_a;
+  hw::BatchWord scratch_b;
+  for (int step = 0; step < plan_.num_steps; ++step) {
+    st.latches.clear();
+    const std::uint32_t end =
+        cone_step_begin_[static_cast<std::size_t>(step) + 1];
+    for (std::uint32_t a = cone_step_begin_[static_cast<std::size_t>(step)];
+         a < end; ++a) {
+      const ExecOp& op = plan_.ops[cone_ops_[a]];
+      const hw::BatchWord& va =
+          read_spliced(op.src0, trace, k, step, scratch_a);
+      const hw::BatchWord& vb =
+          read_spliced(op.src1, trace, k, step, scratch_b);
+      hw::BatchWord result = sem_.eval(op, va, vb);
+      if (op.dst_reg >= 0) st.latches.emplace_back(op.dst_reg, result);
+      st.wires[static_cast<std::size_t>(op.wire)] = std::move(result);
+    }
+    for (const auto& [reg, value] : st.latches) {
+      st.regs[static_cast<std::size_t>(reg)] = value;
+    }
+  }
+
+  // Outputs and the cone's state loads read after the last step (fence
+  // num_steps of the register timeline).
+  SCK_EXPECTS(outputs.size() == plan_.outputs.size());
+  for (std::size_t i = 0; i < plan_.outputs.size(); ++i) {
+    outputs[i] =
+        read_spliced(plan_.outputs[i], trace, k, plan_.num_steps, scratch_a);
+  }
+
+  st.loads.clear();
+  for (const ExecPlan::StateLoad& load : loads_) {
+    st.loads.emplace_back(
+        load.dst_reg,
+        read_spliced(load.source, trace, k, plan_.num_steps, scratch_a));
+  }
+  for (const auto& [reg, value] : st.loads) {
+    st.regs[static_cast<std::size_t>(reg)] = value;
+  }
 }
 
 }  // namespace sck::hls

@@ -1,4 +1,4 @@
-// Compile-once execution plan for generated netlists, plus the two
+// Compile-once execution plan for generated netlists, plus the
 // lane-for-lane-identical execution backends that run it.
 //
 // compile_execution_plan lowers the FSM microcode of a Netlist into a flat
@@ -8,7 +8,8 @@
 // before read, in the same step" invariant the interpreter used to check
 // per read with a stamp table is validated once at compile time, so the
 // execution loops index flat vectors with no hashing, no stamps and no
-// allocation.
+// allocation. A plan is immutable after compilation, so one compiled plan
+// can be shared `const` across every worker thread of a campaign.
 //
 // Backend interface: ONE templated executor (run_plan_sample) drives any
 // semantics type providing
@@ -24,6 +25,16 @@
 // One executor, two value domains: the backends cannot drift apart, and
 // the differential tests (tests/test_netlist_batch.cpp) prove lane
 // exactness across the full FU fault universe.
+//
+// On top of the batch semantics sits the *incremental* backend
+// (NetlistIncrementalSim): under a shared input stream every fault sees
+// identical stimuli, so the fault-free execution is a single golden trace
+// (GoldenTrace, recorded once per campaign) and an injected fault can only
+// perturb the static fan-out cone of its FU (FaultCones, computed once per
+// plan). The incremental executor replays just the union cone of the
+// batch's faults in 64-lane planes and splices every other wire — and its
+// latch — from the golden trace as a broadcast, which is why it multiplies
+// (rather than adds to) the bit-plane speedup.
 #pragma once
 
 #include <cstdint>
@@ -90,6 +101,110 @@ struct ExecPlan {
 /// wire-before-read discipline and resolves every slot; aborts on a
 /// malformed netlist.
 [[nodiscard]] ExecPlan compile_execution_plan(const Netlist& netlist);
+
+/// Static per-FU fan-out cones over a compiled plan: op_cone(f) is a
+/// bitmask over plan.ops of every op whose result can diverge from the
+/// fault-free execution when FU `f` hosts a fault, and reg_cone(f, s) the
+/// registers that can diverge at step fence s (fence s = what step s's ops
+/// read; fence num_steps = what outputs and state loads read). Taint
+/// propagates through same-step wires and registers at FENCE granularity —
+/// a later golden write to a (min-area, shared) register makes it clean
+/// again — and is iterated to the cross-sample fixpoint through the
+/// end-of-iteration state loads, so an op outside the cone, or a register
+/// at a clean fence, is *guaranteed* golden on every lane — the invariant
+/// the incremental backend's splicing rests on. Computed once per plan and
+/// shared const across campaign workers.
+class FaultCones {
+ public:
+  explicit FaultCones(const ExecPlan& plan);
+
+  /// Bitmask over plan.ops (bit i = plan.ops[i] is in the cone of `fu`).
+  [[nodiscard]] std::span<const std::uint64_t> op_cone(int fu) const {
+    SCK_EXPECTS(fu >= 0 && fu < num_fus_);
+    return {masks_.data() + static_cast<std::size_t>(fu) * words_, words_};
+  }
+
+  /// Bitmask over plan registers at fence `step_point` in [0, num_steps]
+  /// (bit r = register r can diverge there when `fu` hosts a fault).
+  [[nodiscard]] std::span<const std::uint64_t> reg_cone(int fu,
+                                                        int step_point) const {
+    SCK_EXPECTS(fu >= 0 && fu < num_fus_);
+    SCK_EXPECTS(step_point >= 0 && step_point <= num_steps_);
+    return {reg_masks_.data() +
+                (static_cast<std::size_t>(fu) *
+                     (static_cast<std::size_t>(num_steps_) + 1) +
+                 static_cast<std::size_t>(step_point)) *
+                    reg_words_,
+            reg_words_};
+  }
+
+  [[nodiscard]] std::size_t mask_words() const { return words_; }
+  [[nodiscard]] std::size_t reg_mask_words() const { return reg_words_; }
+  [[nodiscard]] int num_fus() const { return num_fus_; }
+  [[nodiscard]] int num_steps() const { return num_steps_; }
+
+  /// Number of plan ops in the cone of `fu` (diagnostics / bench).
+  [[nodiscard]] std::size_t cone_op_count(int fu) const;
+
+ private:
+  int num_fus_ = 0;
+  int num_steps_ = 0;
+  std::size_t words_ = 0;
+  std::size_t reg_words_ = 0;
+  std::vector<std::uint64_t> masks_;  ///< num_fus_ x words_, fu-major
+  /// num_fus_ x (num_steps_ + 1) x reg_words_, fu-major then fence-major.
+  std::vector<std::uint64_t> reg_masks_;
+};
+
+/// Fault-free replay trace of a shared input stream: every wire value and
+/// the per-step register file of every sample, recorded once per campaign
+/// by record_golden_trace. The incremental backend splices its cone
+/// boundary — non-cone wires read by cone ops, untainted registers — from
+/// it (broadcast to all lanes); the trace also carries the stream itself
+/// so batch inputs are broadcast rather than re-generated and transposed
+/// per batch.
+struct GoldenTrace {
+  int samples = 0;
+  int num_steps = 0;
+  std::int32_t num_inputs = 0;
+  std::int32_t num_wires = 0;
+  std::int32_t num_regs = 0;
+  std::vector<Word> inputs;  ///< samples x num_inputs, sample-major
+  std::vector<Word> wires;   ///< samples x num_wires, sample-major
+  /// samples x (num_steps + 1) x num_regs: point s of sample k is the
+  /// register file read by step s's ops (s = 0: start of sample, after the
+  /// previous sample's state loads); point num_steps is what outputs and
+  /// state-load sources read (after the last step's latches).
+  std::vector<Word> regs;
+
+  [[nodiscard]] std::span<const Word> sample_inputs(int k) const {
+    return {inputs.data() +
+                static_cast<std::size_t>(k) *
+                    static_cast<std::size_t>(num_inputs),
+            static_cast<std::size_t>(num_inputs)};
+  }
+  [[nodiscard]] std::span<const Word> sample_wires(int k) const {
+    return {wires.data() + static_cast<std::size_t>(k) *
+                               static_cast<std::size_t>(num_wires),
+            static_cast<std::size_t>(num_wires)};
+  }
+  [[nodiscard]] std::span<const Word> sample_regs(int k, int step_point) const {
+    return {regs.data() +
+                (static_cast<std::size_t>(k) *
+                     (static_cast<std::size_t>(num_steps) + 1) +
+                 static_cast<std::size_t>(step_point)) *
+                    static_cast<std::size_t>(num_regs),
+            static_cast<std::size_t>(num_regs)};
+  }
+};
+
+/// Run the fault-free scalar execution of `plan` over `input_stream`
+/// (samples x plan.num_inputs values, sample-major), recording every wire
+/// value per sample. One call per campaign replaces the per-batch
+/// fault-free work of the batched backend.
+[[nodiscard]] GoldenTrace record_golden_trace(const ExecPlan& plan,
+                                              std::span<const Word> input_stream,
+                                              int samples);
 
 /// The functional-unit models of one backend instance, index-aligned with
 /// netlist.fus (checker-side classes carry no model). Owns the per-FU
@@ -346,6 +461,9 @@ struct BatchExecSemantics {
 class NetlistBatchSim {
  public:
   explicit NetlistBatchSim(const Netlist& netlist);
+  /// Share an externally owned compiled plan (must outlive the sim): the
+  /// campaign drivers compile once and hand the same plan to every worker.
+  explicit NetlistBatchSim(const ExecPlan& plan);
 
   // Holds internal references (plan/bank); pinned like the scalar sim.
   NetlistBatchSim(const NetlistBatchSim&) = delete;
@@ -380,10 +498,101 @@ class NetlistBatchSim {
   [[nodiscard]] const ExecPlan& plan() const { return plan_; }
 
  private:
-  ExecPlan plan_;
+  ExecPlan owned_plan_;     ///< empty when constructed over a shared plan
+  const ExecPlan& plan_;
   FuBank bank_;
   std::vector<hw::LaneFaultSet> lane_faults_;  ///< per FU instance
   BatchExecSemantics sem_;
+};
+
+/// Golden-trace incremental execution backend: lane L runs the same
+/// netlist with lane L's injected fault, but — because all lanes share one
+/// input stream — only the union fan-out cone of the installed faults is
+/// executed in 64-lane planes. Everything else is never touched: cone ops
+/// reading across the cone boundary (a non-cone wire, an untainted
+/// register) splice the golden value from the trace as a broadcast at
+/// read time, non-cone latches into tainted registers splice their golden
+/// wire, and untainted registers are read straight from the trace's
+/// per-step register timeline. Per-sample work is therefore proportional
+/// to the cone, not to the plan — while staying lane-for-lane identical
+/// to step_sample_batch under broadcast inputs.
+class NetlistIncrementalSim {
+ public:
+  /// Both the plan and the cones are shared, externally owned state (one
+  /// of each per campaign) and must outlive the sim.
+  NetlistIncrementalSim(const ExecPlan& plan, const FaultCones& cones);
+
+  // Holds internal references (plan/cones/bank); pinned like its siblings.
+  NetlistIncrementalSim(const NetlistIncrementalSim&) = delete;
+  NetlistIncrementalSim& operator=(const NetlistIncrementalSim&) = delete;
+
+  /// Remove every per-lane fault (all lanes fault-free, empty cone).
+  void clear_lane_faults();
+
+  /// Inject `fault` into FU `fu_index` on the lanes of `lanes` and grow
+  /// the union cone by that FU's fan-out cone. A lane may host at most one
+  /// fault across the whole design.
+  void add_lane_fault(int fu_index, const hw::FaultSite& fault,
+                      hw::LaneMask lanes);
+
+  /// Shrink the union cone to the faults of still-active lanes (fault
+  /// dropping): retired lanes keep their fault installed but no longer
+  /// contribute their FU's cone, so their planes become unspecified —
+  /// callers must not read them again.
+  void set_active_lanes(hw::LaneMask active);
+
+  /// Reset architectural state to zero on every lane.
+  void reset() { sem_.state.reset(); }
+
+  /// Replay sample `k` of `trace` under the installed faults: union-cone
+  /// ops execute in batch semantics, everything else is spliced from the
+  /// trace. `outputs` filled by position in netlist().outputs.
+  void replay_sample(const GoldenTrace& trace, int k,
+                     std::span<hw::BatchWord> outputs);
+
+  /// Number of plan ops currently replayed per sample (diagnostics).
+  [[nodiscard]] std::size_t cone_op_count() const;
+
+  [[nodiscard]] const Netlist& netlist() const { return *plan_.netlist; }
+  [[nodiscard]] const ExecPlan& plan() const { return plan_; }
+
+ private:
+  void rebuild_masks(hw::LaneMask active);
+  void compile_cone_program();
+  /// Operand read with boundary splicing: batch state when the producer is
+  /// inside the cone (wire) or the register is tainted at fence `step`,
+  /// otherwise a broadcast of the golden value at (sample k, fence `step`)
+  /// materialised in `scratch`.
+  [[nodiscard]] const hw::BatchWord& read_spliced(const ExecOperand& op,
+                                                  const GoldenTrace& trace,
+                                                  int k, int step,
+                                                  hw::BatchWord& scratch) const;
+  [[nodiscard]] bool reg_tainted_at(std::int32_t reg, int step_point) const {
+    const std::size_t r = static_cast<std::size_t>(reg);
+    return ((reg_cone_[static_cast<std::size_t>(step_point) *
+                           cones_.reg_mask_words() +
+                       (r >> 6)] >>
+             (r & 63)) &
+            1) != 0;
+  }
+
+  const ExecPlan& plan_;
+  const FaultCones& cones_;
+  FuBank bank_;
+  std::vector<hw::LaneFaultSet> lane_faults_;  ///< per FU instance
+  BatchExecSemantics sem_;
+  std::vector<std::pair<int, hw::LaneMask>> faults_;  ///< installed (fu, lanes)
+  std::vector<std::uint32_t> producer_;  ///< wire slot -> plan op index
+  std::vector<std::uint64_t> cone_;      ///< union op mask over plan_.ops
+  /// Union tainted-register masks, fence-major: (num_steps + 1) fences of
+  /// reg_mask_words() words each.
+  std::vector<std::uint64_t> reg_cone_;
+  std::vector<std::uint32_t> cone_ops_;  ///< cone op indices, plan order
+  std::vector<std::uint32_t> cone_step_begin_;  ///< num_steps + 1 fences
+  /// State loads whose source is tainted at the final fence (all other
+  /// registers stay golden at fence 0 and are spliced on read).
+  std::vector<ExecPlan::StateLoad> loads_;
+  bool program_dirty_ = true;
 };
 
 }  // namespace sck::hls

@@ -5,9 +5,13 @@
 namespace sck::hls {
 
 NetlistSim::NetlistSim(const Netlist& netlist)
-    : plan_(compile_execution_plan(netlist)),
+    : owned_plan_(compile_execution_plan(netlist)),
+      plan_(owned_plan_),
       bank_(netlist),
       sem_(plan_, bank_) {}
+
+NetlistSim::NetlistSim(const ExecPlan& plan)
+    : plan_(plan), bank_(*plan.netlist), sem_(plan_, bank_) {}
 
 void NetlistSim::step_sample_indexed(std::span<const Word> inputs,
                                      std::span<Word> outputs) {

@@ -37,6 +37,10 @@ namespace sck::hls {
 class NetlistSim {
  public:
   explicit NetlistSim(const Netlist& netlist);
+  /// Share an externally owned compiled plan (must outlive the sim): the
+  /// campaign drivers compile once and hand the same plan to every worker
+  /// instead of recompiling per clone.
+  explicit NetlistSim(const ExecPlan& plan);
 
   // The semantics object references the sim-owned plan and bank; copying
   // or moving would rebind it to a dead sibling (see the context lifetime
@@ -75,7 +79,8 @@ class NetlistSim {
   [[nodiscard]] const ExecPlan& plan() const { return plan_; }
 
  private:
-  ExecPlan plan_;
+  ExecPlan owned_plan_;  ///< empty when constructed over a shared plan
+  const ExecPlan& plan_;
   FuBank bank_;
   ScalarExecSemantics sem_;
 };

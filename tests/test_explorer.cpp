@@ -252,6 +252,36 @@ TEST(Explorer, ResultsInvariantUnderThreadsAndEvaluationOrder) {
   expect_reports_identical(run_with(2, interleaved), baseline);
 }
 
+TEST(Explorer, ResultsInvariantUnderPointSharding) {
+  // Whole-point sharding (point_threads) must leave the report
+  // byte-for-byte identical to the sequential evaluation: campaigns are
+  // thread-invariant and results land in grid-index slots, so any pool
+  // size — including one larger than the grid, and combined with an inner
+  // campaign thread budget — is a pure wall-clock knob.
+  const KernelRegistry registry = builtin_registry();
+  DesignGrid grid;
+  grid.kernels = {"fir", "iir", "divmod"};
+  grid.variants = {Variant::kPlain, Variant::kSck};
+  grid.widths = {5};
+  const std::vector<DesignPoint> points = grid.points();
+  ASSERT_EQ(points.size(), 12u);
+
+  const auto run_with = [&](int point_threads, int campaign_threads) {
+    ExplorerOptions opt;
+    opt.campaign = small_campaign();
+    opt.campaign.threads = campaign_threads;
+    opt.point_threads = point_threads;
+    Explorer explorer(registry, opt);
+    return explorer.run(points);
+  };
+
+  const ExplorationReport baseline = run_with(1, 1);
+  expect_reports_identical(run_with(2, 1), baseline);
+  expect_reports_identical(run_with(8, 1), baseline);
+  expect_reports_identical(run_with(0, 0), baseline);  // all-hardware pools
+  expect_reports_identical(run_with(64, 4), baseline);  // pool > grid
+}
+
 // ---- cross-kernel grid -----------------------------------------------------
 
 TEST(Explorer, CrossKernelGridEvaluatesEveryPoint) {

@@ -1,0 +1,271 @@
+// Differential suites for the golden-trace incremental backend and the
+// shared-input-stream mode: under StreamMode::kShared every backend must
+// produce bit-identical NetlistCampaignResults, and kIncremental — which
+// replays only the union fault cone of each batch and splices everything
+// else from the golden trace — must match kBatched over the FULL FU fault
+// universes of the synthesized netlists at any thread count, including
+// partial final batches. These tests are the contract that lets coverage
+// campaigns switch to the incremental engine.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hls/bind.h"
+#include "hls/builder.h"
+#include "hls/expand_sck.h"
+#include "hls/netlist.h"
+#include "hls/netlist_campaign.h"
+#include "hls/netlist_exec.h"
+#include "hls/schedule.h"
+
+namespace sck::hls {
+namespace {
+
+Netlist synthesize(const Dfg& g, const ResourceConstraints& rc,
+                   const std::string& name) {
+  Schedule s = (rc.addsub < 0 && rc.mul < 0 && rc.cmp < 0 && rc.divrem < 0)
+                   ? schedule_asap(g)
+                   : schedule_list(g, rc);
+  validate_schedule(g, s, rc);
+  Binding b = bind(g, s, rc);
+  validate_binding(g, s, b);
+  return generate_netlist(g, s, b, name);
+}
+
+Dfg ced(const Dfg& g, CedStyle style) {
+  CedOptions opt;
+  opt.style = style;
+  return insert_ced(g, opt);
+}
+
+bool same_campaign_result(const NetlistCampaignResult& x,
+                          const NetlistCampaignResult& y) {
+  if (x.fault_universe_size != y.fault_universe_size) return false;
+  if (x.aggregate.silent_correct != y.aggregate.silent_correct ||
+      x.aggregate.detected_correct != y.aggregate.detected_correct ||
+      x.aggregate.detected_erroneous != y.aggregate.detected_erroneous ||
+      x.aggregate.masked != y.aggregate.masked) {
+    return false;
+  }
+  if (x.per_unit.size() != y.per_unit.size()) return false;
+  for (std::size_t u = 0; u < x.per_unit.size(); ++u) {
+    if (x.per_unit[u].fu_index != y.per_unit[u].fu_index ||
+        x.per_unit[u].faults != y.per_unit[u].faults ||
+        x.per_unit[u].stats.silent_correct !=
+            y.per_unit[u].stats.silent_correct ||
+        x.per_unit[u].stats.detected_correct !=
+            y.per_unit[u].stats.detected_correct ||
+        x.per_unit[u].stats.detected_erroneous !=
+            y.per_unit[u].stats.detected_erroneous ||
+        x.per_unit[u].stats.masked != y.per_unit[u].stats.masked) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The incremental contract on one design: under a shared stream, the
+/// FULL FU fault universe swept by kIncremental must be bit-identical to
+/// kBatched (and both cover real work) at thread counts 1/2/8 — the lane
+/// packing of a full universe always ends in a partial final batch here,
+/// so the prefix-mask path is exercised on every design.
+void expect_incremental_identical(const Dfg& g, const Netlist& nl,
+                                  int samples, std::uint64_t seed) {
+  NetlistCampaignOptions opt;
+  opt.samples_per_fault = samples;
+  opt.seed = seed;
+  opt.stream = StreamMode::kShared;
+
+  opt.backend = NetlistBackend::kBatched;
+  opt.threads = 1;
+  const auto batched_r = run_netlist_campaign(g, nl, opt);
+  EXPECT_GT(batched_r.aggregate.total(), 0u);
+
+  opt.backend = NetlistBackend::kIncremental;
+  for (const int threads : {1, 2, 8}) {
+    opt.threads = threads;
+    const auto inc_r = run_netlist_campaign(g, nl, opt);
+    EXPECT_TRUE(same_campaign_result(batched_r, inc_r))
+        << nl.name << ": incremental diverged at " << threads << " thread(s)";
+  }
+}
+
+TEST(NetlistIncremental, FirClassBasedWidth4) {
+  const Dfg g = ced(build_fir(FirSpec{{3, -5, 7}, 4}), CedStyle::kClassBased);
+  expect_incremental_identical(
+      g, synthesize(g, ResourceConstraints::min_area(), "fir4"), 8, 0xA1);
+}
+
+TEST(NetlistIncremental, FirClassBasedWidth8) {
+  const Dfg g =
+      ced(build_fir(FirSpec{{3, -5, 7, -5, 3}, 8}), CedStyle::kClassBased);
+  expect_incremental_identical(
+      g, synthesize(g, ResourceConstraints::min_area(), "fir8"), 6, 0xA2);
+}
+
+TEST(NetlistIncremental, FirEmbeddedWidth8) {
+  const Dfg g = ced(build_fir(FirSpec{{2, 3, -5, 7}, 8}), CedStyle::kEmbedded);
+  expect_incremental_identical(
+      g, synthesize(g, ResourceConstraints::min_area(), "fire8"), 6, 0xA3);
+}
+
+TEST(NetlistIncremental, PlainFirNoErrorOutputWidth8) {
+  // Plain netlists exercise the no-error-output path (nothing ever
+  // detects; every erroneous sample is masked).
+  const Dfg g = build_fir(FirSpec{{1, -2, 3}, 8});
+  expect_incremental_identical(
+      g, synthesize(g, ResourceConstraints::min_area(), "firp"), 6, 0xA4);
+}
+
+TEST(NetlistIncremental, IirWidth4) {
+  const Dfg g = ced(build_iir_biquad(IirBiquadSpec{3, -2, 1, 1, -1, 4}),
+                    CedStyle::kClassBased);
+  expect_incremental_identical(
+      g, synthesize(g, ResourceConstraints::min_area(), "iir4"), 8, 0xA5);
+}
+
+TEST(NetlistIncremental, IirWidth8) {
+  // The IIR's feedback registers stress the cross-sample cone fixpoint: a
+  // perturbed state register re-taints every later sample.
+  const Dfg g = ced(build_iir_biquad(IirBiquadSpec{3, -2, 1, 1, -1, 8}),
+                    CedStyle::kClassBased);
+  expect_incremental_identical(
+      g, synthesize(g, ResourceConstraints::min_area(), "iir8"), 6, 0xA6);
+}
+
+TEST(NetlistIncremental, DivmodWidth4) {
+  // Covers the divider's batch path plus the Eq/IsZero comparator glue.
+  const Dfg g = ced(build_divmod(4), CedStyle::kClassBased);
+  expect_incremental_identical(
+      g, synthesize(g, ResourceConstraints::min_area(), "dm4"), 8, 0xA7);
+}
+
+TEST(NetlistIncremental, DivmodWidth8) {
+  const Dfg g = ced(build_divmod(8), CedStyle::kClassBased);
+  expect_incremental_identical(
+      g, synthesize(g, ResourceConstraints::min_area(), "dm8"), 4, 0xA8);
+}
+
+// ---- shared-stream mode across all three backends -------------------------
+
+TEST(NetlistIncremental, SharedStreamIdenticalAcrossAllBackends) {
+  // The scalar interpreter anchors the shared-stream semantics: batched
+  // and incremental must reproduce it bit for bit (full universe incl.
+  // the partial final batch; multi-threaded on the batched leg).
+  const Dfg g =
+      ced(build_fir(FirSpec{{2, 3, -5, 7}, 8}), CedStyle::kClassBased);
+  const Netlist nl = synthesize(g, ResourceConstraints::min_area(), "shr");
+
+  NetlistCampaignOptions opt;
+  opt.samples_per_fault = 8;
+  opt.fault_stride = 3;  // subsample for the scalar anchor's sake
+  opt.seed = 0x5A5A;
+  opt.stream = StreamMode::kShared;
+
+  opt.backend = NetlistBackend::kScalar;
+  opt.threads = 1;
+  const auto scalar_r = run_netlist_campaign(g, nl, opt);
+  EXPECT_GT(scalar_r.aggregate.observable_errors(), 0u);
+
+  opt.backend = NetlistBackend::kBatched;
+  opt.threads = 3;
+  const auto batched_r = run_netlist_campaign(g, nl, opt);
+  EXPECT_TRUE(same_campaign_result(scalar_r, batched_r));
+
+  opt.backend = NetlistBackend::kIncremental;
+  opt.threads = 2;
+  const auto inc_r = run_netlist_campaign(g, nl, opt);
+  EXPECT_TRUE(same_campaign_result(scalar_r, inc_r));
+}
+
+TEST(NetlistIncremental, SharedStreamDiffersFromPerFaultStream) {
+  // The two stream modes must not silently alias: same seed, different
+  // keying, different stimuli — so the aggregates (here the per-unit
+  // silent/erroneous split over a full universe) almost surely differ.
+  const Dfg g =
+      ced(build_fir(FirSpec{{2, 3, -5, 7}, 8}), CedStyle::kClassBased);
+  const Netlist nl = synthesize(g, ResourceConstraints::min_area(), "mode");
+
+  NetlistCampaignOptions opt;
+  opt.samples_per_fault = 8;
+  opt.fault_stride = 7;
+  opt.seed = 0xC0DE;
+  opt.backend = NetlistBackend::kBatched;
+
+  opt.stream = StreamMode::kPerFault;
+  const auto per_fault_r = run_netlist_campaign(g, nl, opt);
+  opt.stream = StreamMode::kShared;
+  const auto shared_r = run_netlist_campaign(g, nl, opt);
+  EXPECT_EQ(per_fault_r.fault_universe_size, shared_r.fault_universe_size);
+  EXPECT_FALSE(same_campaign_result(per_fault_r, shared_r));
+}
+
+// ---- fault dropping -------------------------------------------------------
+
+TEST(NetlistIncremental, FaultDroppingPreservesTheDetectionSet) {
+  // Dropping retires a lane after its FIRST detected sample. Until that
+  // sample the simulation is identical to the full run, so per unit:
+  //  - a unit detects in the drop run iff it detects in the full run;
+  //  - units that never detect are untouched by dropping (bit-identical);
+  //  - dropped lanes only ever remove samples (totals shrink, never grow).
+  const Dfg g =
+      ced(build_fir(FirSpec{{3, -5, 7, -5, 3}, 8}), CedStyle::kClassBased);
+  const Netlist nl = synthesize(g, ResourceConstraints::min_area(), "drop");
+
+  NetlistCampaignOptions opt;
+  opt.samples_per_fault = 12;
+  opt.seed = 0xD0;
+  opt.stream = StreamMode::kShared;
+  opt.backend = NetlistBackend::kIncremental;
+
+  const auto full_r = run_netlist_campaign(g, nl, opt);
+  opt.fault_dropping = true;
+  for (const int threads : {1, 2}) {
+    opt.threads = threads;
+    const auto drop_r = run_netlist_campaign(g, nl, opt);
+    ASSERT_EQ(drop_r.per_unit.size(), full_r.per_unit.size());
+    EXPECT_EQ(drop_r.fault_universe_size, full_r.fault_universe_size);
+    EXPECT_LE(drop_r.aggregate.total(), full_r.aggregate.total());
+    EXPECT_LT(drop_r.aggregate.total(), full_r.aggregate.total())
+        << "a self-checking design that never detects anything?";
+    for (std::size_t u = 0; u < full_r.per_unit.size(); ++u) {
+      const fault::CampaignStats& full = full_r.per_unit[u].stats;
+      const fault::CampaignStats& drop = drop_r.per_unit[u].stats;
+      EXPECT_EQ(drop.detections() > 0, full.detections() > 0)
+          << full_r.per_unit[u].fu_name;
+      EXPECT_LE(drop.total(), full.total());
+      if (full.detections() == 0) {
+        EXPECT_EQ(drop.silent_correct, full.silent_correct);
+        EXPECT_EQ(drop.masked, full.masked);
+      }
+    }
+  }
+}
+
+// ---- cone analysis --------------------------------------------------------
+
+TEST(NetlistIncremental, FaultConesCoverEveryFusOwnOps) {
+  // Minimal structural sanity on the cone masks themselves: every FU's
+  // cone contains at least all ops executing on that FU, and no cone
+  // exceeds the plan.
+  const Dfg g =
+      ced(build_fir(FirSpec{{3, -5, 7}, 8}), CedStyle::kClassBased);
+  const Netlist nl = synthesize(g, ResourceConstraints::min_area(), "cone");
+  const ExecPlan plan = compile_execution_plan(nl);
+  const FaultCones cones(plan);
+  ASSERT_EQ(cones.num_fus(), static_cast<int>(nl.fus.size()));
+  for (int f = 0; f < cones.num_fus(); ++f) {
+    const auto mask = cones.op_cone(f);
+    for (std::size_t i = 0; i < plan.ops.size(); ++i) {
+      if (plan.ops[i].fu != f) continue;
+      EXPECT_TRUE((mask[i >> 6] >> (i & 63)) & 1)
+          << "op " << i << " runs on FU " << f << " but is not in its cone";
+    }
+    EXPECT_LE(cones.cone_op_count(f), plan.ops.size());
+  }
+}
+
+}  // namespace
+}  // namespace sck::hls
