@@ -40,10 +40,12 @@
 #include "fault/campaign.h"
 #include "fault/parallel.h"
 #include "fault/trials.h"
+#include "hls/bind.h"
 #include "hls/builder.h"
 #include "hls/expand_sck.h"
 #include "hls/netlist_campaign.h"
 #include "hls/netlist_exec.h"
+#include "hls/schedule.h"
 #include "hw/ripple_carry_adder.h"
 
 namespace {
@@ -93,31 +95,12 @@ bool same_result(const CampaignResult& x, const CampaignResult& y) {
          x.max_fault_coverage == y.max_fault_coverage;
 }
 
+/// Bit identity via the library's member-wise operator==
+/// (hls/netlist_campaign.h) — the single definition the *_results_identical
+/// gates and the differential test suites share.
 bool same_netlist_result(const sck::hls::NetlistCampaignResult& x,
                          const sck::hls::NetlistCampaignResult& y) {
-  if (x.fault_universe_size != y.fault_universe_size ||
-      x.per_unit.size() != y.per_unit.size()) {
-    return false;
-  }
-  if (x.aggregate.silent_correct != y.aggregate.silent_correct ||
-      x.aggregate.detected_correct != y.aggregate.detected_correct ||
-      x.aggregate.detected_erroneous != y.aggregate.detected_erroneous ||
-      x.aggregate.masked != y.aggregate.masked) {
-    return false;
-  }
-  for (std::size_t u = 0; u < x.per_unit.size(); ++u) {
-    if (x.per_unit[u].stats.silent_correct !=
-            y.per_unit[u].stats.silent_correct ||
-        x.per_unit[u].stats.detected_correct !=
-            y.per_unit[u].stats.detected_correct ||
-        x.per_unit[u].stats.detected_erroneous !=
-            y.per_unit[u].stats.detected_erroneous ||
-        x.per_unit[u].stats.masked != y.per_unit[u].stats.masked ||
-        x.per_unit[u].faults != y.per_unit[u].faults) {
-      return false;
-    }
-  }
-  return true;
+  return x == y;
 }
 
 }  // namespace
@@ -387,6 +370,92 @@ int main(int argc, char** argv) {
                  "timings\n";
     return 1;
   }
+
+  // ---- new workload shapes: multi-output matvec + state-heavy moving sum --
+  // The explorer's coverage leg defaults to shared-stream incremental
+  // (report_version 2), so the identity of that backend on the new netlist
+  // shapes — per-output check cones (matvec) and deep register timelines
+  // (moving_sum) — is part of the perf trajectory's correctness gate: one
+  // row per kernel, scalar vs batched vs incremental under one shared
+  // stream, recorded as system_<kernel>_results_identical (CI asserts
+  // every *_results_identical field).
+  const auto kernel_identity = [&](const sck::hls::Dfg& graph,
+                                   const sck::hls::Netlist& netlist,
+                                   const std::string& label,
+                                   sck::bench::JsonValue& rows) {
+    sck::hls::NetlistCampaignOptions opt;
+    opt.samples_per_fault = static_cast<int>(args.iterations);
+    opt.seed = 0x2005;
+    opt.stream = sck::hls::StreamMode::kShared;
+    opt.threads = 1;
+
+    sck::hls::NetlistCampaignResult scalar_result;
+    sck::hls::NetlistCampaignResult batched_result;
+    sck::hls::NetlistCampaignResult inc_result;
+    opt.backend = sck::hls::NetlistBackend::kScalar;
+    const double sc_s =
+        seconds([&] { scalar_result = run_netlist_campaign(graph, netlist, opt); });
+    opt.backend = sck::hls::NetlistBackend::kBatched;
+    const double ba_s =
+        seconds([&] { batched_result = run_netlist_campaign(graph, netlist, opt); });
+    opt.backend = sck::hls::NetlistBackend::kIncremental;
+    const double in_s =
+        seconds([&] { inc_result = run_netlist_campaign(graph, netlist, opt); });
+
+    const bool identical = same_netlist_result(scalar_result, batched_result) &&
+                           same_netlist_result(scalar_result, inc_result);
+    const auto kernel_trials =
+        static_cast<double>(scalar_result.aggregate.total());
+    sck::bench::JsonValue r;
+    r.set("engine", label + "-incremental")
+        .set("threads", 1)
+        .set("faults", scalar_result.fault_universe_size)
+        .set("seconds", in_s)
+        .set("samples_per_sec", kernel_trials / in_s)
+        .set("speedup_vs_scalar", sc_s / in_s)
+        .set("speedup_vs_batched", ba_s / in_s)
+        .set("results_identical", identical);
+    rows.push(std::move(r));
+    std::cout << "  " << label << ": " << scalar_result.fault_universe_size
+              << " faults, incremental "
+              << sck::format_fixed(sc_s / in_s, 2) << "x vs scalar, "
+              << sck::format_fixed(ba_s / in_s, 2) << "x vs batched, results "
+              << (identical ? "identical" : "DIVERGED") << "\n";
+    return identical;
+  };
+
+  std::cout << "\nNew workload shapes under shared streams (w" << kWidth
+            << ", class-based CED, min-area):\n";
+  sck::bench::JsonValue kernel_rows;
+  bool matvec_identical = false;
+  bool moving_sum_identical = false;
+  {
+    const sck::hls::Dfg g = sck::hls::insert_ced(
+        sck::hls::build_matvec({{2, -3, 1}, {-1, 4, 2}}, kWidth), ced_opt);
+    const sck::hls::ResourceConstraints rc =
+        sck::hls::ResourceConstraints::min_area();
+    const sck::hls::Schedule s = sck::hls::schedule_list(g, rc);
+    const sck::hls::Binding b = sck::hls::bind(g, s, rc);
+    const sck::hls::Netlist nl =
+        sck::hls::generate_netlist(g, s, b, "matvec_sck_min_area");
+    matvec_identical = kernel_identity(g, nl, "matvec", kernel_rows);
+  }
+  {
+    const sck::hls::Dfg g =
+        sck::hls::insert_ced(sck::hls::build_moving_sum(4, kWidth), ced_opt);
+    const sck::hls::ResourceConstraints rc =
+        sck::hls::ResourceConstraints::min_area();
+    const sck::hls::Schedule s = sck::hls::schedule_list(g, rc);
+    const sck::hls::Binding b = sck::hls::bind(g, s, rc);
+    const sck::hls::Netlist nl =
+        sck::hls::generate_netlist(g, s, b, "moving_sum_sck_min_area");
+    moving_sum_identical = kernel_identity(g, nl, "moving_sum", kernel_rows);
+  }
+  if (!matvec_identical || !moving_sum_identical) {
+    std::cerr << "NEW-KERNEL ENGINE MISMATCH: backends diverged on "
+                 "matvec/moving_sum — refusing to report timings\n";
+    return 1;
+  }
   {
     sck::bench::JsonValue r;
     r.set("engine", "system-incremental+drop")
@@ -485,7 +554,10 @@ int main(int argc, char** argv) {
       .set("system_speedup_incremental_vs_batched", sys_batched_s / inc_1_s)
       .set("system_drop_detection_consistent", drop_consistent)
       .set("system_drop_campaign_speedup", shared_1_s / drop_s)
-      .set("system_shared_results", std::move(shared_results));
+      .set("system_shared_results", std::move(shared_results))
+      .set("system_matvec_results_identical", matvec_identical)
+      .set("system_moving_sum_results_identical", moving_sum_identical)
+      .set("system_kernel_results", std::move(kernel_rows));
 
   return sck::bench::save_json(doc, args.json_path);
 }

@@ -6,16 +6,19 @@
 // properties, yet the local fault coverage analysis ... can be used as an
 // estimation of the reliability level that will be achieved." This bench
 // provides the missing measurement for our substrate, now through the
-// kernel-generic explorer: one Explorer run synthesizes the three FIR
-// variants and sweeps the complete stuck-at universe of every functional
-// unit of each *netlist*, reporting the realization-level coverage — which
-// can then be compared against the paper's local (per-operator) estimates
-// from Table 1/Table 2.
+// kernel-generic explorer: one Explorer run synthesizes the three
+// protection variants of the FIR case study plus the two new netlist
+// shapes (multi-output matvec, state-heavy moving_sum) and sweeps the
+// complete stuck-at universe of every functional unit of each *netlist*,
+// reporting the realization-level coverage — which can then be compared
+// against the paper's local (per-operator) estimates from Table 1/Table 2.
 //
-// The sweep runs on the 64-lane bit-plane netlist backend (64 faults per
-// batch through the compiled execution plan, sharded across the worker
-// pool); results are bit-identical to the scalar interpreter at any lane
-// packing and thread count (tests/test_netlist_batch.cpp).
+// The sweep runs on the explorer's report_version-2 default: ONE shared
+// input stream per campaign, replayed by the golden-trace incremental
+// backend (fault-cone replay); results are bit-identical to the scalar
+// interpreter and the bit-plane backend at any lane packing and thread
+// count under shared streams (tests/test_netlist_incremental.cpp,
+// tests/test_backend_differential.cpp).
 //
 // Usage: ./system_coverage [json_path] [samples_per_fault]
 #include <iostream>
@@ -44,31 +47,34 @@ int main(int argc, char** argv) {
       argc, argv, "BENCH_system_coverage.json", /*default_iterations=*/48);
 
   std::cout
-      << "System-level fault coverage of the synthesized FIR variants\n"
-      << "(5 taps, " << kWidth
-      << "-bit data path, min-area synthesis; every stuck-at\n"
-      << "fault of every datapath FU, " << args.iterations
-      << " random samples per fault)\n\n";
+      << "System-level fault coverage of the synthesized kernels\n"
+      << "(FIR 5 taps / matvec 2x3 / moving-sum window 4, " << kWidth
+      << "-bit data path,\nmin-area synthesis; every stuck-at fault of "
+         "every datapath FU, "
+      << args.iterations
+      << " shared\nrandom samples per fault, incremental cone replay)\n\n";
 
   sck::codesign::KernelRegistry registry;
   registry.add(sck::codesign::make_fir_kernel({3, -5, 7, -5, 3}));
+  registry.add(sck::codesign::make_matvec_kernel({{2, -3, 1}, {-1, 4, 2}}));
+  registry.add(sck::codesign::make_moving_sum_kernel(4));
 
   sck::codesign::ExplorerOptions opt;
   opt.campaign.samples_per_fault = static_cast<int>(args.iterations);
   opt.campaign.seed = 0x51C0;
   opt.campaign.threads = 0;  // full pool; results are thread-count invariant
-  opt.campaign.backend =
-      sck::hls::NetlistBackend::kBatched;  // 64 faults per bit-plane sweep
+  // Stream/backend are explorer-managed: shared-stream incremental
+  // (report_version 2; set opt.legacy_streams for the PR 3/4 numbers).
   Explorer explorer(registry, opt);
 
   DesignGrid grid;
-  grid.kernels = {"fir"};
+  grid.kernels = registry.names();
   grid.objectives = {true};  // min-area rows only
   grid.widths = {kWidth};
   const auto report = explorer.run(grid.points());
 
-  sck::TextTable table("final-realization coverage per variant");
-  table.set_header({"variant", "faults", "erroneous samples", "detected",
+  sck::TextTable table("final-realization coverage per kernel x variant");
+  table.set_header({"design point", "faults", "erroneous samples", "detected",
                     "masked", "error detection rate", "coverage"});
   for (const PointResult& r : report.points) {
     const double detection_rate =
@@ -76,7 +82,7 @@ int main(int argc, char** argv) {
             ? 1.0
             : static_cast<double>(r.stats.detected_erroneous) /
                   static_cast<double>(r.stats.observable_errors());
-    table.add_row({std::string(to_string(r.point.variant)),
+    table.add_row({to_string(r.point),
                    std::to_string(r.faults),
                    std::to_string(r.stats.observable_errors()),
                    std::to_string(r.stats.detected_erroneous),
@@ -93,9 +99,13 @@ int main(int argc, char** argv) {
   sck::bench::JsonValue per_unit_json;
   {
     const DesignPoint point{"fir", Variant::kSck, true, kWidth};
+    // Same effective options as the explorer's report_version-2 rows.
+    sck::hls::NetlistCampaignOptions unit_opt = opt.campaign;
+    unit_opt.stream = sck::hls::StreamMode::kShared;
+    unit_opt.backend = sck::hls::NetlistBackend::kIncremental;
     const auto r = run_netlist_campaign(explorer.reference_graph(point),
                                         explorer.synthesize(point).netlist,
-                                        opt.campaign);
+                                        unit_opt);
     sck::TextTable per_unit("FIR with SCK: per-unit breakdown");
     per_unit.set_header({"functional unit", "faults", "erroneous", "masked",
                          "false alarms", "coverage"});

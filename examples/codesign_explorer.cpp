@@ -3,12 +3,14 @@
 // The paper's flow (Fig. 3) feeds one specification into both synthesis
 // legs and leaves the trade-off decision to the designer. This example
 // runs that loop in bulk with the kernel-generic explorer: the built-in
-// kernel registry (FIR, IIR biquad, dot product, divider) x protection
-// variants (plain / class-based SCK / embedded checks) x synthesis
-// objectives (min area / min latency), each point synthesized to a
-// netlist, swept through the batched system-level fault campaign, and the
-// (area, latency, coverage) Pareto frontier extracted — the map a designer
-// would use to pick an implementation.
+// kernel registry (FIR, IIR biquad, dot product, divider, multi-output
+// matvec, state-heavy moving sum) x protection variants (plain /
+// class-based SCK / embedded checks) x synthesis objectives (min area /
+// min latency), each point synthesized to a netlist, swept through the
+// shared-stream incremental fault campaign (report_version 2; set
+// ExplorerOptions::legacy_streams for the pre-bump per-fault numbers),
+// and the (area, latency, coverage) Pareto frontier extracted — the map a
+// designer would use to pick an implementation.
 //
 // Build & run:  ./build/codesign_explorer [width] [samples_per_fault] [sw_samples]
 #include <cstdlib>

@@ -1,9 +1,11 @@
-// Dot product and matrix kernels, templated over the element type.
+// Dot product and matrix kernels, templated over the element type, plus
+// their embedded-checked host variants (apps/embedded.h).
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "apps/embedded.h"
 #include "common/assert.h"
 
 namespace sck::apps {
@@ -15,6 +17,17 @@ template <typename T>
   T acc = a[0] * b[0];
   for (std::size_t i = 1; i < a.size(); ++i) acc = acc + a[i] * b[i];
   return acc;
+}
+
+/// The embedded-checked dot product: every product feeds the running
+/// difference, one zero test at the end.
+[[nodiscard]] inline CheckedValue embedded_checked_dot(
+    std::span<const long long> a, std::span<const long long> b) {
+  SCK_EXPECTS(a.size() == b.size());
+  SCK_EXPECTS(!a.empty());
+  RunningDifference<long long> acc;
+  for (std::size_t i = 0; i < a.size(); ++i) acc.add(a[i] * b[i]);
+  return CheckedValue{acc.value(), acc.error()};
 }
 
 /// Dense row-major matrix-matrix product: c(m x p) = a(m x n) * b(n x p).
@@ -30,6 +43,36 @@ void matmul(std::span<const T> a, std::span<const T> b, std::span<T> c,
       }
       c[i * p + j] = acc;
     }
+  }
+}
+
+/// Row-major matrix-vector product: y(rows) = m(rows x cols) * v(cols) —
+/// the host twin of hls::build_matvec.
+template <typename T>
+void matvec(std::span<const T> m, std::span<const T> v, std::span<T> y,
+            std::size_t rows, std::size_t cols) {
+  SCK_EXPECTS(m.size() == rows * cols && v.size() == cols && y.size() == rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    T acc = m[i * cols] * v[0];
+    for (std::size_t j = 1; j < cols; ++j) {
+      acc = acc + m[i * cols + j] * v[j];
+    }
+    y[i] = acc;
+  }
+}
+
+/// The embedded-checked matrix-vector product: one running difference per
+/// output row (per-row zero tests, OR-reduced by the caller via the
+/// per-element error flags).
+inline void embedded_checked_matvec(std::span<const long long> m,
+                                    std::span<const long long> v,
+                                    std::span<CheckedValue> y,
+                                    std::size_t rows, std::size_t cols) {
+  SCK_EXPECTS(m.size() == rows * cols && v.size() == cols && y.size() == rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    RunningDifference<long long> acc;
+    for (std::size_t j = 0; j < cols; ++j) acc.add(m[i * cols + j] * v[j]);
+    y[i] = CheckedValue{acc.value(), acc.error()};
   }
 }
 

@@ -1,0 +1,59 @@
+// Generic "embedded SCK" accumulation check for the host kernels.
+//
+// The paper's third FIR variant re-verifies the accumulation by hand: every
+// term feeds the nominal accumulator and, negated, a check accumulator, and
+// their sum must return to zero (a running difference followed by one zero
+// test — cf. hls/expand_sck.h's kEmbedded style). apps/fir.h carried that
+// recipe inline for the FIR only; this header is the same algebra factored
+// out so every accumulation-shaped host kernel (IIR biquad, dot product,
+// matrix-vector, windowed moving sum) gets the embedded variant from one
+// implementation. All arithmetic runs on the unsigned companion type, so
+// wrap-around is well-defined and the identity acc + check == 0 holds
+// exactly in the 2^N ring.
+#pragma once
+
+#include <type_traits>
+
+#include "core/ops_native.h"
+
+namespace sck::apps {
+
+/// One output sample of a widened embedded-checked kernel (the int-typed
+/// FIR keeps its historical CheckedSample in apps/fir.h).
+struct CheckedValue {
+  long long value = 0;
+  bool error = false;
+};
+
+/// Running-difference accumulator: terms enter the nominal sum and, with
+/// inverted sign, the check sum. harden() pins each term so the optimizer
+/// cannot prove check == -acc and delete the control (core/ops_native.h).
+template <typename T>
+class RunningDifference {
+  using U = std::make_unsigned_t<T>;
+
+ public:
+  void add(T term) {
+    const U p = NativeOps<U>::harden(static_cast<U>(term));
+    acc_ += p;
+    check_ -= p;
+  }
+
+  void sub(T term) {
+    const U p = NativeOps<U>::harden(static_cast<U>(term));
+    acc_ -= p;
+    check_ += p;
+  }
+
+  [[nodiscard]] T value() const { return static_cast<T>(acc_); }
+  /// The single zero test closing the running difference.
+  [[nodiscard]] bool error() const { return (acc_ + check_) != U{0}; }
+
+  void reset() { acc_ = check_ = U{0}; }
+
+ private:
+  U acc_ = 0;
+  U check_ = 0;
+};
+
+}  // namespace sck::apps

@@ -1,6 +1,9 @@
 // Direct-form-I IIR biquad, templated over the element type (one of the
-// "other circuits now taken into consideration" in §5.1).
+// "other circuits now taken into consideration" in §5.1), plus the
+// embedded-checked host variant over the generic running difference.
 #pragma once
+
+#include "apps/embedded.h"
 
 namespace sck::apps {
 
@@ -25,6 +28,39 @@ class IirBiquad {
  private:
   T b0_, b1_, b2_, a1_, a2_;
   T x1_{}, x2_{}, y1_{}, y2_{};
+};
+
+/// The embedded-checked biquad: a plain long long data path whose five-term
+/// accumulation is re-verified per sample by the running difference of
+/// apps/embedded.h (the FIR recipe generalized to a feedback kernel — the
+/// accumulator is rebuilt from the products each sample, so the check
+/// closes over exactly this sample's terms).
+class EmbeddedCheckedIirBiquad {
+ public:
+  EmbeddedCheckedIirBiquad(long long b0, long long b1, long long b2,
+                           long long a1, long long a2)
+      : b0_(b0), b1_(b1), b2_(b2), a1_(a1), a2_(a2) {}
+
+  [[nodiscard]] CheckedValue step(long long x) {
+    RunningDifference<long long> acc;
+    acc.add(b0_ * x);
+    acc.add(b1_ * x1_);
+    acc.add(b2_ * x2_);
+    acc.sub(a1_ * y1_);
+    acc.sub(a2_ * y2_);
+    const long long y = acc.value();
+    x2_ = x1_;
+    x1_ = x;
+    y2_ = y1_;
+    y1_ = y;
+    return CheckedValue{y, acc.error()};
+  }
+
+  void reset() { x1_ = x2_ = y1_ = y2_ = 0; }
+
+ private:
+  long long b0_, b1_, b2_, a1_, a2_;
+  long long x1_ = 0, x2_ = 0, y1_ = 0, y2_ = 0;
 };
 
 }  // namespace sck::apps

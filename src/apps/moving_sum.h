@@ -1,0 +1,78 @@
+// Streaming windowed moving sum, templated over the element type — the
+// state-heavy streaming kernel of the extended experiments (hardware twin:
+// hls::build_moving_sum). The window is kept in a ring buffer and the sum
+// is maintained incrementally: y[k] = y[k-1] + x[k] - x[k-window].
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/embedded.h"
+#include "common/assert.h"
+
+namespace sck::apps {
+
+template <typename T>
+class MovingSum {
+ public:
+  explicit MovingSum(std::size_t window) : window_(window, T{}) {
+    SCK_EXPECTS(!window_.empty());
+  }
+
+  /// Process one input sample and return the sum of the last `window`
+  /// inputs (including this one).
+  T step(T x) {
+    T& oldest = window_[next_];
+    sum_ = sum_ + x - oldest;
+    oldest = x;
+    next_ = (next_ + 1) % window_.size();
+    return sum_;
+  }
+
+  void reset() {
+    window_.assign(window_.size(), T{});
+    sum_ = T{};
+    next_ = 0;
+  }
+
+  [[nodiscard]] std::size_t window() const { return window_.size(); }
+
+ private:
+  std::vector<T> window_;
+  T sum_{};
+  std::size_t next_ = 0;
+};
+
+/// The embedded-checked moving sum: a plain long long data path whose
+/// running-sum update is re-verified by the generic running difference
+/// (apps/embedded.h) — the entering sample and the leaving sample each
+/// feed the nominal and the check accumulator, one zero test per sample.
+class EmbeddedCheckedMovingSum {
+ public:
+  explicit EmbeddedCheckedMovingSum(std::size_t window)
+      : window_(window, 0) {
+    SCK_EXPECTS(!window_.empty());
+  }
+
+  [[nodiscard]] CheckedValue step(long long x) {
+    long long& oldest = window_[next_];
+    sum_.add(x);
+    sum_.sub(oldest);
+    oldest = x;
+    next_ = (next_ + 1) % window_.size();
+    return CheckedValue{sum_.value(), sum_.error()};
+  }
+
+  void reset() {
+    window_.assign(window_.size(), 0);
+    sum_.reset();
+    next_ = 0;
+  }
+
+ private:
+  std::vector<long long> window_;
+  RunningDifference<long long> sum_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace sck::apps

@@ -105,6 +105,8 @@ const SynthesizedPoint& Explorer::synthesize(const DesignPoint& point) {
 ExplorationReport Explorer::run(const std::vector<DesignPoint>& grid) {
   ExplorationReport report;
   report.points.resize(grid.size());
+  report.report_version = options_.legacy_streams ? kLegacyReportVersion
+                                                  : kSharedStreamReportVersion;
 
   std::vector<std::size_t> order = options_.evaluation_order;
   if (order.empty()) {
@@ -151,6 +153,14 @@ ExplorationReport Explorer::run(const std::vector<DesignPoint>& grid) {
         fault::resolve_threads(options_.point_threads),
         static_cast<int>(std::max<std::size_t>(grid.size(), 1)));
     hls::NetlistCampaignOptions campaign_opt = options_.campaign;
+    if (!options_.legacy_streams) {
+      // report_version 2: one shared stream per campaign, replayed by the
+      // golden-trace incremental backend (campaigns stay bit-identical at
+      // any thread count under a fixed stream mode + backend).
+      campaign_opt.stream = hls::StreamMode::kShared;
+      campaign_opt.backend = hls::NetlistBackend::kIncremental;
+      campaign_opt.fault_dropping = options_.fault_dropping;
+    }
     if (pool > 1) {
       campaign_opt.threads =
           std::max(1, fault::resolve_threads(campaign_opt.threads) / pool);

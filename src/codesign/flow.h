@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "codesign/explorer.h"
 #include "codesign/kernel.h"
 #include "codesign/variant.h"
 #include "fault/stats.h"
@@ -44,6 +45,12 @@ struct HwDesign {
 struct FlowReport {
   std::vector<HwDesign> hardware;  // 3 variants x {min-area, min-latency}
   std::vector<SwReport> software;  // 3 variants
+  /// The FIR flow wrapper is pinned to the pre-bump (PR 3/4) coverage
+  /// semantics: evaluate_flow_coverage runs the caller's campaign options
+  /// verbatim, so FlowReport/CoverageReport stay byte-identical to every
+  /// legacy report (tests/test_explorer.cpp holds this). Drive the
+  /// Explorer directly for report_version 2 coverage.
+  int report_version = kLegacyReportVersion;
 };
 
 [[nodiscard]] FlowReport run_fir_flow(const hls::FirSpec& spec,

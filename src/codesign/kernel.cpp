@@ -7,6 +7,7 @@
 #include "apps/dot.h"
 #include "apps/fir.h"
 #include "apps/iir.h"
+#include "apps/moving_sum.h"
 #include "common/assert.h"
 #include "core/sck.h"
 #include "hls/builder.h"
@@ -116,6 +117,15 @@ std::vector<SwReport> measure_iir_sw(long long b0, long long b1, long long b2,
           return StepResult{y.GetID(), y.GetError()};
         }));
   }
+  {
+    apps::EmbeddedCheckedIirBiquad iir(b0, b1, b2, a1, a2);
+    // Running difference: one check-accumulate per term + one zero test.
+    reports.push_back(measure_variant(
+        Variant::kEmbedded, kOps + 5 + 1, samples, [&](InputStream& in) {
+          const apps::CheckedValue y = iir.step(in.next_small());
+          return StepResult{y.value, y.error};
+        }));
+  }
   finish_ratios(reports);
   return reports;
 }
@@ -152,6 +162,118 @@ std::vector<SwReport> measure_dot_sw(int length, std::size_t samples) {
           return StepResult{d.GetID(), d.GetError()};
         }));
   }
+  {
+    std::vector<long long> a(n);
+    std::vector<long long> b(n);
+    reports.push_back(measure_variant(
+        Variant::kEmbedded, ops + length + 1, samples, [&](InputStream& in) {
+          for (std::size_t i = 0; i < n; ++i) {
+            a[i] = in.next_small();
+            b[i] = in.next_small();
+          }
+          const apps::CheckedValue d = apps::embedded_checked_dot(a, b);
+          return StepResult{d.value, d.error};
+        }));
+  }
+  finish_ratios(reports);
+  return reports;
+}
+
+/// Matrix-vector SW leg: a fresh input vector per iteration, widened
+/// (long long) accumulation, every output row folded into the checksum
+/// (the fold sums the rows, so the SCK leg's error bit — which propagates
+/// through the fold — covers every row).
+std::vector<SwReport> measure_matvec_sw(
+    const std::vector<std::vector<long long>>& matrix, std::size_t samples) {
+  const std::size_t rows = matrix.size();
+  const std::size_t cols = matrix.front().size();
+  std::vector<long long> flat;
+  flat.reserve(rows * cols);
+  for (const auto& row : matrix) {
+    for (const long long c : row) flat.push_back(c);
+  }
+  const int ops =
+      static_cast<int>(rows) * (2 * static_cast<int>(cols) - 1);
+  std::vector<SwReport> reports;
+  {
+    std::vector<long long> v(cols);
+    std::vector<long long> y(rows);
+    reports.push_back(
+        measure_variant(Variant::kPlain, ops, samples, [&](InputStream& in) {
+          for (std::size_t j = 0; j < cols; ++j) v[j] = in.next_small();
+          apps::matvec<long long>(flat, v, y, rows, cols);
+          long long fold = 0;
+          for (const long long r : y) fold += r;
+          return StepResult{fold, false};
+        }));
+  }
+  {
+    std::vector<SCK<long long>> sck_flat(flat.begin(), flat.end());
+    std::vector<SCK<long long>> v(cols);
+    std::vector<SCK<long long>> y(rows);
+    reports.push_back(measure_variant(
+        Variant::kSck,
+        ops + 4 * static_cast<int>(rows * cols) +
+            2 * static_cast<int>(rows * (cols - 1)),
+        samples, [&](InputStream& in) {
+          for (std::size_t j = 0; j < cols; ++j) v[j] = in.next_small();
+          apps::matvec<SCK<long long>>(sck_flat, v, y, rows, cols);
+          SCK<long long> fold = y[0];
+          for (std::size_t i = 1; i < rows; ++i) fold = fold + y[i];
+          return StepResult{fold.GetID(), fold.GetError()};
+        }));
+  }
+  {
+    std::vector<long long> v(cols);
+    std::vector<apps::CheckedValue> y(rows);
+    reports.push_back(measure_variant(
+        Variant::kEmbedded,
+        ops + static_cast<int>(rows) * (static_cast<int>(cols) + 1), samples,
+        [&](InputStream& in) {
+          for (std::size_t j = 0; j < cols; ++j) v[j] = in.next_small();
+          apps::embedded_checked_matvec(flat, v, y, rows, cols);
+          long long fold = 0;
+          bool error = false;
+          for (const apps::CheckedValue& r : y) {
+            fold += r.value;
+            error = error || r.error;
+          }
+          return StepResult{fold, error};
+        }));
+  }
+  finish_ratios(reports);
+  return reports;
+}
+
+/// Moving-sum SW leg: the streaming window host, widened accumulation
+/// (window sums of 10-bit draws stay far inside long long).
+std::vector<SwReport> measure_moving_sum_sw(int window, std::size_t samples) {
+  constexpr int kOps = 2;  // 1 add + 1 sub per sample
+  const auto n = static_cast<std::size_t>(window);
+  std::vector<SwReport> reports;
+  {
+    apps::MovingSum<long long> ms(n);
+    reports.push_back(
+        measure_variant(Variant::kPlain, kOps, samples, [&](InputStream& in) {
+          return StepResult{ms.step(in.next_small()), false};
+        }));
+  }
+  {
+    apps::MovingSum<SCK<long long>> ms(n);
+    reports.push_back(measure_variant(
+        Variant::kSck, kOps + 2 * 2, samples, [&](InputStream& in) {
+          const SCK<long long> y = ms.step(SCK<long long>(in.next_small()));
+          return StepResult{y.GetID(), y.GetError()};
+        }));
+  }
+  {
+    apps::EmbeddedCheckedMovingSum ms(n);
+    reports.push_back(measure_variant(
+        Variant::kEmbedded, kOps + 2 + 1, samples, [&](InputStream& in) {
+          const apps::CheckedValue y = ms.step(in.next_small());
+          return StepResult{y.value, y.error};
+        }));
+  }
   finish_ratios(reports);
   return reports;
 }
@@ -161,7 +283,9 @@ std::vector<SwReport> measure_dot_sw(int length, std::size_t samples) {
 void KernelRegistry::add(KernelSpec spec) {
   SCK_EXPECTS(!spec.name.empty());
   SCK_EXPECTS(static_cast<bool>(spec.build));
-  SCK_EXPECTS(find(spec.name) == nullptr);
+  // Fail loudly on duplicates: a second spec under the same key would
+  // silently shadow the first in every name-driven grid and cache.
+  SCK_EXPECTS(find(spec.name) == nullptr && "duplicate kernel name");
   kernels_.push_back(std::move(spec));
 }
 
@@ -250,6 +374,36 @@ KernelSpec make_divmod_kernel() {
   return k;
 }
 
+KernelSpec make_matvec_kernel(std::vector<std::vector<long long>> matrix) {
+  SCK_EXPECTS(!matrix.empty() && !matrix.front().empty());
+  for (const auto& row : matrix) {
+    SCK_EXPECTS(row.size() == matrix.front().size());
+  }
+  KernelSpec k;
+  k.name = "matvec";
+  k.display = "matvec (" + std::to_string(matrix.size()) + "x" +
+              std::to_string(matrix.front().size()) + ")";
+  k.build = [matrix](int width) { return hls::build_matvec(matrix, width); };
+  k.measure_sw = [matrix](std::size_t samples) {
+    return measure_matvec_sw(matrix, samples);
+  };
+  return k;
+}
+
+KernelSpec make_moving_sum_kernel(int window) {
+  SCK_EXPECTS(window >= 1);
+  KernelSpec k;
+  k.name = "moving_sum";
+  k.display = "moving sum (" + std::to_string(window) + ")";
+  k.build = [window](int width) {
+    return hls::build_moving_sum(window, width);
+  };
+  k.measure_sw = [window](std::size_t samples) {
+    return measure_moving_sum_sw(window, samples);
+  };
+  return k;
+}
+
 KernelRegistry builtin_registry() {
   KernelRegistry reg;
   reg.add(make_fir_kernel({3, -5, 7, -5, 3}));
@@ -260,6 +414,12 @@ KernelRegistry builtin_registry() {
   reg.add(make_iir_kernel(3, -2, 1, 1, 0));
   reg.add(make_dot_kernel(4));
   reg.add(make_divmod_kernel());
+  // 2x3 matvec: the first multi-output DFG in the grid (per-output check
+  // cones, multi-output reference DCE and cone fencing).
+  reg.add(make_matvec_kernel({{2, -3, 1}, {-1, 4, 2}}));
+  // Window 4: five state registers against two data-path ops — the
+  // state-heavy stress case for golden-trace register timelines.
+  reg.add(make_moving_sum_kernel(4));
   return reg;
 }
 

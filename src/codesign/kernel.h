@@ -52,7 +52,9 @@ struct KernelSpec {
 /// the default exploration order).
 class KernelRegistry {
  public:
-  /// Registers a kernel; the name must be non-empty and unique.
+  /// Registers a kernel; the name must be non-empty and unique. A
+  /// duplicate name aborts (SCK_EXPECTS): two specs under one key would
+  /// silently shadow each other in every name-driven grid.
   void add(KernelSpec spec);
 
   [[nodiscard]] const KernelSpec* find(std::string_view name) const;
@@ -75,21 +77,37 @@ class KernelRegistry {
 /// Direct-form-I IIR biquad. The SW leg runs on widened (long long)
 /// arithmetic: integer biquads with non-trivial feedback random-walk, and
 /// int accumulation over campaign-scale sample counts is signed-overflow UB
-/// (the pattern flagged in tests/test_apps.cpp).
+/// (the pattern flagged in tests/test_apps.cpp). Measures all three
+/// variants (the embedded leg is the generalized running difference of
+/// apps/embedded.h).
 [[nodiscard]] KernelSpec make_iir_kernel(long long b0, long long b1,
                                          long long b2, long long a1,
                                          long long a2);
 
 /// Dot product of two streamed vectors of the given length (widened
-/// long long accumulation on the SW leg, as for the IIR).
+/// long long accumulation on the SW leg, as for the IIR; all three
+/// variants).
 [[nodiscard]] KernelSpec make_dot_kernel(int length);
 
 /// Combinational divider: q = a / b, r = a % b. HW leg only (the host SW
 /// realization adds nothing beyond the dot/FIR measurements).
 [[nodiscard]] KernelSpec make_divmod_kernel();
 
+/// Matrix-vector product for a constant matrix (rows x cols) — the first
+/// multi-output DFG in the grid (one output port per row, per-output check
+/// cones). The SW leg measures all three widened variants.
+[[nodiscard]] KernelSpec make_matvec_kernel(
+    std::vector<std::vector<long long>> matrix);
+
+/// Streaming windowed moving sum over a `window`-deep register window with
+/// an incremental running-sum update — the most state-heavy DFG in the
+/// grid (window + 1 registers against two data-path ops per sample). The
+/// SW leg measures all three widened variants.
+[[nodiscard]] KernelSpec make_moving_sum_kernel(int window);
+
 /// The built-in kernel set: fir {3,-5,7,-5,3}, iir biquad {3,-2,1,1,0},
-/// dot-product length 4, divmod.
+/// dot-product length 4, divmod, matvec {{2,-3,1},{-1,4,2}} and
+/// moving-sum window 4.
 [[nodiscard]] KernelRegistry builtin_registry();
 
 // ---- generic legs ----------------------------------------------------------

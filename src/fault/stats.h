@@ -16,6 +16,12 @@ struct CampaignStats {
   std::uint64_t detected_erroneous = 0;
   std::uint64_t masked = 0;
 
+  /// Member-wise equality: the ONE definition the differential suites and
+  /// the bench identity gates compare results with — a new counter added
+  /// here is automatically part of every bit-identity check.
+  friend constexpr bool operator==(const CampaignStats&,
+                                   const CampaignStats&) = default;
+
   constexpr void record(Outcome o) {
     switch (o) {
       case Outcome::kSilentCorrect:

@@ -132,4 +132,31 @@ Dfg build_divmod(int width) {
   return g;
 }
 
+Dfg build_moving_sum(int window, int width) {
+  SCK_EXPECTS(window >= 1);
+  Dfg g;
+  const NodeId x = g.input("x", width);
+
+  // Delay line deep enough to read x[k-window]: d1 = x[k-1], ...,
+  // d<window> = x[k-window] (the sample leaving the window this step).
+  std::vector<NodeId> delayed;
+  delayed.reserve(static_cast<std::size_t>(window));
+  NodeId prev = x;
+  for (int i = 1; i <= window; ++i) {
+    const NodeId d = g.state_reg("d" + std::to_string(i), width);
+    g.set_reg_next(d, prev);
+    delayed.push_back(d);
+    prev = d;
+  }
+
+  // Running sum: s holds y[k-1]; y = s + x - x[k-window].
+  const NodeId s = g.state_reg("s", width);
+  const NodeId y = g.sub(g.add(s, x), delayed.back());
+  g.set_reg_next(s, y);
+
+  (void)g.output("y", y);
+  g.validate();
+  return g;
+}
+
 }  // namespace sck::hls

@@ -40,4 +40,13 @@ struct IirBiquadSpec {
 /// ports "a", "b"; outputs "q", "r").
 [[nodiscard]] Dfg build_divmod(int width);
 
+/// Streaming windowed moving sum: y[k] = sum_{i=0}^{window-1} x[k-i],
+/// maintained incrementally as y[k] = y[k-1] + x[k] - x[k-window]. The
+/// DFG is the most state-heavy kernel in the set: a `window`-deep input
+/// delay line plus the running-sum register, against only two data-path
+/// operations per sample — state dominates compute, which is what makes
+/// it the stress case for golden-trace register timelines and
+/// cross-sample fault-cone fixpointing (input port "x", output "y").
+[[nodiscard]] Dfg build_moving_sum(int window, int width);
+
 }  // namespace sck::hls

@@ -46,12 +46,21 @@ struct UnitCoverage {
   std::string fu_name;
   std::size_t faults = 0;
   fault::CampaignStats stats;
+
+  friend bool operator==(const UnitCoverage&, const UnitCoverage&) = default;
 };
 
 struct NetlistCampaignResult {
   fault::CampaignStats aggregate;
   std::vector<UnitCoverage> per_unit;
   std::uint64_t fault_universe_size = 0;
+
+  /// Member-wise bit-identity (aggregate + complete per-unit breakdown):
+  /// what the differential test suites and the bench *_results_identical
+  /// gates mean by "identical" — one definition, library-owned, so a new
+  /// field cannot be silently dropped from a subset of the comparisons.
+  friend bool operator==(const NetlistCampaignResult&,
+                         const NetlistCampaignResult&) = default;
 };
 
 /// Execution backend selection for the sweep (results are identical under
@@ -62,8 +71,11 @@ enum class NetlistBackend : unsigned char { kScalar, kBatched, kIncremental };
 /// Input-stream semantics of the sweep.
 enum class StreamMode : unsigned char {
   /// Streams keyed by (seed, fault index): every fault sees its own
-  /// stimuli. Legacy default — every pre-existing campaign result (and the
-  /// explorer reports built on them) is bit-compatible with this mode.
+  /// stimuli. Legacy default at this level — every pre-existing campaign
+  /// result (and the report_version-1 explorer reports built on them) is
+  /// bit-compatible with this mode. The co-design explorer's coverage leg
+  /// now defaults to kShared + kIncremental (report_version 2; see
+  /// codesign/explorer.h — ExplorerOptions::legacy_streams opts back).
   kPerFault,
   /// Streams keyed by (seed, sample index): every fault sees IDENTICAL
   /// stimuli, so the fault-free execution collapses to one golden trace

@@ -1,0 +1,46 @@
+// Shared helpers for the netlist-backend differential suites
+// (test_netlist_batch / test_netlist_incremental / test_backend_differential):
+// one synthesis recipe and ONE definition of campaign-result equality, so a
+// new NetlistCampaignResult/CampaignStats field cannot be silently dropped
+// from a subset of the comparisons.
+#pragma once
+
+#include <string>
+
+#include "hls/bind.h"
+#include "hls/dfg.h"
+#include "hls/expand_sck.h"
+#include "hls/netlist.h"
+#include "hls/netlist_campaign.h"
+#include "hls/schedule.h"
+
+namespace sck::hls {
+
+/// Schedule + bind + netlist under `rc` (fully unconstrained = ASAP, the
+/// min-latency recipe; any limit = min-area list scheduling).
+inline Netlist synthesize(const Dfg& g, const ResourceConstraints& rc,
+                          const std::string& name) {
+  Schedule s = (rc.addsub < 0 && rc.mul < 0 && rc.cmp < 0 && rc.divrem < 0)
+                   ? schedule_asap(g)
+                   : schedule_list(g, rc);
+  validate_schedule(g, s, rc);
+  Binding b = bind(g, s, rc);
+  validate_binding(g, s, b);
+  return generate_netlist(g, s, b, name);
+}
+
+inline Dfg ced(const Dfg& g, CedStyle style) {
+  CedOptions opt;
+  opt.style = style;
+  return insert_ced(g, opt);
+}
+
+/// Bit-exact NetlistCampaignResult equality under the suites' historical
+/// name — delegates to the library's member-wise operator==
+/// (hls/netlist_campaign.h), so every field is always compared.
+inline bool same_campaign_result(const NetlistCampaignResult& x,
+                                 const NetlistCampaignResult& y) {
+  return x == y;
+}
+
+}  // namespace sck::hls

@@ -10,6 +10,7 @@
 #include "apps/dot.h"
 #include "apps/fir.h"
 #include "apps/iir.h"
+#include "apps/moving_sum.h"
 #include "common/rng.h"
 #include "core/sck.h"
 
@@ -212,6 +213,103 @@ TEST(MatmulKernel, PoisonPropagatesThroughProducts) {
   EXPECT_TRUE(c[1].GetError());
   EXPECT_FALSE(c[2].GetError());  // row 1 does not
   EXPECT_FALSE(c[3].GetError());
+}
+
+TEST(MatvecKernel, MatchesMatmulColumn) {
+  // matvec is matmul with p = 1; hold the dedicated helper to that.
+  const std::vector<long long> m{2, -3, 1, -1, 4, 2};
+  const std::vector<long long> v{7, -2, 5};
+  std::vector<long long> got(2);
+  matvec<long long>(m, v, got, 2, 3);
+  std::vector<long long> want(2);
+  matmul<long long>(m, v, want, 2, 3, 1);
+  EXPECT_EQ(got, want);
+}
+
+TEST(MatvecKernel, EmbeddedMatchesPlainAndStaysQuiet) {
+  const std::vector<long long> m{2, -3, 1, -1, 4, 2};
+  Xoshiro256 rng(0xAA07);
+  for (int rep = 0; rep < 100; ++rep) {
+    std::vector<long long> v(3);
+    for (auto& x : v) x = static_cast<long long>(rng.bounded(2048)) - 1024;
+    std::vector<long long> plain(2);
+    matvec<long long>(m, v, plain, 2, 3);
+    std::vector<CheckedValue> checked(2);
+    embedded_checked_matvec(m, v, checked, 2, 3);
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+      EXPECT_EQ(checked[i].value, plain[i]);
+      EXPECT_FALSE(checked[i].error);
+    }
+  }
+}
+
+TEST(MovingSumKernel, MatchesWindowRecomputation) {
+  // The incremental running-sum update against a from-scratch window sum.
+  MovingSum<long long> ms(4);
+  std::deque<long long> window(4, 0);
+  Xoshiro256 rng(0xAA08);
+  for (int k = 0; k < 200; ++k) {
+    const long long x = static_cast<long long>(rng.bounded(2048)) - 1024;
+    window.push_front(x);
+    window.pop_back();
+    long long want = 0;
+    for (const long long w : window) want += w;
+    EXPECT_EQ(ms.step(x), want) << "sample " << k;
+  }
+}
+
+TEST(MovingSumKernel, SckInstantiationIsTransparent) {
+  MovingSum<long long> plain(3);
+  MovingSum<SCK<long long>> checked(3);
+  Xoshiro256 rng(0xAA09);
+  for (int k = 0; k < 100; ++k) {
+    const long long x = static_cast<long long>(rng.bounded(512)) - 256;
+    const SCK<long long> y = checked.step(SCK<long long>(x));
+    EXPECT_EQ(y.GetID(), plain.step(x));
+    EXPECT_FALSE(y.GetError());
+  }
+}
+
+TEST(MovingSumKernel, EmbeddedMatchesPlainAndResets) {
+  MovingSum<long long> plain(5);
+  EmbeddedCheckedMovingSum checked(5);
+  Xoshiro256 rng(0xAA0A);
+  for (int k = 0; k < 150; ++k) {
+    const long long x = static_cast<long long>(rng.bounded(512)) - 256;
+    const CheckedValue y = checked.step(x);
+    EXPECT_EQ(y.value, plain.step(x));
+    EXPECT_FALSE(y.error);
+  }
+  plain.reset();
+  checked.reset();
+  const CheckedValue y = checked.step(42);
+  EXPECT_EQ(y.value, plain.step(42));
+  EXPECT_FALSE(y.error);
+}
+
+TEST(EmbeddedIir, MatchesPlainAndStaysQuiet) {
+  IirBiquad<long long> plain(3, -2, 1, 1, 0);
+  EmbeddedCheckedIirBiquad checked(3, -2, 1, 1, 0);
+  Xoshiro256 rng(0xAA0B);
+  for (int k = 0; k < 200; ++k) {
+    const long long x = static_cast<long long>(rng.bounded(512)) - 256;
+    const CheckedValue y = checked.step(x);
+    EXPECT_EQ(y.value, plain.step(x));
+    EXPECT_FALSE(y.error);
+  }
+}
+
+TEST(EmbeddedDot, MatchesPlainAndStaysQuiet) {
+  Xoshiro256 rng(0xAA0C);
+  for (int rep = 0; rep < 100; ++rep) {
+    std::vector<long long> a(4);
+    std::vector<long long> b(4);
+    for (auto& x : a) x = static_cast<long long>(rng.bounded(1024)) - 512;
+    for (auto& x : b) x = static_cast<long long>(rng.bounded(1024)) - 512;
+    const CheckedValue d = embedded_checked_dot(a, b);
+    EXPECT_EQ(d.value, dot<long long>(a, b));
+    EXPECT_FALSE(d.error);
+  }
 }
 
 }  // namespace

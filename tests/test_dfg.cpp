@@ -255,5 +255,34 @@ TEST(BuildMatvec, MatchesMatrixVectorProduct) {
   EXPECT_EQ(to_signed(out.outputs.at("y1"), 16), -7 + 0 + 10);
 }
 
+TEST(BuildMovingSum, MatchesWindowRecomputation) {
+  // The incremental y[k] = y[k-1] + x[k] - x[k-window] update must equal a
+  // from-scratch sum of the last `window` inputs in the 2^w ring — for
+  // every prefix, across window depths (the state: window delay registers
+  // plus the running-sum register).
+  for (const int window : {1, 2, 4, 7}) {
+    const int w = 12;
+    const Dfg g = build_moving_sum(window, w);
+    ASSERT_EQ(g.state_regs().size(), static_cast<std::size_t>(window) + 1);
+
+    Xoshiro256 rng(0x3053 + static_cast<std::uint64_t>(window));
+    std::vector<std::uint64_t> state(g.state_regs().size(), 0);
+    std::vector<Word> history;
+    for (int k = 0; k < 64; ++k) {
+      const Word x = rng.bounded(Word{1} << w);
+      history.push_back(x);
+      Word want = 0;
+      for (int i = 0; i < window; ++i) {
+        const int idx = k - i;
+        if (idx < 0) break;
+        want = add(want, history[static_cast<std::size_t>(idx)], w);
+      }
+      const auto out = g.eval(InputMap{{"x", x}}, state);
+      ASSERT_EQ(out.outputs.at("y"), want)
+          << "window=" << window << " k=" << k;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sck::hls

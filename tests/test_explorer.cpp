@@ -147,13 +147,46 @@ TEST(ExplorerWrappers, CoverageReproducesLegacyCampaignBitForBit) {
   }
 }
 
-TEST(ExplorerWrappers, ExplorerRunMatchesWrapperOutputs) {
-  // The acceptance check: the generic pipeline evaluated over the FIR grid
-  // produces the same numbers the wrappers report.
+TEST(ExplorerWrappers, LegacyStreamsReproducesPreBumpReportsBitForBit) {
+  // The report_version-1 opt-out: with legacy_streams the explorer runs
+  // the campaign options verbatim (per-fault streams, batched backend by
+  // default), reproducing the pre-bump (PR 3/4) reports bit for bit — the
+  // wrappers, whose coverage leg never changed, are that legacy replica.
   const hls::NetlistCampaignOptions opt = small_campaign();
   const FlowReport flow = run_fir_flow(kSpec, /*sw_samples=*/10'000);
+  EXPECT_EQ(flow.report_version, kLegacyReportVersion);
   const std::vector<CoverageReport> cov =
       evaluate_flow_coverage(kSpec, flow, opt);
+
+  KernelRegistry reg;
+  reg.add(make_fir_kernel(kSpec.coeffs));
+  ExplorerOptions eopt;
+  eopt.campaign = opt;
+  eopt.legacy_streams = true;
+  Explorer explorer(reg, eopt);
+  DesignGrid grid;
+  grid.kernels = {"fir"};
+  grid.widths = {kSpec.width};
+  const ExplorationReport report = explorer.run(grid.points());
+  EXPECT_EQ(report.report_version, kLegacyReportVersion);
+
+  ASSERT_EQ(report.points.size(), flow.hardware.size());
+  for (std::size_t i = 0; i < report.points.size(); ++i) {
+    EXPECT_EQ(report.points[i].point.variant, flow.hardware[i].variant);
+    EXPECT_EQ(report.points[i].point.min_area, flow.hardware[i].min_area);
+    expect_report_identical(report.points[i].hw, flow.hardware[i].report);
+    EXPECT_EQ(report.points[i].faults, cov[i].faults);
+    expect_stats_identical(report.points[i].stats, cov[i].stats);
+  }
+}
+
+TEST(ExplorerWrappers, DefaultCoverageLegIsSharedStreamIncremental) {
+  // The report_version-2 default: the explorer forces StreamMode::kShared
+  // + NetlistBackend::kIncremental regardless of what the campaign struct
+  // says, and the per-point stats match a manual shared-stream incremental
+  // campaign bit for bit.
+  hls::NetlistCampaignOptions opt = small_campaign();
+  opt.backend = hls::NetlistBackend::kScalar;  // deliberately overridden
 
   KernelRegistry reg;
   reg.add(make_fir_kernel(kSpec.coeffs));
@@ -164,14 +197,18 @@ TEST(ExplorerWrappers, ExplorerRunMatchesWrapperOutputs) {
   grid.kernels = {"fir"};
   grid.widths = {kSpec.width};
   const ExplorationReport report = explorer.run(grid.points());
+  EXPECT_EQ(report.report_version, kSharedStreamReportVersion);
 
-  ASSERT_EQ(report.points.size(), flow.hardware.size());
-  for (std::size_t i = 0; i < report.points.size(); ++i) {
-    EXPECT_EQ(report.points[i].point.variant, flow.hardware[i].variant);
-    EXPECT_EQ(report.points[i].point.min_area, flow.hardware[i].min_area);
-    expect_report_identical(report.points[i].hw, flow.hardware[i].report);
-    EXPECT_EQ(report.points[i].faults, cov[i].faults);
-    expect_stats_identical(report.points[i].stats, cov[i].stats);
+  hls::NetlistCampaignOptions manual = opt;
+  manual.stream = hls::StreamMode::kShared;
+  manual.backend = hls::NetlistBackend::kIncremental;
+  ASSERT_EQ(report.points.size(), 6u);
+  for (const PointResult& r : report.points) {
+    const hls::NetlistCampaignResult want = hls::run_netlist_campaign(
+        explorer.reference_graph(r.point), explorer.synthesize(r.point).netlist,
+        manual);
+    EXPECT_EQ(r.faults, want.fault_universe_size) << to_string(r.point);
+    expect_stats_identical(r.stats, want.aggregate);
   }
 }
 
@@ -285,21 +322,24 @@ TEST(Explorer, ResultsInvariantUnderPointSharding) {
 // ---- cross-kernel grid -----------------------------------------------------
 
 TEST(Explorer, CrossKernelGridEvaluatesEveryPoint) {
-  // >= 3 kernels x >= 2 variants x 2 objectives in one run (the ISSUE's
-  // acceptance grid), every point synthesized and coverage-swept.
+  // All six built-in kernels x >= 2 variants x 2 objectives in one run,
+  // every point synthesized and coverage-swept (multi-output matvec and
+  // state-heavy moving_sum included, under the shared-stream incremental
+  // default).
   const KernelRegistry registry = builtin_registry();
   ExplorerOptions opt;
   opt.campaign = small_campaign();
   Explorer explorer(registry, opt);
   DesignGrid grid;
-  grid.kernels = {"fir", "iir", "dot", "divmod"};
+  grid.kernels = {"fir", "iir", "dot", "divmod", "matvec", "moving_sum"};
   grid.variants = {Variant::kPlain, Variant::kSck};
   grid.widths = {5};
   const std::vector<DesignPoint> points = grid.points();
-  ASSERT_EQ(points.size(), 16u);
+  ASSERT_EQ(points.size(), 24u);
 
   const ExplorationReport report = explorer.run(points);
-  ASSERT_EQ(report.points.size(), 16u);
+  ASSERT_EQ(report.points.size(), 24u);
+  EXPECT_EQ(report.report_version, kSharedStreamReportVersion);
   for (const PointResult& r : report.points) {
     EXPECT_GT(r.hw.slices, 0.0) << to_string(r.point);
     EXPECT_GT(r.hw.steps, 0) << to_string(r.point);
@@ -334,7 +374,81 @@ TEST(Explorer, CrossKernelGridEvaluatesEveryPoint) {
     }
   }
   // One synthesized design per point in the cache.
-  EXPECT_EQ(explorer.cache_size(), 16u);
+  EXPECT_EQ(explorer.cache_size(), 24u);
+}
+
+TEST(Explorer, NewKernelsReachTheParetoFrontier) {
+  // matvec + moving_sum as a standalone grid: both kernels flow through
+  // synthesis, shared-stream incremental coverage and frontier extraction
+  // end to end, and the (non-empty) frontier is drawn from their points.
+  const KernelRegistry registry = builtin_registry();
+  ExplorerOptions opt;
+  opt.campaign = small_campaign();
+  opt.sw_samples = 10'000;
+  Explorer explorer(registry, opt);
+  DesignGrid grid;
+  grid.kernels = {"matvec", "moving_sum"};
+  grid.widths = {5};
+  const ExplorationReport report = explorer.run(grid.points());
+  ASSERT_EQ(report.points.size(), 12u);
+  EXPECT_EQ(report.report_version, kSharedStreamReportVersion);
+  for (const PointResult& r : report.points) {
+    EXPECT_GT(r.hw.slices, 0.0) << to_string(r.point);
+    EXPECT_GT(r.faults, 0u) << to_string(r.point);
+    EXPECT_GT(r.stats.total(), 0u) << to_string(r.point);
+  }
+  ASSERT_FALSE(report.frontier.empty());
+  // Both kernels must individually survive frontier extraction: matvec's
+  // class-based points anchor the max-coverage end, moving_sum's tiny
+  // plain design the min-area end — neither kernel dominates the other
+  // everywhere.
+  bool matvec_on_frontier = false;
+  bool moving_sum_on_frontier = false;
+  for (const std::size_t i : report.frontier) {
+    matvec_on_frontier =
+        matvec_on_frontier || report.points[i].point.kernel == "matvec";
+    moving_sum_on_frontier =
+        moving_sum_on_frontier ||
+        report.points[i].point.kernel == "moving_sum";
+  }
+  EXPECT_TRUE(matvec_on_frontier);
+  EXPECT_TRUE(moving_sum_on_frontier);
+  // Both kernels measured their SW legs (all three variants each).
+  ASSERT_EQ(report.software.size(), 2u);
+  EXPECT_EQ(report.software[0].kernel, "matvec");
+  EXPECT_EQ(report.software[1].kernel, "moving_sum");
+  for (const KernelSwLeg& leg : report.software) {
+    ASSERT_EQ(leg.reports.size(), 3u) << leg.kernel;
+  }
+}
+
+TEST(Explorer, FaultDroppingCoverageOnlySweep) {
+  // The coverage-only knob: fault dropping preserves each point's
+  // detection behaviour but shrinks totals vs the full-taxonomy default.
+  const KernelRegistry registry = builtin_registry();
+  DesignGrid grid;
+  grid.kernels = {"moving_sum"};
+  grid.variants = {Variant::kSck};
+  grid.widths = {5};
+
+  ExplorerOptions opt;
+  opt.campaign = small_campaign();
+  Explorer full(registry, opt);
+  const ExplorationReport full_r = full.run(grid.points());
+
+  opt.fault_dropping = true;
+  Explorer drop(registry, opt);
+  const ExplorationReport drop_r = drop.run(grid.points());
+
+  ASSERT_EQ(drop_r.points.size(), full_r.points.size());
+  EXPECT_EQ(drop_r.report_version, kSharedStreamReportVersion);
+  for (std::size_t i = 0; i < full_r.points.size(); ++i) {
+    EXPECT_EQ(drop_r.points[i].faults, full_r.points[i].faults);
+    EXPECT_LT(drop_r.points[i].stats.total(), full_r.points[i].stats.total())
+        << to_string(full_r.points[i].point);
+    EXPECT_EQ(drop_r.points[i].stats.detections() > 0,
+              full_r.points[i].stats.detections() > 0);
+  }
 }
 
 TEST(Explorer, SynthesisCacheReturnsSameDesign) {
@@ -355,37 +469,76 @@ TEST(Explorer, SynthesisCacheReturnsSameDesign) {
 TEST(KernelRegistry, BuiltinSetAndLookup) {
   const KernelRegistry reg = builtin_registry();
   EXPECT_EQ(reg.names(),
-            (std::vector<std::string>{"fir", "iir", "dot", "divmod"}));
+            (std::vector<std::string>{"fir", "iir", "dot", "divmod", "matvec",
+                                      "moving_sum"}));
   EXPECT_NE(reg.find("fir"), nullptr);
   EXPECT_EQ(reg.find("fft"), nullptr);
   EXPECT_EQ(reg.at("dot").display, "dot product (4)");
+  EXPECT_EQ(reg.at("matvec").display, "matvec (2x3)");
+  EXPECT_EQ(reg.at("moving_sum").display, "moving sum (4)");
   // Every built-in kernel builds a valid graph at a non-default width.
   for (const std::string& name : reg.names()) {
     const hls::Dfg g = reg.at(name).build(6);
     EXPECT_FALSE(g.outputs().empty()) << name;
   }
+  // The new netlist shapes: matvec is multi-output, moving_sum is the
+  // state-heaviest (window + running-sum registers).
+  EXPECT_EQ(reg.at("matvec").build(6).outputs().size(), 2u);
+  EXPECT_EQ(reg.at("moving_sum").build(6).state_regs().size(), 5u);
+}
+
+TEST(KernelRegistry, DuplicateNameFailsLoudly) {
+  // Registering the same name twice must abort (SCK_EXPECTS), not
+  // silently shadow the first spec in name-driven grids and caches.
+  KernelRegistry reg = builtin_registry();
+  EXPECT_DEATH(reg.add(make_dot_kernel(8)), "duplicate kernel name");
+  // A distinctly named spec still registers fine afterwards.
+  KernelSpec renamed = make_dot_kernel(8);
+  renamed.name = "dot8";
+  reg.add(std::move(renamed));
+  EXPECT_NE(reg.find("dot8"), nullptr);
+  EXPECT_EQ(reg.size(), 7u);
 }
 
 // ---- SW legs (widened accumulation, satellite UB audit) -------------------
 
 TEST(SwLeg, WidenedKernelsAgreeAcrossVariants) {
-  // The IIR/dot SW legs run on long long so campaign-scale sample counts
-  // cannot push the feedback random-walk into signed-overflow UB; the
-  // plain/SCK checksum-equality and clean-error invariants are asserted
-  // inside the measurement itself.
+  // Every measuring kernel now reports all three variants (the embedded
+  // running difference is generalized beyond the FIR); the SW legs run on
+  // long long so campaign-scale sample counts cannot push feedback
+  // random-walks into signed-overflow UB. Checksum equality across
+  // variants and the clean-error invariant are asserted inside the
+  // measurement itself (measure_variant / finish_ratios) — a divergence
+  // aborts rather than failing softly.
   const KernelRegistry reg = builtin_registry();
-  for (const std::string& name : {std::string("iir"), std::string("dot")}) {
+  for (const std::string& name :
+       {std::string("fir"), std::string("iir"), std::string("dot"),
+        std::string("matvec"), std::string("moving_sum")}) {
     const auto reports = reg.at(name).measure_sw(20'000);
-    ASSERT_EQ(reports.size(), 2u) << name;
+    ASSERT_EQ(reports.size(), 3u) << name;
     EXPECT_EQ(reports[0].variant, Variant::kPlain);
     EXPECT_EQ(reports[1].variant, Variant::kSck);
-    EXPECT_EQ(reports[0].checksum, reports[1].checksum);
-    EXPECT_LT(reports[0].ops_per_sample, reports[1].ops_per_sample);
+    EXPECT_EQ(reports[2].variant, Variant::kEmbedded);
+    EXPECT_EQ(reports[0].checksum, reports[1].checksum) << name;
+    EXPECT_EQ(reports[0].checksum, reports[2].checksum) << name;
+    // Instrumentation cost ordering: class-based > embedded > plain.
+    EXPECT_LT(reports[0].ops_per_sample, reports[2].ops_per_sample) << name;
+    EXPECT_LT(reports[2].ops_per_sample, reports[1].ops_per_sample) << name;
   }
-  const auto fir = reg.at("fir").measure_sw(20'000);
-  ASSERT_EQ(fir.size(), 3u);
-  EXPECT_EQ(fir[0].checksum, fir[1].checksum);
-  EXPECT_EQ(fir[0].checksum, fir[2].checksum);
+}
+
+TEST(SwLeg, EmbeddedHostsSurviveCampaignScaleSampleCounts) {
+  // Overflow-safety satellite: the widened embedded hosts run a
+  // campaign-scale workload (millions of samples) without tripping the
+  // clean-error invariant or diverging from the plain checksum — under
+  // ASan/UBSan in CI this is also the signed-overflow audit.
+  const KernelRegistry reg = builtin_registry();
+  for (const std::string& name :
+       {std::string("iir"), std::string("moving_sum")}) {
+    const auto reports = reg.at(name).measure_sw(2'000'000);
+    ASSERT_EQ(reports.size(), 3u) << name;
+    EXPECT_EQ(reports[0].checksum, reports[2].checksum) << name;
+  }
 }
 
 }  // namespace

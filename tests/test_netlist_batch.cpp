@@ -12,7 +12,6 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "hls/bind.h"
 #include "hls/builder.h"
 #include "hls/expand_sck.h"
 #include "hls/netlist.h"
@@ -21,26 +20,10 @@
 #include "hls/netlist_sim.h"
 #include "hls/schedule.h"
 #include "hw/batch.h"
+#include "netlist_test_util.h"
 
 namespace sck::hls {
 namespace {
-
-Netlist synthesize(const Dfg& g, const ResourceConstraints& rc,
-                   const std::string& name) {
-  Schedule s = (rc.addsub < 0 && rc.mul < 0 && rc.cmp < 0 && rc.divrem < 0)
-                   ? schedule_asap(g)
-                   : schedule_list(g, rc);
-  validate_schedule(g, s, rc);
-  Binding b = bind(g, s, rc);
-  validate_binding(g, s, b);
-  return generate_netlist(g, s, b, name);
-}
-
-Dfg ced(const Dfg& g, CedStyle style) {
-  CedOptions opt;
-  opt.style = style;
-  return insert_ced(g, opt);
-}
 
 /// Mirrors the campaign's per-fault stream seeding (fault/netlist drivers).
 std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t fault_index) {
@@ -213,32 +196,8 @@ TEST(NetlistBatch, DivisionKernelLaneExactWidth4) {
 }
 
 // ---- campaign driver: backend identity and thread invariance --------------
-
-bool same_campaign_result(const NetlistCampaignResult& x,
-                          const NetlistCampaignResult& y) {
-  if (x.fault_universe_size != y.fault_universe_size) return false;
-  if (x.aggregate.silent_correct != y.aggregate.silent_correct ||
-      x.aggregate.detected_correct != y.aggregate.detected_correct ||
-      x.aggregate.detected_erroneous != y.aggregate.detected_erroneous ||
-      x.aggregate.masked != y.aggregate.masked) {
-    return false;
-  }
-  if (x.per_unit.size() != y.per_unit.size()) return false;
-  for (std::size_t u = 0; u < x.per_unit.size(); ++u) {
-    if (x.per_unit[u].fu_index != y.per_unit[u].fu_index ||
-        x.per_unit[u].faults != y.per_unit[u].faults ||
-        x.per_unit[u].stats.silent_correct !=
-            y.per_unit[u].stats.silent_correct ||
-        x.per_unit[u].stats.detected_correct !=
-            y.per_unit[u].stats.detected_correct ||
-        x.per_unit[u].stats.detected_erroneous !=
-            y.per_unit[u].stats.detected_erroneous ||
-        x.per_unit[u].stats.masked != y.per_unit[u].stats.masked) {
-      return false;
-    }
-  }
-  return true;
-}
+// (same_campaign_result comes from netlist_test_util.h — ONE definition of
+// result equality shared by every differential suite.)
 
 TEST(NetlistBatchCampaign, BatchedMatchesScalarAtAnyThreadCount) {
   const FirSpec spec{{2, 3, -5, 7}, 8};

@@ -12,59 +12,16 @@
 #include <string>
 #include <vector>
 
-#include "hls/bind.h"
 #include "hls/builder.h"
 #include "hls/expand_sck.h"
 #include "hls/netlist.h"
 #include "hls/netlist_campaign.h"
 #include "hls/netlist_exec.h"
 #include "hls/schedule.h"
+#include "netlist_test_util.h"
 
 namespace sck::hls {
 namespace {
-
-Netlist synthesize(const Dfg& g, const ResourceConstraints& rc,
-                   const std::string& name) {
-  Schedule s = (rc.addsub < 0 && rc.mul < 0 && rc.cmp < 0 && rc.divrem < 0)
-                   ? schedule_asap(g)
-                   : schedule_list(g, rc);
-  validate_schedule(g, s, rc);
-  Binding b = bind(g, s, rc);
-  validate_binding(g, s, b);
-  return generate_netlist(g, s, b, name);
-}
-
-Dfg ced(const Dfg& g, CedStyle style) {
-  CedOptions opt;
-  opt.style = style;
-  return insert_ced(g, opt);
-}
-
-bool same_campaign_result(const NetlistCampaignResult& x,
-                          const NetlistCampaignResult& y) {
-  if (x.fault_universe_size != y.fault_universe_size) return false;
-  if (x.aggregate.silent_correct != y.aggregate.silent_correct ||
-      x.aggregate.detected_correct != y.aggregate.detected_correct ||
-      x.aggregate.detected_erroneous != y.aggregate.detected_erroneous ||
-      x.aggregate.masked != y.aggregate.masked) {
-    return false;
-  }
-  if (x.per_unit.size() != y.per_unit.size()) return false;
-  for (std::size_t u = 0; u < x.per_unit.size(); ++u) {
-    if (x.per_unit[u].fu_index != y.per_unit[u].fu_index ||
-        x.per_unit[u].faults != y.per_unit[u].faults ||
-        x.per_unit[u].stats.silent_correct !=
-            y.per_unit[u].stats.silent_correct ||
-        x.per_unit[u].stats.detected_correct !=
-            y.per_unit[u].stats.detected_correct ||
-        x.per_unit[u].stats.detected_erroneous !=
-            y.per_unit[u].stats.detected_erroneous ||
-        x.per_unit[u].stats.masked != y.per_unit[u].stats.masked) {
-      return false;
-    }
-  }
-  return true;
-}
 
 /// The incremental contract on one design: under a shared stream, the
 /// FULL FU fault universe swept by kIncremental must be bit-identical to
@@ -148,6 +105,52 @@ TEST(NetlistIncremental, DivmodWidth8) {
       g, synthesize(g, ResourceConstraints::min_area(), "dm8"), 4, 0xA8);
 }
 
+TEST(NetlistIncremental, MatvecClassBasedWidth4) {
+  // First multi-output (non-divmod) workload: per-output check cones and
+  // multi-output cone fencing, 2 data outputs + error.
+  const Dfg g = ced(build_matvec({{2, -3, 1}, {-1, 4, 2}}, 4),
+                    CedStyle::kClassBased);
+  expect_incremental_identical(
+      g, synthesize(g, ResourceConstraints::min_area(), "mv4"), 8, 0xB1);
+}
+
+TEST(NetlistIncremental, MatvecClassBasedWidth8) {
+  const Dfg g = ced(build_matvec({{2, -3, 1}, {-1, 4, 2}}, 8),
+                    CedStyle::kClassBased);
+  expect_incremental_identical(
+      g, synthesize(g, ResourceConstraints::min_area(), "mv8"), 4, 0xB2);
+}
+
+TEST(NetlistIncremental, MatvecPlainMultiOutputWidth8) {
+  // Plain multi-output: every erroneous sample on any of the three
+  // outputs must classify as masked identically across backends.
+  const Dfg g = build_matvec({{1, 2}, {3, -1}, {-2, 5}}, 8);
+  expect_incremental_identical(
+      g, synthesize(g, ResourceConstraints::min_area(), "mvp"), 6, 0xB3);
+}
+
+TEST(NetlistIncremental, MovingSumClassBasedWidth4) {
+  // The most state-heavy netlist in the set: a 4-deep window + running-sum
+  // register against two data ops — faults persist in state across many
+  // samples, stressing the cross-sample cone fixpoint and the golden
+  // register timeline.
+  const Dfg g = ced(build_moving_sum(4, 4), CedStyle::kClassBased);
+  expect_incremental_identical(
+      g, synthesize(g, ResourceConstraints::min_area(), "ms4"), 12, 0xB4);
+}
+
+TEST(NetlistIncremental, MovingSumClassBasedWidth8) {
+  const Dfg g = ced(build_moving_sum(6, 8), CedStyle::kClassBased);
+  expect_incremental_identical(
+      g, synthesize(g, ResourceConstraints::min_area(), "ms8"), 10, 0xB5);
+}
+
+TEST(NetlistIncremental, MovingSumEmbeddedWidth8) {
+  const Dfg g = ced(build_moving_sum(4, 8), CedStyle::kEmbedded);
+  expect_incremental_identical(
+      g, synthesize(g, ResourceConstraints::min_area(), "mse8"), 10, 0xB6);
+}
+
 // ---- shared-stream mode across all three backends -------------------------
 
 TEST(NetlistIncremental, SharedStreamIdenticalAcrossAllBackends) {
@@ -204,37 +207,38 @@ TEST(NetlistIncremental, SharedStreamDiffersFromPerFaultStream) {
 
 // ---- fault dropping -------------------------------------------------------
 
-TEST(NetlistIncremental, FaultDroppingPreservesTheDetectionSet) {
-  // Dropping retires a lane after its FIRST detected sample. Until that
-  // sample the simulation is identical to the full run, so per unit:
-  //  - a unit detects in the drop run iff it detects in the full run;
-  //  - units that never detect are untouched by dropping (bit-identical);
-  //  - dropped lanes only ever remove samples (totals shrink, never grow).
-  const Dfg g =
-      ced(build_fir(FirSpec{{3, -5, 7, -5, 3}, 8}), CedStyle::kClassBased);
-  const Netlist nl = synthesize(g, ResourceConstraints::min_area(), "drop");
-
+/// The drop-mode contract on one design: dropping retires a lane after
+/// its FIRST detected sample. Until that sample the simulation is
+/// identical to the full run, so per unit:
+///  - a unit detects in the drop run iff it detects in the full run;
+///  - units that never detect are untouched by dropping (bit-identical);
+///  - dropped lanes only ever remove samples (totals shrink, never grow).
+/// Checked at thread counts 1/2/8 (the full universes here end in partial
+/// final batches, so the prefix-mask retire path is always exercised).
+void expect_drop_consistent(const Dfg& g, const Netlist& nl, int samples,
+                            std::uint64_t seed, int fault_stride = 1) {
   NetlistCampaignOptions opt;
-  opt.samples_per_fault = 12;
-  opt.seed = 0xD0;
+  opt.samples_per_fault = samples;
+  opt.seed = seed;
+  opt.fault_stride = fault_stride;
   opt.stream = StreamMode::kShared;
   opt.backend = NetlistBackend::kIncremental;
 
   const auto full_r = run_netlist_campaign(g, nl, opt);
   opt.fault_dropping = true;
-  for (const int threads : {1, 2}) {
+  for (const int threads : {1, 2, 8}) {
     opt.threads = threads;
     const auto drop_r = run_netlist_campaign(g, nl, opt);
-    ASSERT_EQ(drop_r.per_unit.size(), full_r.per_unit.size());
+    ASSERT_EQ(drop_r.per_unit.size(), full_r.per_unit.size()) << nl.name;
     EXPECT_EQ(drop_r.fault_universe_size, full_r.fault_universe_size);
     EXPECT_LE(drop_r.aggregate.total(), full_r.aggregate.total());
     EXPECT_LT(drop_r.aggregate.total(), full_r.aggregate.total())
-        << "a self-checking design that never detects anything?";
+        << nl.name << ": a self-checking design that never detects anything?";
     for (std::size_t u = 0; u < full_r.per_unit.size(); ++u) {
       const fault::CampaignStats& full = full_r.per_unit[u].stats;
       const fault::CampaignStats& drop = drop_r.per_unit[u].stats;
       EXPECT_EQ(drop.detections() > 0, full.detections() > 0)
-          << full_r.per_unit[u].fu_name;
+          << nl.name << ": " << full_r.per_unit[u].fu_name;
       EXPECT_LE(drop.total(), full.total());
       if (full.detections() == 0) {
         EXPECT_EQ(drop.silent_correct, full.silent_correct);
@@ -242,6 +246,49 @@ TEST(NetlistIncremental, FaultDroppingPreservesTheDetectionSet) {
       }
     }
   }
+}
+
+TEST(NetlistIncremental, FaultDroppingPreservesTheDetectionSet) {
+  const Dfg g =
+      ced(build_fir(FirSpec{{3, -5, 7, -5, 3}, 8}), CedStyle::kClassBased);
+  expect_drop_consistent(
+      g, synthesize(g, ResourceConstraints::min_area(), "drop"), 12, 0xD0);
+}
+
+TEST(NetlistIncremental, FaultDroppingOnMatvec) {
+  // Multi-output drop semantics: a lane retires on the shared error flag,
+  // which aggregates the per-output check cones — consistency must hold
+  // for faults observable on either data output.
+  const Dfg g = ced(build_matvec({{2, -3, 1}, {-1, 4, 2}}, 8),
+                    CedStyle::kClassBased);
+  expect_drop_consistent(
+      g, synthesize(g, ResourceConstraints::min_area(), "dropmv"), 10, 0xD1);
+}
+
+TEST(NetlistIncremental, FaultDroppingOnMatvecStridedPartialBatch) {
+  // fault_stride shrinks the job list to a single partial batch, so the
+  // retire mask and the batch prefix mask interact on the same word.
+  const Dfg g = ced(build_matvec({{2, -3, 1}, {-1, 4, 2}}, 4),
+                    CedStyle::kClassBased);
+  expect_drop_consistent(g,
+                         synthesize(g, ResourceConstraints::min_area(), "dsmv"),
+                         10, 0xD2, /*fault_stride=*/9);
+}
+
+TEST(NetlistIncremental, FaultDroppingOnMovingSum) {
+  // State-heavy drop semantics: window faults often detect only several
+  // samples after injection (the corrupt value must reach the running
+  // sum), so retire points spread across the whole sample axis.
+  const Dfg g = ced(build_moving_sum(4, 8), CedStyle::kClassBased);
+  expect_drop_consistent(
+      g, synthesize(g, ResourceConstraints::min_area(), "dropms"), 14, 0xD3);
+}
+
+TEST(NetlistIncremental, FaultDroppingOnMovingSumStridedPartialBatch) {
+  const Dfg g = ced(build_moving_sum(6, 4), CedStyle::kClassBased);
+  expect_drop_consistent(g,
+                         synthesize(g, ResourceConstraints::min_area(), "dsms"),
+                         12, 0xD4, /*fault_stride=*/5);
 }
 
 // ---- cone analysis --------------------------------------------------------
