@@ -43,6 +43,17 @@ namespace sck::bench {
   return s;
 }
 
+[[nodiscard]] inline JsonValue to_json(const store::CacheStats& s) {
+  JsonValue v;
+  v.set("hits", s.hits)
+      .set("misses", s.misses)
+      .set("corrupt", s.corrupt)
+      .set("evicted", s.evicted)
+      .set("write_failures", s.write_failures)
+      .set("degraded", s.degraded);
+  return v;
+}
+
 [[nodiscard]] inline JsonValue to_json(
     const codesign::ExplorationReport& report) {
   JsonValue points;
@@ -68,6 +79,14 @@ namespace sck::bench {
       .set("points", std::move(points))
       .set("pareto_frontier", std::move(frontier))
       .set("software", std::move(software));
+  // Cache telemetry, present only when the result store was enabled
+  // (byte-compatible artifacts otherwise). The "store" block is cost
+  // accounting, not results: differential gates (CI's store-roundtrip
+  // step) compare explorer JSON with this one key excluded, because a
+  // cold run misses where a warm run hits while every result bit agrees.
+  if (report.store_enabled) {
+    doc.set("store", to_json(report.store_stats));
+  }
   return doc;
 }
 

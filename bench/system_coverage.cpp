@@ -65,6 +65,10 @@ int main(int argc, char** argv) {
   opt.campaign.threads = 0;  // full pool; results are thread-count invariant
   // Stream/backend are explorer-managed: shared-stream incremental
   // (report_version 2; set opt.legacy_streams for the PR 3/4 numbers).
+  // Content-addressed result store: export SCK_STORE_DIR=<dir> and repeat
+  // runs serve verified cached campaigns (byte-identical results; the
+  // JSON gains a "store" telemetry block, excluded from identity diffs).
+  opt.store_dir = sck::store::store_dir_from_env();
   Explorer explorer(registry, opt);
 
   DesignGrid grid;

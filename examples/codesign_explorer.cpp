@@ -35,6 +35,10 @@ int main(int argc, char** argv) {
   opt.campaign.fault_stride = 2;
   opt.campaign.threads = 0;  // all hardware threads; result thread-invariant
   opt.sw_samples = sw_samples;
+  // Opt-in persistent result store: export SCK_STORE_DIR=<dir> and
+  // re-runs of the same grid serve their campaigns from verified cache
+  // entries (bit-identical to recomputing; see src/store/store.h).
+  opt.store_dir = sck::store::store_dir_from_env();
   Explorer explorer(registry, opt);
 
   DesignGrid grid;
@@ -68,6 +72,15 @@ int main(int argc, char** argv) {
                    r.on_frontier ? "*" : ""});
   }
   table.print(std::cout);
+  if (report.store_enabled) {
+    std::cout << "\nresult store (" << opt.store_dir << "): "
+              << report.store_stats.hits << " hits, "
+              << report.store_stats.misses << " misses, "
+              << report.store_stats.corrupt << " quarantined, "
+              << report.store_stats.evicted << " evicted"
+              << (report.store_stats.degraded ? " [DEGRADED: uncached]" : "")
+              << "\n";
+  }
   std::cout << "\n" << report.frontier.size()
             << " Pareto-efficient points (no other design is at least as\n"
             << "good on area, latency AND coverage, and better on one).\n";

@@ -1,14 +1,18 @@
 #include "codesign/explorer.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
+#include <optional>
 #include <unordered_set>
 #include <utility>
 
 #include "common/assert.h"
 #include "fault/parallel.h"
 #include "hls/bind.h"
+#include "hls/netlist_exec.h"
 #include "hls/schedule.h"
+#include "store/fingerprint.h"
 
 namespace sck::codesign {
 
@@ -165,14 +169,51 @@ ExplorationReport Explorer::run(const std::vector<DesignPoint>& grid) {
       campaign_opt.threads =
           std::max(1, fault::resolve_threads(campaign_opt.threads) / pool);
     }
+    // Content-addressed result store (off unless store_dir is set). The
+    // fingerprint is taken over the EFFECTIVE campaign options — after the
+    // stream/backend management above — minus the proven-irrelevant knobs
+    // (backend, threads), so a hit is byte-identical to recomputing by the
+    // determinism guarantees the backends already ship. Lookups and
+    // commits run inside the workers; the store is thread-safe and every
+    // failure path (corrupt entry, unwritable dir) degrades to a
+    // recompute, never to an abort or a wrong number.
+    std::unique_ptr<store::CampaignStore> cache;
+    if (!options_.store_dir.empty()) {
+      cache = std::make_unique<store::CampaignStore>(options_.store_dir);
+    }
     fault::parallel_shard(
         grid.size(), options_.point_threads, [] { return 0; },
         [&](int& /*ctx*/, std::size_t idx) {
-          const hls::NetlistCampaignResult campaign = hls::run_netlist_campaign(
-              *jobs[idx].graph, *jobs[idx].netlist, campaign_opt);
+          hls::NetlistCampaignResult campaign;
+          std::optional<store::Fingerprint> key;
+          bool cached = false;
+          if (cache != nullptr) {
+            const hls::ExecPlan plan =
+                hls::compile_execution_plan(*jobs[idx].netlist);
+            key = store::campaign_fingerprint(*jobs[idx].graph, plan,
+                                              campaign_opt);
+            if (std::optional<hls::NetlistCampaignResult> hit =
+                    cache->load(*key)) {
+              campaign = std::move(*hit);
+              cached = true;
+            }
+          }
+          if (!cached) {
+            campaign = hls::run_netlist_campaign(*jobs[idx].graph,
+                                                 *jobs[idx].netlist,
+                                                 campaign_opt);
+            if (cache != nullptr) (void)cache->save(*key, campaign);
+          }
           report.points[idx].stats = campaign.aggregate;
           report.points[idx].faults = campaign.fault_universe_size;
         });
+    if (cache != nullptr) {
+      if (options_.store_max_bytes > 0) {
+        (void)cache->trim(options_.store_max_bytes);
+      }
+      report.store_enabled = true;
+      report.store_stats = cache->stats();
+    }
   }
 
   std::vector<ParetoMetrics> metrics;

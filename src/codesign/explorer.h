@@ -33,6 +33,7 @@
 #include "hls/area_time.h"
 #include "hls/netlist.h"
 #include "hls/netlist_campaign.h"
+#include "store/store.h"
 
 namespace sck::codesign {
 
@@ -103,6 +104,20 @@ struct ExplorerOptions {
   /// permutation of the grid). Empty = natural order. The report is
   /// invariant under this order by construction.
   std::vector<std::size_t> evaluation_order;
+  /// Persistent content-addressed campaign-result store (store/store.h).
+  /// Empty = off. When set, each point's coverage campaign is keyed by a
+  /// stable fingerprint of its inputs (graph, compiled plan, fault
+  /// universe, stream + seed, samples, stride, dropping) and served from
+  /// disk on a verified hit — byte-identical to recomputing, because
+  /// campaigns are deterministic. Corrupt or stale entries are quarantined
+  /// and recomputed, an unusable directory degrades to uncached execution;
+  /// the report's numbers can never depend on the cache state. Benches and
+  /// CI enable this via SCK_STORE_DIR (store::store_dir_from_env).
+  std::string store_dir;
+  /// Post-run store size budget in bytes (0 = unlimited): after the grid
+  /// completes, committed entries are evicted oldest-first until the store
+  /// fits (CampaignStore::trim; counted in CacheStats::evicted).
+  std::uint64_t store_max_bytes = 0;
 };
 
 /// One synthesized realization (cached inside the Explorer).
@@ -136,6 +151,12 @@ struct ExplorationReport {
   /// Which coverage-leg semantics produced the numbers (see
   /// kLegacyReportVersion / kSharedStreamReportVersion above).
   int report_version = kSharedStreamReportVersion;
+  /// Result-store telemetry (ExplorerOptions::store_dir). Deliberately NOT
+  /// part of the report's scientific payload: hits are byte-identical to
+  /// recomputes, so these counters describe cost, never results — the
+  /// differential gates compare reports with the store block excluded.
+  bool store_enabled = false;
+  store::CacheStats store_stats;
 };
 
 /// One point's position in the (minimize, minimize, maximize) trade-off

@@ -1,6 +1,7 @@
 #include "codesign/kernel.h"
 
 #include <chrono>
+#include <cstdio>
 #include <limits>
 #include <utility>
 
@@ -298,7 +299,21 @@ const KernelSpec* KernelRegistry::find(std::string_view name) const {
 
 const KernelSpec& KernelRegistry::at(std::string_view name) const {
   const KernelSpec* k = find(name);
-  SCK_EXPECTS(k != nullptr && "unknown kernel name");
+  if (k == nullptr) {
+    // Name every registered kernel before aborting: a grid typo (or a
+    // registry the caller forgot to populate) should be diagnosable from
+    // the failure message alone.
+    std::string msg = "unknown kernel \"";
+    msg += name;
+    msg += "\"; registered kernels:";
+    if (kernels_.empty()) msg += " (none)";
+    for (const KernelSpec& spec : kernels_) {
+      msg += ' ';
+      msg += spec.name;
+    }
+    std::fprintf(stderr, "%s\n", msg.c_str());
+    SCK_EXPECTS(k != nullptr && "unknown kernel name");
+  }
   return *k;
 }
 

@@ -35,6 +35,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -62,6 +64,15 @@ namespace sck::fault {
 /// makes the outcome independent of the thread count and of the dynamic
 /// schedule. This is the engine under the campaign drivers below and under
 /// the netlist campaign (hls/netlist_campaign.cpp).
+///
+/// Error contract: an exception thrown by `make_state` or `eval` on a pool
+/// thread does NOT std::terminate the process. The first exception is
+/// captured, the remaining shards are cancelled (workers stop pulling new
+/// jobs; in-flight evaluations finish), every worker is joined, and the
+/// captured exception is rethrown on the calling thread — so a throwing
+/// trial surfaces as a normal catchable error at any thread count, exactly
+/// like the single-threaded path. After a throw the caller's j-indexed
+/// slots are only partially filled; callers must not reduce them.
 template <typename MakeState, typename Eval>
 void parallel_shard(std::size_t jobs, int threads, MakeState&& make_state,
                     const Eval& eval) {
@@ -70,9 +81,10 @@ void parallel_shard(std::size_t jobs, int threads, MakeState&& make_state,
       static_cast<std::size_t>(resolve_threads(threads)),
       jobs == 0 ? 1 : jobs));
   std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> cancelled{false};
 
   const auto work = [&](auto& state) {
-    for (;;) {
+    while (!cancelled.load(std::memory_order_relaxed)) {
       const std::size_t j = cursor.fetch_add(1, std::memory_order_relaxed);
       if (j >= jobs) break;
       eval(state, j);
@@ -84,15 +96,27 @@ void parallel_shard(std::size_t jobs, int threads, MakeState&& make_state,
     work(state);
     return;
   }
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) {
-    pool.emplace_back([&make_state, &work] {
-      auto state = make_state();
-      work(state);
+    pool.emplace_back([&make_state, &work, &cancelled, &first_error,
+                       &error_mutex] {
+      try {
+        auto state = make_state();
+        work(state);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        cancelled.store(true, std::memory_order_relaxed);
+      }
     });
   }
   for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 namespace detail {

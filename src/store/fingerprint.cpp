@@ -1,0 +1,149 @@
+#include "store/fingerprint.h"
+
+#include <vector>
+
+#include "common/assert.h"
+#include "hw/fault_site.h"
+
+namespace sck::store {
+
+namespace {
+
+/// SplitMix64 finalizer: FNV-1a diffuses low-to-high only, so without a
+/// final avalanche two inputs differing late in the stream would produce
+/// visibly related fingerprints.
+[[nodiscard]] std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+void hash_operand(FingerprintHasher& h, const hls::ExecOperand& op) {
+  h.u64(static_cast<std::uint64_t>(op.kind));
+  h.i64(op.index);
+}
+
+void hash_graph(FingerprintHasher& h, const hls::Dfg& graph) {
+  h.u64(graph.size());
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const hls::Node& n = graph.node(static_cast<hls::NodeId>(i));
+    h.u64(static_cast<std::uint64_t>(n.op));
+    h.i64(n.width);
+    h.i64(n.value);
+    h.str(n.name);
+    h.boolean(n.is_check);
+    h.i64(n.check_group);
+    h.i64(n.release_delay);
+    h.u64(n.ins.size());
+    for (const hls::NodeId in : n.ins) h.i64(in);
+  }
+  const auto hash_ids = [&h](const std::vector<hls::NodeId>& ids) {
+    h.u64(ids.size());
+    for (const hls::NodeId id : ids) h.i64(id);
+  };
+  hash_ids(graph.inputs());
+  hash_ids(graph.outputs());
+  hash_ids(graph.state_regs());
+}
+
+void hash_plan(FingerprintHasher& h, const hls::ExecPlan& plan) {
+  h.i64(plan.data_width);
+  h.i64(plan.num_steps);
+  h.i64(plan.num_regs);
+  h.i64(plan.num_inputs);
+  h.i64(plan.num_wires);
+  h.u64(plan.const_pool.size());
+  for (const Word c : plan.const_pool) h.u64(c);
+  h.u64(plan.ops.size());
+  for (const hls::ExecOp& op : plan.ops) {
+    h.u64(static_cast<std::uint64_t>(op.op));
+    h.i64(op.fu);
+    h.i64(op.wire);
+    h.i64(op.dst_reg);
+    h.i64(op.width);
+    hash_operand(h, op.src0);
+    hash_operand(h, op.src1);
+  }
+  h.u64(plan.step_begin.size());
+  for (const std::uint32_t s : plan.step_begin) h.u64(s);
+  h.u64(plan.outputs.size());
+  for (const hls::ExecOperand& out : plan.outputs) hash_operand(h, out);
+  h.u64(plan.state_loads.size());
+  for (const hls::ExecPlan::StateLoad& load : plan.state_loads) {
+    h.i64(load.dst_reg);
+    hash_operand(h, load.source);
+  }
+  h.i64(plan.error_output);
+}
+
+/// FU identities and the complete stuck-at universe they host. The names
+/// are part of the cached result (UnitCoverage::fu_name), and the universe
+/// — enumerated exactly like the campaign's job list, pre-stride — is the
+/// set of faults the counters are reduced over.
+void hash_universe(FingerprintHasher& h, const hls::Netlist& netlist) {
+  h.u64(netlist.fus.size());
+  const hls::FuBank probe(netlist);
+  for (std::size_t f = 0; f < netlist.fus.size(); ++f) {
+    const hls::FuInstance& fu = netlist.fus[f];
+    h.u64(static_cast<std::uint64_t>(fu.cls));
+    h.i64(fu.width);
+    h.i64(fu.group);
+    h.str(fu.name);
+    const std::vector<hw::FaultSite> universe =
+        probe.fault_universe(static_cast<int>(f));
+    h.u64(universe.size());
+    for (const hw::FaultSite& site : universe) {
+      h.i64(site.cell);
+      h.u64(site.line);
+      h.boolean(site.stuck_value);
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_string(const Fingerprint& fp) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string s;
+  s.reserve(32);
+  for (const std::uint64_t word : {fp.hi, fp.lo}) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      s += kHex[(word >> shift) & 0xF];
+    }
+  }
+  return s;
+}
+
+Fingerprint FingerprintHasher::finish() const {
+  // Cross-couple the lanes so the pair behaves like one 128-bit digest
+  // rather than two correlated 64-bit ones.
+  Fingerprint fp;
+  fp.hi = mix(a_ + 0x9E3779B97F4A7C15ULL * b_);
+  fp.lo = mix(b_ ^ mix(a_));
+  return fp;
+}
+
+Fingerprint campaign_fingerprint(const hls::Dfg& graph,
+                                 const hls::ExecPlan& plan,
+                                 const hls::NetlistCampaignOptions& options) {
+  SCK_EXPECTS(plan.netlist != nullptr);
+  FingerprintHasher h;
+  h.u64(kFingerprintVersion);
+  hash_graph(h, graph);
+  hash_plan(h, plan);
+  hash_universe(h, *plan.netlist);
+  // Backend-invariant campaign options. threads and backend are
+  // deliberately absent: the differential suites prove they cannot change
+  // a bit of the result, so hashing them would only split the cache.
+  h.i64(options.samples_per_fault);
+  h.u64(options.seed);
+  h.i64(options.fault_stride);
+  h.u64(static_cast<std::uint64_t>(options.stream));
+  h.boolean(options.fault_dropping);
+  return h.finish();
+}
+
+}  // namespace sck::store

@@ -1,0 +1,413 @@
+#include "store/store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+namespace sck::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// "SCKSTORE" as a little-endian u64.
+constexpr std::uint64_t kMagic = 0x45524F54534B4353ULL;
+
+/// Fixed header: magic, version+reserved, key echo, payload length.
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 8 + 8 + 8;
+constexpr std::size_t kChecksumBytes = 8;
+
+void put_u64(std::vector<unsigned char>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<unsigned char>(v >> (8 * i)));
+  }
+}
+
+void put_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<unsigned char>(v >> (8 * i)));
+  }
+}
+
+void put_str(std::vector<unsigned char>& out, const std::string& s) {
+  put_u64(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_stats(std::vector<unsigned char>& out,
+               const fault::CampaignStats& s) {
+  put_u64(out, s.silent_correct);
+  put_u64(out, s.detected_correct);
+  put_u64(out, s.detected_erroneous);
+  put_u64(out, s.masked);
+}
+
+[[nodiscard]] std::uint64_t fnv1a(const unsigned char* data,
+                                  std::size_t size) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h = (h ^ data[i]) * 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Bounds-checked little-endian reader. Every accessor reports failure by
+/// returning false and latching ok() — malformed bytes can only produce a
+/// clean parse failure, never UB or an abort.
+class Reader {
+ public:
+  explicit Reader(const std::vector<unsigned char>& bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] bool u64(std::uint64_t& v) {
+    if (!ok_ || bytes_.size() - at_ < 8) return fail();
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[at_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    at_ += 8;
+    return true;
+  }
+
+  [[nodiscard]] bool u32(std::uint32_t& v) {
+    if (!ok_ || bytes_.size() - at_ < 4) return fail();
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes_[at_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    at_ += 4;
+    return true;
+  }
+
+  [[nodiscard]] bool str(std::string& s) {
+    std::uint64_t len = 0;
+    if (!u64(len)) return false;
+    if (len > remaining()) return fail();
+    s.assign(reinterpret_cast<const char*>(bytes_.data() + at_),
+             static_cast<std::size_t>(len));
+    at_ += static_cast<std::size_t>(len);
+    return true;
+  }
+
+  [[nodiscard]] bool stats(fault::CampaignStats& s) {
+    return u64(s.silent_correct) && u64(s.detected_correct) &&
+           u64(s.detected_erroneous) && u64(s.masked);
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - at_; }
+  [[nodiscard]] std::size_t position() const { return at_; }
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  bool fail() {
+    ok_ = false;
+    return false;
+  }
+
+  const std::vector<unsigned char>& bytes_;
+  std::size_t at_ = 0;
+  bool ok_ = true;
+};
+
+/// Write `bytes` to `path` and flush it to stable storage. POSIX I/O so
+/// the data is fsync'd before the caller renames the file into place —
+/// the crash-safety half of the atomic-commit protocol.
+[[nodiscard]] bool write_file_durable(const std::string& path,
+                                      const std::vector<unsigned char>& bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  const bool synced = ::fsync(fd) == 0;
+  return (::close(fd) == 0) && synced;
+}
+
+/// Best-effort directory fsync after a rename, so the committed entry's
+/// directory record survives a crash too. Failure is ignored: the worst
+/// case is a lost cache entry, never a wrong one.
+void sync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  (void)::close(fd);
+}
+
+}  // namespace
+
+std::vector<unsigned char> serialize_entry(
+    const Fingerprint& key, const hls::NetlistCampaignResult& value) {
+  // Payload first, so the header can carry its exact length.
+  std::vector<unsigned char> payload;
+  put_u64(payload, value.fault_universe_size);
+  put_stats(payload, value.aggregate);
+  put_u64(payload, value.per_unit.size());
+  for (const hls::UnitCoverage& unit : value.per_unit) {
+    put_u64(payload, static_cast<std::uint64_t>(
+                         static_cast<std::int64_t>(unit.fu_index)));
+    put_str(payload, unit.fu_name);
+    put_u64(payload, unit.faults);
+    put_stats(payload, unit.stats);
+  }
+
+  std::vector<unsigned char> out;
+  out.reserve(kHeaderBytes + payload.size() + kChecksumBytes);
+  put_u64(out, kMagic);
+  put_u32(out, kStoreFormatVersion);
+  put_u32(out, 0);  // reserved
+  put_u64(out, key.hi);
+  put_u64(out, key.lo);
+  put_u64(out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  put_u64(out, fnv1a(out.data(), out.size()));
+  return out;
+}
+
+std::optional<hls::NetlistCampaignResult> deserialize_entry(
+    const Fingerprint& key, const std::vector<unsigned char>& bytes) {
+  if (bytes.size() < kHeaderBytes + kChecksumBytes) return std::nullopt;
+
+  // Checksum over everything before the trailer; verified FIRST so a
+  // corrupted header cannot even steer the parse.
+  const std::size_t body = bytes.size() - kChecksumBytes;
+  std::uint64_t want_sum = 0;
+  for (int i = 0; i < 8; ++i) {
+    want_sum |= static_cast<std::uint64_t>(bytes[body + static_cast<std::size_t>(i)])
+                << (8 * i);
+  }
+  if (fnv1a(bytes.data(), body) != want_sum) return std::nullopt;
+
+  Reader r(bytes);
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t reserved = 0;
+  Fingerprint echoed;
+  std::uint64_t payload_len = 0;
+  if (!r.u64(magic) || !r.u32(version) || !r.u32(reserved) ||
+      !r.u64(echoed.hi) || !r.u64(echoed.lo) || !r.u64(payload_len)) {
+    return std::nullopt;
+  }
+  if (magic != kMagic || version != kStoreFormatVersion || reserved != 0 ||
+      echoed != key || payload_len != body - kHeaderBytes) {
+    return std::nullopt;
+  }
+
+  hls::NetlistCampaignResult result;
+  std::uint64_t units = 0;
+  if (!r.u64(result.fault_universe_size) || !r.stats(result.aggregate) ||
+      !r.u64(units)) {
+    return std::nullopt;
+  }
+  // Each unit occupies at least its fixed-width fields; a fabricated count
+  // larger than the remaining bytes is rejected before any allocation.
+  constexpr std::uint64_t kMinUnitBytes = 8 + 8 + 8 + 4 * 8;
+  if (units > r.remaining() / kMinUnitBytes) return std::nullopt;
+  result.per_unit.resize(static_cast<std::size_t>(units));
+  for (hls::UnitCoverage& unit : result.per_unit) {
+    std::uint64_t fu_index = 0;
+    if (!r.u64(fu_index) || !r.str(unit.fu_name) || !r.u64(unit.faults) ||
+        !r.stats(unit.stats)) {
+      return std::nullopt;
+    }
+    unit.fu_index = static_cast<int>(static_cast<std::int64_t>(fu_index));
+  }
+  // The payload must be consumed exactly: trailing garbage inside a
+  // correctly-checksummed body still fails (defense against truncated
+  // writes that happen to re-checksum).
+  if (!r.ok() || r.position() != body) return std::nullopt;
+  return result;
+}
+
+CampaignStore::CampaignStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_, ec)) {
+    degraded_ = true;
+    std::fprintf(stderr,
+                 "[store] WARNING: cannot open store directory '%s' (%s); "
+                 "running uncached\n",
+                 dir_.c_str(), ec.message().c_str());
+  }
+}
+
+std::string CampaignStore::entry_path(const Fingerprint& key) const {
+  return dir_ + "/" + to_string(key) + ".entry";
+}
+
+void CampaignStore::quarantine(const std::string& path, const char* reason) {
+  corrupt_.fetch_add(1, std::memory_order_relaxed);
+  std::error_code ec;
+  const fs::path src(path);
+  const fs::path qdir = fs::path(dir_) / "corrupt";
+  fs::create_directories(qdir, ec);
+  const fs::path dst =
+      qdir / (src.filename().string() + "." +
+              std::to_string(temp_seq_.fetch_add(1, std::memory_order_relaxed)));
+  ec.clear();
+  fs::rename(src, dst, ec);
+  if (ec) {
+    // Cannot preserve the evidence (another thread may have grabbed it, or
+    // the directory is read-only): drop the entry instead so it is not
+    // re-served; if even that fails it will simply fail verification again.
+    fs::remove(src, ec);
+  }
+  std::fprintf(stderr,
+               "[store] WARNING: quarantined corrupt entry '%s' (%s); "
+               "recomputing\n",
+               path.c_str(), reason);
+}
+
+std::optional<hls::NetlistCampaignResult> CampaignStore::load(
+    const Fingerprint& key) {
+  if (degraded_) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  const std::string path = entry_path(key);
+  std::vector<unsigned char> bytes;
+  {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    unsigned char buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        quarantine(path, "read error");
+        return std::nullopt;
+      }
+      if (n == 0) break;
+      bytes.insert(bytes.end(), buf, buf + n);
+    }
+    ::close(fd);
+  }
+
+  std::optional<hls::NetlistCampaignResult> result =
+      deserialize_entry(key, bytes);
+  if (!result) {
+    quarantine(path, "failed verification (checksum/version/key/structure)");
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+void CampaignStore::warn_write_failure_once(const std::string& detail) {
+  write_failures_.fetch_add(1, std::memory_order_relaxed);
+  if (!warned_write_.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "[store] WARNING: cannot write store entry (%s); results "
+                 "stay correct but uncached\n",
+                 detail.c_str());
+  }
+}
+
+bool CampaignStore::save(const Fingerprint& key,
+                         const hls::NetlistCampaignResult& value) {
+  if (degraded_) return false;
+  const std::vector<unsigned char> bytes = serialize_entry(key, value);
+  const std::string final_path = entry_path(key);
+  const std::string tmp_path =
+      final_path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(temp_seq_.fetch_add(1, std::memory_order_relaxed));
+  if (!write_file_durable(tmp_path, bytes)) {
+    std::error_code ec;
+    fs::remove(tmp_path, ec);
+    warn_write_failure_once(tmp_path);
+    return false;
+  }
+  // Atomic commit: concurrent writers of the same key carry identical
+  // bytes (deterministic campaigns), so whichever rename lands the entry
+  // is valid; rename(2) can replace but never tear.
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    warn_write_failure_once(final_path);
+    return false;
+  }
+  sync_dir(dir_);
+  return true;
+}
+
+std::size_t CampaignStore::trim(std::uint64_t max_bytes) {
+  if (degraded_) return 0;
+  struct EntryFile {
+    fs::file_time_type mtime;
+    std::string path;
+    std::uint64_t size = 0;
+  };
+  std::vector<EntryFile> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const fs::path& p = it->path();
+    if (p.extension() != ".entry") continue;
+    EntryFile e;
+    e.path = p.string();
+    e.size = static_cast<std::uint64_t>(fs::file_size(p, ec));
+    if (ec) continue;
+    e.mtime = fs::last_write_time(p, ec);
+    if (ec) continue;
+    total += e.size;
+    entries.push_back(std::move(e));
+  }
+  if (total <= max_bytes) return 0;
+  // Oldest first; path tie-break keeps the order deterministic when a
+  // filesystem's mtime granularity collapses timestamps.
+  std::sort(entries.begin(), entries.end(),
+            [](const EntryFile& a, const EntryFile& b) {
+              return a.mtime != b.mtime ? a.mtime < b.mtime : a.path < b.path;
+            });
+  std::size_t removed = 0;
+  for (const EntryFile& e : entries) {
+    if (total <= max_bytes) break;
+    ec.clear();
+    if (fs::remove(e.path, ec) && !ec) {
+      total -= e.size;
+      ++removed;
+      evicted_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return removed;
+}
+
+CacheStats CampaignStore::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.corrupt = corrupt_.load(std::memory_order_relaxed);
+  s.evicted = evicted_.load(std::memory_order_relaxed);
+  s.write_failures = write_failures_.load(std::memory_order_relaxed);
+  s.degraded = degraded_;
+  return s;
+}
+
+std::string store_dir_from_env() {
+  const char* dir = std::getenv("SCK_STORE_DIR");
+  return dir == nullptr ? std::string{} : std::string(dir);
+}
+
+}  // namespace sck::store

@@ -500,6 +500,21 @@ TEST(KernelRegistry, DuplicateNameFailsLoudly) {
   EXPECT_EQ(reg.size(), 7u);
 }
 
+TEST(KernelRegistry, UnknownNameFailsWithRegisteredListing) {
+  // A typo'd kernel name (CLI flag, grid config) must abort with a
+  // message that names the miss AND lists what is actually registered —
+  // not a bare assertion the user has to gdb into.
+  KernelRegistry reg;
+  reg.add(make_fir_kernel({1, 2, 3}));
+  reg.add(make_moving_sum_kernel(4));
+  EXPECT_DEATH(reg.at("fir_typo"),
+               "unknown kernel \"fir_typo\"; registered kernels: fir "
+               "moving_sum");
+  // An empty registry says so instead of listing nothing.
+  const KernelRegistry empty;
+  EXPECT_DEATH(empty.at("fir"), "registered kernels: \\(none\\)");
+}
+
 // ---- SW legs (widened accumulation, satellite UB audit) -------------------
 
 TEST(SwLeg, WidenedKernelsAgreeAcrossVariants) {

@@ -4,6 +4,11 @@
 // every fault's evaluation is a pure function of (fault, inputs).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/fir.h"
@@ -169,6 +174,60 @@ TEST(ParallelCampaign, NetlistCampaignThreadCountInvariant) {
                 rn.per_unit[u].stats.silent_correct);
     }
   }
+}
+
+// A throwing evaluation must surface as a normal catchable exception on
+// the calling thread — never std::terminate — at any thread count,
+// including the inline single-worker path.
+TEST(ParallelShardErrors, ThrowingEvalRethrowsOnCallerAtAnyThreadCount) {
+  for (const int threads : {1, 2, 8}) {
+    bool caught = false;
+    try {
+      parallel_shard(
+          100, threads, [] { return 0; },
+          [](int&, std::size_t j) {
+            if (j == 13) {
+              throw std::runtime_error("trial exploded at fault 13");
+            }
+          });
+    } catch (const std::runtime_error& e) {
+      caught = true;
+      EXPECT_EQ(std::string(e.what()), "trial exploded at fault 13");
+    }
+    EXPECT_TRUE(caught) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelShardErrors, ThrowingContextFactoryRethrowsOnCaller) {
+  struct BadContext {
+    BadContext() { throw std::runtime_error("no device for this worker"); }
+  };
+  for (const int threads : {1, 2, 8}) {
+    EXPECT_THROW(parallel_shard(
+                     16, threads, [] { return BadContext{}; },
+                     [](BadContext&, std::size_t) {}),
+                 std::runtime_error)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelShardErrors, RemainingShardsAreCancelledAfterAThrow) {
+  // Job 0 throws immediately; every other job sleeps. Without
+  // cancellation the pool would grind through all ~10k sleeps before
+  // joining; with it, each worker finishes at most its in-flight job and
+  // stops pulling. The generous bound still fails loudly if cancellation
+  // regresses.
+  constexpr std::size_t kJobs = 10'000;
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(parallel_shard(
+                   kJobs, 8, [] { return 0; },
+                   [&executed](int&, std::size_t j) {
+                     if (j == 0) throw std::runtime_error("first job fails");
+                     std::this_thread::sleep_for(std::chrono::microseconds(100));
+                     executed.fetch_add(1, std::memory_order_relaxed);
+                   }),
+               std::runtime_error);
+  EXPECT_LT(executed.load(), kJobs / 2);
 }
 
 }  // namespace
