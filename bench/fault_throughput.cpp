@@ -1,17 +1,19 @@
 // Fault-simulation throughput, operator-level AND system-level.
 //
-// Operator level: scalar vs 64-lane batched vs batched + thread pool on
+// Operator level: scalar vs W-lane batched vs batched + thread pool on
 // the paper's flagship campaign (checked addition on the 8-bit
 // ripple-carry adder, exhaustive: 256 faults x 2^16 input pairs = 16.7M
 // faulty situations).
 //
 // System level: the netlist-campaign engines on the complete FU stuck-at
 // sweep of a synthesized self-checking FIR through the compiled execution
-// plan (hls/netlist_exec.h) — scalar interpreter vs the 64-lane bit-plane
+// plan (hls/netlist_exec.h) — scalar interpreter vs the W-lane bit-plane
 // backend (lane = fault, per-fault streams) vs bit-plane + thread pool,
 // then the shared-stream section: bit-plane under one shared stream vs
 // the golden-trace incremental backend (fault-cone replay) plain and with
-// fault dropping, swept over --threads pool sizes.
+// fault dropping, swept over --threads pool sizes, and the lane-width
+// sweep: the same shared campaign at W = 64/128/256/512 plane lanes
+// (hw/plane.h) on one thread, reporting speedup_wide_vs_64.
 //
 // This is the repository's perf trajectory file: it emits
 // machine-readable BENCH_fault_throughput.json so future sessions and CI
@@ -46,6 +48,7 @@
 #include "hls/netlist_campaign.h"
 #include "hls/netlist_exec.h"
 #include "hls/schedule.h"
+#include "hw/plane.h"
 #include "hw/ripple_carry_adder.h"
 
 namespace {
@@ -109,6 +112,9 @@ int main(int argc, char** argv) {
   const sck::bench::BenchArgs args = sck::bench::parse_args(
       argc, argv, "BENCH_fault_throughput.json", /*default_iterations=*/24);
   const int hw_threads = sck::fault::resolve_threads(0);
+  // Lane width the batched engines run at when options.lanes is left 0
+  // (SCK_LANES env, then the CPU default) — recorded per row below.
+  const int native_lanes = sck::hw::resolve_lanes(0);
 
   sck::hw::RippleCarryAdder adder(kWidth);
   std::vector<sck::hw::FaultableUnit*> units{&adder};
@@ -150,7 +156,8 @@ int main(int argc, char** argv) {
       {"engine", "seconds", "trials/sec", "speedup vs scalar"});
   table.add_row({"scalar, 1 thread", sck::format_fixed(scalar_s, 3),
                  sck::format_fixed(scalar_tps, 0), "1.00x"});
-  table.add_row({"batched (64 lanes), 1 thread",
+  table.add_row({"batched (" + std::to_string(native_lanes) +
+                     " lanes), 1 thread",
                  sck::format_fixed(batched_s, 3),
                  sck::format_fixed(batched_tps, 0),
                  sck::format_fixed(scalar_s / batched_s, 2) + "x"});
@@ -219,7 +226,8 @@ int main(int argc, char** argv) {
   sys_table.add_row({"interpreter (scalar), 1 thread",
                      sck::format_fixed(sys_scalar_s, 3),
                      sck::format_fixed(sys_scalar_tps, 0), "1.00x"});
-  sys_table.add_row({"bit-plane (64 lanes), 1 thread",
+  sys_table.add_row({"bit-plane (" + std::to_string(native_lanes) +
+                         " lanes), 1 thread",
                      sck::format_fixed(sys_batched_s, 3),
                      sck::format_fixed(sys_batched_tps, 0),
                      sck::format_fixed(sys_scalar_s / sys_batched_s, 2) +
@@ -312,6 +320,7 @@ int main(int argc, char** argv) {
     {
       sck::bench::JsonValue r;
       r.set("engine", "netlist-batched-shared")
+          .set("lanes", native_lanes)
           .set("threads", threads)
           .set("seconds", batched_s)
           .set("samples_per_sec", shr_trials / batched_s)
@@ -321,6 +330,7 @@ int main(int argc, char** argv) {
     {
       sck::bench::JsonValue r;
       r.set("engine", "system-incremental")
+          .set("lanes", native_lanes)
           .set("threads", threads)
           .set("seconds", inc_s)
           .set("samples_per_sec", shr_trials / inc_s)
@@ -371,6 +381,120 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // ---- lane-width sweep: the plane substrate at W = 64/128/256/512 --------
+  // Same shared-stream campaign, threads pinned to 1 so the only variable
+  // is the plane word (Plane64 / PlaneN<K> / the AVX types where the build
+  // enables them): W faults per plane evaluation. Every row is gated on
+  // bit identity with the scalar interpreter under the same stream, and
+  // speedup_wide_vs_64 records the best wide-plane win per core.
+  const double shared_total =
+      static_cast<double>(shared_anchor_r.aggregate.total());
+  shr_opt.threads = 1;
+  shr_opt.fault_dropping = false;
+  shr_opt.backend = sck::hls::NetlistBackend::kScalar;
+  sck::hls::NetlistCampaignResult lane_scalar_r;
+  const double lane_scalar_s = seconds([&] {
+    lane_scalar_r =
+        run_netlist_campaign(fir_graph, fir_design.netlist, shr_opt);
+  });
+  bool lane_identical = same_netlist_result(lane_scalar_r, shared_anchor_r);
+
+  sck::TextTable lane_table(
+      "lane-width sweep, shared stream, 1 thread (identical results)");
+  lane_table.set_header(
+      {"engine", "lanes", "seconds", "samples/sec", "speedup vs 64 lanes"});
+  lane_table.add_row({"interpreter (scalar)", "-",
+                      sck::format_fixed(lane_scalar_s, 3),
+                      sck::format_fixed(shared_total / lane_scalar_s, 0),
+                      "-"});
+  sck::bench::JsonValue lane_rows;
+  {
+    sck::bench::JsonValue r;
+    r.set("engine", "netlist-scalar-shared")
+        .set("lanes", 1)
+        .set("threads", 1)
+        .set("seconds", lane_scalar_s)
+        .set("samples_per_sec", shared_total / lane_scalar_s)
+        .set("results_identical", lane_identical);
+    lane_rows.push(std::move(r));
+  }
+  double batched_64_s = 0;
+  double inc_64_s = 0;
+  double speedup_wide_vs_64 = 1.0;
+  int speedup_wide_lanes = 64;
+  for (const int lanes : {64, 128, 256, 512}) {
+    shr_opt.lanes = lanes;
+    sck::hls::NetlistCampaignResult batched_r;
+    sck::hls::NetlistCampaignResult inc_r;
+    shr_opt.backend = sck::hls::NetlistBackend::kBatched;
+    const double batched_s = seconds([&] {
+      batched_r = run_netlist_campaign(fir_graph, fir_design.netlist, shr_opt);
+    });
+    shr_opt.backend = sck::hls::NetlistBackend::kIncremental;
+    const double inc_s = seconds([&] {
+      inc_r = run_netlist_campaign(fir_graph, fir_design.netlist, shr_opt);
+    });
+    const bool batched_identical = same_netlist_result(lane_scalar_r, batched_r);
+    const bool inc_identical = same_netlist_result(lane_scalar_r, inc_r);
+    lane_identical = lane_identical && batched_identical && inc_identical;
+    if (lanes == 64) {
+      batched_64_s = batched_s;
+      inc_64_s = inc_s;
+    } else {
+      for (const double s : {batched_64_s / batched_s, inc_64_s / inc_s}) {
+        if (s > speedup_wide_vs_64) {
+          speedup_wide_vs_64 = s;
+          speedup_wide_lanes = lanes;
+        }
+      }
+    }
+    lane_table.add_row(
+        {"bit-plane shared", std::to_string(lanes),
+         sck::format_fixed(batched_s, 3),
+         sck::format_fixed(shared_total / batched_s, 0),
+         sck::format_fixed(batched_64_s / batched_s, 2) + "x"});
+    lane_table.add_row(
+        {"incremental cone replay", std::to_string(lanes),
+         sck::format_fixed(inc_s, 3),
+         sck::format_fixed(shared_total / inc_s, 0),
+         sck::format_fixed(inc_64_s / inc_s, 2) + "x"});
+    {
+      sck::bench::JsonValue r;
+      r.set("engine", "netlist-batched-shared")
+          .set("lanes", lanes)
+          .set("threads", 1)
+          .set("seconds", batched_s)
+          .set("samples_per_sec", shared_total / batched_s)
+          .set("speedup_vs_scalar", lane_scalar_s / batched_s)
+          .set("speedup_vs_64", batched_64_s / batched_s)
+          .set("results_identical", batched_identical);
+      lane_rows.push(std::move(r));
+    }
+    {
+      sck::bench::JsonValue r;
+      r.set("engine", "system-incremental")
+          .set("lanes", lanes)
+          .set("threads", 1)
+          .set("seconds", inc_s)
+          .set("samples_per_sec", shared_total / inc_s)
+          .set("speedup_vs_scalar", lane_scalar_s / inc_s)
+          .set("speedup_vs_64", inc_64_s / inc_s)
+          .set("results_identical", inc_identical);
+      lane_rows.push(std::move(r));
+    }
+  }
+  shr_opt.lanes = 0;
+  std::cout << "\n";
+  lane_table.print(std::cout);
+  if (!lane_identical) {
+    std::cerr << "LANE-WIDTH ENGINE MISMATCH: wide-plane results diverged "
+                 "from the scalar interpreter — refusing to report timings\n";
+    return 1;
+  }
+  std::cout << "Best wide-vs-64 speedup: "
+            << sck::format_fixed(speedup_wide_vs_64, 2) << "x at "
+            << speedup_wide_lanes << " lanes\n";
+
   // ---- new workload shapes: multi-output matvec + state-heavy moving sum --
   // The explorer's coverage leg defaults to shared-stream incremental
   // (report_version 2), so the identity of that backend on the new netlist
@@ -408,6 +532,7 @@ int main(int argc, char** argv) {
         static_cast<double>(scalar_result.aggregate.total());
     sck::bench::JsonValue r;
     r.set("engine", label + "-incremental")
+        .set("lanes", native_lanes)
         .set("threads", 1)
         .set("faults", scalar_result.fault_universe_size)
         .set("seconds", in_s)
@@ -459,6 +584,7 @@ int main(int argc, char** argv) {
   {
     sck::bench::JsonValue r;
     r.set("engine", "system-incremental+drop")
+        .set("lanes", native_lanes)
         .set("threads", 1)
         .set("seconds", drop_s)
         .set("samples_recorded", drop_r.aggregate.total())
@@ -471,6 +597,7 @@ int main(int argc, char** argv) {
   {
     sck::bench::JsonValue r;
     r.set("engine", "scalar")
+        .set("lanes", 1)
         .set("threads", 1)
         .set("seconds", scalar_s)
         .set("trials_per_sec", scalar_tps)
@@ -480,6 +607,7 @@ int main(int argc, char** argv) {
   {
     sck::bench::JsonValue r;
     r.set("engine", "batched")
+        .set("lanes", native_lanes)
         .set("threads", 1)
         .set("seconds", batched_s)
         .set("trials_per_sec", batched_tps)
@@ -489,6 +617,7 @@ int main(int argc, char** argv) {
   {
     sck::bench::JsonValue r;
     r.set("engine", "batched+threads")
+        .set("lanes", native_lanes)
         .set("threads", hw_threads)
         .set("seconds", parallel_s)
         .set("trials_per_sec", parallel_tps)
@@ -500,6 +629,7 @@ int main(int argc, char** argv) {
   {
     sck::bench::JsonValue r;
     r.set("engine", "netlist-scalar")
+        .set("lanes", 1)
         .set("threads", 1)
         .set("seconds", sys_scalar_s)
         .set("samples_per_sec", sys_scalar_tps)
@@ -509,6 +639,7 @@ int main(int argc, char** argv) {
   {
     sck::bench::JsonValue r;
     r.set("engine", "netlist-batched")
+        .set("lanes", native_lanes)
         .set("threads", 1)
         .set("seconds", sys_batched_s)
         .set("samples_per_sec", sys_batched_tps)
@@ -518,6 +649,7 @@ int main(int argc, char** argv) {
   {
     sck::bench::JsonValue r;
     r.set("engine", "netlist-batched+threads")
+        .set("lanes", native_lanes)
         .set("threads", hw_threads)
         .set("seconds", sys_parallel_s)
         .set("samples_per_sec", sys_parallel_tps)
@@ -534,7 +666,7 @@ int main(int argc, char** argv) {
       .set("trials", scalar_r.aggregate.total())
       .set("fault_universe", scalar_r.fault_universe_size)
       .set("hardware_threads", hw_threads)
-      .set("lanes", sck::hw::kLanes)
+      .set("lanes", native_lanes)
       .set("results_identical", true)
       .set("speedup_batched", scalar_s / batched_s)
       .set("speedup_batched_threads", scalar_s / parallel_s)
@@ -555,6 +687,10 @@ int main(int argc, char** argv) {
       .set("system_drop_detection_consistent", drop_consistent)
       .set("system_drop_campaign_speedup", shared_1_s / drop_s)
       .set("system_shared_results", std::move(shared_results))
+      .set("system_lane_results_identical", lane_identical)
+      .set("speedup_wide_vs_64", speedup_wide_vs_64)
+      .set("speedup_wide_vs_64_lanes", speedup_wide_lanes)
+      .set("system_lane_results", std::move(lane_rows))
       .set("system_matvec_results_identical", matvec_identical)
       .set("system_moving_sum_results_identical", moving_sum_identical)
       .set("system_kernel_results", std::move(kernel_rows));

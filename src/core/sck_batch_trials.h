@@ -8,7 +8,7 @@
 // verdict logic to the shared fault::detail::*_verdict helpers — the same
 // implementation the per-operator trials use with both roles on one unit —
 // so they are lane-for-lane identical to running the overloaded operators
-// 64 times (tests/test_batch.cpp proves it against SckAddTrial /
+// W times (tests/test_batch.cpp proves it against SckAddTrial /
 // SckSubTrial / SckMulTrial).
 //
 // Scope: the kSharedSingle and kDistinct policies. kRoundRobin alternates
@@ -52,8 +52,9 @@ struct SckAddBatchTrial {
   AluPool& pool;
   fault::Technique tech = fault::Technique::kTech1;
 
-  [[nodiscard]] fault::LaneVerdict operator()(const hw::BatchWord& a,
-                                              const hw::BatchWord& b) const {
+  template <typename P>
+  [[nodiscard]] fault::LaneVerdictT<P> operator()(
+      const hw::BatchWordT<P>& a, const hw::BatchWordT<P>& b) const {
     return fault::detail::add_verdict(
         detail::batch_adder(pool, OpRole::kNominal),
         detail::batch_adder(pool, OpRole::kCheck), tech, a, b);
@@ -65,8 +66,9 @@ struct SckSubBatchTrial {
   AluPool& pool;
   fault::Technique tech = fault::Technique::kTech1;
 
-  [[nodiscard]] fault::LaneVerdict operator()(const hw::BatchWord& a,
-                                              const hw::BatchWord& b) const {
+  template <typename P>
+  [[nodiscard]] fault::LaneVerdictT<P> operator()(
+      const hw::BatchWordT<P>& a, const hw::BatchWordT<P>& b) const {
     return fault::detail::sub_verdict(
         detail::batch_adder(pool, OpRole::kNominal),
         detail::batch_adder(pool, OpRole::kCheck), tech, a, b);
@@ -78,8 +80,9 @@ struct SckMulBatchTrial {
   AluPool& pool;
   fault::Technique tech = fault::Technique::kTech1;
 
-  [[nodiscard]] fault::LaneVerdict operator()(const hw::BatchWord& a,
-                                              const hw::BatchWord& b) const {
+  template <typename P>
+  [[nodiscard]] fault::LaneVerdictT<P> operator()(
+      const hw::BatchWordT<P>& a, const hw::BatchWordT<P>& b) const {
     return fault::detail::mul_verdict(
         detail::batch_multiplier(pool, OpRole::kNominal),
         detail::batch_multiplier(pool, OpRole::kCheck),

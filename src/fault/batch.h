@@ -1,6 +1,8 @@
 // Lane-level plumbing between the bit-parallel hardware models (hw/batch.h)
 // and the campaign drivers: verdict masks, mask-popcount statistics, and
-// the free input generator for exhaustive sweeps.
+// the free input generator for exhaustive sweeps. Everything is generic
+// over the plane word P (hw/plane.h); the unsuffixed aliases are the
+// 64-lane reference.
 #pragma once
 
 #include <bit>
@@ -14,64 +16,80 @@
 
 namespace sck::fault {
 
-/// Per-lane observation of one batch of 64 trials — the two facts classify()
-/// needs, as masks. Lane L's outcome is
-///   classify((erroneous >> L) & 1, !((check_failed >> L) & 1)).
-struct LaneVerdict {
-  hw::LaneMask erroneous = 0;     ///< visible result differs from golden
-  hw::LaneMask check_failed = 0;  ///< the hidden control raised the alarm
+/// Per-lane observation of one batch of W trials — the two facts classify()
+/// needs, as planes. Lane L's outcome is
+///   classify(bit L of erroneous, !(bit L of check_failed)).
+template <typename P>
+struct LaneVerdictT {
+  P erroneous{};     ///< visible result differs from golden
+  P check_failed{};  ///< the hidden control raised the alarm
 };
 
+/// The 64-lane reference verdict.
+using LaneVerdict = LaneVerdictT<hw::LaneMask>;
+
 /// Per-lane Outcome of a verdict (differential tests against scalar trials).
-[[nodiscard]] constexpr Outcome lane_outcome(const LaneVerdict& v, int lane) {
-  return classify(((v.erroneous >> lane) & 1u) != 0,
-                  ((v.check_failed >> lane) & 1u) == 0);
+template <typename P>
+[[nodiscard]] constexpr Outcome lane_outcome(const LaneVerdictT<P>& v,
+                                             int lane) {
+  return classify(hw::plane_test(v.erroneous, lane),
+                  !hw::plane_test(v.check_failed, lane));
 }
 
 /// Fold one verdict into campaign counters; only lanes set in `valid`
-/// count. This is where 64 trials collapse into four popcounts.
-inline void record_lanes(CampaignStats& stats, const LaneVerdict& v,
-                         hw::LaneMask valid) {
-  const hw::LaneMask err = v.erroneous & valid;
-  const hw::LaneMask flag = v.check_failed & valid;
-  stats.masked += static_cast<std::uint64_t>(std::popcount(err & ~flag));
+/// count. This is where W trials collapse into four popcounts.
+template <typename P>
+inline void record_lanes(CampaignStats& stats, const LaneVerdictT<P>& v,
+                         const P& valid) {
+  const P err = v.erroneous & valid;
+  const P flag = v.check_failed & valid;
+  stats.masked += static_cast<std::uint64_t>(hw::plane_popcount(err & ~flag));
   stats.detected_erroneous +=
-      static_cast<std::uint64_t>(std::popcount(err & flag));
+      static_cast<std::uint64_t>(hw::plane_popcount(err & flag));
   stats.detected_correct +=
-      static_cast<std::uint64_t>(std::popcount(~err & flag & valid));
+      static_cast<std::uint64_t>(hw::plane_popcount(~err & flag & valid));
   stats.silent_correct +=
-      static_cast<std::uint64_t>(std::popcount(~err & ~flag & valid));
+      static_cast<std::uint64_t>(hw::plane_popcount(~err & ~flag & valid));
 }
 
 /// One batch of lane-packed inputs.
-struct LaneBatch {
-  hw::BatchWord a;
-  hw::BatchWord b;
-  hw::LaneMask valid = 0;
+template <typename P>
+struct LaneBatchT {
+  hw::BatchWordT<P> a;
+  hw::BatchWordT<P> b;
+  P valid{};
 };
+
+/// The 64-lane reference batch.
+using LaneBatch = LaneBatchT<hw::LaneMask>;
 
 /// Generator for the exhaustive (a, b) sweep in lane-packed form.
 //
 // The scalar drivers enumerate the trial space t = a * 2^n + b,
-// t in [0, 2^(2n)). Mapping lane L of batch k to trial t = 64k + L makes
+// t in [0, 2^(2n)). Mapping lane L of batch k to trial t = W*k + L makes
 // packing free: bit j of b (= bit j of t) is a constant lane pattern
-// (kLaneIndexPlane[j]) for j < 6 and a broadcast of the batch base above,
-// and likewise for a at bit offset n. No per-lane work at all.
+// (plane_index<P>(j)) while j indexes inside the lane, and a broadcast of
+// the batch base above. No per-lane work at all. Because the batch base is
+// always a multiple of W, the planes — and therefore every trial — are
+// identical at every width; only the grouping into batches changes.
 //
 // With skip_b_zero, lanes whose divisor is zero are dropped from the valid
 // mask instead of skipped in the iteration; batched units are well-defined
 // (if meaningless) on those lanes, so the trial simply wastes them.
-class ExhaustivePlan {
+template <typename P>
+class ExhaustivePlanT {
  public:
-  ExhaustivePlan(int width, bool skip_b_zero)
+  static constexpr int kWidthLanes = hw::PlaneTraits<P>::kLanes;
+
+  ExhaustivePlanT(int width, bool skip_b_zero)
       : width_(width), skip_b_zero_(skip_b_zero) {
     SCK_EXPECTS(width >= 1 && 2 * width <= 62);
     total_ = std::uint64_t{1} << (2 * width);
   }
 
-  /// Number of 64-lane batches covering the trial space.
+  /// Number of W-lane batches covering the trial space.
   [[nodiscard]] std::uint64_t batches() const {
-    return (total_ + hw::kLanes - 1) / hw::kLanes;
+    return (total_ + kWidthLanes - 1) / kWidthLanes;
   }
 
   /// Trials per fault after the valid mask (the scalar drivers' loop count).
@@ -80,19 +98,20 @@ class ExhaustivePlan {
     return skip_b_zero_ ? per_a * (per_a - 1) : total_;
   }
 
-  /// Inputs of batch `k` (trials 64k .. 64k+63).
-  [[nodiscard]] LaneBatch batch(std::uint64_t k) const {
-    const std::uint64_t t_base = k * hw::kLanes;
-    LaneBatch out;
+  /// Inputs of batch `k` (trials W*k .. W*k + W-1).
+  [[nodiscard]] LaneBatchT<P> batch(std::uint64_t k) const {
+    const std::uint64_t t_base = k * kWidthLanes;
+    LaneBatchT<P> out;
     for (int j = 0; j < width_; ++j) {
       out.b[j] = trial_bit_plane(j, t_base);
       out.a[j] = trial_bit_plane(width_ + j, t_base);
     }
     const std::uint64_t left = total_ - t_base;
-    out.valid = left >= hw::kLanes ? hw::kAllLanes
-                                   : hw::lane_prefix(static_cast<int>(left));
+    out.valid = left >= static_cast<std::uint64_t>(kWidthLanes)
+                    ? hw::plane_ones<P>()
+                    : hw::plane_prefix<P>(static_cast<int>(left));
     if (skip_b_zero_) {
-      hw::LaneMask b_nonzero = 0;
+      P b_nonzero{};
       for (int j = 0; j < width_; ++j) b_nonzero |= out.b[j];
       out.valid &= b_nonzero;
     }
@@ -100,10 +119,13 @@ class ExhaustivePlan {
   }
 
  private:
-  [[nodiscard]] static hw::LaneMask trial_bit_plane(int bit,
-                                                    std::uint64_t t_base) {
-    if (bit < 6) return hw::kLaneIndexPlane[static_cast<std::size_t>(bit)];
-    return hw::lane_broadcast(static_cast<unsigned>((t_base >> bit) & 1u));
+  static constexpr int kLaneIndexBits =
+      std::countr_zero(static_cast<unsigned>(kWidthLanes));
+
+  [[nodiscard]] static P trial_bit_plane(int bit, std::uint64_t t_base) {
+    if (bit < kLaneIndexBits) return hw::plane_index<P>(bit);
+    return hw::plane_broadcast<P>(
+        static_cast<unsigned>((t_base >> bit) & 1u));
   }
 
   int width_;
@@ -111,20 +133,29 @@ class ExhaustivePlan {
   std::uint64_t total_ = 0;
 };
 
-/// Pack up to 64 (a, b) pairs stored as `a | b << 32` rows into two
-/// BatchWords with one 64x64 transpose (the sampled driver's hot packer).
+/// The 64-lane reference plan.
+using ExhaustivePlan = ExhaustivePlanT<hw::LaneMask>;
+
+/// Pack up to W (a, b) pairs stored as `a | b << 32` rows into two batch
+/// words, one 64x64 transpose per 64-lane block (the sampled driver's hot
+/// packer).
+template <typename P>
 inline void pack_pairs(const std::uint64_t* rows, int count, int width,
-                       hw::BatchWord& a, hw::BatchWord& b) {
-  SCK_EXPECTS(count >= 1 && count <= hw::kLanes);
+                       hw::BatchWordT<P>& a, hw::BatchWordT<P>& b) {
+  SCK_EXPECTS(count >= 1 && count <= hw::PlaneTraits<P>::kLanes);
   SCK_EXPECTS(width >= 1 && width <= 32);
-  std::uint64_t m[hw::kLanes] = {};
-  for (int lane = 0; lane < count; ++lane) {
-    m[hw::kLanes - 1 - lane] = rows[lane];
-  }
-  hw::transpose64(m);
-  for (int j = 0; j < width; ++j) {
-    a[j] = m[hw::kLanes - 1 - j];
-    b[j] = m[hw::kLanes - 1 - (32 + j)];
+  for (int blk = 0; blk * 64 < count; ++blk) {
+    const int base = blk * 64;
+    const int blk_count = count - base < 64 ? count - base : 64;
+    std::uint64_t m[hw::kLanes] = {};
+    for (int lane = 0; lane < blk_count; ++lane) {
+      m[hw::kLanes - 1 - lane] = rows[base + lane];
+    }
+    hw::transpose64(m);
+    for (int j = 0; j < width; ++j) {
+      hw::PlaneTraits<P>::set_word(a[j], blk, m[hw::kLanes - 1 - j]);
+      hw::PlaneTraits<P>::set_word(b[j], blk, m[hw::kLanes - 1 - (32 + j)]);
+    }
   }
 }
 

@@ -1,6 +1,7 @@
 // Bit-parallel twins of the trial functors in fault/trials.h: the same
 // checked operation and the same worst-case unit allocation, evaluated for
-// 64 input pairs per call through the units' *_batch APIs.
+// W input pairs per call (one per lane of the plane word P) through the
+// units' *_batch APIs.
 //
 // Each functor is lane-for-lane identical to its scalar twin: lane L of the
 // returned LaneVerdict classifies exactly like the scalar trial on lane L's
@@ -39,8 +40,9 @@ struct AddBatchTrial {
   const Adder& adder;
   Technique tech = Technique::kTech1;
 
-  [[nodiscard]] LaneVerdict operator()(const hw::BatchWord& a,
-                                       const hw::BatchWord& b) const {
+  template <typename P>
+  [[nodiscard]] LaneVerdictT<P> operator()(const hw::BatchWordT<P>& a,
+                                           const hw::BatchWordT<P>& b) const {
     return detail::add_verdict(adder, adder, tech, a, b);
   }
 };
@@ -51,8 +53,9 @@ struct SubBatchTrial {
   const Adder& adder;
   Technique tech = Technique::kTech1;
 
-  [[nodiscard]] LaneVerdict operator()(const hw::BatchWord& a,
-                                       const hw::BatchWord& b) const {
+  template <typename P>
+  [[nodiscard]] LaneVerdictT<P> operator()(const hw::BatchWordT<P>& a,
+                                           const hw::BatchWordT<P>& b) const {
     return detail::sub_verdict(adder, adder, tech, a, b);
   }
 };
@@ -65,8 +68,9 @@ struct MulBatchTrial {
   const Adder& adder;
   Technique tech = Technique::kTech1;
 
-  [[nodiscard]] LaneVerdict operator()(const hw::BatchWord& a,
-                                       const hw::BatchWord& b) const {
+  template <typename P>
+  [[nodiscard]] LaneVerdictT<P> operator()(const hw::BatchWordT<P>& a,
+                                           const hw::BatchWordT<P>& b) const {
     return detail::mul_verdict(mult, mult, adder, tech, a, b);
   }
 };
@@ -81,33 +85,34 @@ struct DivBatchTrial {
   const Adder& adder;
   Technique tech = Technique::kTech1;
 
-  [[nodiscard]] LaneVerdict operator()(const hw::BatchWord& a,
-                                       const hw::BatchWord& b) const {
+  template <typename P>
+  [[nodiscard]] LaneVerdictT<P> operator()(const hw::BatchWordT<P>& a,
+                                           const hw::BatchWordT<P>& b) const {
     SCK_EXPECTS(tech != Technique::kResidue3);
     const int n = adder.width();
-    hw::BatchWord golden_q;
-    hw::BatchWord golden_r;
+    hw::BatchWordT<P> golden_q;
+    hw::BatchWordT<P> golden_r;
     hw::golden_divmod(a, b, n, golden_q, golden_r);
-    const hw::BatchDivResult dr = divider.divide_batch(a, b);
-    hw::BatchWord q;
-    hw::BatchWord r;  // output port is n bits wide, like the scalar trial
+    const hw::BatchDivResultT<P> dr = divider.divide_batch(a, b);
+    hw::BatchWordT<P> q;
+    hw::BatchWordT<P> r;  // output port is n bits wide, like the scalar trial
     for (int i = 0; i < n; ++i) {
       q[i] = dr.quotient[i];
       r[i] = dr.remainder[i];
     }
-    hw::LaneMask ok = hw::kAllLanes;
+    P ok = hw::plane_ones<P>();
     if (uses_tech1(tech)) {
-      const hw::BatchWord op1p = adder.add_batch(mult.mul_batch(q, b), r);
+      const hw::BatchWordT<P> op1p = adder.add_batch(mult.mul_batch(q, b), r);
       ok &= hw::equal_batch(op1p, a, n);
     }
     if (uses_tech2(tech)) {
-      const hw::BatchWord t = mult.mul_batch(adder.negate_batch(q), b);
-      const hw::BatchWord op1p = adder.sub_batch(t, r);
+      const hw::BatchWordT<P> t = mult.mul_batch(adder.negate_batch(q), b);
+      const hw::BatchWordT<P> op1p = adder.sub_batch(t, r);
       ok &= hw::is_zero_batch(adder.add_batch(a, op1p), n);
     }
-    const hw::LaneMask erroneous = ~(hw::equal_batch(q, golden_q, n) &
-                                     hw::equal_batch(r, golden_r, n));
-    return LaneVerdict{erroneous, ~ok};
+    const P erroneous = ~(hw::equal_batch(q, golden_q, n) &
+                          hw::equal_batch(r, golden_r, n));
+    return LaneVerdictT<P>{erroneous, ~ok};
   }
 };
 

@@ -52,6 +52,11 @@ struct CampaignResult {
 struct CampaignOptions {
   bool skip_b_zero = false;      ///< exclude op2 == 0 (division campaigns)
   bool keep_per_fault = false;   ///< retain the per-fault breakdown
+
+  /// Lane count for the batched drivers: 0 resolves via SCK_LANES then the
+  /// CPU default (hw/plane.h), else one of {64, 128, 256, 512}. Results
+  /// are bit-identical at every width; this only sizes the batches.
+  int lanes = 0;
 };
 
 namespace detail {
@@ -127,12 +132,13 @@ std::uint64_t validate_scalar(int width, const CampaignOptions& opt,
 }
 
 /// Fault-free validation sweep, batched.
-template <typename BatchTrial>
-void validate_batched(const ExhaustivePlan& plan, const BatchTrial& trial) {
+template <typename P, typename BatchTrial>
+void validate_batched(const ExhaustivePlanT<P>& plan,
+                      const BatchTrial& trial) {
   for (std::uint64_t k = 0; k < plan.batches(); ++k) {
-    const LaneBatch in = plan.batch(k);
-    const LaneVerdict v = trial(in.a, in.b);
-    SCK_ASSERT(((v.erroneous | v.check_failed) & in.valid) == 0 &&
+    const LaneBatchT<P> in = plan.batch(k);
+    const LaneVerdictT<P> v = trial(in.a, in.b);
+    SCK_ASSERT(!hw::plane_any((v.erroneous | v.check_failed) & in.valid) &&
                "trial must be silent on fault-free hardware");
   }
 }
@@ -162,10 +168,10 @@ CampaignStats sweep_fault_scalar(hw::FaultableUnit& unit,
 }
 
 /// One fault's exhaustive statistics, batched path.
-template <typename BatchTrial>
+template <typename P, typename BatchTrial>
 CampaignStats sweep_fault_batched(hw::FaultableUnit& unit,
                                   const hw::FaultSite& site, bool excitable,
-                                  const ExhaustivePlan& plan,
+                                  const ExhaustivePlanT<P>& plan,
                                   std::uint64_t inputs_per_fault,
                                   const BatchTrial& trial) {
   CampaignStats fs;
@@ -175,7 +181,7 @@ CampaignStats sweep_fault_batched(hw::FaultableUnit& unit,
   }
   unit.set_fault(site);
   for (std::uint64_t k = 0; k < plan.batches(); ++k) {
-    const LaneBatch in = plan.batch(k);
+    const LaneBatchT<P> in = plan.batch(k);
     record_lanes(fs, trial(in.a, in.b), in.valid);
   }
   unit.clear_fault();
@@ -217,12 +223,13 @@ CampaignResult run_exhaustive(std::span<hw::FaultableUnit* const> units,
   return result;
 }
 
-/// Exhaustive sweep through the 64-lane bit-parallel engine: identical
+/// Exhaustive sweep through the wide bit-parallel engine: identical
 /// semantics and bit-identical CampaignResult to run_exhaustive (same
-/// universe order, same collapsing, same counters), but evaluating 64
-/// input pairs per bitwise op. `trial` is a batched functor from
-/// fault/batch_trials.h (or any callable (BatchWord, BatchWord) ->
-/// LaneVerdict whose lanes match the scalar trial).
+/// universe order, same collapsing, same counters), but evaluating W
+/// input pairs per bitwise op, where W = resolve_lanes(opt.lanes). `trial`
+/// is a batched functor from fault/batch_trials.h (or any callable
+/// (BatchWordT<P>, BatchWordT<P>) -> LaneVerdictT<P> whose lanes match the
+/// scalar trial at every plane type).
 template <typename BatchTrial>
 CampaignResult run_exhaustive_batched(
     std::span<hw::FaultableUnit* const> units, int width,
@@ -231,20 +238,24 @@ CampaignResult run_exhaustive_batched(
   SCK_EXPECTS(width >= 1 && width <= 16);
   detail::clear_all(units);
 
-  CampaignResult result;
-  const ExhaustivePlan plan(width, opt.skip_b_zero);
-  const std::uint64_t inputs_per_fault = plan.trials_per_fault();
-  detail::validate_batched(plan, trial);
+  const int lanes = hw::resolve_lanes(opt.lanes);
+  return hw::dispatch_plane(lanes, [&]<typename P>(std::type_identity<P>) {
+    CampaignResult result;
+    const ExhaustivePlanT<P> plan(width, opt.skip_b_zero);
+    const std::uint64_t inputs_per_fault = plan.trials_per_fault();
+    detail::validate_batched(plan, trial);
 
-  for (const detail::UniverseEntry& e : detail::enumerate_universe(units)) {
-    hw::FaultableUnit& unit = *units[static_cast<std::size_t>(e.unit_index)];
-    const CampaignStats fs = detail::sweep_fault_batched(
-        unit, e.site, unit.fault_excitable(e.site), plan, inputs_per_fault,
-        trial);
-    ++result.fault_universe_size;
-    detail::finish_fault(result, e.unit_index, e.site, fs, opt);
-  }
-  return result;
+    for (const detail::UniverseEntry& e : detail::enumerate_universe(units)) {
+      hw::FaultableUnit& unit =
+          *units[static_cast<std::size_t>(e.unit_index)];
+      const CampaignStats fs = detail::sweep_fault_batched(
+          unit, e.site, unit.fault_excitable(e.site), plan, inputs_per_fault,
+          trial);
+      ++result.fault_universe_size;
+      detail::finish_fault(result, e.unit_index, e.site, fs, opt);
+    }
+    return result;
+  });
 }
 
 /// Seeded Monte-Carlo sweep: `samples` trials with fault and inputs drawn
@@ -299,7 +310,7 @@ CampaignResult run_sampled(std::span<hw::FaultableUnit* const> units,
 /// the exact (fault, a, b) draw sequence of the scalar driver, then —
 /// since every trial is a pure function of (fault, a, b) and the counters
 /// commute — buckets the draws by fault (in chunks, to bound memory) and
-/// evaluates each fault's inputs 64 lanes at a time.
+/// evaluates each fault's inputs W lanes at a time.
 template <typename BatchTrial>
 CampaignResult run_sampled_batched(std::span<hw::FaultableUnit* const> units,
                                    int width, const BatchTrial& trial,
@@ -316,6 +327,7 @@ CampaignResult run_sampled_batched(std::span<hw::FaultableUnit* const> units,
   std::vector<CampaignStats> per_fault(universe.size());
   Xoshiro256 rng(seed);
   const Word limit = Word{1} << width;
+  const int lanes = hw::resolve_lanes(opt.lanes);
 
   constexpr std::uint64_t kChunk = std::uint64_t{1} << 20;
   std::vector<std::uint32_t> fault_of;     // draw -> fault index
@@ -353,23 +365,27 @@ CampaignResult run_sampled_batched(std::span<hw::FaultableUnit* const> units,
       }
     }
 
-    for (std::size_t k = 0; k < universe.size(); ++k) {
-      const std::uint32_t lo = bucket_pos[k];
-      const std::uint32_t hi = bucket_pos[k + 1];
-      if (lo == hi) continue;
-      hw::FaultableUnit* unit =
-          units[static_cast<std::size_t>(universe[k].unit_index)];
-      unit->set_fault(universe[k].site);
-      for (std::uint32_t base = lo; base < hi; base += hw::kLanes) {
-        const int count = static_cast<int>(
-            hi - base < hw::kLanes ? hi - base : hw::kLanes);
-        LaneBatch in;
-        pack_pairs(bucketed.data() + base, count, width, in.a, in.b);
-        in.valid = hw::lane_prefix(count);
-        record_lanes(per_fault[k], trial(in.a, in.b), in.valid);
+    hw::dispatch_plane(lanes, [&]<typename P>(std::type_identity<P>) {
+      constexpr auto kWidthLanes =
+          static_cast<std::uint32_t>(hw::PlaneTraits<P>::kLanes);
+      for (std::size_t k = 0; k < universe.size(); ++k) {
+        const std::uint32_t lo = bucket_pos[k];
+        const std::uint32_t hi = bucket_pos[k + 1];
+        if (lo == hi) continue;
+        hw::FaultableUnit* unit =
+            units[static_cast<std::size_t>(universe[k].unit_index)];
+        unit->set_fault(universe[k].site);
+        for (std::uint32_t base = lo; base < hi; base += kWidthLanes) {
+          const int count = static_cast<int>(
+              hi - base < kWidthLanes ? hi - base : kWidthLanes);
+          LaneBatchT<P> in;
+          pack_pairs(bucketed.data() + base, count, width, in.a, in.b);
+          in.valid = hw::plane_prefix<P>(count);
+          record_lanes(per_fault[k], trial(in.a, in.b), in.valid);
+        }
+        unit->clear_fault();
       }
-      unit->clear_fault();
-    }
+    });
   }
 
   CampaignResult result;

@@ -170,10 +170,13 @@ CampaignResult schedule_faults(Factory&& factory,
 
 }  // namespace detail
 
-/// Parallel exhaustive campaign over the 64-lane engine: bit-identical to
-/// run_exhaustive_batched (and hence to run_exhaustive with an equivalent
-/// scalar trial) at any thread count. `threads == 0` uses all hardware
-/// threads.
+/// Parallel exhaustive campaign over the wide bit-parallel engine:
+/// bit-identical to run_exhaustive_batched (and hence to run_exhaustive
+/// with an equivalent scalar trial) at any thread count and any lane
+/// count. `threads == 0` uses all hardware threads; `opt.lanes` resolves
+/// like the sequential batched driver. Each shard is one whole fault, so
+/// the lane width never touches the shard boundaries or the reduction
+/// order — it only sizes the batches inside a shard.
 template <typename Factory>
 CampaignResult run_exhaustive_batched_parallel(
     int width, Factory&& factory, int threads = 0,
@@ -187,19 +190,22 @@ CampaignResult run_exhaustive_batched_parallel(
   const std::vector<detail::ShardEntry> universe =
       detail::enumerate_shard_universe(proto_units);
 
-  const ExhaustivePlan plan(width, opt.skip_b_zero);
-  const std::uint64_t inputs_per_fault = plan.trials_per_fault();
-  // Fault-free validation sweep on the prototype context.
-  detail::validate_batched(plan, proto.trial());
+  const int lanes = hw::resolve_lanes(opt.lanes);
+  return hw::dispatch_plane(lanes, [&]<typename P>(std::type_identity<P>) {
+    const ExhaustivePlanT<P> plan(width, opt.skip_b_zero);
+    const std::uint64_t inputs_per_fault = plan.trials_per_fault();
+    // Fault-free validation sweep on the prototype context.
+    detail::validate_batched(plan, proto.trial());
 
-  return detail::schedule_faults(
-      std::forward<Factory>(factory), universe, threads, opt,
-      [&plan, inputs_per_fault](auto& ctx, const detail::ShardEntry& e) {
-        const std::vector<hw::FaultableUnit*> units = ctx.units();
-        return detail::sweep_fault_batched(
-            *units[static_cast<std::size_t>(e.unit_index)], e.site,
-            e.excitable, plan, inputs_per_fault, ctx.trial());
-      });
+    return detail::schedule_faults(
+        std::forward<Factory>(factory), universe, threads, opt,
+        [&plan, inputs_per_fault](auto& ctx, const detail::ShardEntry& e) {
+          const std::vector<hw::FaultableUnit*> units = ctx.units();
+          return detail::sweep_fault_batched(
+              *units[static_cast<std::size_t>(e.unit_index)], e.site,
+              e.excitable, plan, inputs_per_fault, ctx.trial());
+        });
+  });
 }
 
 /// Parallel exhaustive campaign with a *scalar* trial — for trial functors

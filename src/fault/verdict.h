@@ -20,17 +20,17 @@ namespace sck::fault::detail {
 
 /// Checked addition `ris = a + b` with the control on `check` (see
 /// AddTrial for the recipes).
-template <typename AdderN, typename AdderC>
-[[nodiscard]] LaneVerdict add_verdict(const AdderN& nominal,
-                                      const AdderC& check, Technique tech,
-                                      const hw::BatchWord& a,
-                                      const hw::BatchWord& b) {
+template <typename AdderN, typename AdderC, typename P>
+[[nodiscard]] LaneVerdictT<P> add_verdict(const AdderN& nominal,
+                                          const AdderC& check, Technique tech,
+                                          const hw::BatchWordT<P>& a,
+                                          const hw::BatchWordT<P>& b) {
   const int n = nominal.width();
-  hw::BatchWord golden;
-  hw::golden_add(a, b, 0, n, golden);
-  hw::BatchWord ris;
-  const hw::LaneMask carry_out = nominal.add_c_batch(a, b, 0, ris);
-  hw::LaneMask ok = hw::kAllLanes;
+  hw::BatchWordT<P> golden;
+  hw::golden_add(a, b, P{}, n, golden);
+  hw::BatchWordT<P> ris;
+  const P carry_out = nominal.add_c_batch(a, b, P{}, ris);
+  P ok = hw::plane_ones<P>();
   if (uses_tech1(tech)) {
     ok &= hw::equal_batch(check.sub_batch(ris, a), b, n);
   }
@@ -38,77 +38,78 @@ template <typename AdderN, typename AdderC>
     ok &= hw::equal_batch(check.sub_batch(ris, b), a, n);
   }
   if (tech == Technique::kResidue3) {
-    const hw::LaneResidue lhs = hw::residue3_add(hw::residue3_planes(a, n),
-                                                 hw::residue3_planes(b, n));
-    const hw::LaneResidue wrap =
-        hw::residue3_select(hw::residue3_const(residue3_pow2(n)), carry_out);
-    const hw::LaneResidue rhs =
+    const hw::LaneResidueT<P> lhs = hw::residue3_add(
+        hw::residue3_planes(a, n), hw::residue3_planes(b, n));
+    const hw::LaneResidueT<P> wrap = hw::residue3_select(
+        hw::residue3_const<P>(residue3_pow2(n)), carry_out);
+    const hw::LaneResidueT<P> rhs =
         hw::residue3_add(hw::residue3_planes(ris, n), wrap);
     ok = hw::residue3_eq(lhs, rhs);
   }
-  return LaneVerdict{~hw::equal_batch(ris, golden, n), ~ok};
+  return LaneVerdictT<P>{~hw::equal_batch(ris, golden, n), ~ok};
 }
 
 /// Checked subtraction `ris = a - b` with the control on `check` (see
 /// SubTrial for the recipes).
-template <typename AdderN, typename AdderC>
-[[nodiscard]] LaneVerdict sub_verdict(const AdderN& nominal,
-                                      const AdderC& check, Technique tech,
-                                      const hw::BatchWord& a,
-                                      const hw::BatchWord& b) {
+template <typename AdderN, typename AdderC, typename P>
+[[nodiscard]] LaneVerdictT<P> sub_verdict(const AdderN& nominal,
+                                          const AdderC& check, Technique tech,
+                                          const hw::BatchWordT<P>& a,
+                                          const hw::BatchWordT<P>& b) {
   const int n = nominal.width();
-  const hw::BatchWord golden = hw::golden_sub(a, b, n);
-  hw::BatchWord nb;
+  const hw::BatchWordT<P> golden = hw::golden_sub(a, b, n);
+  hw::BatchWordT<P> nb;
   for (int i = 0; i < n; ++i) nb[i] = ~b[i];
-  hw::BatchWord ris;
-  const hw::LaneMask no_borrow =
-      nominal.add_c_batch(a, nb, hw::kAllLanes, ris);
-  hw::LaneMask ok = hw::kAllLanes;
+  hw::BatchWordT<P> ris;
+  const P no_borrow =
+      nominal.add_c_batch(a, nb, hw::plane_ones<P>(), ris);
+  P ok = hw::plane_ones<P>();
   if (uses_tech1(tech)) {
     ok &= hw::equal_batch(check.add_batch(ris, b), a, n);
   }
   if (uses_tech2(tech)) {
-    const hw::BatchWord risp = check.sub_batch(b, a);
+    const hw::BatchWordT<P> risp = check.sub_batch(b, a);
     ok &= hw::is_zero_batch(check.add_batch(ris, risp), n);
   }
   if (tech == Technique::kResidue3) {
     // a - b = ris - (1 - carry_out) * 2^n over the integers.
-    const hw::LaneResidue lhs = hw::residue3_sub(hw::residue3_planes(a, n),
-                                                 hw::residue3_planes(b, n));
-    const hw::LaneResidue wrap =
-        hw::residue3_select(hw::residue3_const(residue3_pow2(n)), ~no_borrow);
-    const hw::LaneResidue rhs =
+    const hw::LaneResidueT<P> lhs = hw::residue3_sub(
+        hw::residue3_planes(a, n), hw::residue3_planes(b, n));
+    const hw::LaneResidueT<P> wrap = hw::residue3_select(
+        hw::residue3_const<P>(residue3_pow2(n)), ~no_borrow);
+    const hw::LaneResidueT<P> rhs =
         hw::residue3_sub(hw::residue3_planes(ris, n), wrap);
     ok = hw::residue3_eq(lhs, rhs);
   }
-  return LaneVerdict{~hw::equal_batch(ris, golden, n), ~ok};
+  return LaneVerdictT<P>{~hw::equal_batch(ris, golden, n), ~ok};
 }
 
 /// Checked multiplication `ris = a x b`: products on nominal/check
 /// multipliers, negations and the closing additions on `check_adder` (see
 /// MulTrial).
-template <typename MultN, typename MultC, typename AdderC>
-[[nodiscard]] LaneVerdict mul_verdict(const MultN& nominal,
-                                      const MultC& check_mult,
-                                      const AdderC& check_adder,
-                                      Technique tech, const hw::BatchWord& a,
-                                      const hw::BatchWord& b) {
+template <typename MultN, typename MultC, typename AdderC, typename P>
+[[nodiscard]] LaneVerdictT<P> mul_verdict(const MultN& nominal,
+                                          const MultC& check_mult,
+                                          const AdderC& check_adder,
+                                          Technique tech,
+                                          const hw::BatchWordT<P>& a,
+                                          const hw::BatchWordT<P>& b) {
   SCK_EXPECTS(tech != Technique::kResidue3);
   const int n = check_adder.width();
-  const hw::BatchWord golden = hw::golden_mul(a, b, n);
-  const hw::BatchWord ris = nominal.mul_batch(a, b);
-  hw::LaneMask ok = hw::kAllLanes;
+  const hw::BatchWordT<P> golden = hw::golden_mul(a, b, n);
+  const hw::BatchWordT<P> ris = nominal.mul_batch(a, b);
+  P ok = hw::plane_ones<P>();
   if (uses_tech1(tech)) {
-    const hw::BatchWord risp =
+    const hw::BatchWordT<P> risp =
         check_mult.mul_batch(check_adder.negate_batch(a), b);
     ok &= hw::is_zero_batch(check_adder.add_batch(ris, risp), n);
   }
   if (uses_tech2(tech)) {
-    const hw::BatchWord risp =
+    const hw::BatchWordT<P> risp =
         check_mult.mul_batch(a, check_adder.negate_batch(b));
     ok &= hw::is_zero_batch(check_adder.add_batch(ris, risp), n);
   }
-  return LaneVerdict{~hw::equal_batch(ris, golden, n), ~ok};
+  return LaneVerdictT<P>{~hw::equal_batch(ris, golden, n), ~ok};
 }
 
 }  // namespace sck::fault::detail

@@ -206,8 +206,9 @@ Dfg::EvalResult Dfg::eval(
   return result;
 }
 
-DfgBatchEvaluator::DfgBatchEvaluator(const Dfg& graph,
-                                     std::string_view skip_output)
+template <typename P>
+DfgBatchEvaluatorT<P>::DfgBatchEvaluatorT(const Dfg& graph,
+                                          std::string_view skip_output)
     : graph_(graph), value_(graph.size()) {
   // Needed set: backward closure from the kept outputs, following
   // combinational inputs AND register next-value edges (a kReg's ins is
@@ -241,7 +242,7 @@ DfgBatchEvaluator::DfgBatchEvaluator(const Dfg& graph,
         break;  // seeded per sample
       case Op::kConst:
         value_[static_cast<std::size_t>(id)] =
-            hw::broadcast_word(from_signed(n.value, n.width), n.width);
+            hw::broadcast_word<P>(from_signed(n.value, n.width), n.width);
         break;
       default:
         order_.push_back(id);
@@ -254,9 +255,10 @@ DfgBatchEvaluator::DfgBatchEvaluator(const Dfg& graph,
   }
 }
 
-void DfgBatchEvaluator::eval(std::span<const hw::BatchWord> inputs,
-                             std::vector<hw::BatchWord>& reg_state,
-                             std::span<hw::BatchWord> outputs) {
+template <typename P>
+void DfgBatchEvaluatorT<P>::eval(std::span<const hw::BatchWordT<P>> inputs,
+                                 std::vector<hw::BatchWordT<P>>& reg_state,
+                                 std::span<hw::BatchWordT<P>> outputs) {
   SCK_EXPECTS(inputs.size() == graph_.inputs().size());
   SCK_EXPECTS(reg_state.size() == graph_.state_regs().size());
   SCK_EXPECTS(outputs.size() == graph_.outputs().size());
@@ -274,12 +276,12 @@ void DfgBatchEvaluator::eval(std::span<const hw::BatchWord> inputs,
   // or above a node's width stay zero across samples without re-clearing.
   for (const NodeId id : order_) {
     const Node& n = graph_.node(id);
-    const auto in = [&](int k) -> const hw::BatchWord& {
+    const auto in = [&](int k) -> const hw::BatchWordT<P>& {
       return value_[static_cast<std::size_t>(
           n.ins[static_cast<std::size_t>(k)])];
     };
     const int w = n.width;
-    hw::BatchWord& out = value_[static_cast<std::size_t>(id)];
+    hw::BatchWordT<P>& out = value_[static_cast<std::size_t>(id)];
     switch (n.op) {
       case Op::kInput:
       case Op::kReg:
@@ -289,7 +291,7 @@ void DfgBatchEvaluator::eval(std::span<const hw::BatchWord> inputs,
         out = in(0);
         break;
       case Op::kAdd:
-        hw::golden_add(in(0), in(1), 0, w, out);
+        hw::golden_add(in(0), in(1), P{}, w, out);
         break;
       case Op::kSub:
         out = hw::golden_sub(in(0), in(1), w);
@@ -300,11 +302,11 @@ void DfgBatchEvaluator::eval(std::span<const hw::BatchWord> inputs,
       case Op::kDiv:
       case Op::kRem: {
         // Lanes with a zero divisor produce 0, like eval()'s short-circuit.
-        const hw::LaneMask b_nonzero = hw::nonzero_lanes(in(1));
-        hw::BatchWord q;
-        hw::BatchWord r;
+        const P b_nonzero = hw::nonzero_lanes(in(1));
+        hw::BatchWordT<P> q;
+        hw::BatchWordT<P> r;
         hw::golden_divmod(in(0), in(1), w, q, r);
-        const hw::BatchWord& source = n.op == Op::kDiv ? q : r;
+        const hw::BatchWordT<P>& source = n.op == Op::kDiv ? q : r;
         for (int i = 0; i < w; ++i) out[i] = source[i] & b_nonzero;
         break;
       }
@@ -339,5 +341,11 @@ void DfgBatchEvaluator::eval(std::span<const hw::BatchWord> inputs,
     reg_state[i] = value_[static_cast<std::size_t>(r.ins[0])];
   }
 }
+
+// One instantiation per supported plane width (hw/plane.h).
+template class DfgBatchEvaluatorT<hw::Plane64>;
+template class DfgBatchEvaluatorT<hw::Plane128>;
+template class DfgBatchEvaluatorT<hw::Plane256>;
+template class DfgBatchEvaluatorT<hw::Plane512>;
 
 }  // namespace sck::hls

@@ -109,22 +109,24 @@ fault::CampaignStats run_one_fault(const Dfg& graph, NetlistSim& sim,
   return stats;
 }
 
-/// One 64-fault batch on the bit-plane backend: lane L runs job
+/// One W-fault batch on the bit-plane backend: lane L runs job
 /// jobs[base + L]'s fault with job (base + L)'s input stream — or, under
 /// shared streams, the one campaign-wide stream broadcast to every lane —
 /// checked against the plane-wise reference model. Writes each lane's
 /// stats into its job slot — per-lane classification is exactly the scalar
-/// classify(), so the slot contents match run_one_fault bit for bit.
-void run_fault_batch(const Dfg& graph, NetlistBatchSim& sim,
-                     DfgBatchEvaluator& ref, const std::vector<Job>& jobs,
+/// classify(), so the slot contents match run_one_fault bit for bit at
+/// every lane width.
+template <typename P>
+void run_fault_batch(const Dfg& graph, NetlistBatchSimT<P>& sim,
+                     DfgBatchEvaluatorT<P>& ref, const std::vector<Job>& jobs,
                      std::size_t base, const NetlistCampaignOptions& options,
                      std::span<const Word> shared_stream,
                      std::vector<fault::CampaignStats>& per_job) {
   const Netlist& netlist = sim.netlist();
   const std::int32_t error_output = sim.plan().error_output;
   const std::size_t num_inputs = graph.inputs().size();
-  const int lanes = static_cast<int>(
-      std::min<std::size_t>(hw::kLanes, jobs.size() - base));
+  const int lanes = static_cast<int>(std::min<std::size_t>(
+      hw::PlaneTraits<P>::kLanes, jobs.size() - base));
 
   sim.clear_lane_faults();
   std::vector<Xoshiro256> rng;
@@ -132,17 +134,17 @@ void run_fault_batch(const Dfg& graph, NetlistBatchSim& sim,
   for (int lane = 0; lane < lanes; ++lane) {
     const std::size_t j = base + static_cast<std::size_t>(lane);
     sim.add_lane_fault(static_cast<int>(jobs[j].fu), jobs[j].site,
-                       hw::LaneMask{1} << lane);
+                       hw::plane_bit<P>(lane));
     if (shared_stream.empty()) {
       rng.emplace_back(fault_stream_seed(options.seed, j));
     }
   }
   sim.reset();
 
-  std::vector<hw::BatchWord> in(netlist.input_names.size());
-  std::vector<hw::BatchWord> out(netlist.outputs.size());
-  std::vector<hw::BatchWord> want(graph.outputs().size());
-  std::vector<hw::BatchWord> ref_state(graph.state_regs().size());
+  std::vector<hw::BatchWordT<P>> in(netlist.input_names.size());
+  std::vector<hw::BatchWordT<P>> out(netlist.outputs.size());
+  std::vector<hw::BatchWordT<P>> want(graph.outputs().size());
+  std::vector<hw::BatchWordT<P>> ref_state(graph.state_regs().size());
   std::vector<Word> lane_vals(static_cast<std::size_t>(lanes), 0);
 
   // Output i of the netlist is output i of the graph (the netlist builder
@@ -160,9 +162,9 @@ void run_fault_batch(const Dfg& graph, NetlistBatchSim& sim,
           lane_vals[static_cast<std::size_t>(lane)] =
               rng[static_cast<std::size_t>(lane)].bounded(Word{1} << n.width);
         }
-        in[i] = hw::pack(lane_vals, n.width);
+        in[i] = hw::pack<P>(lane_vals, n.width);
       } else {
-        in[i] = hw::broadcast_word(
+        in[i] = hw::broadcast_word<P>(
             shared_stream[static_cast<std::size_t>(k) * num_inputs + i],
             n.width);
       }
@@ -170,15 +172,15 @@ void run_fault_batch(const Dfg& graph, NetlistBatchSim& sim,
     ref.eval(in, ref_state, want);
     sim.step_sample_batch(in, out);
 
-    hw::LaneMask erroneous = 0;
+    P erroneous{};
     for (std::size_t i = 0; i < netlist.outputs.size(); ++i) {
       if (static_cast<std::int32_t>(i) == error_output) continue;
       erroneous |= hw::differing_lanes(out[i], want[i]);
     }
-    const hw::LaneMask detected =
+    const P detected =
         error_output >= 0 ? out[static_cast<std::size_t>(error_output)][0]
-                          : 0;
-    const fault::LaneVerdict verdict{erroneous, detected};
+                          : P{};
+    const fault::LaneVerdictT<P> verdict{erroneous, detected};
     for (int lane = 0; lane < lanes; ++lane) {
       per_job[base + static_cast<std::size_t>(lane)].record(
           fault::lane_outcome(verdict, lane));
@@ -186,59 +188,60 @@ void run_fault_batch(const Dfg& graph, NetlistBatchSim& sim,
   }
 }
 
-/// One 64-fault batch on the incremental backend: replay the union
+/// One W-fault batch on the incremental backend: replay the union
 /// fan-out cone of the batch's faults over the precomputed golden trace,
 /// classifying against the pre-broadcast reference outputs. With fault
 /// dropping, a lane retires after its first detected sample (recorded,
 /// then excluded); once every lane retired the batch ends early.
-void run_incremental_batch(NetlistIncrementalSim& sim,
+template <typename P>
+void run_incremental_batch(NetlistIncrementalSimT<P>& sim,
                            const GoldenTrace& trace,
-                           std::span<const hw::BatchWord> want_planes,
+                           std::span<const hw::BatchWordT<P>> want_planes,
                            const std::vector<Job>& jobs, std::size_t base,
                            const NetlistCampaignOptions& options,
                            std::vector<fault::CampaignStats>& per_job) {
   const ExecPlan& plan = sim.plan();
   const std::int32_t error_output = plan.error_output;
   const std::size_t num_outputs = plan.outputs.size();
-  const int lanes = static_cast<int>(
-      std::min<std::size_t>(hw::kLanes, jobs.size() - base));
+  const int lanes = static_cast<int>(std::min<std::size_t>(
+      hw::PlaneTraits<P>::kLanes, jobs.size() - base));
 
   sim.clear_lane_faults();
   for (int lane = 0; lane < lanes; ++lane) {
     const std::size_t j = base + static_cast<std::size_t>(lane);
     sim.add_lane_fault(static_cast<int>(jobs[j].fu), jobs[j].site,
-                       hw::LaneMask{1} << lane);
+                       hw::plane_bit<P>(lane));
   }
   sim.reset();
 
-  std::vector<hw::BatchWord> out(num_outputs);
-  hw::LaneMask active = hw::lane_prefix(lanes);
+  std::vector<hw::BatchWordT<P>> out(num_outputs);
+  P active = hw::plane_prefix<P>(lanes);
   for (int k = 0; k < options.samples_per_fault; ++k) {
     sim.replay_sample(trace, k, out);
 
-    hw::LaneMask erroneous = 0;
+    P erroneous{};
     for (std::size_t i = 0; i < num_outputs; ++i) {
       if (static_cast<std::int32_t>(i) == error_output) continue;
       erroneous |= hw::differing_lanes(
           out[i],
           want_planes[static_cast<std::size_t>(k) * num_outputs + i]);
     }
-    const hw::LaneMask detected =
+    const P detected =
         error_output >= 0 ? out[static_cast<std::size_t>(error_output)][0]
-                          : 0;
-    const fault::LaneVerdict verdict{erroneous, detected};
+                          : P{};
+    const fault::LaneVerdictT<P> verdict{erroneous, detected};
     for (int lane = 0; lane < lanes; ++lane) {
-      if ((active >> lane) & 1) {
+      if (hw::plane_test(active, lane)) {
         per_job[base + static_cast<std::size_t>(lane)].record(
             fault::lane_outcome(verdict, lane));
       }
     }
 
     if (options.fault_dropping) {
-      const hw::LaneMask retire = detected & active;
-      if (retire != 0) {
+      const P retire = detected & active;
+      if (hw::plane_any(retire)) {
         active &= ~retire;
-        if (active == 0) break;
+        if (!hw::plane_any(active)) break;
         sim.set_active_lanes(active);
       }
     }
@@ -298,8 +301,6 @@ NetlistCampaignResult run_netlist_campaign(
   }
 
   std::vector<fault::CampaignStats> per_job(jobs.size());
-  const std::size_t batches =
-      (jobs.size() + hw::kLanes - 1) / static_cast<std::size_t>(hw::kLanes);
   if (options.backend == NetlistBackend::kScalar) {
     // Shard one fault per job; each worker owns a simulator over the
     // shared plan (units are stateful via set_fault).
@@ -311,29 +312,35 @@ NetlistCampaignResult run_netlist_campaign(
           sim.set_fu_fault(static_cast<int>(jobs[j].fu), hw::FaultSite{});
         });
   } else if (options.backend == NetlistBackend::kBatched) {
-    // Shard 64-fault batches; each worker owns a batched simulator over
+    // Shard W-fault batches; each worker owns a batched simulator over
     // the shared plan plus a copy of one compiled reference evaluator.
+    // The lane width only sizes the batches — per-job slots and the
+    // reduction below are width-invariant.
     //
     // The reference "error" flag is never read (it is 0 by construction
     // on fault-free hardware), so the reference skips the check cone; the
     // prototype is compiled (topo + DCE) once and copied per worker.
-    const DfgBatchEvaluator ref_proto(graph, "error");
-    struct BatchContext {
-      NetlistBatchSim sim;
-      DfgBatchEvaluator ref;
-      BatchContext(const ExecPlan& p, const DfgBatchEvaluator& proto)
-          : sim(p), ref(proto) {}
-      BatchContext(const BatchContext&) = delete;
-      BatchContext& operator=(const BatchContext&) = delete;
-    };
-    fault::parallel_shard(
-        batches, options.threads,
-        [&plan, &ref_proto] { return BatchContext(plan, ref_proto); },
-        [&](BatchContext& ctx, std::size_t b) {
-          run_fault_batch(graph, ctx.sim, ctx.ref, jobs,
-                          b * static_cast<std::size_t>(hw::kLanes), options,
-                          shared_stream, per_job);
-        });
+    const int lane_width = hw::resolve_lanes(options.lanes);
+    hw::dispatch_plane(lane_width, [&]<typename P>(std::type_identity<P>) {
+      constexpr std::size_t kW = hw::PlaneTraits<P>::kLanes;
+      const std::size_t batches = (jobs.size() + kW - 1) / kW;
+      const DfgBatchEvaluatorT<P> ref_proto(graph, "error");
+      struct BatchContext {
+        NetlistBatchSimT<P> sim;
+        DfgBatchEvaluatorT<P> ref;
+        BatchContext(const ExecPlan& p, const DfgBatchEvaluatorT<P>& proto)
+            : sim(p), ref(proto) {}
+        BatchContext(const BatchContext&) = delete;
+        BatchContext& operator=(const BatchContext&) = delete;
+      };
+      fault::parallel_shard(
+          batches, options.threads,
+          [&plan, &ref_proto] { return BatchContext(plan, ref_proto); },
+          [&](BatchContext& ctx, std::size_t b) {
+            run_fault_batch(graph, ctx.sim, ctx.ref, jobs, b * kW, options,
+                            shared_stream, per_job);
+          });
+    });
   } else {
     // Incremental: the fault-free work happens ONCE per campaign — the
     // golden trace (scalar replay recording every wire) and the scalar
@@ -348,44 +355,48 @@ NetlistCampaignResult run_netlist_campaign(
       SCK_EXPECTS(graph.node(graph.outputs()[i]).name ==
                   netlist.outputs[i].name);
     }
-    std::vector<hw::BatchWord> want_planes(
-        static_cast<std::size_t>(options.samples_per_fault) * num_outputs);
-    {
-      std::vector<std::uint64_t> ref_state(graph.state_regs().size(), 0);
-      std::unordered_map<std::string, std::uint64_t> ref_in;
-      for (int k = 0; k < options.samples_per_fault; ++k) {
-        for (std::size_t i = 0; i < graph.inputs().size(); ++i) {
-          const Node& n = graph.node(graph.inputs()[i]);
-          ref_in[n.name] =
-              shared_stream[static_cast<std::size_t>(k) *
-                                graph.inputs().size() +
-                            i];
-        }
-        const auto want = graph.eval(ref_in, ref_state);
-        for (std::size_t i = 0; i < num_outputs; ++i) {
-          const Node& n = graph.node(graph.outputs()[i]);
-          want_planes[static_cast<std::size_t>(k) * num_outputs + i] =
-              hw::broadcast_word(
-                  trunc(want.outputs.at(n.name), n.width), n.width);
+    const int lane_width = hw::resolve_lanes(options.lanes);
+    hw::dispatch_plane(lane_width, [&]<typename P>(std::type_identity<P>) {
+      constexpr std::size_t kW = hw::PlaneTraits<P>::kLanes;
+      const std::size_t batches = (jobs.size() + kW - 1) / kW;
+      std::vector<hw::BatchWordT<P>> want_planes(
+          static_cast<std::size_t>(options.samples_per_fault) * num_outputs);
+      {
+        std::vector<std::uint64_t> ref_state(graph.state_regs().size(), 0);
+        std::unordered_map<std::string, std::uint64_t> ref_in;
+        for (int k = 0; k < options.samples_per_fault; ++k) {
+          for (std::size_t i = 0; i < graph.inputs().size(); ++i) {
+            const Node& n = graph.node(graph.inputs()[i]);
+            ref_in[n.name] =
+                shared_stream[static_cast<std::size_t>(k) *
+                                  graph.inputs().size() +
+                              i];
+          }
+          const auto want = graph.eval(ref_in, ref_state);
+          for (std::size_t i = 0; i < num_outputs; ++i) {
+            const Node& n = graph.node(graph.outputs()[i]);
+            want_planes[static_cast<std::size_t>(k) * num_outputs + i] =
+                hw::broadcast_word<P>(
+                    trunc(want.outputs.at(n.name), n.width), n.width);
+          }
         }
       }
-    }
 
-    struct IncrementalContext {
-      NetlistIncrementalSim sim;
-      IncrementalContext(const ExecPlan& p, const FaultCones& c)
-          : sim(p, c) {}
-      IncrementalContext(const IncrementalContext&) = delete;
-      IncrementalContext& operator=(const IncrementalContext&) = delete;
-    };
-    fault::parallel_shard(
-        batches, options.threads,
-        [&plan, &cones] { return IncrementalContext(plan, cones); },
-        [&](IncrementalContext& ctx, std::size_t b) {
-          run_incremental_batch(ctx.sim, trace, want_planes, jobs,
-                                b * static_cast<std::size_t>(hw::kLanes),
-                                options, per_job);
-        });
+      struct IncrementalContext {
+        NetlistIncrementalSimT<P> sim;
+        IncrementalContext(const ExecPlan& p, const FaultCones& c)
+            : sim(p, c) {}
+        IncrementalContext(const IncrementalContext&) = delete;
+        IncrementalContext& operator=(const IncrementalContext&) = delete;
+      };
+      fault::parallel_shard(
+          batches, options.threads,
+          [&plan, &cones] { return IncrementalContext(plan, cones); },
+          [&](IncrementalContext& ctx, std::size_t b) {
+            run_incremental_batch<P>(ctx.sim, trace, want_planes, jobs,
+                                     b * kW, options, per_job);
+          });
+    });
   }
 
   // Deterministic reduction in job (fault-index) order.

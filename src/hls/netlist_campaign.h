@@ -13,20 +13,25 @@
 //
 // Three execution backends drive the sweep (hls/netlist_exec.h):
 //   kScalar       the compiled scalar interpreter, one fault at a time;
-//   kBatched      the 64-lane bit-plane engine — 64 faults per batch (lane
-//                 = fault, via per-lane LaneFaultSet hooks), checked
+//   kBatched      the W-lane bit-plane engine — W faults per batch (lane
+//                 = fault, via per-lane LaneFaultSetT hooks), checked
 //                 against the plane-wise Dfg reference model
-//                 (DfgBatchEvaluator);
+//                 (DfgBatchEvaluatorT);
 //   kIncremental  golden-trace fault-cone replay (shared streams only):
 //                 the fault-free execution and the Dfg reference are
 //                 computed ONCE per campaign, and each batch replays only
-//                 the union fan-out cone of its ≤64 faulted FUs, splicing
+//                 the union fan-out cone of its ≤W faulted FUs, splicing
 //                 everything else from the golden trace.
+// The lane width W is resolved once per campaign (options.lanes, the
+// SCK_LANES env var, or the CPU default — see hw::resolve_lanes) and only
+// changes how faults are grouped into batches: per-fault stats land in
+// job-indexed slots reduced in fault-index order, so the result is
+// bit-identical for ANY backend, lane width and thread count under the
+// same StreamMode (tests/test_netlist_batch.cpp,
+// tests/test_netlist_incremental.cpp and
+// tests/test_backend_differential.cpp prove it).
 // All backends shard the fault universe through fault/parallel.h over ONE
-// compiled ExecPlan and reduce per-fault stats in fault-index order, so
-// the result is bit-identical for ANY backend, lane packing and thread
-// count under the same StreamMode (tests/test_netlist_batch.cpp and
-// tests/test_netlist_incremental.cpp prove it).
+// compiled ExecPlan.
 #pragma once
 
 #include <cstdint>
@@ -92,6 +97,11 @@ struct NetlistCampaignOptions {
   /// streams depend only on (seed, fault index) — or (seed, sample index)
   /// under kShared — so the result is bit-identical for any thread count.
   int threads = 1;
+  /// Bit-plane lane width for the batched/incremental backends: one of
+  /// {64, 128, 256, 512}, or 0 to resolve via the SCK_LANES env var and
+  /// then the CPU default (hw::resolve_lanes). Results are bit-identical
+  /// at every width; wider planes only batch more faults per evaluation.
+  int lanes = 0;
   NetlistBackend backend = NetlistBackend::kBatched;
   StreamMode stream = StreamMode::kPerFault;
   /// Retire a lane at its first detected sample (kIncremental only): the

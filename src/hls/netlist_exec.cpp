@@ -375,7 +375,8 @@ GoldenTrace record_golden_trace(const ExecPlan& plan,
   return trace;
 }
 
-NetlistBatchSim::NetlistBatchSim(const Netlist& netlist)
+template <typename P>
+NetlistBatchSimT<P>::NetlistBatchSimT(const Netlist& netlist)
     : owned_plan_(compile_execution_plan(netlist)),
       plan_(owned_plan_),
       bank_(netlist),
@@ -387,7 +388,8 @@ NetlistBatchSim::NetlistBatchSim(const Netlist& netlist)
   }
 }
 
-NetlistBatchSim::NetlistBatchSim(const ExecPlan& plan)
+template <typename P>
+NetlistBatchSimT<P>::NetlistBatchSimT(const ExecPlan& plan)
     : plan_(plan), bank_(*plan.netlist), sem_(plan_, bank_) {
   lane_faults_.reserve(bank_.size());
   for (std::size_t f = 0; f < bank_.size(); ++f) {
@@ -396,7 +398,8 @@ NetlistBatchSim::NetlistBatchSim(const ExecPlan& plan)
   }
 }
 
-void NetlistBatchSim::clear_lane_faults() {
+template <typename P>
+void NetlistBatchSimT<P>::clear_lane_faults() {
   for (std::size_t f = 0; f < lane_faults_.size(); ++f) {
     if (lane_faults_[f].empty()) continue;
     lane_faults_[f].clear();
@@ -404,22 +407,27 @@ void NetlistBatchSim::clear_lane_faults() {
   }
 }
 
-void NetlistBatchSim::add_lane_fault(int fu_index, const hw::FaultSite& fault,
-                                     hw::LaneMask lanes) {
+template <typename P>
+void NetlistBatchSimT<P>::add_lane_fault(int fu_index,
+                                         const hw::FaultSite& fault,
+                                         const P& lanes) {
   hw::FaultableUnit* u = bank_.unit(fu_index);
   SCK_EXPECTS(u != nullptr && "checker-side units accept no faults");
   SCK_EXPECTS(fault.active());
   SCK_EXPECTS(fault.cell >= 0 && fault.cell < u->cell_count());
   const hw::CellKind kind = u->cell_kind(fault.cell);
   SCK_EXPECTS(fault.line < hw::cell_line_count(kind));
-  hw::LaneFaultSet& set = lane_faults_[static_cast<std::size_t>(fu_index)];
+  hw::LaneFaultSetT<P>& set =
+      lane_faults_[static_cast<std::size_t>(fu_index)];
   set.add(fault.cell, hw::faulty_cell_lut(kind, fault.line, fault.stuck_value),
           lanes);
   u->set_lane_faults(&set);
 }
 
-void NetlistBatchSim::step_sample_batch(std::span<const hw::BatchWord> inputs,
-                                        std::span<hw::BatchWord> outputs) {
+template <typename P>
+void NetlistBatchSimT<P>::step_sample_batch(
+    std::span<const hw::BatchWordT<P>> inputs,
+    std::span<hw::BatchWordT<P>> outputs) {
   SCK_EXPECTS(inputs.size() == sem_.state.inputs.size());
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     sem_.state.inputs[i] = inputs[i];
@@ -427,8 +435,9 @@ void NetlistBatchSim::step_sample_batch(std::span<const hw::BatchWord> inputs,
   run_plan_sample(plan_, sem_, outputs);
 }
 
-NetlistIncrementalSim::NetlistIncrementalSim(const ExecPlan& plan,
-                                             const FaultCones& cones)
+template <typename P>
+NetlistIncrementalSimT<P>::NetlistIncrementalSimT(const ExecPlan& plan,
+                                                  const FaultCones& cones)
     : plan_(plan),
       cones_(cones),
       bank_(*plan.netlist),
@@ -451,7 +460,8 @@ NetlistIncrementalSim::NetlistIncrementalSim(const ExecPlan& plan,
   }
 }
 
-void NetlistIncrementalSim::clear_lane_faults() {
+template <typename P>
+void NetlistIncrementalSimT<P>::clear_lane_faults() {
   for (std::size_t f = 0; f < lane_faults_.size(); ++f) {
     if (lane_faults_[f].empty()) continue;
     lane_faults_[f].clear();
@@ -463,16 +473,18 @@ void NetlistIncrementalSim::clear_lane_faults() {
   program_dirty_ = true;
 }
 
-void NetlistIncrementalSim::add_lane_fault(int fu_index,
-                                           const hw::FaultSite& fault,
-                                           hw::LaneMask lanes) {
+template <typename P>
+void NetlistIncrementalSimT<P>::add_lane_fault(int fu_index,
+                                               const hw::FaultSite& fault,
+                                               const P& lanes) {
   hw::FaultableUnit* u = bank_.unit(fu_index);
   SCK_EXPECTS(u != nullptr && "checker-side units accept no faults");
   SCK_EXPECTS(fault.active());
   SCK_EXPECTS(fault.cell >= 0 && fault.cell < u->cell_count());
   const hw::CellKind kind = u->cell_kind(fault.cell);
   SCK_EXPECTS(fault.line < hw::cell_line_count(kind));
-  hw::LaneFaultSet& set = lane_faults_[static_cast<std::size_t>(fu_index)];
+  hw::LaneFaultSetT<P>& set =
+      lane_faults_[static_cast<std::size_t>(fu_index)];
   set.add(fault.cell, hw::faulty_cell_lut(kind, fault.line, fault.stuck_value),
           lanes);
   u->set_lane_faults(&set);
@@ -489,17 +501,19 @@ void NetlistIncrementalSim::add_lane_fault(int fu_index,
   program_dirty_ = true;
 }
 
-void NetlistIncrementalSim::set_active_lanes(hw::LaneMask active) {
+template <typename P>
+void NetlistIncrementalSimT<P>::set_active_lanes(const P& active) {
   rebuild_masks(active);
   program_dirty_ = true;
 }
 
-void NetlistIncrementalSim::rebuild_masks(hw::LaneMask active) {
+template <typename P>
+void NetlistIncrementalSimT<P>::rebuild_masks(const P& active) {
   std::fill(cone_.begin(), cone_.end(), 0);
   std::fill(reg_cone_.begin(), reg_cone_.end(), 0);
   const std::size_t rw = cones_.reg_mask_words();
   for (const auto& [fu, lanes] : faults_) {
-    if ((lanes & active) == 0) continue;
+    if (!hw::plane_any(lanes & active)) continue;
     const std::span<const std::uint64_t> cone = cones_.op_cone(fu);
     for (std::size_t w = 0; w < cone_.size(); ++w) cone_[w] |= cone[w];
     for (int s = 0; s <= plan_.num_steps; ++s) {
@@ -511,7 +525,8 @@ void NetlistIncrementalSim::rebuild_masks(hw::LaneMask active) {
   }
 }
 
-std::size_t NetlistIncrementalSim::cone_op_count() const {
+template <typename P>
+std::size_t NetlistIncrementalSimT<P>::cone_op_count() const {
   std::size_t count = 0;
   for (const std::uint64_t w : cone_) {
     count += static_cast<std::size_t>(std::popcount(w));
@@ -525,7 +540,8 @@ std::size_t NetlistIncrementalSim::cone_op_count() const {
 /// a cone latch or load last wrote it) and the state loads whose source is
 /// tainted at the final fence (all other registers stay golden at fence 0
 /// and are spliced on read).
-void NetlistIncrementalSim::compile_cone_program() {
+template <typename P>
+void NetlistIncrementalSimT<P>::compile_cone_program() {
   const auto in_cone = [this](std::size_t i) {
     return ((cone_[i >> 6] >> (i & 63)) & 1) != 0;
   };
@@ -564,9 +580,10 @@ void NetlistIncrementalSim::compile_cone_program() {
   program_dirty_ = false;
 }
 
-const hw::BatchWord& NetlistIncrementalSim::read_spliced(
+template <typename P>
+const hw::BatchWordT<P>& NetlistIncrementalSimT<P>::read_spliced(
     const ExecOperand& op, const GoldenTrace& trace, int k, int step,
-    hw::BatchWord& scratch) const {
+    hw::BatchWordT<P>& scratch) const {
   const auto& st = sem_.state;
   switch (op.kind) {
     case Operand::Kind::kNone:
@@ -580,7 +597,7 @@ const hw::BatchWord& NetlistIncrementalSim::read_spliced(
       if ((cone_[p >> 6] >> (p & 63)) & 1) {
         return st.wires[static_cast<std::size_t>(op.index)];
       }
-      scratch = hw::broadcast_word(
+      scratch = hw::broadcast_word<P>(
           trace.sample_wires(k)[static_cast<std::size_t>(op.index)],
           plan_.ops[p].width);
       return scratch;
@@ -589,7 +606,7 @@ const hw::BatchWord& NetlistIncrementalSim::read_spliced(
       if (reg_tainted_at(op.index, step)) {
         return st.regs[static_cast<std::size_t>(op.index)];
       }
-      scratch = hw::broadcast_word(
+      scratch = hw::broadcast_word<P>(
           trace.sample_regs(k, step)[static_cast<std::size_t>(op.index)],
           plan_.data_width);
       return scratch;
@@ -598,8 +615,9 @@ const hw::BatchWord& NetlistIncrementalSim::read_spliced(
   return st.zero;
 }
 
-void NetlistIncrementalSim::replay_sample(const GoldenTrace& trace, int k,
-                                          std::span<hw::BatchWord> outputs) {
+template <typename P>
+void NetlistIncrementalSimT<P>::replay_sample(
+    const GoldenTrace& trace, int k, std::span<hw::BatchWordT<P>> outputs) {
   SCK_EXPECTS(trace.num_inputs == plan_.num_inputs);
   SCK_EXPECTS(trace.num_wires == plan_.num_wires);
   SCK_EXPECTS(trace.num_regs == plan_.num_regs);
@@ -612,8 +630,8 @@ void NetlistIncrementalSim::replay_sample(const GoldenTrace& trace, int k,
   // per-lane packing/transpose).
   const std::span<const Word> in = trace.sample_inputs(k);
   for (std::size_t i = 0; i < in.size(); ++i) {
-    st.inputs[i] =
-        hw::broadcast_word(trunc(in[i], plan_.data_width), plan_.data_width);
+    st.inputs[i] = hw::broadcast_word<P>(trunc(in[i], plan_.data_width),
+                                         plan_.data_width);
   }
 
   // run_plan_sample's step loop, restricted to the cone ops: boundary
@@ -622,8 +640,8 @@ void NetlistIncrementalSim::replay_sample(const GoldenTrace& trace, int k,
   // slots are only ever read at fences where the union cone taints them,
   // i.e. where the last writer was a cone latch or a cone state load, so
   // golden writers need no latches at all.
-  hw::BatchWord scratch_a;
-  hw::BatchWord scratch_b;
+  hw::BatchWordT<P> scratch_a;
+  hw::BatchWordT<P> scratch_b;
   for (int step = 0; step < plan_.num_steps; ++step) {
     st.latches.clear();
     const std::uint32_t end =
@@ -631,11 +649,11 @@ void NetlistIncrementalSim::replay_sample(const GoldenTrace& trace, int k,
     for (std::uint32_t a = cone_step_begin_[static_cast<std::size_t>(step)];
          a < end; ++a) {
       const ExecOp& op = plan_.ops[cone_ops_[a]];
-      const hw::BatchWord& va =
+      const hw::BatchWordT<P>& va =
           read_spliced(op.src0, trace, k, step, scratch_a);
-      const hw::BatchWord& vb =
+      const hw::BatchWordT<P>& vb =
           read_spliced(op.src1, trace, k, step, scratch_b);
-      hw::BatchWord result = sem_.eval(op, va, vb);
+      hw::BatchWordT<P> result = sem_.eval(op, va, vb);
       if (op.dst_reg >= 0) st.latches.emplace_back(op.dst_reg, result);
       st.wires[static_cast<std::size_t>(op.wire)] = std::move(result);
     }
@@ -662,5 +680,16 @@ void NetlistIncrementalSim::replay_sample(const GoldenTrace& trace, int k,
     st.regs[static_cast<std::size_t>(reg)] = value;
   }
 }
+
+// One instantiation per supported plane width (hw/plane.h); the campaign
+// drivers select one at runtime through hw::dispatch_plane.
+template class NetlistBatchSimT<hw::Plane64>;
+template class NetlistBatchSimT<hw::Plane128>;
+template class NetlistBatchSimT<hw::Plane256>;
+template class NetlistBatchSimT<hw::Plane512>;
+template class NetlistIncrementalSimT<hw::Plane64>;
+template class NetlistIncrementalSimT<hw::Plane128>;
+template class NetlistIncrementalSimT<hw::Plane256>;
+template class NetlistIncrementalSimT<hw::Plane512>;
 
 }  // namespace sck::hls

@@ -17,24 +17,31 @@
 //   ExecState<Value> state;           // slot storage
 //   Value eval(const ExecOp&, const Value& a, const Value& b);
 // Two semantics are provided:
-//   ScalarExecSemantics  Word values through the units' scalar models —
-//                        the NetlistSim path (hls/netlist_sim.h);
-//   BatchExecSemantics   64-lane BatchWord planes through the units'
-//                        *_batch models, where lane L simulates its own
-//                        injected fault — the NetlistBatchSim path below.
+//   ScalarExecSemantics     Word values through the units' scalar models —
+//                           the NetlistSim path (hls/netlist_sim.h);
+//   BatchExecSemanticsT<P>  W-lane plane words through the units' *_batch
+//                           models, where lane L simulates its own injected
+//                           fault — the NetlistBatchSimT path below. P is
+//                           any plane word from hw/plane.h (Plane64 the
+//                           bit-identity reference, Plane128/256/512 the
+//                           wide variants picked by hw::dispatch_plane).
 // One executor, two value domains: the backends cannot drift apart, and
 // the differential tests (tests/test_netlist_batch.cpp) prove lane
 // exactness across the full FU fault universe.
 //
 // On top of the batch semantics sits the *incremental* backend
-// (NetlistIncrementalSim): under a shared input stream every fault sees
+// (NetlistIncrementalSimT): under a shared input stream every fault sees
 // identical stimuli, so the fault-free execution is a single golden trace
 // (GoldenTrace, recorded once per campaign) and an injected fault can only
 // perturb the static fan-out cone of its FU (FaultCones, computed once per
 // plan). The incremental executor replays just the union cone of the
-// batch's faults in 64-lane planes and splices every other wire — and its
+// batch's faults in W-lane planes and splices every other wire — and its
 // latch — from the golden trace as a broadcast, which is why it multiplies
 // (rather than adds to) the bit-plane speedup.
+//
+// The unsuffixed NetlistBatchSim / NetlistIncrementalSim aliases are the
+// 64-lane reference instantiations; the wide ones are explicitly
+// instantiated in netlist_exec.cpp for every plane width.
 #pragma once
 
 #include <cstdint>
@@ -382,30 +389,32 @@ struct ScalarExecSemantics {
   }
 };
 
-/// 64-lane bit-plane semantics: BatchWord planes through the units'
-/// *_batch models. Each value plane carries 64 independent simulations of
+/// W-lane bit-plane semantics: BatchWordT<P> planes through the units'
+/// *_batch models. Each value plane carries W independent simulations of
 /// the same netlist; per-lane faults enter through the FuBank units'
-/// LaneFaultSet hooks. Every case is the plane twin of the scalar case
+/// LaneFaultSetT hooks. Every case is the plane twin of the scalar case
 /// above (zero-divisor lanes produce 0 exactly like the scalar
 /// short-circuit; glue is evaluated on plane 0 of its 1-bit operands).
-struct BatchExecSemantics {
-  using Value = hw::BatchWord;
+template <typename P>
+struct BatchExecSemanticsT {
+  using Value = hw::BatchWordT<P>;
 
   const ExecPlan& plan;
   const FuBank& bank;
-  ExecState<hw::BatchWord> state;
+  ExecState<Value> state;
 
-  BatchExecSemantics(const ExecPlan& p, const FuBank& b) : plan(p), bank(b) {
+  BatchExecSemanticsT(const ExecPlan& p, const FuBank& b) : plan(p), bank(b) {
     state.init(p);
     for (std::size_t k = 0; k < p.const_pool.size(); ++k) {
-      state.consts[k] = hw::broadcast_word(p.const_pool[k], p.data_width);
+      state.consts[k] =
+          hw::broadcast_word<P>(p.const_pool[k], p.data_width);
     }
   }
 
-  [[nodiscard]] hw::BatchWord eval(const ExecOp& op, const hw::BatchWord& a,
-                                   const hw::BatchWord& b) const {
+  [[nodiscard]] Value eval(const ExecOp& op, const Value& a,
+                           const Value& b) const {
     const int w = op.width;
-    hw::BatchWord out;
+    Value out;
     switch (op.op) {
       case Op::kAdd:
         return bank.addsub(op.fu).add_batch(a, b);
@@ -419,15 +428,15 @@ struct BatchExecSemantics {
       case Op::kRem: {
         // The scalar path truncates both operands to the divider width and
         // forces the result to 0 on a zero divisor; mirror both in planes.
-        hw::BatchWord ta;
-        hw::BatchWord tb;
+        Value ta;
+        Value tb;
         for (int i = 0; i < w; ++i) {
           ta[i] = a[i];
           tb[i] = b[i];
         }
-        const hw::LaneMask b_nonzero = hw::nonzero_lanes(b);
-        const hw::BatchDivResult dr = bank.div(op.fu).divide_batch(ta, tb);
-        const hw::BatchWord& source =
+        const P b_nonzero = hw::nonzero_lanes(b);
+        const hw::BatchDivResultT<P> dr = bank.div(op.fu).divide_batch(ta, tb);
+        const Value& source =
             op.op == Op::kDiv ? dr.quotient : dr.remainder;
         for (int i = 0; i < w; ++i) out[i] = source[i] & b_nonzero;
         return out;
@@ -454,20 +463,24 @@ struct BatchExecSemantics {
   }
 };
 
-/// 64-lane execution backend over a compiled plan: lane L runs the same
+/// The 64-lane reference semantics.
+using BatchExecSemantics = BatchExecSemanticsT<hw::LaneMask>;
+
+/// W-lane execution backend over a compiled plan: lane L runs the same
 /// netlist with lane L's injected fault (or fault-free on unassigned
-/// lanes). The batched campaign drivers pack 64 faults per batch, feed
+/// lanes). The batched campaign drivers pack W faults per batch, feed
 /// each lane its own input stream, and read back per-lane outputs.
-class NetlistBatchSim {
+template <typename P>
+class NetlistBatchSimT {
  public:
-  explicit NetlistBatchSim(const Netlist& netlist);
+  explicit NetlistBatchSimT(const Netlist& netlist);
   /// Share an externally owned compiled plan (must outlive the sim): the
   /// campaign drivers compile once and hand the same plan to every worker.
-  explicit NetlistBatchSim(const ExecPlan& plan);
+  explicit NetlistBatchSimT(const ExecPlan& plan);
 
   // Holds internal references (plan/bank); pinned like the scalar sim.
-  NetlistBatchSim(const NetlistBatchSim&) = delete;
-  NetlistBatchSim& operator=(const NetlistBatchSim&) = delete;
+  NetlistBatchSimT(const NetlistBatchSimT&) = delete;
+  NetlistBatchSimT& operator=(const NetlistBatchSimT&) = delete;
 
   /// Remove every per-lane fault (all lanes fault-free).
   void clear_lane_faults();
@@ -475,7 +488,7 @@ class NetlistBatchSim {
   /// Inject `fault` into FU `fu_index` on the lanes of `lanes`. A lane may
   /// host at most one fault across the whole design.
   void add_lane_fault(int fu_index, const hw::FaultSite& fault,
-                      hw::LaneMask lanes);
+                      const P& lanes);
 
   /// Enumerate the fault universe of one FU instance (empty for
   /// checker-side units).
@@ -487,12 +500,12 @@ class NetlistBatchSim {
   /// Reset architectural state to zero on every lane.
   void reset() { sem_.state.reset(); }
 
-  /// Run one sample iteration on all 64 lanes: `inputs` by position in
+  /// Run one sample iteration on all W lanes: `inputs` by position in
   /// netlist().input_names (planes at or above the data width must be
   /// zero, which pack() guarantees), `outputs` filled by position in
   /// netlist().outputs.
-  void step_sample_batch(std::span<const hw::BatchWord> inputs,
-                         std::span<hw::BatchWord> outputs);
+  void step_sample_batch(std::span<const hw::BatchWordT<P>> inputs,
+                         std::span<hw::BatchWordT<P>> outputs);
 
   [[nodiscard]] const Netlist& netlist() const { return *plan_.netlist; }
   [[nodiscard]] const ExecPlan& plan() const { return plan_; }
@@ -501,14 +514,17 @@ class NetlistBatchSim {
   ExecPlan owned_plan_;     ///< empty when constructed over a shared plan
   const ExecPlan& plan_;
   FuBank bank_;
-  std::vector<hw::LaneFaultSet> lane_faults_;  ///< per FU instance
-  BatchExecSemantics sem_;
+  std::vector<hw::LaneFaultSetT<P>> lane_faults_;  ///< per FU instance
+  BatchExecSemanticsT<P> sem_;
 };
+
+/// The 64-lane reference batch backend.
+using NetlistBatchSim = NetlistBatchSimT<hw::LaneMask>;
 
 /// Golden-trace incremental execution backend: lane L runs the same
 /// netlist with lane L's injected fault, but — because all lanes share one
 /// input stream — only the union fan-out cone of the installed faults is
-/// executed in 64-lane planes. Everything else is never touched: cone ops
+/// executed in W-lane planes. Everything else is never touched: cone ops
 /// reading across the cone boundary (a non-cone wire, an untainted
 /// register) splice the golden value from the trace as a broadcast at
 /// read time, non-cone latches into tainted registers splice their golden
@@ -516,15 +532,16 @@ class NetlistBatchSim {
 /// per-step register timeline. Per-sample work is therefore proportional
 /// to the cone, not to the plan — while staying lane-for-lane identical
 /// to step_sample_batch under broadcast inputs.
-class NetlistIncrementalSim {
+template <typename P>
+class NetlistIncrementalSimT {
  public:
   /// Both the plan and the cones are shared, externally owned state (one
   /// of each per campaign) and must outlive the sim.
-  NetlistIncrementalSim(const ExecPlan& plan, const FaultCones& cones);
+  NetlistIncrementalSimT(const ExecPlan& plan, const FaultCones& cones);
 
   // Holds internal references (plan/cones/bank); pinned like its siblings.
-  NetlistIncrementalSim(const NetlistIncrementalSim&) = delete;
-  NetlistIncrementalSim& operator=(const NetlistIncrementalSim&) = delete;
+  NetlistIncrementalSimT(const NetlistIncrementalSimT&) = delete;
+  NetlistIncrementalSimT& operator=(const NetlistIncrementalSimT&) = delete;
 
   /// Remove every per-lane fault (all lanes fault-free, empty cone).
   void clear_lane_faults();
@@ -533,13 +550,13 @@ class NetlistIncrementalSim {
   /// the union cone by that FU's fan-out cone. A lane may host at most one
   /// fault across the whole design.
   void add_lane_fault(int fu_index, const hw::FaultSite& fault,
-                      hw::LaneMask lanes);
+                      const P& lanes);
 
   /// Shrink the union cone to the faults of still-active lanes (fault
   /// dropping): retired lanes keep their fault installed but no longer
   /// contribute their FU's cone, so their planes become unspecified —
   /// callers must not read them again.
-  void set_active_lanes(hw::LaneMask active);
+  void set_active_lanes(const P& active);
 
   /// Reset architectural state to zero on every lane.
   void reset() { sem_.state.reset(); }
@@ -548,7 +565,7 @@ class NetlistIncrementalSim {
   /// ops execute in batch semantics, everything else is spliced from the
   /// trace. `outputs` filled by position in netlist().outputs.
   void replay_sample(const GoldenTrace& trace, int k,
-                     std::span<hw::BatchWord> outputs);
+                     std::span<hw::BatchWordT<P>> outputs);
 
   /// Number of plan ops currently replayed per sample (diagnostics).
   [[nodiscard]] std::size_t cone_op_count() const;
@@ -557,16 +574,15 @@ class NetlistIncrementalSim {
   [[nodiscard]] const ExecPlan& plan() const { return plan_; }
 
  private:
-  void rebuild_masks(hw::LaneMask active);
+  void rebuild_masks(const P& active);
   void compile_cone_program();
   /// Operand read with boundary splicing: batch state when the producer is
   /// inside the cone (wire) or the register is tainted at fence `step`,
   /// otherwise a broadcast of the golden value at (sample k, fence `step`)
   /// materialised in `scratch`.
-  [[nodiscard]] const hw::BatchWord& read_spliced(const ExecOperand& op,
-                                                  const GoldenTrace& trace,
-                                                  int k, int step,
-                                                  hw::BatchWord& scratch) const;
+  [[nodiscard]] const hw::BatchWordT<P>& read_spliced(
+      const ExecOperand& op, const GoldenTrace& trace, int k, int step,
+      hw::BatchWordT<P>& scratch) const;
   [[nodiscard]] bool reg_tainted_at(std::int32_t reg, int step_point) const {
     const std::size_t r = static_cast<std::size_t>(reg);
     return ((reg_cone_[static_cast<std::size_t>(step_point) *
@@ -579,9 +595,9 @@ class NetlistIncrementalSim {
   const ExecPlan& plan_;
   const FaultCones& cones_;
   FuBank bank_;
-  std::vector<hw::LaneFaultSet> lane_faults_;  ///< per FU instance
-  BatchExecSemantics sem_;
-  std::vector<std::pair<int, hw::LaneMask>> faults_;  ///< installed (fu, lanes)
+  std::vector<hw::LaneFaultSetT<P>> lane_faults_;  ///< per FU instance
+  BatchExecSemanticsT<P> sem_;
+  std::vector<std::pair<int, P>> faults_;  ///< installed (fu, lanes)
   std::vector<std::uint32_t> producer_;  ///< wire slot -> plan op index
   std::vector<std::uint64_t> cone_;      ///< union op mask over plan_.ops
   /// Union tainted-register masks, fence-major: (num_steps + 1) fences of
@@ -594,5 +610,8 @@ class NetlistIncrementalSim {
   std::vector<ExecPlan::StateLoad> loads_;
   bool program_dirty_ = true;
 };
+
+/// The 64-lane reference incremental backend.
+using NetlistIncrementalSim = NetlistIncrementalSimT<hw::LaneMask>;
 
 }  // namespace sck::hls

@@ -62,23 +62,24 @@ class ArrayMultiplier : public FaultableUnit {
     return trunc(acc, n);
   }
 
-  // ---- 64-lane bit-parallel API (lane-exact twin of the scalar path) -----
+  // ---- wide bit-parallel API (lane-exact twin of the scalar path) --------
 
-  [[nodiscard]] BatchWord mul_batch(const BatchWord& a,
-                                    const BatchWord& b) const {
+  template <typename P>
+  [[nodiscard]] BatchWordT<P> mul_batch(const BatchWordT<P>& a,
+                                        const BatchWordT<P>& b) const {
     const int n = width();
-    BatchWord acc;
+    BatchWordT<P> acc;
     int and_index = 0;
     for (int j = 0; j < n; ++j) {
       acc[j] = and_batch(and_index++, a[j], b[0]);
     }
     int fa_index = and_cells_;
     for (int i = 1; i < n; ++i) {
-      LaneMask carry = 0;
+      P carry{};
       for (int j = 0; j < n - i; ++j) {
-        const LaneMask pp = and_batch(and_index++, a[j], b[i]);
+        const P pp = and_batch(and_index++, a[j], b[i]);
         const int pos = i + j;
-        const LaneDuo out = fa_batch(fa_index++, acc[pos], pp, carry);
+        const LaneDuoT<P> out = fa_batch(fa_index++, acc[pos], pp, carry);
         acc[pos] = out.out0;
         carry = out.out1;
       }

@@ -130,40 +130,41 @@ class CarryLookaheadAdder : public FaultableUnit,
 
   [[nodiscard]] Word negate(Word x) const { return sub(0, x); }
 
-  // ---- 64-lane bit-parallel API (lane-exact twin of the scalar path) -----
+  // ---- wide bit-parallel API (lane-exact twin of the scalar path) --------
 
-  LaneMask add_c_batch(const BatchWord& a, const BatchWord& b,
-                       LaneMask carry_in, BatchWord& sum) const {
+  template <typename P>
+  P add_c_batch(const BatchWordT<P>& a, const BatchWordT<P>& b,
+                const P& carry_in, BatchWordT<P>& sum) const {
     const int n = width();
-    const LaneMask cin = carry_in;
+    const P cin = carry_in;
 
-    LaneMask p[kMaxWidth];
-    LaneMask g[kMaxWidth];
+    P p[kMaxWidth];
+    P g[kMaxWidth];
     for (int i = 0; i < n; ++i) {
-      const LaneDuo pg = pg_batch(i, a[i], b[i]);
+      const LaneDuoT<P> pg = pg_batch(i, a[i], b[i]);
       p[i] = pg.out0;
       g[i] = pg.out1;
     }
 
-    LaneMask carry[kMaxWidth + 1];
+    P carry[kMaxWidth + 1];
     carry[0] = cin;
     int cell = 2 * n;
     for (int t = 1; t < n; ++t) {
-      LaneMask terms[kMaxWidth + 1];
+      P terms[kMaxWidth + 1];
       int term_count = 0;
       for (int j = t - 1; j >= 0; --j) {
-        LaneMask acc = g[j];
+        P acc = g[j];
         for (int k = j + 1; k <= t - 1; ++k) {
           acc = and_batch(cell++, acc, p[k]);
         }
         terms[term_count++] = acc;
       }
-      LaneMask acc = cin;
+      P acc = cin;
       for (int k = 0; k <= t - 1; ++k) {
         acc = and_batch(cell++, acc, p[k]);
       }
       terms[term_count++] = acc;
-      LaneMask c = terms[0];
+      P c = terms[0];
       for (int m = 1; m < term_count; ++m) {
         c = or_batch(cell++, c, terms[m]);
       }
@@ -177,7 +178,7 @@ class CarryLookaheadAdder : public FaultableUnit,
     // As in the scalar path, the discarded c_n cone is not built; the
     // reference carry-out is derived from the healthy inputs (golden ripple
     // recurrence — arithmetically identical to ((a + b + cin) >> n) & 1).
-    LaneMask c = cin;
+    P c = cin;
     for (int i = 0; i < n; ++i) c = (a[i] & b[i]) | ((a[i] ^ b[i]) & c);
     return c;
   }

@@ -68,13 +68,14 @@ class CarrySaveMultiplier : public FaultableUnit {
     return result;
   }
 
-  // ---- 64-lane bit-parallel API (lane-exact twin of the scalar path) -----
+  // ---- wide bit-parallel API (lane-exact twin of the scalar path) --------
 
-  [[nodiscard]] BatchWord mul_batch(const BatchWord& a,
-                                    const BatchWord& b) const {
+  template <typename P>
+  [[nodiscard]] BatchWordT<P> mul_batch(const BatchWordT<P>& a,
+                                        const BatchWordT<P>& b) const {
     const int n = width();
-    LaneMask s[kMaxWidth] = {};
-    LaneMask carry_in[kMaxWidth] = {};
+    P s[kMaxWidth] = {};
+    P carry_in[kMaxWidth] = {};
 
     int and_index = 0;
     for (int j = 0; j < n; ++j) {
@@ -83,18 +84,18 @@ class CarrySaveMultiplier : public FaultableUnit {
 
     int fa_index = and_cells_;
     for (int i = 1; i < n; ++i) {
-      LaneMask carry_out[kMaxWidth + 1] = {};
+      P carry_out[kMaxWidth + 1] = {};
       for (int j = 0; j < n - i; ++j) {
         const int pos = i + j;
-        const LaneMask pp = and_batch(and_index++, a[j], b[i]);
-        const LaneDuo out = fa_batch(fa_index++, s[pos], pp, carry_in[pos]);
+        const P pp = and_batch(and_index++, a[j], b[i]);
+        const LaneDuoT<P> out = fa_batch(fa_index++, s[pos], pp, carry_in[pos]);
         s[pos] = out.out0;
         if (pos + 1 < n) carry_out[pos + 1] = out.out1;
       }
       for (int pos = 0; pos < n; ++pos) carry_in[pos] = carry_out[pos];
     }
 
-    BatchWord result;
+    BatchWordT<P> result;
     for (int j = 0; j < n; ++j) result[j] = s[j];
     return result;
   }

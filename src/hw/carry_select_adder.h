@@ -110,20 +110,21 @@ class CarrySelectAdder : public FaultableUnit,
 
   [[nodiscard]] Word negate(Word x) const { return sub(0, x); }
 
-  // ---- 64-lane bit-parallel API (lane-exact twin of the scalar path) -----
+  // ---- wide bit-parallel API (lane-exact twin of the scalar path) --------
 
-  LaneMask add_c_batch(const BatchWord& a, const BatchWord& b,
-                       LaneMask carry_in, BatchWord& sum) const {
-    LaneMask carry = carry_in;
+  template <typename P>
+  P add_c_batch(const BatchWordT<P>& a, const BatchWordT<P>& b,
+                const P& carry_in, BatchWordT<P>& sum) const {
+    P carry = carry_in;
     for (const Block& blk : blocks_) {
       if (!blk.duplicated) {
         carry = ripple_batch(blk, /*chain=*/0, a, b, carry, sum);
         continue;
       }
-      BatchWord sum0;
-      BatchWord sum1;
-      const LaneMask cout0 = ripple_batch(blk, 0, a, b, 0, sum0);
-      const LaneMask cout1 = ripple_batch(blk, 1, a, b, kAllLanes, sum1);
+      BatchWordT<P> sum0;
+      BatchWordT<P> sum1;
+      const P cout0 = ripple_batch(blk, 0, a, b, P{}, sum0);
+      const P cout1 = ripple_batch(blk, 1, a, b, plane_ones<P>(), sum1);
       const int mux_base = blk.first_cell + 2 * blk.bits;
       for (int i = 0; i < blk.bits; ++i) {
         const int pos = blk.lo + i;
@@ -145,13 +146,13 @@ class CarrySelectAdder : public FaultableUnit,
   }
 
   /// Batch twin of ripple(): one chain of a block over lane planes.
-  LaneMask ripple_batch(const Block& blk, int chain, const BatchWord& a,
-                        const BatchWord& b, LaneMask carry,
-                        BatchWord& sum) const {
+  template <typename P>
+  P ripple_batch(const Block& blk, int chain, const BatchWordT<P>& a,
+                 const BatchWordT<P>& b, P carry, BatchWordT<P>& sum) const {
     const int base = blk.first_cell + chain * blk.bits;
     for (int i = 0; i < blk.bits; ++i) {
       const int pos = blk.lo + i;
-      const LaneDuo out = fa_batch(base + i, a[pos], b[pos], carry);
+      const LaneDuoT<P> out = fa_batch(base + i, a[pos], b[pos], carry);
       sum[pos] = out.out0;
       carry = out.out1;
     }

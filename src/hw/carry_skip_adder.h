@@ -116,24 +116,25 @@ class CarrySkipAdder : public FaultableUnit,
 
   [[nodiscard]] Word negate(Word x) const { return sub(0, x); }
 
-  // ---- 64-lane bit-parallel API (lane-exact twin of the scalar path) -----
+  // ---- wide bit-parallel API (lane-exact twin of the scalar path) --------
 
-  LaneMask add_c_batch(const BatchWord& a, const BatchWord& b,
-                       LaneMask carry_in, BatchWord& sum) const {
-    LaneMask carry = carry_in;
+  template <typename P>
+  P add_c_batch(const BatchWordT<P>& a, const BatchWordT<P>& b,
+                const P& carry_in, BatchWordT<P>& sum) const {
+    P carry = carry_in;
     for (const Block& blk : blocks_) {
-      LaneMask chain_carry = carry;
+      P chain_carry = carry;
       for (int i = 0; i < blk.bits; ++i) {
         const int pos = blk.lo + i;
-        const LaneDuo out =
+        const LaneDuoT<P> out =
             fa_batch(blk.first_cell + i, a[pos], b[pos], chain_carry);
         sum[pos] = out.out0;
         chain_carry = out.out1;
       }
-      LaneMask block_p = kAllLanes;
+      P block_p = plane_ones<P>();
       for (int i = 0; i < blk.bits; ++i) {
         const int pos = blk.lo + i;
-        const LaneMask p =
+        const P p =
             xor_batch(blk.first_cell + blk.bits + i, a[pos], b[pos]);
         if (i == 0) {
           block_p = p;

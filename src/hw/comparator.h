@@ -25,16 +25,18 @@ namespace sck::hw {
 }
 
 /// Lane-wise equality over lane-packed words (fault-free by assumption).
-[[nodiscard]] inline LaneMask equal_batch(const BatchWord& a,
-                                          const BatchWord& b, int width) {
-  LaneMask diff = 0;
+template <typename P>
+[[nodiscard]] inline P equal_batch(const BatchWordT<P>& a,
+                                   const BatchWordT<P>& b, int width) {
+  P diff{};
   for (int i = 0; i < width; ++i) diff |= a[i] ^ b[i];
   return ~diff;
 }
 
 /// Lane-wise zero test over a lane-packed word (fault-free by assumption).
-[[nodiscard]] inline LaneMask is_zero_batch(const BatchWord& a, int width) {
-  LaneMask any = 0;
+template <typename P>
+[[nodiscard]] inline P is_zero_batch(const BatchWordT<P>& a, int width) {
+  P any{};
   for (int i = 0; i < width; ++i) any |= a[i];
   return ~any;
 }

@@ -56,7 +56,7 @@ class NonRestoringDivider : public FaultableUnit {
     return DivResult{q, trunc(r, n + 1)};
   }
 
-  // ---- 64-lane bit-parallel API (lane-exact twin of the scalar path) -----
+  // ---- wide bit-parallel API (lane-exact twin of the scalar path) --------
   //
   // The per-iteration add-vs-subtract decision becomes a per-lane operand
   // select: lanes with a negative partial remainder feed +b (carry-in 0),
@@ -64,24 +64,26 @@ class NonRestoringDivider : public FaultableUnit {
   // the cells and rows the scalar path evaluates lane by lane. The final
   // correction chain is evaluated for all lanes and committed only on the
   // negative ones (the scalar path simply does not use its result there).
-  [[nodiscard]] BatchDivResult divide_batch(const BatchWord& a,
-                                            const BatchWord& b) const {
+  template <typename P>
+  [[nodiscard]] BatchDivResultT<P> divide_batch(const BatchWordT<P>& a,
+                                                const BatchWordT<P>& b) const {
     const int n = width();
     const int m = n + 2;
 
-    BatchDivResult out;
-    BatchWord& q = out.quotient;
-    BatchWord r;
+    BatchDivResultT<P> out;
+    BatchWordT<P>& q = out.quotient;
+    BatchWordT<P> r;
     for (int i = n - 1; i >= 0; --i) {
-      const LaneMask negative = r[m - 1];
+      const P negative = r[m - 1];
       for (int k = m - 1; k > 0; --k) r[k] = r[k - 1];
       r[0] = a[i];
       r = chain_batch(r, b, negative, m);
       q[i] = ~r[m - 1];
     }
-    const LaneMask negative = r[m - 1];
-    const BatchWord corrected = chain_batch(r, b, /*add_mode=*/kAllLanes, m);
-    BatchWord& rem = out.remainder;
+    const P negative = r[m - 1];
+    const BatchWordT<P> corrected =
+        chain_batch(r, b, /*add_mode=*/plane_ones<P>(), m);
+    BatchWordT<P>& rem = out.remainder;
     for (int k = 0; k < n + 1; ++k) {
       rem[k] = (negative & corrected[k]) | (~negative & r[k]);
     }
@@ -92,13 +94,15 @@ class NonRestoringDivider : public FaultableUnit {
   /// Shared chain over lane planes. Lanes set in `add_mode` feed +b with
   /// carry-in 0 (scalar chain_add); the others feed ~b with carry-in 1
   /// (scalar chain_sub).
-  [[nodiscard]] BatchWord chain_batch(const BatchWord& x, const BatchWord& b,
-                                      LaneMask add_mode, int m) const {
-    LaneMask carry = ~add_mode;
-    BatchWord out;
+  template <typename P>
+  [[nodiscard]] BatchWordT<P> chain_batch(const BatchWordT<P>& x,
+                                          const BatchWordT<P>& b,
+                                          const P& add_mode, int m) const {
+    P carry = ~add_mode;
+    BatchWordT<P> out;
     for (int i = 0; i < m; ++i) {
-      const LaneMask y = (add_mode & b[i]) | (~add_mode & ~b[i]);
-      const LaneDuo o = fa_batch(i, x[i], y, carry);
+      const P y = (add_mode & b[i]) | (~add_mode & ~b[i]);
+      const LaneDuoT<P> o = fa_batch(i, x[i], y, carry);
       out[i] = o.out0;
       carry = o.out1;
     }

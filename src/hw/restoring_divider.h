@@ -29,10 +29,12 @@ struct DivResult {
 };
 
 /// Lane-packed quotient/remainder planes (remainder carries n+1 planes).
-struct BatchDivResult {
-  BatchWord quotient;
-  BatchWord remainder;
+template <typename P>
+struct BatchDivResultT {
+  BatchWordT<P> quotient;
+  BatchWordT<P> remainder;
 };
+using BatchDivResult = BatchDivResultT<LaneMask>;
 
 /// n-bit restoring divider with an injectable cell fault in its subtractor.
 class RestoringDivider : public FaultableUnit {
@@ -68,7 +70,7 @@ class RestoringDivider : public FaultableUnit {
     return DivResult{q, r};
   }
 
-  // ---- 64-lane bit-parallel API (lane-exact twin of the scalar path) -----
+  // ---- wide bit-parallel API (lane-exact twin of the scalar path) --------
   //
   // The restore decision becomes a per-lane select mask: the shared
   // subtractor chain is evaluated once per iteration for all lanes (exactly
@@ -77,28 +79,29 @@ class RestoringDivider : public FaultableUnit {
   // Lanes with a zero divisor are well-defined (q = all-ones, r ends at
   // a's last window) but meaningless; callers mask them out like the
   // scalar drivers skip b == 0.
-  [[nodiscard]] BatchDivResult divide_batch(const BatchWord& a,
-                                            const BatchWord& b) const {
+  template <typename P>
+  [[nodiscard]] BatchDivResultT<P> divide_batch(const BatchWordT<P>& a,
+                                                const BatchWordT<P>& b) const {
     const int n = width();
     const int m = n + 1;
-    BatchWord nb;
+    BatchWordT<P> nb;
     for (int i = 0; i < m; ++i) nb[i] = ~b[i];
 
-    BatchDivResult out;
-    BatchWord& q = out.quotient;
-    BatchWord& r = out.remainder;
+    BatchDivResultT<P> out;
+    BatchWordT<P>& q = out.quotient;
+    BatchWordT<P>& r = out.remainder;
     for (int i = n - 1; i >= 0; --i) {
       for (int k = m - 1; k > 0; --k) r[k] = r[k - 1];
       r[0] = a[i];
       // diff = r - b on the shared (possibly faulty) chain.
-      LaneMask carry = kAllLanes;
-      BatchWord diff;
+      P carry = plane_ones<P>();
+      BatchWordT<P> diff;
       for (int k = 0; k < m; ++k) {
-        const LaneDuo o = fa_batch(k, r[k], nb[k], carry);
+        const LaneDuoT<P> o = fa_batch(k, r[k], nb[k], carry);
         diff[k] = o.out0;
         carry = o.out1;
       }
-      const LaneMask no_borrow = carry;
+      const P no_borrow = carry;
       for (int k = 0; k < m; ++k) {
         r[k] = (no_borrow & diff[k]) | (~no_borrow & r[k]);
       }

@@ -70,15 +70,16 @@ class RippleCarryAdder : public FaultableUnit,
   /// -x computed as 0 - x on the same chain.
   [[nodiscard]] Word negate(Word x) const { return sub(0, x); }
 
-  // ---- 64-lane bit-parallel API (lane-exact twin of the scalar path) -----
+  // ---- wide bit-parallel API (lane-exact twin of the scalar path) --------
 
-  /// Sum of 64 lane-packed operand pairs; returns the carry-out plane.
-  LaneMask add_c_batch(const BatchWord& a, const BatchWord& b,
-                       LaneMask carry_in, BatchWord& sum) const {
-    LaneMask carry = carry_in;
+  /// Sum of W lane-packed operand pairs; returns the carry-out plane.
+  template <typename P>
+  P add_c_batch(const BatchWordT<P>& a, const BatchWordT<P>& b,
+                const P& carry_in, BatchWordT<P>& sum) const {
+    P carry = carry_in;
     const int n = width();
     for (int i = 0; i < n; ++i) {
-      const LaneDuo out = fa_batch(i, a[i], b[i], carry);
+      const LaneDuoT<P> out = fa_batch(i, a[i], b[i], carry);
       sum[i] = out.out0;
       carry = out.out1;
     }

@@ -91,29 +91,32 @@ class TwoRailChecker : public FaultableUnit {
   }
 
   /// Lane-packed output rail pair (see RailPair): valid lanes are f ^ g.
-  struct BatchRailPair {
-    LaneMask f = 0;
-    LaneMask g = 0;
+  template <typename P>
+  struct BatchRailPairT {
+    P f{};
+    P g{};
 
-    [[nodiscard]] LaneMask valid() const { return f ^ g; }
+    [[nodiscard]] P valid() const { return f ^ g; }
   };
+  using BatchRailPair = BatchRailPairT<LaneMask>;
 
-  // ---- 64-lane bit-parallel API (lane-exact twin of the scalar path) -----
+  // ---- wide bit-parallel API (lane-exact twin of the scalar path) --------
 
-  [[nodiscard]] BatchRailPair compare_batch(const BatchWord& a,
-                                            const BatchWord& b) const {
+  template <typename P>
+  [[nodiscard]] BatchRailPairT<P> compare_batch(const BatchWordT<P>& a,
+                                                const BatchWordT<P>& b) const {
     const int n = width();
-    std::vector<BatchRailPair> pairs;
+    std::vector<BatchRailPairT<P>> pairs;
     pairs.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
-      BatchRailPair p;
+      BatchRailPairT<P> p;
       p.f = a[i];
-      p.g = xor_batch(i, b[i], kAllLanes);  // XOR with constant 1
+      p.g = xor_batch(i, b[i], plane_ones<P>());  // XOR with constant 1
       pairs.push_back(p);
     }
     int cell = n;
     while (pairs.size() > 1) {
-      std::vector<BatchRailPair> next;
+      std::vector<BatchRailPairT<P>> next;
       next.reserve(pairs.size() / 2 + 1);
       for (std::size_t i = 0; i + 1 < pairs.size(); i += 2) {
         next.push_back(trc_batch(pairs[i], pairs[i + 1], cell));
@@ -127,16 +130,17 @@ class TwoRailChecker : public FaultableUnit {
   }
 
  private:
-  [[nodiscard]] BatchRailPair trc_batch(const BatchRailPair& p,
-                                        const BatchRailPair& q,
-                                        int first_cell) const {
-    const LaneMask t1 = and_batch(first_cell + 0, p.f, q.f);
-    const LaneMask t2 = and_batch(first_cell + 1, p.g, q.g);
-    const LaneMask f = or_batch(first_cell + 2, t1, t2);
-    const LaneMask t3 = and_batch(first_cell + 3, p.f, q.g);
-    const LaneMask t4 = and_batch(first_cell + 4, p.g, q.f);
-    const LaneMask g = or_batch(first_cell + 5, t3, t4);
-    return BatchRailPair{f, g};
+  template <typename P>
+  [[nodiscard]] BatchRailPairT<P> trc_batch(const BatchRailPairT<P>& p,
+                                            const BatchRailPairT<P>& q,
+                                            int first_cell) const {
+    const P t1 = and_batch(first_cell + 0, p.f, q.f);
+    const P t2 = and_batch(first_cell + 1, p.g, q.g);
+    const P f = or_batch(first_cell + 2, t1, t2);
+    const P t3 = and_batch(first_cell + 3, p.f, q.g);
+    const P t4 = and_batch(first_cell + 4, p.g, q.f);
+    const P g = or_batch(first_cell + 5, t3, t4);
+    return BatchRailPairT<P>{f, g};
   }
 
   [[nodiscard]] RailPair trc(const RailPair& p, const RailPair& q,

@@ -6,6 +6,7 @@
 // unit generically.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "common/word.h"
@@ -34,6 +35,13 @@ class CellUsageRecorder {
 
  private:
   std::vector<unsigned> seen_;
+};
+
+/// Two output planes of a dual-output cell (full adder, PG).
+template <typename P>
+struct LaneDuoT {
+  P out0{};
+  P out1{};
 };
 
 /// A functional unit that can host at most one cell fault (the paper's
@@ -91,15 +99,25 @@ class FaultableUnit {
   /// hot campaign loops run without one.
   void set_recorder(CellUsageRecorder* recorder) { recorder_ = recorder; }
 
-  /// Install (or remove, with nullptr) a per-lane fault table for the
-  /// *_batch cell helpers: lane L of every batch evaluation then sees the
-  /// faults the table assigns to lane L (lane = fault, the batched netlist
-  /// backend's packing). Not owned; must outlive its installation and must
-  /// be sized with this unit's cell_count(). Orthogonal to set_fault — the
-  /// single broadcast fault takes precedence on its cell, so backends use
-  /// one mechanism or the other, not both.
-  void set_lane_faults(const LaneFaultSet* lane_faults) {
+  /// Install a per-lane fault table for the *_batch cell helpers: lane L of
+  /// every batch evaluation then sees the faults the table assigns to lane
+  /// L (lane = fault, the batched netlist backend's packing). Not owned;
+  /// must outlive its installation and must be sized with this unit's
+  /// cell_count(). The table's plane type is erased here and re-bound by
+  /// the *_batch helpers, which must be invoked with the same plane type
+  /// (checked). Orthogonal to set_fault — the single broadcast fault takes
+  /// precedence on its cell, so backends use one mechanism or the other,
+  /// not both.
+  template <typename P>
+  void set_lane_faults(const LaneFaultSetT<P>* lane_faults) {
     lane_faults_ = lane_faults;
+    lane_fault_words_ = PlaneTraits<P>::kWords;
+  }
+
+  /// Remove any installed per-lane fault table.
+  void set_lane_faults(std::nullptr_t) {
+    lane_faults_ = nullptr;
+    lane_fault_words_ = 0;
   }
 
   /// True when the fault can change this unit's behaviour at all: the
@@ -124,138 +142,198 @@ class FaultableUnit {
     return golden[row];
   }
 
-  // ---- 64-lane bit-parallel cell evaluation (see hw/batch.h) --------------
+  // ---- wide bit-parallel cell evaluation (see hw/batch.h) -----------------
   //
-  // Same contract as eval_cell, but over lane planes: each helper advances
-  // 64 independent trials with the hand-compiled golden expression, routing
-  // the unit's single faulty cell through the compiled CellBatch instead.
-  // The batch path does not feed CellUsageRecorder — usage recording is a
-  // scalar-path analysis (the hot campaign loops run without one).
+  // Same contract as eval_cell, but over lane planes of any width: each
+  // helper advances all W trials with the hand-compiled golden expression,
+  // routing the unit's single faulty cell through the compiled CellBatch
+  // instead. The batch path does not feed CellUsageRecorder — usage
+  // recording is a scalar-path analysis (the hot campaign loops run
+  // without one).
 
-  /// Two output planes of a dual-output cell (full adder, PG).
-  struct LaneDuo {
-    LaneMask out0 = 0;
-    LaneMask out1 = 0;
-  };
-
-  [[nodiscard]] LaneDuo fa_batch(int cell, LaneMask a, LaneMask b,
-                                 LaneMask c) const {
+  template <typename P>
+  [[nodiscard]] LaneDuoT<P> fa_batch(int cell, const P& a, const P& b,
+                                     const P& c) const {
     if (cell == fault_.cell) [[unlikely]] {
       return {CellBatch::eval3(faulty_batch_.tt[0], a, b, c),
               CellBatch::eval3(faulty_batch_.tt[1], a, b, c)};
     }
-    const LaneMask x = a ^ b;
-    LaneDuo out{x ^ c, (a & b) | (x & c)};
-    if (lane_faults_ != nullptr && lane_faults_->cell_faulty(cell))
+    const P x = a ^ b;
+    LaneDuoT<P> out{x ^ c, (a & b) | (x & c)};
+    if (lane_faults_ != nullptr && lane_fault_table<P>()->cell_faulty(cell))
         [[unlikely]] {
       out = blend_lane_faults3(cell, a, b, c, out);
     }
     return out;
   }
 
-  [[nodiscard]] LaneMask and_batch(int cell, LaneMask a, LaneMask b) const {
+  template <typename P>
+  [[nodiscard]] P and_batch(int cell, const P& a, const P& b) const {
     if (cell == fault_.cell) [[unlikely]] {
       return CellBatch::eval2(faulty_batch_.tt[0], a, b);
     }
-    LaneMask out = a & b;
-    if (lane_faults_ != nullptr && lane_faults_->cell_faulty(cell))
+    P out = a & b;
+    if (lane_faults_ != nullptr && lane_fault_table<P>()->cell_faulty(cell))
         [[unlikely]] {
       out = blend_lane_faults2(cell, a, b, out);
     }
     return out;
   }
 
-  [[nodiscard]] LaneMask xor_batch(int cell, LaneMask a, LaneMask b) const {
+  template <typename P>
+  [[nodiscard]] P xor_batch(int cell, const P& a, const P& b) const {
     if (cell == fault_.cell) [[unlikely]] {
       return CellBatch::eval2(faulty_batch_.tt[0], a, b);
     }
-    LaneMask out = a ^ b;
-    if (lane_faults_ != nullptr && lane_faults_->cell_faulty(cell))
+    P out = a ^ b;
+    if (lane_faults_ != nullptr && lane_fault_table<P>()->cell_faulty(cell))
         [[unlikely]] {
       out = blend_lane_faults2(cell, a, b, out);
     }
     return out;
   }
 
-  [[nodiscard]] LaneMask or_batch(int cell, LaneMask a, LaneMask b) const {
+  template <typename P>
+  [[nodiscard]] P or_batch(int cell, const P& a, const P& b) const {
     if (cell == fault_.cell) [[unlikely]] {
       return CellBatch::eval2(faulty_batch_.tt[0], a, b);
     }
-    LaneMask out = a | b;
-    if (lane_faults_ != nullptr && lane_faults_->cell_faulty(cell))
+    P out = a | b;
+    if (lane_faults_ != nullptr && lane_fault_table<P>()->cell_faulty(cell))
         [[unlikely]] {
       out = blend_lane_faults2(cell, a, b, out);
     }
     return out;
   }
 
-  [[nodiscard]] LaneDuo pg_batch(int cell, LaneMask a, LaneMask b) const {
+  template <typename P>
+  [[nodiscard]] LaneDuoT<P> pg_batch(int cell, const P& a, const P& b) const {
     if (cell == fault_.cell) [[unlikely]] {
       return {CellBatch::eval2(faulty_batch_.tt[0], a, b),
               CellBatch::eval2(faulty_batch_.tt[1], a, b)};
     }
-    LaneDuo out{a ^ b, a & b};
-    if (lane_faults_ != nullptr && lane_faults_->cell_faulty(cell))
+    LaneDuoT<P> out{a ^ b, a & b};
+    if (lane_faults_ != nullptr && lane_fault_table<P>()->cell_faulty(cell))
         [[unlikely]] {
-      for (const LaneFaultSet::Entry& e : lane_faults_->entries()) {
-        if (e.cell != cell) continue;
-        out.out0 = (out.out0 & ~e.lanes) |
-                   (CellBatch::eval2(e.batch.tt[0], a, b) & e.lanes);
-        out.out1 = (out.out1 & ~e.lanes) |
-                   (CellBatch::eval2(e.batch.tt[1], a, b) & e.lanes);
-      }
+      out = blend_lane_faults2_duo(cell, a, b, out);
     }
     return out;
   }
 
-  [[nodiscard]] LaneMask carry_batch(int cell, LaneMask g, LaneMask p,
-                                     LaneMask c) const {
+  template <typename P>
+  [[nodiscard]] P carry_batch(int cell, const P& g, const P& p,
+                              const P& c) const {
     if (cell == fault_.cell) [[unlikely]] {
       return CellBatch::eval3(faulty_batch_.tt[0], g, p, c);
     }
-    LaneMask out = g | (p & c);
-    if (lane_faults_ != nullptr && lane_faults_->cell_faulty(cell))
+    P out = g | (p & c);
+    if (lane_faults_ != nullptr && lane_fault_table<P>()->cell_faulty(cell))
         [[unlikely]] {
-      out = blend_lane_faults3(cell, g, p, c, LaneDuo{out, 0}).out0;
+      out = blend_lane_faults3(cell, g, p, c, LaneDuoT<P>{out, P{}}).out0;
     }
     return out;
   }
 
-  [[nodiscard]] LaneMask mux_batch(int cell, LaneMask d0, LaneMask d1,
-                                   LaneMask sel) const {
+  template <typename P>
+  [[nodiscard]] P mux_batch(int cell, const P& d0, const P& d1,
+                            const P& sel) const {
     if (cell == fault_.cell) [[unlikely]] {
       return CellBatch::eval3(faulty_batch_.tt[0], d0, d1, sel);
     }
-    LaneMask out = (d0 & ~sel) | (d1 & sel);
-    if (lane_faults_ != nullptr && lane_faults_->cell_faulty(cell))
+    P out = (d0 & ~sel) | (d1 & sel);
+    if (lane_faults_ != nullptr && lane_fault_table<P>()->cell_faulty(cell))
         [[unlikely]] {
-      out = blend_lane_faults3(cell, d0, d1, sel, LaneDuo{out, 0}).out0;
+      out = blend_lane_faults3(cell, d0, d1, sel, LaneDuoT<P>{out, P{}}).out0;
     }
     return out;
   }
 
  private:
+  /// Re-bind the type-erased lane-fault table to its plane type. The word
+  /// tag pins the invariant that a backend drives every *_batch call with
+  /// the plane type it installed.
+  template <typename P>
+  [[nodiscard]] const LaneFaultSetT<P>* lane_fault_table() const {
+    SCK_ASSERT(lane_fault_words_ == PlaneTraits<P>::kWords);
+    return static_cast<const LaneFaultSetT<P>*>(lane_faults_);
+  }
+
   /// Replace the golden outputs of a 3-input cell on every lane the table
-  /// corrupts (at most 64 entries per batch; the scan is off the hot path).
-  [[nodiscard]] LaneDuo blend_lane_faults3(int cell, LaneMask a, LaneMask b,
-                                           LaneMask c, LaneDuo golden) const {
-    for (const LaneFaultSet::Entry& e : lane_faults_->entries()) {
-      if (e.cell != cell) continue;
-      golden.out0 = (golden.out0 & ~e.lanes) |
-                    (CellBatch::eval3(e.batch.tt[0], a, b, c) & e.lanes);
-      golden.out1 = (golden.out1 & ~e.lanes) |
-                    (CellBatch::eval3(e.batch.tt[1], a, b, c) & e.lanes);
+  /// corrupts. Entries come from the per-cell index, and each is blended
+  /// word-sparsely: an entry's lanes live in the few (usually one) 64-bit
+  /// words where its mask is nonzero, so the faulty LUT is evaluated on
+  /// those words only. That keeps the total faulty-cell cost of a campaign
+  /// independent of the plane width W instead of scaling with it.
+  template <typename P>
+  [[nodiscard]] LaneDuoT<P> blend_lane_faults3(int cell, const P& a,
+                                               const P& b, const P& c,
+                                               LaneDuoT<P> golden) const {
+    const LaneFaultSetT<P>* table = lane_fault_table<P>();
+    for (const std::uint32_t idx : table->cell_entries(cell)) {
+      const auto& e = table->entries()[idx];
+      for (int w = 0; w < PlaneTraits<P>::kWords; ++w) {
+        const std::uint64_t lanes = PlaneTraits<P>::word(e.lanes, w);
+        if (lanes == 0) continue;
+        const std::uint64_t aw = PlaneTraits<P>::word(a, w);
+        const std::uint64_t bw = PlaneTraits<P>::word(b, w);
+        const std::uint64_t cw = PlaneTraits<P>::word(c, w);
+        PlaneTraits<P>::set_word(
+            golden.out0, w,
+            (PlaneTraits<P>::word(golden.out0, w) & ~lanes) |
+                (CellBatch::eval3(e.batch.tt[0], aw, bw, cw) & lanes));
+        PlaneTraits<P>::set_word(
+            golden.out1, w,
+            (PlaneTraits<P>::word(golden.out1, w) & ~lanes) |
+                (CellBatch::eval3(e.batch.tt[1], aw, bw, cw) & lanes));
+      }
+    }
+    return golden;
+  }
+
+  /// Dual-output 2-input twin of blend_lane_faults3 (propagate/generate
+  /// cells).
+  template <typename P>
+  [[nodiscard]] LaneDuoT<P> blend_lane_faults2_duo(int cell, const P& a,
+                                                   const P& b,
+                                                   LaneDuoT<P> golden) const {
+    const LaneFaultSetT<P>* table = lane_fault_table<P>();
+    for (const std::uint32_t idx : table->cell_entries(cell)) {
+      const auto& e = table->entries()[idx];
+      for (int w = 0; w < PlaneTraits<P>::kWords; ++w) {
+        const std::uint64_t lanes = PlaneTraits<P>::word(e.lanes, w);
+        if (lanes == 0) continue;
+        const std::uint64_t aw = PlaneTraits<P>::word(a, w);
+        const std::uint64_t bw = PlaneTraits<P>::word(b, w);
+        PlaneTraits<P>::set_word(
+            golden.out0, w,
+            (PlaneTraits<P>::word(golden.out0, w) & ~lanes) |
+                (CellBatch::eval2(e.batch.tt[0], aw, bw) & lanes));
+        PlaneTraits<P>::set_word(
+            golden.out1, w,
+            (PlaneTraits<P>::word(golden.out1, w) & ~lanes) |
+                (CellBatch::eval2(e.batch.tt[1], aw, bw) & lanes));
+      }
     }
     return golden;
   }
 
   /// Single-output 2-input twin of blend_lane_faults3.
-  [[nodiscard]] LaneMask blend_lane_faults2(int cell, LaneMask a, LaneMask b,
-                                            LaneMask golden) const {
-    for (const LaneFaultSet::Entry& e : lane_faults_->entries()) {
-      if (e.cell != cell) continue;
-      golden = (golden & ~e.lanes) |
-               (CellBatch::eval2(e.batch.tt[0], a, b) & e.lanes);
+  template <typename P>
+  [[nodiscard]] P blend_lane_faults2(int cell, const P& a, const P& b,
+                                     P golden) const {
+    const LaneFaultSetT<P>* table = lane_fault_table<P>();
+    for (const std::uint32_t idx : table->cell_entries(cell)) {
+      const auto& e = table->entries()[idx];
+      for (int w = 0; w < PlaneTraits<P>::kWords; ++w) {
+        const std::uint64_t lanes = PlaneTraits<P>::word(e.lanes, w);
+        if (lanes == 0) continue;
+        const std::uint64_t aw = PlaneTraits<P>::word(a, w);
+        const std::uint64_t bw = PlaneTraits<P>::word(b, w);
+        PlaneTraits<P>::set_word(
+            golden, w,
+            (PlaneTraits<P>::word(golden, w) & ~lanes) |
+                (CellBatch::eval2(e.batch.tt[0], aw, bw) & lanes));
+      }
     }
     return golden;
   }
@@ -265,7 +343,8 @@ class FaultableUnit {
   CellLut faulty_lut_{};
   CellBatch faulty_batch_{};
   CellUsageRecorder* recorder_ = nullptr;
-  const LaneFaultSet* lane_faults_ = nullptr;
+  const void* lane_faults_ = nullptr;  ///< type-erased LaneFaultSetT<P>
+  int lane_fault_words_ = 0;           ///< PlaneTraits<P>::kWords tag
 };
 
 }  // namespace sck::hw

@@ -8,12 +8,15 @@
 // three execution backends agree under shared input streams:
 //
 //  * per (fault, sample): every output value of every lane of
-//    NetlistBatchSim and NetlistIncrementalSim equals the scalar
+//    NetlistBatchSimT and NetlistIncrementalSimT equals the scalar
 //    NetlistSim run of that fault — the strongest oracle, data values
-//    compared before any campaign-level aggregation;
+//    compared before any campaign-level aggregation — at every plane
+//    width (64/128/256/512 lanes);
 //  * per campaign: kScalar == kBatched == kIncremental
-//    NetlistCampaignResults (aggregate + per-unit) at threads 1/2/8,
-//    including the partial final batch every full universe ends in.
+//    NetlistCampaignResults (aggregate + per-unit) at lanes
+//    64/128/256/512 x threads 1/2/8, including the partial final batch
+//    every full universe ends in (the small fuzz universes leave a
+//    partial tail at every width).
 //
 // Seeds: a fixed seed always runs (reproducible baseline); CI adds one
 // rotating seed via the SCK_FUZZ_SEED environment variable (derived from
@@ -122,11 +125,14 @@ std::vector<FaultJob> full_universe(const Netlist& nl) {
 /// Drives the complete FU fault universe through all three backends over
 /// one shared input stream and compares every output value per (fault,
 /// sample) — batch lane L and incremental lane L must equal the scalar
-/// run of job L's fault, sample by sample.
+/// run of job L's fault, sample by sample. Instantiated per plane width;
+/// the scalar reference is width-independent by construction.
+template <typename P>
 void expect_outputs_identical_per_fault_and_sample(const Dfg& g,
                                                    const Netlist& nl,
                                                    int samples,
                                                    std::uint64_t seed) {
+  constexpr std::size_t kW = hw::PlaneTraits<P>::kLanes;
   const ExecPlan plan = compile_execution_plan(nl);
   const FaultCones cones(plan);
   const std::size_t num_inputs = nl.input_names.size();
@@ -149,18 +155,18 @@ void expect_outputs_identical_per_fault_and_sample(const Dfg& g,
   ASSERT_FALSE(jobs.empty()) << nl.name;
 
   NetlistSim ssim(plan);
-  NetlistBatchSim bsim(plan);
-  NetlistIncrementalSim isim(plan, cones);
+  NetlistBatchSimT<P> bsim(plan);
+  NetlistIncrementalSimT<P> isim(plan, cones);
 
   std::vector<Word> sin(num_inputs);
   std::vector<Word> sout(num_outputs);
-  std::vector<hw::BatchWord> bin(num_inputs);
-  std::vector<hw::BatchWord> bout(num_outputs);
-  std::vector<hw::BatchWord> iout(num_outputs);
+  std::vector<hw::BatchWordT<P>> bin(num_inputs);
+  std::vector<hw::BatchWordT<P>> bout(num_outputs);
+  std::vector<hw::BatchWordT<P>> iout(num_outputs);
 
-  for (std::size_t base = 0; base < jobs.size(); base += hw::kLanes) {
-    const int lanes = static_cast<int>(
-        std::min<std::size_t>(hw::kLanes, jobs.size() - base));
+  for (std::size_t base = 0; base < jobs.size(); base += kW) {
+    const int lanes =
+        static_cast<int>(std::min<std::size_t>(kW, jobs.size() - base));
 
     // Scalar reference: outputs per (lane, sample, output).
     std::vector<Word> want(static_cast<std::size_t>(lanes) *
@@ -189,8 +195,8 @@ void expect_outputs_identical_per_fault_and_sample(const Dfg& g,
     isim.clear_lane_faults();
     for (int lane = 0; lane < lanes; ++lane) {
       const FaultJob& job = jobs[base + static_cast<std::size_t>(lane)];
-      bsim.add_lane_fault(job.fu, job.site, hw::LaneMask{1} << lane);
-      isim.add_lane_fault(job.fu, job.site, hw::LaneMask{1} << lane);
+      bsim.add_lane_fault(job.fu, job.site, hw::plane_bit<P>(lane));
+      isim.add_lane_fault(job.fu, job.site, hw::plane_bit<P>(lane));
     }
     bsim.reset();
     isim.reset();
@@ -198,7 +204,7 @@ void expect_outputs_identical_per_fault_and_sample(const Dfg& g,
     for (int k = 0; k < samples; ++k) {
       for (std::size_t i = 0; i < num_inputs; ++i) {
         const Node& n = g.node(g.inputs()[i]);
-        bin[i] = hw::broadcast_word(
+        bin[i] = hw::broadcast_word<P>(
             stream[static_cast<std::size_t>(k) * num_inputs + i], n.width);
       }
       bsim.step_sample_batch(bin, bout);
@@ -214,18 +220,31 @@ void expect_outputs_identical_per_fault_and_sample(const Dfg& g,
                        num_outputs +
                    o];
           ASSERT_EQ(hw::lane_value(bout[o], lane, w), expect)
-              << nl.name << ": batched lane " << lane << " diverged at sample "
-              << k << ", output " << nl.outputs[o].name << " (fault batch "
-              << base / hw::kLanes << ")";
-          ASSERT_EQ(hw::lane_value(iout[o], lane, w), expect)
-              << nl.name << ": incremental lane " << lane
+              << nl.name << ": batched lane " << lane << "/" << kW
               << " diverged at sample " << k << ", output "
-              << nl.outputs[o].name << " (fault batch " << base / hw::kLanes
-              << ")";
+              << nl.outputs[o].name << " (fault batch " << base / kW << ")";
+          ASSERT_EQ(hw::lane_value(iout[o], lane, w), expect)
+              << nl.name << ": incremental lane " << lane << "/" << kW
+              << " diverged at sample " << k << ", output "
+              << nl.outputs[o].name << " (fault batch " << base / kW << ")";
         }
       }
     }
   }
+}
+
+/// Oracle 1 at every plane width: the wide widths re-run the full
+/// per-(fault, sample) comparison against a fresh scalar reference.
+void expect_outputs_identical_all_widths(const Dfg& g, const Netlist& nl,
+                                         int samples, std::uint64_t seed) {
+  expect_outputs_identical_per_fault_and_sample<hw::Plane64>(g, nl, samples,
+                                                             seed);
+  expect_outputs_identical_per_fault_and_sample<hw::Plane128>(g, nl, samples,
+                                                              seed);
+  expect_outputs_identical_per_fault_and_sample<hw::Plane256>(g, nl, samples,
+                                                              seed);
+  expect_outputs_identical_per_fault_and_sample<hw::Plane512>(g, nl, samples,
+                                                              seed);
 }
 
 // ---- oracle 2: campaign-level identity across backends and threads ---------
@@ -242,20 +261,32 @@ void expect_campaigns_identical(const Dfg& g, const Netlist& nl, int samples,
   const NetlistCampaignResult anchor = run_netlist_campaign(g, nl, opt);
   EXPECT_GT(anchor.aggregate.total(), 0u) << nl.name;
 
+  // Scalar at the remaining thread counts (lane width is irrelevant
+  // there), then the wide backends at every lane width x thread count.
+  opt.backend = NetlistBackend::kScalar;
+  for (const int threads : {2, 8}) {
+    opt.threads = threads;
+    const NetlistCampaignResult r = run_netlist_campaign(g, nl, opt);
+    EXPECT_TRUE(same_campaign_result(anchor, r))
+        << nl.name << ": scalar backend diverged from the anchor at "
+        << threads << " thread(s)";
+  }
   for (const NetlistBackend backend :
-       {NetlistBackend::kScalar, NetlistBackend::kBatched,
-        NetlistBackend::kIncremental}) {
+       {NetlistBackend::kBatched, NetlistBackend::kIncremental}) {
     opt.backend = backend;
-    for (const int threads : {1, 2, 8}) {
-      if (backend == NetlistBackend::kScalar && threads == 1) continue;
-      opt.threads = threads;
-      const NetlistCampaignResult r = run_netlist_campaign(g, nl, opt);
-      EXPECT_TRUE(same_campaign_result(anchor, r))
-          << nl.name << ": backend " << static_cast<int>(backend)
-          << " diverged from the scalar anchor at " << threads
-          << " thread(s)";
+    for (const int lanes : {64, 128, 256, 512}) {
+      opt.lanes = lanes;
+      for (const int threads : {1, 2, 8}) {
+        opt.threads = threads;
+        const NetlistCampaignResult r = run_netlist_campaign(g, nl, opt);
+        EXPECT_TRUE(same_campaign_result(anchor, r))
+            << nl.name << ": backend " << static_cast<int>(backend)
+            << " diverged from the scalar anchor at " << lanes
+            << " lanes, " << threads << " thread(s)";
+      }
     }
   }
+  opt.lanes = 0;
 }
 
 // ---- the harness -----------------------------------------------------------
@@ -282,8 +313,8 @@ void run_differential_fuzz(std::uint64_t seed) {
                                 : ResourceConstraints::min_latency(),
                        name);
         SCOPED_TRACE(name);
-        expect_outputs_identical_per_fault_and_sample(
-            g, nl, /*samples=*/4, seed ^ (0xF00DULL + case_index));
+        expect_outputs_identical_all_widths(g, nl, /*samples=*/4,
+                                            seed ^ (0xF00DULL + case_index));
         expect_campaigns_identical(g, nl, /*samples=*/5,
                                    seed ^ (0xBEEFULL + case_index));
       }

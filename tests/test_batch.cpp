@@ -149,7 +149,7 @@ TEST(Batch, GoldenPlaneArithmeticMatchesHost) {
   const hw::BatchWord a = hw::pack(av, n);
   const hw::BatchWord b = hw::pack(bv, n);
   hw::BatchWord sum;
-  const hw::LaneMask carry = hw::golden_add(a, b, 0, n, sum);
+  const hw::LaneMask carry = hw::golden_add(a, b, hw::LaneMask{0}, n, sum);
   const hw::BatchWord diff = hw::golden_sub(a, b, n);
   const hw::BatchWord prod = hw::golden_mul(a, b, n);
   hw::BatchWord q;
@@ -187,7 +187,7 @@ void adder_lane_exact() {
         },
         [n](const Adder& u, const hw::BatchWord& a, const hw::BatchWord& b) {
           hw::BatchWord sum;
-          const hw::LaneMask cout = u.add_c_batch(a, b, 0, sum);
+          const hw::LaneMask cout = u.add_c_batch(a, b, hw::LaneMask{0}, sum);
           return [sum, cout, n](int lane) {
             return hw::lane_value(sum, lane, n) |
                    (Word{(cout >> lane) & 1u} << n);

@@ -174,6 +174,16 @@ TEST(Fingerprint, SensitiveToResultShapingInputsOnly) {
   o.backend = hls::NetlistBackend::kIncremental;
   o.threads = 8;
   EXPECT_EQ(store::campaign_fingerprint(d.graph, d.plan, o), fp0);
+  // Lane width is in the same class: the plane substrate is bit-identical
+  // at every width, so a 64-lane producer must address the same slot as a
+  // 512-lane consumer (ExplorerStore.WarmHitsAcrossLaneWidths proves the
+  // served bytes match too).
+  for (const int lanes : {64, 128, 256, 512}) {
+    o = base;
+    o.lanes = lanes;
+    EXPECT_EQ(store::campaign_fingerprint(d.graph, d.plan, o), fp0)
+        << "lanes=" << lanes;
+  }
 
   // Deterministic across independent recomputation.
   EXPECT_EQ(store::campaign_fingerprint(d.graph, d.plan, base), fp0);
@@ -502,6 +512,38 @@ TEST(ExplorerStore, WarmRunIsByteIdenticalToColdAndUncached) {
 
   expect_reports_identical(cold_report, uncached);
   expect_reports_identical(warm_report, uncached);
+}
+
+TEST(ExplorerStore, WarmHitsAcrossLaneWidths) {
+  // A campaign cached by a 64-lane producer must be served — byte for
+  // byte — to a 512-lane consumer, and vice versa: lane width is not part
+  // of the fingerprint (see Fingerprint.SensitiveToResultShapingInputsOnly),
+  // so a width mismatch between producer and consumer must be a HIT with
+  // the identical result, never a split cache or a silently different one.
+  const std::string dir = fresh_dir("explorer_lanes");
+  const codesign::KernelRegistry reg = small_registry();
+  const std::vector<codesign::DesignPoint> grid = small_grid(reg);
+
+  codesign::ExplorerOptions narrow_opt = small_explorer_options(dir);
+  narrow_opt.campaign.lanes = 64;
+  codesign::Explorer narrow(reg, narrow_opt);
+  const codesign::ExplorationReport cold_64 = narrow.run(grid);
+  EXPECT_EQ(cold_64.store_stats.misses, grid.size());
+
+  codesign::ExplorerOptions wide_opt = small_explorer_options(dir);
+  wide_opt.campaign.lanes = 512;
+  codesign::Explorer wide(reg, wide_opt);
+  const codesign::ExplorationReport warm_512 = wide.run(grid);
+  EXPECT_EQ(warm_512.store_stats.hits, grid.size());
+  EXPECT_EQ(warm_512.store_stats.misses, 0u);
+  expect_reports_identical(warm_512, cold_64);
+
+  // And the cached bytes match what a 512-lane producer would have
+  // written: recompute uncached at 512 lanes and compare.
+  codesign::ExplorerOptions plain_opt = small_explorer_options("");
+  plain_opt.campaign.lanes = 512;
+  codesign::Explorer plain(reg, plain_opt);
+  expect_reports_identical(warm_512, plain.run(grid));
 }
 
 TEST(ExplorerStore, BitFlippedAndTruncatedEntriesAreQuarantinedAndRecomputed) {
