@@ -7,7 +7,10 @@
 // diff results mechanically. This header is that contract in one place —
 // the per-binary argv parsing and save-or-fail boilerplate used to be
 // copy-pasted per bench. `--threads=` names the worker-pool sizes a
-// scaling-aware bench sweeps (benches without a sweep ignore it).
+// scaling-aware bench sweeps (benches without a sweep ignore it);
+// `--lanes=` pins the bit-plane width (0 = SCK_LANES env, then the CPU
+// default — see hw::resolve_lanes), and every bench records the RESOLVED
+// width in its JSON rows so artifacts are self-describing.
 #pragma once
 
 #include <cstdlib>
@@ -27,6 +30,7 @@ struct BenchArgs {
                            ///< (the bench-specific workload knob: SW
                            ///< samples, samples per fault, ...)
   std::vector<int> threads;  ///< --threads=a,b,c sweep; empty = bench default
+  int lanes = 0;  ///< --lanes=N plane width; 0 = env/CPU default
 };
 
 [[nodiscard]] inline BenchArgs parse_args(int argc, char** argv,
@@ -45,6 +49,11 @@ struct BenchArgs {
         at = static_cast<std::size_t>(end - argv[i]);
         if (at < arg.size() && arg[at] == ',') ++at;
       }
+      continue;
+    }
+    if (arg.rfind("--lanes=", 0) == 0) {
+      const long lanes = std::strtol(argv[i] + 8, nullptr, 10);
+      if (lanes > 0) args.lanes = static_cast<int>(lanes);
       continue;
     }
     if (positional == 0) {

@@ -25,7 +25,10 @@
 // instead.)
 //
 // Usage: ./fault_throughput [json_path] [system_samples_per_fault]
-//                           [--threads=a,b,c]
+//                           [--threads=a,b,c] [--lanes=N]
+// --lanes pins the plane width of every non-sweep engine row (the
+// lane-width sweep section still covers 64..512 explicitly); each JSON
+// row records the RESOLVED width it actually ran at.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -50,6 +53,9 @@
 #include "hls/schedule.h"
 #include "hw/plane.h"
 #include "hw/ripple_carry_adder.h"
+#include "service/client.h"
+#include "service/daemon.h"
+#include "service/worker.h"
 
 namespace {
 
@@ -112,9 +118,9 @@ int main(int argc, char** argv) {
   const sck::bench::BenchArgs args = sck::bench::parse_args(
       argc, argv, "BENCH_fault_throughput.json", /*default_iterations=*/24);
   const int hw_threads = sck::fault::resolve_threads(0);
-  // Lane width the batched engines run at when options.lanes is left 0
-  // (SCK_LANES env, then the CPU default) — recorded per row below.
-  const int native_lanes = sck::hw::resolve_lanes(0);
+  // Lane width the batched engines run at: --lanes if given, else the
+  // SCK_LANES env, else the CPU default — recorded per row below.
+  const int native_lanes = sck::hw::resolve_lanes(args.lanes);
 
   sck::hw::RippleCarryAdder adder(kWidth);
   std::vector<sck::hw::FaultableUnit*> units{&adder};
@@ -128,16 +134,19 @@ int main(int argc, char** argv) {
             << "(exhaustive campaign; " << hw_threads
             << " hardware thread(s) available)\n\n";
 
+  sck::fault::CampaignOptions op_opt;
+  op_opt.lanes = args.lanes;
   CampaignResult scalar_r;
   CampaignResult batched_r;
   CampaignResult parallel_r;
   const double scalar_s =
       seconds([&] { scalar_r = run_exhaustive(units, kWidth, scalar_trial); });
-  const double batched_s = seconds(
-      [&] { batched_r = run_exhaustive_batched(units, kWidth, batch_trial); });
+  const double batched_s = seconds([&] {
+    batched_r = run_exhaustive_batched(units, kWidth, batch_trial, op_opt);
+  });
   const double parallel_s = seconds([&] {
     parallel_r = sck::fault::run_exhaustive_batched_parallel(
-        kWidth, [] { return AddContext{}; }, /*threads=*/0);
+        kWidth, [] { return AddContext{}; }, /*threads=*/0, op_opt);
   });
 
   if (!same_result(scalar_r, batched_r) || !same_result(scalar_r, parallel_r)) {
@@ -183,6 +192,7 @@ int main(int argc, char** argv) {
   sys_opt.samples_per_fault = static_cast<int>(args.iterations);
   sys_opt.seed = 0x2005;
   sys_opt.threads = 1;
+  sys_opt.lanes = args.lanes;
 
   sck::hls::NetlistCampaignResult sys_scalar_r;
   sck::hls::NetlistCampaignResult sys_batched_r;
@@ -275,6 +285,7 @@ int main(int argc, char** argv) {
   shr_opt.samples_per_fault = static_cast<int>(args.iterations);
   shr_opt.seed = 0x2005;
   shr_opt.stream = sck::hls::StreamMode::kShared;
+  shr_opt.lanes = args.lanes;
 
   sck::hls::NetlistCampaignResult shared_anchor_r;
   bool shared_identical = true;
@@ -483,7 +494,7 @@ int main(int argc, char** argv) {
       lane_rows.push(std::move(r));
     }
   }
-  shr_opt.lanes = 0;
+  shr_opt.lanes = args.lanes;
   std::cout << "\n";
   lane_table.print(std::cout);
   if (!lane_identical) {
@@ -512,6 +523,7 @@ int main(int argc, char** argv) {
     opt.seed = 0x2005;
     opt.stream = sck::hls::StreamMode::kShared;
     opt.threads = 1;
+    opt.lanes = args.lanes;
 
     sck::hls::NetlistCampaignResult scalar_result;
     sck::hls::NetlistCampaignResult batched_result;
@@ -581,6 +593,94 @@ int main(int argc, char** argv) {
                  "matvec/moving_sum — refusing to report timings\n";
     return 1;
   }
+  // ---- campaign service: loopback daemon + worker processes --------------
+  // The distributed leg of the perf trajectory: an in-process daemon on
+  // tcp:127.0.0.1:0 and 1/2/4 workers (each pinned to one execution
+  // thread, so parallelism == worker count) run the same shared-stream
+  // incremental campaign; every row is gated on BYTE identity with the
+  // single-host run — the service's whole determinism contract — and the
+  // "service" block carries the scheduler telemetry (excluded from
+  // identity diffs, like "store").
+  sck::bench::JsonValue service_rows;
+  bool service_identical = true;
+  double service_1w_s = 0;
+  {
+    sck::hls::NetlistCampaignOptions svc_opt = shr_opt;
+    svc_opt.backend = sck::hls::NetlistBackend::kIncremental;
+    svc_opt.fault_dropping = false;
+    svc_opt.threads = 1;
+    sck::hls::NetlistCampaignResult svc_ref;
+    const double svc_ref_s = seconds([&] {
+      svc_ref = run_netlist_campaign(fir_graph, fir_design.netlist, svc_opt);
+    });
+    const double svc_trials = static_cast<double>(svc_ref.aggregate.total());
+
+    sck::TextTable svc_table(
+        "campaign service, loopback daemon (byte-identical results)");
+    svc_table.set_header({"workers", "shards", "re-queued", "seconds",
+                          "samples/sec", "speedup vs 1 worker"});
+    for (const int workers : {1, 2, 4}) {
+      sck::service::ServiceOptions so;
+      so.listen = "tcp:127.0.0.1:0";
+      sck::service::CampaignDaemon daemon(so);
+      std::string error;
+      if (!daemon.start(&error)) {
+        std::cerr << "SERVICE START FAILED: " << error << "\n";
+        return 1;
+      }
+      std::thread loop([&] { daemon.run(); });
+      std::vector<std::thread> pool;
+      for (int w = 0; w < workers; ++w) {
+        pool.emplace_back([&daemon, w] {
+          sck::service::WorkerOptions wo;
+          wo.connect = daemon.address();
+          wo.name = "bench-w" + std::to_string(w);
+          wo.threads = 1;
+          (void)sck::service::run_worker(wo);
+        });
+      }
+      std::string svc_error;
+      const auto got = sck::service::run_remote_campaign(
+          daemon.address(), fir_graph, fir_design.netlist, svc_opt,
+          &svc_error);
+      daemon.stop();
+      loop.join();
+      for (std::thread& t : pool) t.join();
+      if (!got.has_value()) {
+        std::cerr << "SERVICE CAMPAIGN FAILED: " << svc_error << "\n";
+        return 1;
+      }
+      const bool identical = same_netlist_result(got->result, svc_ref);
+      service_identical = service_identical && identical;
+      if (workers == 1) service_1w_s = got->stats.seconds;
+      svc_table.add_row(
+          {std::to_string(workers), std::to_string(got->stats.shards_total),
+           std::to_string(got->stats.shards_requeued),
+           sck::format_fixed(got->stats.seconds, 3),
+           sck::format_fixed(svc_trials / got->stats.seconds, 0),
+           sck::format_fixed(service_1w_s / got->stats.seconds, 2) + "x"});
+      sck::bench::JsonValue r;
+      r.set("engine", "service-incremental")
+          .set("lanes", native_lanes)
+          .set("workers", workers)
+          .set("shards", got->stats.shards_total)
+          .set("shards_requeued", got->stats.shards_requeued)
+          .set("seconds", got->stats.seconds)
+          .set("samples_per_sec", svc_trials / got->stats.seconds)
+          .set("speedup_vs_1_worker", service_1w_s / got->stats.seconds)
+          .set("speedup_vs_local_1t", svc_ref_s / got->stats.seconds)
+          .set("results_identical", identical);
+      service_rows.push(std::move(r));
+    }
+    std::cout << "\n";
+    svc_table.print(std::cout);
+    if (!service_identical) {
+      std::cerr << "SERVICE ENGINE MISMATCH: distributed campaign diverged "
+                   "from single-host — refusing to report timings\n";
+      return 1;
+    }
+  }
+
   {
     sck::bench::JsonValue r;
     r.set("engine", "system-incremental+drop")
@@ -693,7 +793,9 @@ int main(int argc, char** argv) {
       .set("system_lane_results", std::move(lane_rows))
       .set("system_matvec_results_identical", matvec_identical)
       .set("system_moving_sum_results_identical", moving_sum_identical)
-      .set("system_kernel_results", std::move(kernel_rows));
+      .set("system_kernel_results", std::move(kernel_rows))
+      .set("service_results_identical", service_identical)
+      .set("service", std::move(service_rows));
 
   return sck::bench::save_json(doc, args.json_path);
 }

@@ -20,7 +20,10 @@
 // count under shared streams (tests/test_netlist_incremental.cpp,
 // tests/test_backend_differential.cpp).
 //
-// Usage: ./system_coverage [json_path] [samples_per_fault]
+// Usage: ./system_coverage [json_path] [samples_per_fault] [--lanes=N]
+// (--lanes pins the bit-plane width; coverage is lane-width-invariant,
+// so the flag only trades throughput — the JSON records the resolved
+// width so artifacts are self-describing.)
 #include <iostream>
 #include <string>
 
@@ -29,6 +32,7 @@
 #include "common/table.h"
 #include "explorer_json.h"
 #include "hls/netlist_campaign.h"
+#include "hw/plane.h"
 
 namespace {
 
@@ -63,6 +67,8 @@ int main(int argc, char** argv) {
   opt.campaign.samples_per_fault = static_cast<int>(args.iterations);
   opt.campaign.seed = 0x51C0;
   opt.campaign.threads = 0;  // full pool; results are thread-count invariant
+  opt.campaign.lanes = args.lanes;  // plane width; results lane-invariant
+  const int resolved_lanes = sck::hw::resolve_lanes(args.lanes);
   // Stream/backend are explorer-managed: shared-stream incremental
   // (report_version 2; set opt.legacy_streams for the PR 3/4 numbers).
   // Content-addressed result store: export SCK_STORE_DIR=<dir> and repeat
@@ -121,6 +127,7 @@ int main(int argc, char** argv) {
                         sck::format_percent(u.stats.coverage())});
       sck::bench::JsonValue j;
       j.set("fu", u.fu_name)
+          .set("lanes", resolved_lanes)
           .set("faults", static_cast<std::uint64_t>(u.faults))
           .set("erroneous", u.stats.observable_errors())
           .set("masked", u.stats.masked)
@@ -147,6 +154,7 @@ int main(int argc, char** argv) {
   sck::bench::JsonValue doc = sck::bench::to_json(report);
   doc.set("bench", "system_coverage")
       .set("width", kWidth)
+      .set("lanes", resolved_lanes)
       .set("samples_per_fault", static_cast<std::uint64_t>(args.iterations))
       .set("sck_per_unit", std::move(per_unit_json));
   return sck::bench::save_json(doc, args.json_path);

@@ -35,8 +35,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -118,6 +120,93 @@ void parallel_shard(std::size_t jobs, int threads, MakeState&& make_state,
   for (std::thread& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);
 }
+
+/// Re-queueable shard ledger for schedulers whose workers can DIE — the
+/// distributed cousin of parallel_shard's atomic cursor. parallel_shard
+/// assumes a worker that pulled a job always finishes it (threads in one
+/// process); the campaign-service daemon (src/service/daemon.cpp) hands
+/// shards to worker *processes* that may crash or hang, so acquisition and
+/// completion are decoupled: a shard acquired but never completed can be
+/// requeue()d for a surviving worker. Completion is idempotent — a late
+/// duplicate result from a worker presumed dead is harmless, because the
+/// determinism discipline makes re-execution byte-identical.
+///
+/// The queue tracks indices only; the caller owns the j-indexed result
+/// slots and the deterministic job-order reduction, exactly as with
+/// parallel_shard. Thread-safe (the daemon is single-threaded today, but
+/// tests drive it from several).
+class ShardQueue {
+ public:
+  explicit ShardQueue(std::size_t shards) : completed_(shards, 0) {
+    for (std::size_t s = 0; s < shards; ++s) pending_.push_back(s);
+  }
+
+  /// Next shard to hand out (lowest-index first; requeued shards jump the
+  /// line — they are the oldest work). nullopt when nothing is pending —
+  /// which does NOT mean done: acquired shards may still be in flight.
+  [[nodiscard]] std::optional<std::size_t> acquire() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    while (!pending_.empty()) {
+      const std::size_t s = pending_.front();
+      pending_.pop_front();
+      if (completed_[s]) continue;  // completed while waiting to re-run
+      ++in_flight_;
+      return s;
+    }
+    return std::nullopt;
+  }
+
+  /// Mark a shard's results recorded. Returns true the FIRST time only, so
+  /// the caller merges exactly one copy of a shard's stats into its slots
+  /// (duplicates from a presumed-dead worker are dropped).
+  bool complete(std::size_t shard) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    SCK_EXPECTS(shard < completed_.size());
+    if (completed_[shard]) return false;
+    completed_[shard] = 1;
+    if (in_flight_ > 0) --in_flight_;
+    ++completions_;
+    return true;
+  }
+
+  /// Return an acquired-but-unfinished shard (its worker died or timed
+  /// out) to the front of the pending queue. No-op if the shard already
+  /// completed (e.g. the "dead" worker's result arrived first).
+  void requeue(std::size_t shard) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    SCK_EXPECTS(shard < completed_.size());
+    if (completed_[shard]) return;
+    if (in_flight_ > 0) --in_flight_;
+    ++requeues_;
+    pending_.push_front(shard);
+  }
+
+  [[nodiscard]] bool all_complete() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return completions_ == completed_.size();
+  }
+  [[nodiscard]] std::size_t completions() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return completions_;
+  }
+  [[nodiscard]] std::size_t requeues() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return requeues_;
+  }
+  [[nodiscard]] std::size_t in_flight() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return in_flight_;
+  }
+  [[nodiscard]] std::size_t size() const { return completed_.size(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<std::size_t> pending_;
+  std::vector<char> completed_;
+  std::size_t in_flight_ = 0;
+  std::size_t completions_ = 0;
+  std::size_t requeues_ = 0;
+};
 
 namespace detail {
 

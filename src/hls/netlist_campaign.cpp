@@ -18,8 +18,9 @@ namespace {
 
 /// Per-fault seed derivation (StreamMode::kPerFault): fault streams must
 /// depend only on (seed, global fault index) so the campaign is invariant
-/// under the thread count, the lane packing and the dynamic schedule (the
-/// Xoshiro constructor SplitMix-expands the mixed value).
+/// under the thread count, the lane packing, the dynamic schedule AND the
+/// slice partition a distributed run chooses (the Xoshiro constructor
+/// SplitMix-expands the mixed value).
 [[nodiscard]] std::uint64_t fault_stream_seed(std::uint64_t seed,
                                               std::uint64_t fault_index) {
   return seed ^ ((fault_index + 1) * 0x9E3779B97F4A7C15ULL);
@@ -55,21 +56,13 @@ namespace {
   return stream;
 }
 
-/// One entry of the (strided) fault job list. Job order is the
-/// deterministic reduction order, unit-major exactly like the sequential
-/// sweep; job index is the per-fault stream seed.
-struct Job {
-  std::size_t fu = 0;
-  hw::FaultSite site;
-};
-
 /// One injected-fault run on the scalar backend: an input stream through
 /// the faulty netlist against the fault-free reference model. The stream
-/// is per-fault (seeded by `fault_index`) or, when `shared_stream` is
-/// non-empty, the campaign-wide shared one.
+/// is per-fault (seeded by the GLOBAL `fault_index`) or, when
+/// `shared_stream` is non-empty, the campaign-wide shared one.
 fault::CampaignStats run_one_fault(const Dfg& graph, NetlistSim& sim,
                                    const NetlistCampaignOptions& options,
-                                   std::size_t fault_index,
+                                   std::uint64_t fault_index,
                                    std::span<const Word> shared_stream) {
   const Netlist& netlist = sim.netlist();
   const std::int32_t error_output = sim.plan().error_output;
@@ -109,40 +102,43 @@ fault::CampaignStats run_one_fault(const Dfg& graph, NetlistSim& sim,
   return stats;
 }
 
-/// One W-fault batch on the bit-plane backend: lane L runs job
-/// jobs[base + L]'s fault with job (base + L)'s input stream — or, under
-/// shared streams, the one campaign-wide stream broadcast to every lane —
-/// checked against the plane-wise reference model. Writes each lane's
-/// stats into its job slot — per-lane classification is exactly the scalar
-/// classify(), so the slot contents match run_one_fault bit for bit at
-/// every lane width.
+/// One W-fault batch on the bit-plane backend over a job SLICE: lane L
+/// runs job slice[at + L]'s fault with global job (global_base + at + L)'s
+/// input stream — or, under shared streams, the one campaign-wide stream
+/// broadcast to every lane — checked against the plane-wise reference
+/// model. Writes each lane's stats into out[at + L] — per-lane
+/// classification is exactly the scalar classify(), so the slot contents
+/// match run_one_fault bit for bit at every lane width and every slice
+/// partition.
 template <typename P>
 void run_fault_batch(const Dfg& graph, NetlistBatchSimT<P>& sim,
-                     DfgBatchEvaluatorT<P>& ref, const std::vector<Job>& jobs,
-                     std::size_t base, const NetlistCampaignOptions& options,
+                     DfgBatchEvaluatorT<P>& ref,
+                     std::span<const FaultJob> slice, std::size_t at,
+                     std::uint64_t global_base,
+                     const NetlistCampaignOptions& options,
                      std::span<const Word> shared_stream,
-                     std::vector<fault::CampaignStats>& per_job) {
+                     std::span<fault::CampaignStats> out) {
   const Netlist& netlist = sim.netlist();
   const std::int32_t error_output = sim.plan().error_output;
   const std::size_t num_inputs = graph.inputs().size();
   const int lanes = static_cast<int>(std::min<std::size_t>(
-      hw::PlaneTraits<P>::kLanes, jobs.size() - base));
+      hw::PlaneTraits<P>::kLanes, slice.size() - at));
 
   sim.clear_lane_faults();
   std::vector<Xoshiro256> rng;
   if (shared_stream.empty()) rng.reserve(static_cast<std::size_t>(lanes));
   for (int lane = 0; lane < lanes; ++lane) {
-    const std::size_t j = base + static_cast<std::size_t>(lane);
-    sim.add_lane_fault(static_cast<int>(jobs[j].fu), jobs[j].site,
+    const std::size_t j = at + static_cast<std::size_t>(lane);
+    sim.add_lane_fault(static_cast<int>(slice[j].fu), slice[j].site,
                        hw::plane_bit<P>(lane));
     if (shared_stream.empty()) {
-      rng.emplace_back(fault_stream_seed(options.seed, j));
+      rng.emplace_back(fault_stream_seed(options.seed, global_base + j));
     }
   }
   sim.reset();
 
   std::vector<hw::BatchWordT<P>> in(netlist.input_names.size());
-  std::vector<hw::BatchWordT<P>> out(netlist.outputs.size());
+  std::vector<hw::BatchWordT<P>> batch_out(netlist.outputs.size());
   std::vector<hw::BatchWordT<P>> want(graph.outputs().size());
   std::vector<hw::BatchWordT<P>> ref_state(graph.state_regs().size());
   std::vector<Word> lane_vals(static_cast<std::size_t>(lanes), 0);
@@ -170,69 +166,72 @@ void run_fault_batch(const Dfg& graph, NetlistBatchSimT<P>& sim,
       }
     }
     ref.eval(in, ref_state, want);
-    sim.step_sample_batch(in, out);
+    sim.step_sample_batch(in, batch_out);
 
     P erroneous{};
     for (std::size_t i = 0; i < netlist.outputs.size(); ++i) {
       if (static_cast<std::int32_t>(i) == error_output) continue;
-      erroneous |= hw::differing_lanes(out[i], want[i]);
+      erroneous |= hw::differing_lanes(batch_out[i], want[i]);
     }
     const P detected =
-        error_output >= 0 ? out[static_cast<std::size_t>(error_output)][0]
-                          : P{};
+        error_output >= 0
+            ? batch_out[static_cast<std::size_t>(error_output)][0]
+            : P{};
     const fault::LaneVerdictT<P> verdict{erroneous, detected};
     for (int lane = 0; lane < lanes; ++lane) {
-      per_job[base + static_cast<std::size_t>(lane)].record(
+      out[at + static_cast<std::size_t>(lane)].record(
           fault::lane_outcome(verdict, lane));
     }
   }
 }
 
-/// One W-fault batch on the incremental backend: replay the union
-/// fan-out cone of the batch's faults over the precomputed golden trace,
-/// classifying against the pre-broadcast reference outputs. With fault
-/// dropping, a lane retires after its first detected sample (recorded,
-/// then excluded); once every lane retired the batch ends early.
+/// One W-fault batch on the incremental backend over a job slice: replay
+/// the union fan-out cone of the batch's faults over the precomputed
+/// golden trace, classifying against the pre-broadcast reference outputs.
+/// With fault dropping, a lane retires after its first detected sample
+/// (recorded, then excluded); once every lane retired the batch ends
+/// early.
 template <typename P>
 void run_incremental_batch(NetlistIncrementalSimT<P>& sim,
                            const GoldenTrace& trace,
                            std::span<const hw::BatchWordT<P>> want_planes,
-                           const std::vector<Job>& jobs, std::size_t base,
+                           std::span<const FaultJob> slice, std::size_t at,
                            const NetlistCampaignOptions& options,
-                           std::vector<fault::CampaignStats>& per_job) {
+                           std::span<fault::CampaignStats> out) {
   const ExecPlan& plan = sim.plan();
   const std::int32_t error_output = plan.error_output;
   const std::size_t num_outputs = plan.outputs.size();
   const int lanes = static_cast<int>(std::min<std::size_t>(
-      hw::PlaneTraits<P>::kLanes, jobs.size() - base));
+      hw::PlaneTraits<P>::kLanes, slice.size() - at));
 
   sim.clear_lane_faults();
   for (int lane = 0; lane < lanes; ++lane) {
-    const std::size_t j = base + static_cast<std::size_t>(lane);
-    sim.add_lane_fault(static_cast<int>(jobs[j].fu), jobs[j].site,
+    const std::size_t j = at + static_cast<std::size_t>(lane);
+    sim.add_lane_fault(static_cast<int>(slice[j].fu), slice[j].site,
                        hw::plane_bit<P>(lane));
   }
   sim.reset();
 
-  std::vector<hw::BatchWordT<P>> out(num_outputs);
+  std::vector<hw::BatchWordT<P>> batch_out(num_outputs);
   P active = hw::plane_prefix<P>(lanes);
   for (int k = 0; k < options.samples_per_fault; ++k) {
-    sim.replay_sample(trace, k, out);
+    sim.replay_sample(trace, k, batch_out);
 
     P erroneous{};
     for (std::size_t i = 0; i < num_outputs; ++i) {
       if (static_cast<std::int32_t>(i) == error_output) continue;
       erroneous |= hw::differing_lanes(
-          out[i],
+          batch_out[i],
           want_planes[static_cast<std::size_t>(k) * num_outputs + i]);
     }
     const P detected =
-        error_output >= 0 ? out[static_cast<std::size_t>(error_output)][0]
-                          : P{};
+        error_output >= 0
+            ? batch_out[static_cast<std::size_t>(error_output)][0]
+            : P{};
     const fault::LaneVerdictT<P> verdict{erroneous, detected};
     for (int lane = 0; lane < lanes; ++lane) {
       if (hw::plane_test(active, lane)) {
-        per_job[base + static_cast<std::size_t>(lane)].record(
+        out[at + static_cast<std::size_t>(lane)].record(
             fault::lane_outcome(verdict, lane));
       }
     }
@@ -250,81 +249,185 @@ void run_incremental_batch(NetlistIncrementalSimT<P>& sim,
 
 }  // namespace
 
-NetlistCampaignResult run_netlist_campaign(
-    const Dfg& graph, const Netlist& netlist,
-    const NetlistCampaignOptions& options) {
-  SCK_EXPECTS(options.samples_per_fault > 0);
+std::vector<FaultJob> enumerate_fault_jobs(
+    const Netlist& netlist, const NetlistCampaignOptions& options) {
   SCK_EXPECTS(options.fault_stride > 0);
-  SCK_EXPECTS(netlist.input_names.size() == graph.inputs().size());
-  SCK_EXPECTS((options.backend != NetlistBackend::kIncremental ||
-               options.stream == StreamMode::kShared) &&
-              "the incremental backend replays one shared golden trace");
-  SCK_EXPECTS((!options.fault_dropping ||
-               options.backend == NetlistBackend::kIncremental) &&
-              "fault dropping is an incremental-backend feature");
-
-  // Warm the graph's topo-order cache before any worker thread reads it
-  // (Dfg::topo_order fills lazily and unsynchronized).
-  (void)graph.topo_order();
-
-  // Compile the execution plan ONCE and share it const across every
-  // worker context — workers used to recompile per clone. The "error"
-  // output position comes from this plan.
-  const ExecPlan plan = compile_execution_plan(netlist);
-
-  // The shared input stream (kShared only): one (seed, sample index)-keyed
-  // stream every fault replays.
-  const std::vector<Word> shared_stream =
-      options.stream == StreamMode::kShared
-          ? make_shared_stream(graph, options)
-          : std::vector<Word>{};
-
-  // Materialise the (strided) job list up front.
-  std::vector<Job> jobs;
-  std::vector<std::size_t> unit_of_fu(netlist.fus.size(), SIZE_MAX);
-  NetlistCampaignResult result;
-  {
-    const FuBank probe(netlist);
-    for (std::size_t f = 0; f < netlist.fus.size(); ++f) {
-      const auto universe = probe.fault_universe(static_cast<int>(f));
-      if (universe.empty()) continue;  // checker-side units host no faults
-      unit_of_fu[f] = result.per_unit.size();
-      UnitCoverage unit;
-      unit.fu_index = static_cast<int>(f);
-      unit.fu_name = netlist.fus[f].name;
-      result.per_unit.push_back(std::move(unit));
-      for (std::size_t i = 0; i < universe.size();
-           i += static_cast<std::size_t>(options.fault_stride)) {
-        jobs.push_back(Job{f, universe[i]});
-      }
+  std::vector<FaultJob> jobs;
+  const FuBank probe(netlist);
+  for (std::size_t f = 0; f < netlist.fus.size(); ++f) {
+    const auto universe = probe.fault_universe(static_cast<int>(f));
+    // Checker-side units host no faults.
+    for (std::size_t i = 0; i < universe.size();
+         i += static_cast<std::size_t>(options.fault_stride)) {
+      jobs.push_back(FaultJob{static_cast<std::int32_t>(f), universe[i]});
     }
   }
+  return jobs;
+}
 
-  std::vector<fault::CampaignStats> per_job(jobs.size());
+NetlistCampaignResult reduce_campaign_slices(
+    const Netlist& netlist, std::span<const FaultJob> jobs,
+    std::span<const fault::CampaignStats> per_job) {
+  SCK_EXPECTS(jobs.size() == per_job.size());
+  NetlistCampaignResult result;
+  std::vector<std::int64_t> unit_of_fu(netlist.fus.size(), -1);
+  // Jobs are unit-major (enumerate_fault_jobs walks FUs in index order),
+  // so first-appearance order of an FU in the job list IS the sequential
+  // sweep's per-unit order — and every FU with a non-empty (strided)
+  // universe appears, because stride always keeps site 0.
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const auto f = static_cast<std::size_t>(jobs[j].fu);
+    SCK_EXPECTS(f < netlist.fus.size());
+    if (unit_of_fu[f] < 0) {
+      unit_of_fu[f] = static_cast<std::int64_t>(result.per_unit.size());
+      UnitCoverage unit;
+      unit.fu_index = jobs[j].fu;
+      unit.fu_name = netlist.fus[f].name;
+      result.per_unit.push_back(std::move(unit));
+    }
+    UnitCoverage& unit =
+        result.per_unit[static_cast<std::size_t>(unit_of_fu[f])];
+    unit.stats += per_job[j];
+    ++unit.faults;
+    result.aggregate += per_job[j];
+    ++result.fault_universe_size;
+  }
+  return result;
+}
+
+/// All campaign-wide shared state, computed once at runner construction.
+struct CampaignSliceRunner::Impl {
+  Dfg graph;
+  Netlist netlist;
+  NetlistCampaignOptions options;
+  ExecPlan plan;  ///< plan.netlist points at this Impl's own netlist copy
+  int lane_width = 0;
+  std::vector<FaultJob> jobs;
+  std::vector<Word> shared_stream;  ///< kShared only
+  // Incremental backend only: cones + golden trace + the scalar reference
+  // outputs (broadcast to planes per run_slice call, cheap).
+  std::unique_ptr<FaultCones> cones;
+  GoldenTrace trace;
+  std::vector<Word> want_values;  ///< samples x outputs, width-truncated
+};
+
+CampaignSliceRunner::CampaignSliceRunner(const Dfg& graph,
+                                         const Netlist& netlist,
+                                         const NetlistCampaignOptions& options)
+    : impl_([&] {
+        SCK_EXPECTS(options.samples_per_fault > 0);
+        SCK_EXPECTS(options.fault_stride > 0);
+        SCK_EXPECTS(netlist.input_names.size() == graph.inputs().size());
+        SCK_EXPECTS((options.backend != NetlistBackend::kIncremental ||
+                     options.stream == StreamMode::kShared) &&
+                    "the incremental backend replays one shared golden trace");
+        SCK_EXPECTS((!options.fault_dropping ||
+                     options.backend == NetlistBackend::kIncremental) &&
+                    "fault dropping is an incremental-backend feature");
+
+        auto impl = std::make_unique<Impl>();
+        impl->graph = graph;
+        impl->netlist = netlist;
+        impl->options = options;
+        // Warm the copy's topo-order cache before any worker thread reads
+        // it (Dfg::topo_order fills lazily and unsynchronized).
+        (void)impl->graph.topo_order();
+
+        // Compile the execution plan ONCE against the runner's own netlist
+        // copy and share it const across every slice and worker context.
+        impl->plan = compile_execution_plan(impl->netlist);
+        impl->lane_width = hw::resolve_lanes(options.lanes);
+        impl->jobs = enumerate_fault_jobs(impl->netlist, options);
+
+        // The shared input stream (kShared only): one (seed, sample
+        // index)-keyed stream every fault replays.
+        if (options.stream == StreamMode::kShared) {
+          impl->shared_stream = make_shared_stream(impl->graph, options);
+        }
+
+        if (options.backend == NetlistBackend::kIncremental) {
+          // The fault-free work happens ONCE per campaign: the golden
+          // trace (scalar replay recording every wire) and the scalar Dfg
+          // reference outputs.
+          impl->cones = std::make_unique<FaultCones>(impl->plan);
+          impl->trace = record_golden_trace(impl->plan, impl->shared_stream,
+                                            options.samples_per_fault);
+          const std::size_t num_outputs = impl->netlist.outputs.size();
+          for (std::size_t i = 0; i < num_outputs; ++i) {
+            SCK_EXPECTS(impl->graph.node(impl->graph.outputs()[i]).name ==
+                        impl->netlist.outputs[i].name);
+          }
+          impl->want_values.resize(
+              static_cast<std::size_t>(options.samples_per_fault) *
+              num_outputs);
+          std::vector<std::uint64_t> ref_state(impl->graph.state_regs().size(),
+                                               0);
+          std::unordered_map<std::string, std::uint64_t> ref_in;
+          for (int k = 0; k < options.samples_per_fault; ++k) {
+            for (std::size_t i = 0; i < impl->graph.inputs().size(); ++i) {
+              const Node& n = impl->graph.node(impl->graph.inputs()[i]);
+              ref_in[n.name] =
+                  impl->shared_stream[static_cast<std::size_t>(k) *
+                                          impl->graph.inputs().size() +
+                                      i];
+            }
+            const auto want = impl->graph.eval(ref_in, ref_state);
+            for (std::size_t i = 0; i < num_outputs; ++i) {
+              const Node& n = impl->graph.node(impl->graph.outputs()[i]);
+              impl->want_values[static_cast<std::size_t>(k) * num_outputs +
+                                i] = trunc(want.outputs.at(n.name), n.width);
+            }
+          }
+        }
+        return impl;
+      }()) {}
+
+CampaignSliceRunner::~CampaignSliceRunner() = default;
+
+const Dfg& CampaignSliceRunner::graph() const { return impl_->graph; }
+const Netlist& CampaignSliceRunner::netlist() const { return impl_->netlist; }
+const ExecPlan& CampaignSliceRunner::plan() const { return impl_->plan; }
+const NetlistCampaignOptions& CampaignSliceRunner::options() const {
+  return impl_->options;
+}
+const std::vector<FaultJob>& CampaignSliceRunner::jobs() const {
+  return impl_->jobs;
+}
+int CampaignSliceRunner::lanes() const { return impl_->lane_width; }
+
+void CampaignSliceRunner::run_slice(std::uint64_t base, std::size_t count,
+                                    std::span<fault::CampaignStats> out) const {
+  const Impl& im = *impl_;
+  SCK_EXPECTS(base <= im.jobs.size() && count <= im.jobs.size() - base);
+  SCK_EXPECTS(out.size() == count);
+  if (count == 0) return;
+  const std::span<const FaultJob> slice(im.jobs.data() + base, count);
+  const NetlistCampaignOptions& options = im.options;
+
   if (options.backend == NetlistBackend::kScalar) {
     // Shard one fault per job; each worker owns a simulator over the
     // shared plan (units are stateful via set_fault).
     fault::parallel_shard(
-        jobs.size(), options.threads, [&plan] { return NetlistSim(plan); },
+        count, options.threads, [&im] { return NetlistSim(im.plan); },
         [&](NetlistSim& sim, std::size_t j) {
-          sim.set_fu_fault(static_cast<int>(jobs[j].fu), jobs[j].site);
-          per_job[j] = run_one_fault(graph, sim, options, j, shared_stream);
-          sim.set_fu_fault(static_cast<int>(jobs[j].fu), hw::FaultSite{});
+          sim.set_fu_fault(static_cast<int>(slice[j].fu), slice[j].site);
+          out[j] = run_one_fault(im.graph, sim, options, base + j,
+                                 im.shared_stream);
+          sim.set_fu_fault(static_cast<int>(slice[j].fu), hw::FaultSite{});
         });
   } else if (options.backend == NetlistBackend::kBatched) {
     // Shard W-fault batches; each worker owns a batched simulator over
     // the shared plan plus a copy of one compiled reference evaluator.
     // The lane width only sizes the batches — per-job slots and the
-    // reduction below are width-invariant.
+    // job-order reduction are width-invariant.
     //
     // The reference "error" flag is never read (it is 0 by construction
     // on fault-free hardware), so the reference skips the check cone; the
     // prototype is compiled (topo + DCE) once and copied per worker.
-    const int lane_width = hw::resolve_lanes(options.lanes);
-    hw::dispatch_plane(lane_width, [&]<typename P>(std::type_identity<P>) {
+    hw::dispatch_plane(im.lane_width, [&]<typename P>(std::type_identity<P>) {
       constexpr std::size_t kW = hw::PlaneTraits<P>::kLanes;
-      const std::size_t batches = (jobs.size() + kW - 1) / kW;
-      const DfgBatchEvaluatorT<P> ref_proto(graph, "error");
+      const std::size_t batches = (count + kW - 1) / kW;
+      const DfgBatchEvaluatorT<P> ref_proto(im.graph, "error");
       struct BatchContext {
         NetlistBatchSimT<P> sim;
         DfgBatchEvaluatorT<P> ref;
@@ -335,51 +438,25 @@ NetlistCampaignResult run_netlist_campaign(
       };
       fault::parallel_shard(
           batches, options.threads,
-          [&plan, &ref_proto] { return BatchContext(plan, ref_proto); },
+          [&im, &ref_proto] { return BatchContext(im.plan, ref_proto); },
           [&](BatchContext& ctx, std::size_t b) {
-            run_fault_batch(graph, ctx.sim, ctx.ref, jobs, b * kW, options,
-                            shared_stream, per_job);
+            run_fault_batch(im.graph, ctx.sim, ctx.ref, slice, b * kW, base,
+                            options, im.shared_stream, out);
           });
     });
   } else {
-    // Incremental: the fault-free work happens ONCE per campaign — the
-    // golden trace (scalar replay recording every wire) and the scalar
-    // Dfg reference outputs, pre-broadcast to planes — then each batch
-    // replays only the union fan-out cone of its faults.
-    const FaultCones cones(plan);
-    const GoldenTrace trace =
-        record_golden_trace(plan, shared_stream, options.samples_per_fault);
-
-    const std::size_t num_outputs = netlist.outputs.size();
-    for (std::size_t i = 0; i < num_outputs; ++i) {
-      SCK_EXPECTS(graph.node(graph.outputs()[i]).name ==
-                  netlist.outputs[i].name);
-    }
-    const int lane_width = hw::resolve_lanes(options.lanes);
-    hw::dispatch_plane(lane_width, [&]<typename P>(std::type_identity<P>) {
+    hw::dispatch_plane(im.lane_width, [&]<typename P>(std::type_identity<P>) {
       constexpr std::size_t kW = hw::PlaneTraits<P>::kLanes;
-      const std::size_t batches = (jobs.size() + kW - 1) / kW;
-      std::vector<hw::BatchWordT<P>> want_planes(
-          static_cast<std::size_t>(options.samples_per_fault) * num_outputs);
-      {
-        std::vector<std::uint64_t> ref_state(graph.state_regs().size(), 0);
-        std::unordered_map<std::string, std::uint64_t> ref_in;
-        for (int k = 0; k < options.samples_per_fault; ++k) {
-          for (std::size_t i = 0; i < graph.inputs().size(); ++i) {
-            const Node& n = graph.node(graph.inputs()[i]);
-            ref_in[n.name] =
-                shared_stream[static_cast<std::size_t>(k) *
-                                  graph.inputs().size() +
-                              i];
-          }
-          const auto want = graph.eval(ref_in, ref_state);
-          for (std::size_t i = 0; i < num_outputs; ++i) {
-            const Node& n = graph.node(graph.outputs()[i]);
-            want_planes[static_cast<std::size_t>(k) * num_outputs + i] =
-                hw::broadcast_word<P>(
-                    trunc(want.outputs.at(n.name), n.width), n.width);
-          }
-        }
+      const std::size_t batches = (count + kW - 1) / kW;
+      // Broadcast the precomputed scalar reference outputs to this width's
+      // planes (per call — one call per campaign single-host, one per
+      // shard on a service worker).
+      std::vector<hw::BatchWordT<P>> want_planes(im.want_values.size());
+      const std::size_t num_outputs = im.netlist.outputs.size();
+      for (std::size_t v = 0; v < im.want_values.size(); ++v) {
+        const Node& n =
+            im.graph.node(im.graph.outputs()[v % num_outputs]);
+        want_planes[v] = hw::broadcast_word<P>(im.want_values[v], n.width);
       }
 
       struct IncrementalContext {
@@ -391,23 +468,22 @@ NetlistCampaignResult run_netlist_campaign(
       };
       fault::parallel_shard(
           batches, options.threads,
-          [&plan, &cones] { return IncrementalContext(plan, cones); },
+          [&im] { return IncrementalContext(im.plan, *im.cones); },
           [&](IncrementalContext& ctx, std::size_t b) {
-            run_incremental_batch<P>(ctx.sim, trace, want_planes, jobs,
-                                     b * kW, options, per_job);
+            run_incremental_batch<P>(ctx.sim, im.trace, want_planes, slice,
+                                     b * kW, options, out);
           });
     });
   }
+}
 
-  // Deterministic reduction in job (fault-index) order.
-  for (std::size_t j = 0; j < jobs.size(); ++j) {
-    UnitCoverage& unit = result.per_unit[unit_of_fu[jobs[j].fu]];
-    unit.stats += per_job[j];
-    ++unit.faults;
-    result.aggregate += per_job[j];
-    ++result.fault_universe_size;
-  }
-  return result;
+NetlistCampaignResult run_netlist_campaign(
+    const Dfg& graph, const Netlist& netlist,
+    const NetlistCampaignOptions& options) {
+  const CampaignSliceRunner runner(graph, netlist, options);
+  std::vector<fault::CampaignStats> per_job(runner.jobs().size());
+  runner.run_slice(0, per_job.size(), per_job);
+  return reduce_campaign_slices(runner.netlist(), runner.jobs(), per_job);
 }
 
 }  // namespace sck::hls

@@ -35,6 +35,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -42,8 +44,11 @@
 #include "fault/stats.h"
 #include "hls/dfg.h"
 #include "hls/netlist_sim.h"
+#include "hw/fault_site.h"
 
 namespace sck::hls {
+
+struct ExecPlan;
 
 /// Per-functional-unit coverage breakdown.
 struct UnitCoverage {
@@ -113,11 +118,92 @@ struct NetlistCampaignOptions {
   bool fault_dropping = false;
 };
 
+/// One entry of the (strided) fault job list: FU index plus stuck-at site.
+/// The job list order IS the campaign's deterministic reduction order
+/// (unit-major, site order within a unit, stride applied per unit), and a
+/// job's position in the list keys its per-fault input stream under
+/// StreamMode::kPerFault. Everything that executes campaign slices —
+/// single-host or a remote worker — must agree on this list bit for bit.
+struct FaultJob {
+  std::int32_t fu = 0;
+  hw::FaultSite site;
+
+  friend bool operator==(const FaultJob&, const FaultJob&) = default;
+};
+
+/// The campaign's complete (strided) job list in reduction order. Pure
+/// function of (netlist, options.fault_stride) — the campaign service
+/// daemon and its workers enumerate independently and cross-check.
+[[nodiscard]] std::vector<FaultJob> enumerate_fault_jobs(
+    const Netlist& netlist, const NetlistCampaignOptions& options);
+
+/// Executes arbitrary contiguous slices of a campaign's job list with all
+/// campaign-wide state (compiled ExecPlan, shared input stream, golden
+/// trace, fault cones, reference outputs) computed ONCE at construction.
+/// This is the shard-execution engine shared by run_netlist_campaign
+/// (one slice = the whole universe) and the campaign-service worker (one
+/// slice per wire shard) — both run the exact same inner loops, so the
+/// distributed result cannot drift from the single-host one.
+///
+/// Slice semantics: run_slice(base, count, out) evaluates jobs
+/// [base, base + count) and writes job (base + i)'s stats into out[i].
+/// Per-job slots depend only on the job's GLOBAL index (stream seeds) and
+/// the campaign options — never on the slice boundaries, the lane width,
+/// or the thread count — so any partition of [0, jobs().size()) into
+/// slices reproduces the single-host per-job vector bit for bit
+/// (tests/test_service.cpp holds this at several slicings).
+class CampaignSliceRunner {
+ public:
+  /// Copies `graph` and `netlist` (the service constructs runners from
+  /// deserialized payloads; single-host pays one copy per campaign),
+  /// validates the campaign preconditions, compiles the ExecPlan and
+  /// precomputes the per-campaign shared state for options.backend.
+  CampaignSliceRunner(const Dfg& graph, const Netlist& netlist,
+                      const NetlistCampaignOptions& options);
+  ~CampaignSliceRunner();
+
+  CampaignSliceRunner(const CampaignSliceRunner&) = delete;
+  CampaignSliceRunner& operator=(const CampaignSliceRunner&) = delete;
+
+  [[nodiscard]] const Dfg& graph() const;
+  [[nodiscard]] const Netlist& netlist() const;
+  [[nodiscard]] const ExecPlan& plan() const;
+  [[nodiscard]] const NetlistCampaignOptions& options() const;
+  /// enumerate_fault_jobs of the wrapped netlist, cached.
+  [[nodiscard]] const std::vector<FaultJob>& jobs() const;
+  /// The bit-plane width this runner resolved (hw::resolve_lanes applied
+  /// to options.lanes once at construction).
+  [[nodiscard]] int lanes() const;
+
+  /// Evaluate jobs [base, base + count) into out[0..count). Shards the
+  /// slice over options.threads via fault::parallel_shard; safe to call
+  /// repeatedly (each call builds fresh simulator contexts over the shared
+  /// plan).
+  void run_slice(std::uint64_t base, std::size_t count,
+                 std::span<fault::CampaignStats> out) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<const Impl> impl_;
+};
+
+/// Fold per-job stats into the campaign report, in job (fault-index)
+/// order: the single deterministic reduction both run_netlist_campaign and
+/// the service daemon's grid-index-slot reduction use. `jobs` must be the
+/// full enumerate_fault_jobs list of `netlist` and `per_job` its
+/// slot-for-slot stats.
+[[nodiscard]] NetlistCampaignResult reduce_campaign_slices(
+    const Netlist& netlist, std::span<const FaultJob> jobs,
+    std::span<const fault::CampaignStats> per_job);
+
 /// Sweep every FU fault of `netlist` (generated from `graph`), comparing
 /// against the fault-free reference evaluation of `graph`. Netlists with a
 /// CED "error" output use it as the detection flag; plain netlists (no
 /// error output) report every erroneous sample as masked — the baseline
-/// that shows what the checks buy.
+/// that shows what the checks buy. Implemented as
+/// CampaignSliceRunner::run_slice over the whole universe followed by
+/// reduce_campaign_slices — the same code path the campaign service
+/// distributes.
 [[nodiscard]] NetlistCampaignResult run_netlist_campaign(
     const Dfg& graph, const Netlist& netlist,
     const NetlistCampaignOptions& options);

@@ -1,0 +1,94 @@
+#include "service/client.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <optional>
+#include <string>
+
+#include "service/socket.h"
+
+namespace sck::service {
+
+namespace {
+
+void set_error(std::string* error, std::string why) {
+  if (error) *error = std::move(why);
+}
+
+}  // namespace
+
+std::optional<ServiceCampaignResult> run_remote_campaign(
+    const std::string& address, const hls::Dfg& graph,
+    const hls::Netlist& netlist, const hls::NetlistCampaignOptions& options,
+    std::string* error) {
+  const std::optional<Address> addr = parse_address(address);
+  if (!addr.has_value()) {
+    set_error(error, "malformed daemon address: " + address);
+    return std::nullopt;
+  }
+  const int fd = connect_with_retry(*addr, 10.0, error);
+  if (fd < 0) return std::nullopt;
+
+  // A request is a CampaignSetupPayload with id 0 (the daemon assigns the
+  // real id); reusing the setup codec keeps request and worker-broadcast
+  // framing on one code path.
+  CampaignSetupPayload request;
+  request.campaign_id = 0;
+  request.campaign.graph = graph;
+  request.campaign.netlist = netlist;
+  request.campaign.options = options;
+  if (!send_all(fd, encode_frame(MsgType::kCampaignRequest,
+                                 encode_campaign_setup(request)))) {
+    set_error(error, "sending campaign request failed");
+    close_fd(fd);
+    return std::nullopt;
+  }
+
+  FrameBuffer in;
+  for (;;) {
+    unsigned char chunk[64 * 1024];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      set_error(error, "daemon closed the connection before responding");
+      close_fd(fd);
+      return std::nullopt;
+    }
+    in.feed(chunk, static_cast<std::size_t>(n));
+    const std::optional<Frame> frame = in.next();
+    if (in.error()) {
+      set_error(error, "wire error: " + in.error_detail());
+      close_fd(fd);
+      return std::nullopt;
+    }
+    if (!frame.has_value()) continue;
+    close_fd(fd);
+    if (frame->type == MsgType::kError) {
+      const std::optional<std::string> msg = decode_error(frame->payload);
+      set_error(error, "daemon error: " +
+                           (msg.has_value() ? *msg : "<malformed>"));
+      return std::nullopt;
+    }
+    if (frame->type != MsgType::kCampaignResponse) {
+      set_error(error, "unexpected response type");
+      return std::nullopt;
+    }
+    std::optional<CampaignResponsePayload> response =
+        decode_campaign_response(frame->payload);
+    if (!response.has_value()) {
+      set_error(error, "malformed campaign response");
+      return std::nullopt;
+    }
+    if (!response->ok) {
+      set_error(error, "campaign failed: " + response->error);
+      return std::nullopt;
+    }
+    ServiceCampaignResult out;
+    out.result = std::move(response->result);
+    out.stats = std::move(response->stats);
+    return out;
+  }
+}
+
+}  // namespace sck::service

@@ -1,0 +1,29 @@
+// Client side of the campaign service: submit one campaign to a daemon
+// and block until the reduced result comes back. The result is
+// byte-identical to run_netlist_campaign(graph, netlist, options) on a
+// single host — the daemon guarantees it at any worker count, shard size
+// and arrival order — plus the ShardStats telemetry of how the work was
+// actually spread.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "hls/netlist_campaign.h"
+#include "service/wire.h"
+
+namespace sck::service {
+
+struct ServiceCampaignResult {
+  hls::NetlistCampaignResult result;
+  ShardStats stats;
+};
+
+/// Submit a campaign to the daemon at `address` and wait for the reduced
+/// report. nullopt (with *error set) on connect, wire or daemon failure.
+[[nodiscard]] std::optional<ServiceCampaignResult> run_remote_campaign(
+    const std::string& address, const hls::Dfg& graph,
+    const hls::Netlist& netlist, const hls::NetlistCampaignOptions& options,
+    std::string* error = nullptr);
+
+}  // namespace sck::service

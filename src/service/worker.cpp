@@ -1,0 +1,237 @@
+#include "service/worker.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "hls/netlist_campaign.h"
+#include "hw/plane.h"
+#include "service/socket.h"
+#include "service/wire.h"
+
+namespace sck::service {
+
+namespace {
+
+[[nodiscard]] const char* native_isa() {
+#if defined(__AVX512F__)
+  return "avx512";
+#elif defined(__AVX2__)
+  return "avx2";
+#else
+  return "portable";
+#endif
+}
+
+enum class Loop { kContinue, kDone, kFail };
+
+struct WorkerState {
+  int fd = -1;
+  const WorkerOptions* opt = nullptr;
+  std::uint64_t worker_id = 0;
+  /// One compiled runner per campaign: plan/cones/golden-trace amortized
+  /// over every shard of that campaign this worker executes.
+  std::map<std::uint64_t, std::unique_ptr<hls::CampaignSliceRunner>> runners;
+  int shards_done = 0;
+};
+
+[[nodiscard]] bool send_frame(int fd, MsgType type,
+                              std::vector<unsigned char> payload) {
+  return send_all(fd, encode_frame(type, std::move(payload)));
+}
+
+Loop fail(WorkerState& state, const std::string& why) {
+  std::fprintf(stderr, "[worker] %s\n", why.c_str());
+  (void)send_frame(state.fd, MsgType::kError, encode_error(why));
+  return Loop::kFail;
+}
+
+Loop handle_setup(WorkerState& state, const Frame& frame) {
+  std::optional<CampaignSetupPayload> setup =
+      decode_campaign_setup(frame.payload);
+  if (!setup.has_value()) return fail(state, "malformed campaign setup");
+  // Local lane/thread overrides are safe BECAUSE results are invariant to
+  // both — that is the whole determinism contract of the service.
+  hls::NetlistCampaignOptions options = setup->campaign.options;
+  if (state.opt->lanes != 0) options.lanes = state.opt->lanes;
+  if (state.opt->threads != 0) options.threads = state.opt->threads;
+  state.runners[setup->campaign_id] =
+      std::make_unique<hls::CampaignSliceRunner>(setup->campaign.graph,
+                                                 setup->campaign.netlist,
+                                                 options);
+  return Loop::kContinue;
+}
+
+Loop handle_shard(WorkerState& state, const Frame& frame) {
+  if (state.opt->max_shards >= 0 &&
+      state.shards_done >= state.opt->max_shards) {
+    if (state.opt->abrupt) {
+      // Sever without a farewell: from the daemon's side this is
+      // indistinguishable from SIGKILL while holding an in-flight shard.
+      ::close(state.fd);
+      state.fd = -1;
+      return Loop::kDone;
+    }
+    return Loop::kDone;  // graceful retirement; daemon re-queues on EOF
+  }
+  const std::optional<ShardRequestPayload> req =
+      decode_shard_request(frame.payload);
+  if (!req.has_value()) return fail(state, "malformed shard request");
+  const auto it = state.runners.find(req->campaign_id);
+  if (it == state.runners.end()) {
+    return fail(state, "shard request for unknown campaign " +
+                           std::to_string(req->campaign_id));
+  }
+  const hls::CampaignSliceRunner& runner = *it->second;
+  if (req->base > runner.jobs().size() ||
+      req->jobs.size() > runner.jobs().size() - req->base) {
+    return fail(state, "shard out of range of the fault universe");
+  }
+  // The daemon's job list must agree with our own enumeration of the same
+  // netlist+options — a mismatch means a codec or version fault, and
+  // executing it would silently corrupt the campaign grid.
+  for (std::size_t i = 0; i < req->jobs.size(); ++i) {
+    if (!(req->jobs[i] == runner.jobs()[req->base + i])) {
+      return fail(state, "shard jobs disagree with local enumeration");
+    }
+  }
+
+  std::vector<fault::CampaignStats> per_job(req->jobs.size());
+  const double t0 = now_seconds();
+  runner.run_slice(req->base, per_job.size(), per_job);
+
+  ShardResultPayload res;
+  res.campaign_id = req->campaign_id;
+  res.shard_id = req->shard_id;
+  res.base = req->base;
+  res.per_job = std::move(per_job);
+  res.seconds = now_seconds() - t0;
+  if (!send_frame(state.fd, MsgType::kShardResult,
+                  encode_shard_result(res))) {
+    return Loop::kDone;  // daemon gone; nothing left to report to
+  }
+  ++state.shards_done;
+  return Loop::kContinue;
+}
+
+Loop handle_frame(WorkerState& state, const Frame& frame) {
+  switch (frame.type) {
+    case MsgType::kHelloAck: {
+      const std::optional<HelloAckPayload> ack =
+          decode_hello_ack(frame.payload);
+      if (!ack.has_value()) return fail(state, "malformed hello ack");
+      state.worker_id = ack->worker_id;
+      return Loop::kContinue;
+    }
+    case MsgType::kCampaignSetup:
+      return handle_setup(state, frame);
+    case MsgType::kShardRequest:
+      return handle_shard(state, frame);
+    case MsgType::kShutdown:
+      return Loop::kDone;
+    case MsgType::kError: {
+      const std::optional<std::string> msg = decode_error(frame.payload);
+      std::fprintf(stderr, "[worker] daemon error: %s\n",
+                   msg.has_value() ? msg->c_str() : "<malformed>");
+      return Loop::kFail;
+    }
+    case MsgType::kHello:
+    case MsgType::kCampaignRequest:
+    case MsgType::kCampaignResponse:
+    case MsgType::kShardResult:
+    case MsgType::kHeartbeat:
+      return fail(state, "unexpected message type " +
+                             std::to_string(static_cast<std::uint32_t>(
+                                 frame.type)));
+  }
+  return Loop::kFail;
+}
+
+}  // namespace
+
+int run_worker(const WorkerOptions& options) {
+  const std::optional<Address> addr = parse_address(options.connect);
+  if (!addr.has_value()) {
+    std::fprintf(stderr, "[worker] malformed address: %s\n",
+                 options.connect.c_str());
+    return 1;
+  }
+  std::string error;
+  const int fd = connect_with_retry(*addr, options.connect_timeout, &error);
+  if (fd < 0) {
+    std::fprintf(stderr, "[worker] %s\n", error.c_str());
+    return 1;
+  }
+
+  WorkerState state;
+  state.fd = fd;
+  state.opt = &options;
+
+  HelloPayload hello;
+  hello.protocol = kWireProtocolVersion;
+  hello.worker_name = options.name;
+  hello.native_lanes = hw::resolve_lanes(options.lanes);
+  hello.isa = native_isa();
+  if (!send_frame(fd, MsgType::kHello, encode_hello(hello))) {
+    std::fprintf(stderr, "[worker] hello failed\n");
+    close_fd(fd);
+    return 1;
+  }
+
+  FrameBuffer in;
+  const int heartbeat_ms =
+      static_cast<int>(options.heartbeat_interval * 1000.0);
+  int rc = 0;
+  for (bool running = true; running;) {
+    pollfd p{state.fd, POLLIN, 0};
+    const int ready = ::poll(&p, 1, heartbeat_ms > 0 ? heartbeat_ms : 1000);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) {  // idle: prove liveness to the heartbeat sweep
+      if (!send_frame(state.fd, MsgType::kHeartbeat, {})) break;
+      continue;
+    }
+
+    unsigned char chunk[64 * 1024];
+    const ssize_t n = ::recv(state.fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // daemon gone (EOF or error): exit quietly
+    }
+    in.feed(chunk, static_cast<std::size_t>(n));
+    while (running) {
+      const std::optional<Frame> frame = in.next();
+      if (!frame.has_value()) break;
+      switch (handle_frame(state, *frame)) {
+        case Loop::kContinue:
+          break;
+        case Loop::kDone:
+          running = false;
+          break;
+        case Loop::kFail:
+          running = false;
+          rc = 1;
+          break;
+      }
+    }
+    if (running && in.error()) {
+      std::fprintf(stderr, "[worker] wire error: %s\n",
+                   in.error_detail().c_str());
+      running = false;
+      rc = 1;
+    }
+  }
+  close_fd(state.fd);
+  return rc;
+}
+
+}  // namespace sck::service

@@ -230,5 +230,55 @@ TEST(ParallelShardErrors, RemainingShardsAreCancelledAfterAThrow) {
   EXPECT_LT(executed.load(), kJobs / 2);
 }
 
+TEST(ShardQueue, DrainsInIndexOrderAndCompletes) {
+  ShardQueue q(4);
+  EXPECT_EQ(q.size(), 4u);
+  for (std::size_t s = 0; s < 4; ++s) {
+    const auto got = q.acquire();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, s);
+  }
+  EXPECT_FALSE(q.acquire().has_value());
+  EXPECT_EQ(q.in_flight(), 4u);
+  EXPECT_FALSE(q.all_complete());
+  for (std::size_t s = 0; s < 4; ++s) EXPECT_TRUE(q.complete(s));
+  EXPECT_TRUE(q.all_complete());
+  EXPECT_EQ(q.in_flight(), 0u);
+  EXPECT_EQ(q.requeues(), 0u);
+}
+
+TEST(ShardQueue, RequeuedShardJumpsTheLineOnce) {
+  // Worker A takes shards 0 and 1 and dies; its in-flight work must come
+  // back out BEFORE untouched shard 2 (oldest work first), exactly once.
+  ShardQueue q(3);
+  ASSERT_EQ(q.acquire().value(), 0u);
+  ASSERT_EQ(q.acquire().value(), 1u);
+  q.requeue(0);
+  q.requeue(1);
+  EXPECT_EQ(q.requeues(), 2u);
+  EXPECT_EQ(q.acquire().value(), 1u);  // most recently requeued is in front
+  EXPECT_EQ(q.acquire().value(), 0u);
+  EXPECT_EQ(q.acquire().value(), 2u);
+  EXPECT_FALSE(q.acquire().has_value());
+}
+
+TEST(ShardQueue, DuplicateCompletionFromPresumedDeadWorkerIsDropped) {
+  // Shard 0 is requeued after a timeout, re-acquired and completed by a
+  // survivor — then the "dead" worker's late result arrives. complete()
+  // must report it as a duplicate, and a requeue after completion must be
+  // a no-op (the shard never runs a third time).
+  ShardQueue q(2);
+  ASSERT_EQ(q.acquire().value(), 0u);
+  q.requeue(0);
+  ASSERT_EQ(q.acquire().value(), 0u);
+  EXPECT_TRUE(q.complete(0));
+  EXPECT_FALSE(q.complete(0));  // late duplicate: merge nothing
+  q.requeue(0);                 // timeout fired after completion: no-op
+  EXPECT_EQ(q.acquire().value(), 1u);
+  EXPECT_TRUE(q.complete(1));
+  EXPECT_TRUE(q.all_complete());
+  EXPECT_EQ(q.completions(), 2u);
+}
+
 }  // namespace
 }  // namespace sck::fault

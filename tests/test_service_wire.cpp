@@ -1,0 +1,415 @@
+// Adversarial wire-codec suite for the campaign service, mirroring the
+// store's integrity discipline (tests/test_store.cpp): every payload codec
+// round-trips bit-exactly, and a frame with ANY single byte flipped or
+// missing is rejected — never crashes, never deserializes garbage. The
+// framing layer additionally rejects version mismatches (even when
+// re-checksummed by an adversary) and oversized length prefixes without
+// buffering a payload.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hls/builder.h"
+#include "hls/netlist_campaign.h"
+#include "netlist_test_util.h"
+#include "service/wire.h"
+
+namespace sck::service {
+namespace {
+
+// ---- fixtures --------------------------------------------------------------
+
+/// Small synthesized design (class-based CED FIR at width 4): real Dfg +
+/// Netlist shapes for the campaign codec, kept small so the adversarial
+/// sweeps stay cheap under the sanitizers.
+struct WireDesign {
+  hls::Dfg graph;
+  hls::Netlist netlist;
+
+  WireDesign() {
+    graph = hls::ced(hls::build_fir(hls::FirSpec{{1, 2, 3}, 4}),
+                     hls::CedStyle::kClassBased);
+    netlist = hls::synthesize(graph, hls::ResourceConstraints::min_area(),
+                              "wire_fixture");
+  }
+};
+
+[[nodiscard]] HelloPayload sample_hello() {
+  HelloPayload h;
+  h.worker_name = "worker-7";
+  h.native_lanes = 256;
+  h.isa = "avx2";
+  h.feature_flags = 0x5;
+  return h;
+}
+
+[[nodiscard]] ShardResultPayload sample_shard_result() {
+  ShardResultPayload r;
+  r.campaign_id = 3;
+  r.shard_id = 11;
+  r.base = 1024;
+  r.per_job = {{1, 2, 3, 4}, {0, 0, 6, 0}, {9, 8, 7, 6}};
+  r.seconds = 0.125;
+  return r;
+}
+
+[[nodiscard]] CampaignResponsePayload sample_response() {
+  CampaignResponsePayload p;
+  p.campaign_id = 9;
+  p.ok = true;
+  p.result.fault_universe_size = 96;
+  p.result.aggregate = {10, 20, 30, 36};
+  hls::UnitCoverage u;
+  u.fu_index = 2;
+  u.fu_name = "mul0 (shared)";
+  u.faults = 96;
+  u.stats = {10, 20, 30, 36};
+  p.result.per_unit = {u};
+  p.stats.shards_total = 4;
+  p.stats.shards_executed = 5;
+  p.stats.shards_requeued = 1;
+  p.stats.workers = 2;
+  p.stats.workers_lost = 1;
+  p.stats.seconds = 1.5;
+  p.stats.samples_per_sec = 2048.0;
+  p.stats.per_worker = {{"w0", 512, 3, 3000, 0.7, false},
+                        {"w1", 64, 2, 2000, 0.8, true}};
+  return p;
+}
+
+/// The wire checksum (same FNV-1a discipline as the store): used to craft
+/// adversarial frames that pass the checksum but violate the header.
+[[nodiscard]] std::uint64_t fnv1a(const unsigned char* data, std::size_t n) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+void put_u32_at(std::vector<unsigned char>& bytes, std::size_t at,
+                std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes[at + static_cast<std::size_t>(i)] =
+        static_cast<unsigned char>(v >> (8 * i));
+  }
+}
+
+void put_u64_at(std::vector<unsigned char>& bytes, std::size_t at,
+                std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes[at + static_cast<std::size_t>(i)] =
+        static_cast<unsigned char>(v >> (8 * i));
+  }
+}
+
+/// Recompute the trailing checksum after tampering with header/payload —
+/// the adversary who controls the bytes controls the checksum too, so
+/// structural validation must not hide behind it.
+void reseal(std::vector<unsigned char>& frame) {
+  const std::size_t body = frame.size() - kFrameChecksumBytes;
+  put_u64_at(frame, body, fnv1a(frame.data(), body));
+}
+
+// ---- payload roundtrips ----------------------------------------------------
+
+TEST(WireCodec, HelloRoundtrip) {
+  const HelloPayload h = sample_hello();
+  const std::optional<HelloPayload> got = decode_hello(encode_hello(h));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, h);
+}
+
+TEST(WireCodec, HelloAckRoundtrip) {
+  const HelloAckPayload a{42};
+  const std::optional<HelloAckPayload> got =
+      decode_hello_ack(encode_hello_ack(a));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, a);
+}
+
+TEST(WireCodec, ShardResultRoundtrip) {
+  const ShardResultPayload r = sample_shard_result();
+  const std::optional<ShardResultPayload> got =
+      decode_shard_result(encode_shard_result(r));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->campaign_id, r.campaign_id);
+  EXPECT_EQ(got->shard_id, r.shard_id);
+  EXPECT_EQ(got->base, r.base);
+  EXPECT_EQ(got->per_job, r.per_job);
+  EXPECT_EQ(got->seconds, r.seconds);
+}
+
+TEST(WireCodec, CampaignResponseRoundtrip) {
+  const CampaignResponsePayload p = sample_response();
+  const std::optional<CampaignResponsePayload> got =
+      decode_campaign_response(encode_campaign_response(p));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->campaign_id, p.campaign_id);
+  EXPECT_EQ(got->ok, p.ok);
+  EXPECT_EQ(got->error, p.error);
+  EXPECT_EQ(got->result, p.result);
+  EXPECT_EQ(got->stats, p.stats);
+}
+
+TEST(WireCodec, ErrorRoundtrip) {
+  const std::optional<std::string> got =
+      decode_error(encode_error("worker went sideways"));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "worker went sideways");
+}
+
+// The campaign codec ships a real synthesized design. Semantic roundtrip:
+// the decoded graph/netlist must drive the exact same campaign — same
+// fault universe, byte-identical result — and re-encoding must reproduce
+// the original bytes (a canonical encoding, so fingerprints of shipped
+// campaigns are stable).
+TEST(WireCodec, CampaignSetupSemanticRoundtrip) {
+  const WireDesign design;
+  CampaignSetupPayload setup;
+  setup.campaign_id = 17;
+  setup.campaign.graph = design.graph;
+  setup.campaign.netlist = design.netlist;
+  setup.campaign.options.samples_per_fault = 5;
+  setup.campaign.options.stream = hls::StreamMode::kShared;
+  setup.campaign.options.backend = hls::NetlistBackend::kIncremental;
+
+  const std::vector<unsigned char> bytes = encode_campaign_setup(setup);
+  const std::optional<CampaignSetupPayload> got = decode_campaign_setup(bytes);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->campaign_id, 17u);
+  EXPECT_EQ(encode_campaign_setup(*got), bytes);
+
+  const std::vector<hls::FaultJob> jobs_orig =
+      enumerate_fault_jobs(design.netlist, setup.campaign.options);
+  const std::vector<hls::FaultJob> jobs_decoded =
+      enumerate_fault_jobs(got->campaign.netlist, got->campaign.options);
+  EXPECT_EQ(jobs_orig, jobs_decoded);
+
+  const hls::NetlistCampaignResult want = run_netlist_campaign(
+      design.graph, design.netlist, setup.campaign.options);
+  const hls::NetlistCampaignResult have = run_netlist_campaign(
+      got->campaign.graph, got->campaign.netlist, got->campaign.options);
+  EXPECT_TRUE(hls::same_campaign_result(want, have));
+}
+
+TEST(WireCodec, ShardRequestRoundtrip) {
+  const WireDesign design;
+  const std::vector<hls::FaultJob> jobs =
+      enumerate_fault_jobs(design.netlist, {});
+  ASSERT_GE(jobs.size(), 8u);
+  ShardRequestPayload req;
+  req.campaign_id = 17;
+  req.shard_id = 1;
+  req.base = 4;
+  req.jobs.assign(jobs.begin() + 4, jobs.begin() + 8);
+  const std::optional<ShardRequestPayload> got =
+      decode_shard_request(encode_shard_request(req));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->campaign_id, req.campaign_id);
+  EXPECT_EQ(got->shard_id, req.shard_id);
+  EXPECT_EQ(got->base, req.base);
+  EXPECT_EQ(got->jobs, req.jobs);
+}
+
+// ---- frame layer -----------------------------------------------------------
+
+TEST(WireFrame, Roundtrip) {
+  const std::vector<unsigned char> payload = encode_hello(sample_hello());
+  const std::vector<unsigned char> frame =
+      encode_frame(MsgType::kHello, payload);
+  EXPECT_EQ(frame.size(),
+            kFrameHeaderBytes + payload.size() + kFrameChecksumBytes);
+  const std::optional<Frame> got = decode_frame(frame);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->type, MsgType::kHello);
+  EXPECT_EQ(got->payload, payload);
+}
+
+TEST(WireFrame, EmptyPayloadRoundtrip) {
+  const std::optional<Frame> got =
+      decode_frame(encode_frame(MsgType::kHeartbeat, {}));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->type, MsgType::kHeartbeat);
+  EXPECT_TRUE(got->payload.empty());
+}
+
+// THE integrity contract: every single-byte flip of a frame — header,
+// payload, or checksum — is rejected. All eight single-bit flips at every
+// position, so a flip that keeps the byte's low bits intact can't slip
+// through either.
+TEST(WireFrame, EverySingleByteFlipRejected) {
+  const std::vector<unsigned char> frame =
+      encode_frame(MsgType::kShardResult,
+                   encode_shard_result(sample_shard_result()));
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<unsigned char> tampered = frame;
+      tampered[i] ^= static_cast<unsigned char>(1u << bit);
+      EXPECT_FALSE(decode_frame(tampered).has_value())
+          << "flip survived at byte " << i << " bit " << bit;
+    }
+  }
+}
+
+// ...and every truncation (any missing suffix), including the empty
+// buffer. Also rejects one EXTRA byte: decode_frame is whole-buffer
+// strict, trailing garbage is not silently ignored.
+TEST(WireFrame, EveryTruncationRejected) {
+  const std::vector<unsigned char> frame =
+      encode_frame(MsgType::kShardResult,
+                   encode_shard_result(sample_shard_result()));
+  for (std::size_t n = 0; n < frame.size(); ++n) {
+    EXPECT_FALSE(
+        decode_frame({frame.data(), n}).has_value())
+        << "truncation to " << n << " bytes deserialized";
+  }
+  std::vector<unsigned char> extended = frame;
+  extended.push_back(0);
+  EXPECT_FALSE(decode_frame(extended).has_value());
+}
+
+// A version-mismatched frame is rejected even when the adversary reseals
+// the checksum — structural validation, not just integrity.
+TEST(WireFrame, ResealedVersionMismatchRejected) {
+  std::vector<unsigned char> frame =
+      encode_frame(MsgType::kHello, encode_hello(sample_hello()));
+  put_u32_at(frame, 8, kWireProtocolVersion + 1);
+  reseal(frame);
+  EXPECT_FALSE(decode_frame(frame).has_value());
+
+  FrameBuffer buffer;
+  buffer.feed(frame.data(), frame.size());
+  EXPECT_FALSE(buffer.next().has_value());
+  EXPECT_TRUE(buffer.error());
+}
+
+TEST(WireFrame, ResealedBadMagicAndTypeRejected) {
+  const std::vector<unsigned char> frame =
+      encode_frame(MsgType::kHello, encode_hello(sample_hello()));
+  {
+    std::vector<unsigned char> bad = frame;
+    put_u64_at(bad, 0, 0x45524F54534B4353ULL);  // the STORE magic, resealed
+    reseal(bad);
+    EXPECT_FALSE(decode_frame(bad).has_value());
+  }
+  {
+    std::vector<unsigned char> bad = frame;
+    put_u32_at(bad, 12, kMaxMsgType + 1);  // type out of range
+    reseal(bad);
+    EXPECT_FALSE(decode_frame(bad).has_value());
+  }
+  {
+    std::vector<unsigned char> bad = frame;
+    put_u32_at(bad, 12, 0);  // type 0 is reserved / invalid
+    reseal(bad);
+    EXPECT_FALSE(decode_frame(bad).has_value());
+  }
+}
+
+// An oversized length prefix is rejected from the fixed header alone —
+// before any payload is buffered, so a hostile 16-exabyte length costs
+// 24 bytes of memory, not an allocation.
+TEST(WireFrame, OversizedLengthPrefixRejectedWithoutBuffering) {
+  std::vector<unsigned char> header(kFrameHeaderBytes, 0);
+  put_u64_at(header, 0, kWireMagic);
+  put_u32_at(header, 8, kWireProtocolVersion);
+  put_u32_at(header, 12, static_cast<std::uint32_t>(MsgType::kHello));
+  put_u64_at(header, 16, kMaxFramePayload + 1);
+
+  FrameBuffer buffer;
+  buffer.feed(header.data(), header.size());
+  EXPECT_FALSE(buffer.next().has_value());
+  EXPECT_TRUE(buffer.error());
+  EXPECT_LE(buffer.buffered(), kFrameHeaderBytes);
+
+  // Whole-buffer decode rejects it too (resealed, so the checksum is not
+  // what saves us).
+  std::vector<unsigned char> frame = header;
+  frame.resize(header.size() + kFrameChecksumBytes);
+  reseal(frame);
+  EXPECT_FALSE(decode_frame(frame).has_value());
+}
+
+// ---- FrameBuffer streaming -------------------------------------------------
+
+TEST(FrameBuffer, ByteAtATimeThenTwoConcatenatedFrames) {
+  const std::vector<unsigned char> first =
+      encode_frame(MsgType::kHello, encode_hello(sample_hello()));
+  const std::vector<unsigned char> second =
+      encode_frame(MsgType::kHeartbeat, {});
+
+  FrameBuffer buffer;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_FALSE(buffer.next().has_value());
+    buffer.feed(&first[i], 1);
+  }
+  const std::optional<Frame> one = buffer.next();
+  ASSERT_TRUE(one.has_value());
+  EXPECT_EQ(one->type, MsgType::kHello);
+  EXPECT_EQ(buffer.buffered(), 0u);
+
+  // Both frames in one feed: two next() calls, then dry.
+  std::vector<unsigned char> both = first;
+  both.insert(both.end(), second.begin(), second.end());
+  buffer.feed(both.data(), both.size());
+  const std::optional<Frame> a = buffer.next();
+  const std::optional<Frame> b = buffer.next();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->type, MsgType::kHello);
+  EXPECT_EQ(b->type, MsgType::kHeartbeat);
+  EXPECT_FALSE(buffer.next().has_value());
+  EXPECT_FALSE(buffer.error());
+}
+
+TEST(FrameBuffer, GarbageMagicPoisonsTheStream) {
+  FrameBuffer buffer;
+  const std::string garbage = "GET / HTTP/1.1\r\nHost: not-a-campaign\r\n";
+  buffer.feed(reinterpret_cast<const unsigned char*>(garbage.data()),
+              garbage.size());
+  EXPECT_FALSE(buffer.next().has_value());
+  EXPECT_TRUE(buffer.error());
+
+  // Poisoned means poisoned: a valid frame fed afterwards is NOT parsed —
+  // a desynchronized transport cannot resync mid-stream.
+  const std::vector<unsigned char> good =
+      encode_frame(MsgType::kHeartbeat, {});
+  buffer.feed(good.data(), good.size());
+  EXPECT_FALSE(buffer.next().has_value());
+  EXPECT_TRUE(buffer.error());
+}
+
+// Payload decoders are bounds-checked independently of the frame checksum
+// (defense in depth: they must hold even for a payload handed to them
+// directly). Truncate every payload length of a structured payload.
+TEST(WirePayload, TruncatedPayloadsRejected) {
+  const std::vector<unsigned char> payload =
+      encode_shard_result(sample_shard_result());
+  for (std::size_t n = 0; n < payload.size(); ++n) {
+    EXPECT_FALSE(
+        decode_shard_result({payload.data(), n}).has_value())
+        << "truncated payload of " << n << " bytes deserialized";
+  }
+  const std::vector<unsigned char> hello = encode_hello(sample_hello());
+  for (std::size_t n = 0; n < hello.size(); ++n) {
+    EXPECT_FALSE(decode_hello({hello.data(), n}).has_value());
+  }
+}
+
+// A hostile count prefix inside a payload (e.g. "4 billion per-job stats
+// follow") must fail fast on the remaining-bytes cap, not allocate.
+TEST(WirePayload, HostileElementCountRejected) {
+  std::vector<unsigned char> payload =
+      encode_shard_result(sample_shard_result());
+  // Layout: campaign_id u64 | shard_id u64 | base u64 | count u64 | ...
+  put_u64_at(payload, 24, 0xFFFFFFFFFFFFULL);
+  EXPECT_FALSE(decode_shard_result(payload).has_value());
+}
+
+}  // namespace
+}  // namespace sck::service
