@@ -665,6 +665,9 @@ int main(int argc, char** argv) {
           .set("workers", workers)
           .set("shards", got->stats.shards_total)
           .set("shards_requeued", got->stats.shards_requeued)
+          .set("shards_journaled", got->stats.shards_journaled)
+          .set("shards_resumed", got->stats.shards_resumed)
+          .set("workers_quarantined", got->stats.workers_quarantined)
           .set("seconds", got->stats.seconds)
           .set("samples_per_sec", svc_trials / got->stats.seconds)
           .set("speedup_vs_1_worker", service_1w_s / got->stats.seconds)

@@ -1,10 +1,15 @@
 // The campaign service, end to end on one machine.
 //
 //   campaign_daemon serve  [--listen=ADDR] [--store=DIR] [--shard-jobs=N]
-//                          [--heartbeat-timeout=SECONDS]
+//                          [--heartbeat-timeout=SECONDS] [--probation=N]
 //       Start a daemon and serve until SIGINT/SIGTERM. Prints
 //       "listening on ADDR" (with the kernel-assigned port resolved) so
-//       scripts can scrape the address when binding port 0.
+//       scripts can scrape the address when binding port 0. With --store,
+//       every reduced shard is journaled: kill -9 the daemon mid-campaign,
+//       restart it on the same store, re-submit, and the finished result
+//       is byte-identical with completed shards resumed, not recomputed.
+//       --probation=N quarantines a named worker after it loses N shards
+//       (0 disables).
 //
 //   campaign_daemon submit ADDR [json_path] [--samples=N]
 //       Submit the demo campaign (self-checking FIR, shared-stream
@@ -108,8 +113,11 @@ void emit_service_json(std::ostream& os, const sck::service::ShardStats& s) {
   os << "    \"shards_total\": " << s.shards_total << ",\n";
   os << "    \"shards_executed\": " << s.shards_executed << ",\n";
   os << "    \"shards_requeued\": " << s.shards_requeued << ",\n";
+  os << "    \"shards_journaled\": " << s.shards_journaled << ",\n";
+  os << "    \"shards_resumed\": " << s.shards_resumed << ",\n";
   os << "    \"workers\": " << s.workers << ",\n";
   os << "    \"workers_lost\": " << s.workers_lost << ",\n";
+  os << "    \"workers_quarantined\": " << s.workers_quarantined << ",\n";
   os << "    \"served_from_cache\": "
      << (s.served_from_cache ? "true" : "false") << ",\n";
   os << "    \"seconds\": " << s.seconds << ",\n";
@@ -140,8 +148,11 @@ int write_json(const std::string& path, const std::string& body) {
 void print_shard_stats(const sck::service::ShardStats& stats) {
   std::cout << "scheduler: " << stats.shards_executed << "/"
             << stats.shards_total << " shards executed, "
-            << stats.shards_requeued << " re-queued, " << stats.workers
-            << " worker(s), " << stats.workers_lost << " lost"
+            << stats.shards_requeued << " re-queued, "
+            << stats.shards_journaled << " journaled, "
+            << stats.shards_resumed << " resumed, " << stats.workers
+            << " worker(s), " << stats.workers_lost << " lost, "
+            << stats.workers_quarantined << " quarantined"
             << (stats.served_from_cache ? ", served from cache" : "")
             << ", " << sck::format_fixed(stats.seconds, 3) << " s, "
             << sck::format_fixed(stats.samples_per_sec, 0)
@@ -176,6 +187,8 @@ int run_serve(int argc, char** argv) {
       opt.shard_jobs = std::atoi(arg.c_str() + 13);
     } else if (arg.rfind("--heartbeat-timeout=", 0) == 0) {
       opt.heartbeat_timeout = std::atof(arg.c_str() + 20);
+    } else if (arg.rfind("--probation=", 0) == 0) {
+      opt.probation_strikes = std::atoi(arg.c_str() + 12);
     } else {
       std::cerr << "unknown serve option: " << arg << "\n";
       return 2;
@@ -196,8 +209,10 @@ int run_serve(int argc, char** argv) {
   std::cout << "daemon exiting: " << c.campaigns_completed
             << " campaign(s) completed (" << c.campaigns_cached
             << " from cache), " << c.workers_joined << " worker(s) joined, "
-            << c.workers_lost << " lost, " << c.shards_requeued
-            << " shard(s) re-queued\n";
+            << c.workers_lost << " lost, " << c.workers_quarantined
+            << " quarantined, " << c.shards_requeued << " shard(s) re-queued, "
+            << c.shards_journaled << " journaled, " << c.shards_resumed
+            << " resumed\n";
   g_daemon = nullptr;
   return 0;
 }
@@ -270,7 +285,7 @@ int main(int argc, char** argv) {
   if (mode == "local") return run_campaign(argc, argv, /*remote=*/false);
   std::cerr << "usage: campaign_daemon serve|submit|local ...\n"
                "  serve  [--listen=ADDR] [--store=DIR] [--shard-jobs=N]\n"
-               "         [--heartbeat-timeout=S]\n"
+               "         [--heartbeat-timeout=S] [--probation=N]\n"
                "  submit ADDR [json_path] [--samples=N]\n"
                "  local  [json_path] [--samples=N]\n";
   return 2;

@@ -2,7 +2,7 @@
 // shards until it shuts us down.
 //
 //   campaign_worker ADDR [--name=S] [--lanes=N] [--threads=N]
-//                        [--max-shards=N] [--abrupt]
+//                        [--max-shards=N] [--abrupt] [--reconnect]
 //
 // --lanes / --threads override the campaign's own settings LOCALLY —
 // results are invariant to both, which is exactly what lets heterogeneous
@@ -10,6 +10,9 @@
 // campaign. --max-shards/--abrupt are the worker-loss test hooks: after N
 // shards the worker severs its connection the instant the next shard
 // arrives, exercising the daemon's re-queue path like a SIGKILL would.
+// --reconnect makes the worker survive transport loss and daemon restarts
+// by redialing with exponential backoff; a daemon unreachable for a whole
+// connect-timeout window retires the worker cleanly.
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -31,6 +34,8 @@ int main(int argc, char** argv) {
       opt.max_shards = std::atoi(arg.c_str() + 13);
     } else if (arg == "--abrupt") {
       opt.abrupt = true;
+    } else if (arg == "--reconnect") {
+      opt.reconnect = true;
     } else if (positional == 0) {
       opt.connect = arg;
       ++positional;
@@ -41,7 +46,7 @@ int main(int argc, char** argv) {
   }
   if (positional == 0) {
     std::cerr << "usage: campaign_worker ADDR [--name=S] [--lanes=N] "
-                 "[--threads=N] [--max-shards=N] [--abrupt]\n";
+                 "[--threads=N] [--max-shards=N] [--abrupt] [--reconnect]\n";
     return 2;
   }
   return sck::service::run_worker(opt);

@@ -1,0 +1,79 @@
+// Seeded fault-injecting socket shim — the hostile transport the service
+// is proven against.
+//
+// The wire codec's integrity checks (checksummed frames, poisoning
+// FrameBuffer) and the scheduler's recovery machinery (re-queue, resume,
+// reconnect) are only worth anything if they are exercised against a
+// transport that actually misbehaves. This shim layers DETERMINISTIC
+// misbehaviour under the service's send/recv paths, strictly below the
+// wire codec, so every loopback campaign can be run through drops,
+// partial writes, short reads, delays, bit corruption and abrupt resets —
+// and must still reduce to bytes identical to the single-host run
+// (tests/test_service_chaos.cpp).
+//
+// Faults are selected by a seeded SplitMix64 stream over a process-wide
+// operation counter: the same seed injects the same fault sequence (up to
+// thread interleaving), and CI rotates the seed per run like the fuzz
+// suites (SCK_CHAOS_SEED, echoed into the log).
+//
+// Injection is PROCESS-WIDE once installed: daemon, workers and clients
+// in one test process all suffer the same weather. It never rewrites
+// delivered bytes silently into something parseable — a corrupted or
+// truncated frame is caught by the frame checksum, a desynchronized
+// stream poisons the FrameBuffer, and both end in a dropped connection
+// that the reconnect/resume machinery must survive. Correctness comes
+// from the checks, liveness from the retries; the shim attacks both.
+//
+// chaos_send/chaos_recv are also the service's ONE hardened syscall
+// wrapper pair even with chaos off: every send carries MSG_NOSIGNAL (a
+// peer that vanished must surface as EPIPE, never SIGPIPE), and EINTR is
+// retried internally — service code never sees it.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sck::service {
+
+/// Fault mix. Rates are per 10,000 socket operations; 0 disables that
+/// fault. Defaults are all-zero — install via set_chaos or SCK_CHAOS.
+struct ChaosOptions {
+  std::uint64_t seed = 1;
+  int corrupt_per_10k = 0;  ///< flip one bit of one byte of a send
+  int partial_per_10k = 0;  ///< cut a send short / shorten a read
+  int delay_per_10k = 0;    ///< sleep up to max_delay_ms before the op
+  int drop_per_10k = 0;     ///< swallow a whole send, report success
+  int reset_per_10k = 0;    ///< shutdown(2) the socket: peer sees a reset
+  int max_delay_ms = 2;
+};
+
+/// The mix used by SCK_CHAOS=1 and the chaos suite: frequent partial I/O
+/// and delays, occasional corruption, rare drops/resets — hostile enough
+/// to exercise every recovery path, tame enough that campaigns converge.
+[[nodiscard]] ChaosOptions default_chaos(std::uint64_t seed);
+
+/// Install `options` process-wide (all service sockets). Thread-safe.
+void set_chaos(const ChaosOptions& options);
+/// Back to a well-behaved transport.
+void clear_chaos();
+[[nodiscard]] bool chaos_enabled();
+
+/// Env hook for binaries: SCK_CHAOS=1 (or a per-10k mix like
+/// "corrupt=30,partial=400,delay=300,drop=10,reset=5") enables the shim,
+/// SCK_CHAOS_SEED=<n> seeds it. Returns true when chaos was installed
+/// (the caller should echo the seed like the fuzz suites do).
+bool install_chaos_from_env();
+/// The seed currently installed (0 when chaos is off) — for echoing.
+[[nodiscard]] std::uint64_t chaos_seed();
+
+/// send(2)/recv(2) for ALL service transport code: EINTR retried
+/// internally, MSG_NOSIGNAL always set on sends, chaos injected when
+/// installed. Same return/errno contract as the raw syscalls otherwise
+/// (nonblocking callers still see EAGAIN/EWOULDBLOCK).
+ssize_t chaos_send(int fd, const unsigned char* data, std::size_t n,
+                   int flags);
+ssize_t chaos_recv(int fd, unsigned char* data, std::size_t n, int flags);
+
+}  // namespace sck::service

@@ -4,6 +4,16 @@
 // single host — the daemon guarantees it at any worker count, shard size
 // and arrival order — plus the ShardStats telemetry of how the work was
 // actually spread.
+//
+// Transport robustness: a lost connection, a poisoned stream or a daemon
+// that went silent past idle_timeout does NOT fail the submission — the
+// client reconnects with exponential backoff and re-submits the SAME
+// request. Re-submission is idempotent by construction: the daemon keys
+// campaigns by content fingerprint, so a re-attach lands on the still-
+// running campaign (or its cached result) instead of recomputing; a
+// daemon that crashed in between resumes from its shard journal. Only a
+// daemon-reported campaign failure (deterministic — retrying cannot help)
+// or the total_timeout deadline surfaces as an error.
 #pragma once
 
 #include <optional>
@@ -19,11 +29,27 @@ struct ServiceCampaignResult {
   ShardStats stats;
 };
 
+/// Reconnect/backoff policy of one submission.
+struct ClientOptions {
+  /// Overall deadline: connect attempts, re-submissions and the waits in
+  /// between all count against it.
+  double total_timeout = 120.0;
+  /// Daemon silent this long while we await the response -> the stream is
+  /// presumed wedged (e.g. a half-delivered frame): reconnect, re-submit.
+  /// Must exceed the daemon's worst-case campaign completion time.
+  double idle_timeout = 30.0;
+  /// Exponential backoff between attempts: initial doubles up to max.
+  double backoff_initial = 0.05;
+  double backoff_max = 2.0;
+};
+
 /// Submit a campaign to the daemon at `address` and wait for the reduced
-/// report. nullopt (with *error set) on connect, wire or daemon failure.
+/// report, reconnecting and idempotently re-submitting through transport
+/// failures. nullopt (with *error set) on a malformed address, a daemon-
+/// reported failure, or the total_timeout deadline.
 [[nodiscard]] std::optional<ServiceCampaignResult> run_remote_campaign(
     const std::string& address, const hls::Dfg& graph,
     const hls::Netlist& netlist, const hls::NetlistCampaignOptions& options,
-    std::string* error = nullptr);
+    std::string* error = nullptr, const ClientOptions& client = {});
 
 }  // namespace sck::service

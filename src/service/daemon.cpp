@@ -17,8 +17,10 @@
 #include "common/assert.h"
 #include "fault/parallel.h"
 #include "hls/netlist_exec.h"
+#include "service/chaos.h"
 #include "service/socket.h"
 #include "store/fingerprint.h"
+#include "store/journal.h"
 #include "store/store.h"
 
 namespace sck::service {
@@ -37,6 +39,13 @@ struct ShardDef {
   std::uint32_t count = 0;
 };
 
+/// One shard handed to a worker and not yet answered back.
+struct InflightShard {
+  std::uint64_t campaign = 0;
+  std::size_t shard = 0;
+  double since = 0;  ///< assignment time, for the shard-age timeout
+};
+
 struct Connection {
   int fd = -1;
   enum class Kind { kUnknown, kWorker, kClient } kind = Kind::kUnknown;
@@ -45,10 +54,11 @@ struct Connection {
   std::size_t out_at = 0;  ///< bytes of outq.front() already sent
   std::uint64_t worker_id = 0;
   std::string name;
+  bool named = false;  ///< name came from the Hello (probation-trackable)
   std::int32_t lanes = 0;
   double last_rx = 0;
-  /// Shards handed to this worker, not yet answered: (campaign, shard).
-  std::vector<std::pair<std::uint64_t, std::size_t>> inflight;
+  /// Shards handed to this worker, not yet answered.
+  std::vector<InflightShard> inflight;
   /// Campaigns whose setup frame this worker already received.
   std::set<std::uint64_t> has_setup;
 };
@@ -64,6 +74,9 @@ struct ActiveCampaign {
   std::unique_ptr<fault::ShardQueue> queue;
   std::vector<unsigned char> setup_frame;
   std::vector<int> waiting_clients;  ///< fds to answer at completion
+  /// Shard write-ahead journal (store-backed campaigns only): merged
+  /// results are committed here before a crash can lose them.
+  std::unique_ptr<store::ShardJournal> journal;
   ShardStats stats;
   std::map<std::uint64_t, WorkerShardStats> per_worker;  ///< by worker id
   double t0 = 0;
@@ -103,6 +116,11 @@ struct CampaignDaemon::Impl {
   std::uint64_t next_campaign_id = 1;
   std::unique_ptr<store::CampaignStore> store;
   std::set<int> pending_dead;
+  std::atomic<bool> hard_stopping{false};
+  /// Probation ledger, keyed by ANNOUNCED worker name (auto-named workers
+  /// get a fresh name per connection — nothing to track across dials).
+  std::map<std::string, int> strikes;
+  std::set<std::string> quarantined;
 
   mutable std::mutex counters_mutex;
   DaemonCounters counters;
@@ -119,11 +137,13 @@ struct CampaignDaemon::Impl {
   void flush(Connection& conn) {
     while (!conn.outq.empty()) {
       const std::vector<unsigned char>& buf = conn.outq.front();
+      // chaos_send = hardened send(2): MSG_NOSIGNAL forced, EINTR retried
+      // internally, transit faults injected when the chaos shim is on.
       const ssize_t n =
-          ::send(conn.fd, buf.data() + conn.out_at, buf.size() - conn.out_at,
-                 MSG_NOSIGNAL | MSG_DONTWAIT);
+          chaos_send(conn.fd, buf.data() + conn.out_at,
+                     buf.size() - conn.out_at, MSG_DONTWAIT);
       if (n < 0) {
-        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
         pending_dead.insert(conn.fd);
         return;
       }
@@ -223,6 +243,37 @@ struct CampaignDaemon::Impl {
         std::make_unique<fault::ShardQueue>(campaign->shards.size());
     campaign->stats.shards_total = campaign->shards.size();
 
+    if (store) {
+      // Pin the fingerprint so a concurrent trim can never evict the
+      // journal (or a freshly saved entry) of an in-flight campaign, then
+      // open the write-ahead journal — recovering whatever a pre-crash
+      // daemon committed for this exact fingerprint.
+      store->pin(campaign->fp);
+      campaign->journal = std::make_unique<store::ShardJournal>(
+          store->journal_path(campaign->fp), campaign->fp,
+          campaign->jobs.size());
+      for (const store::JournalShard& rec :
+           campaign->journal->recovery().shards) {
+        // Each recovered record must match a shard of THIS daemon's cut:
+        // a restart with a different shard_jobs produces different
+        // geometry, and a non-matching record degrades to recompute —
+        // never to a wrong splice.
+        if (rec.shard_id >= campaign->shards.size()) continue;
+        const ShardDef& def = campaign->shards[rec.shard_id];
+        if (rec.base != def.base || rec.per_job.size() != def.count) continue;
+        if (!campaign->queue->complete(rec.shard_id)) continue;
+        std::copy(rec.per_job.begin(), rec.per_job.end(),
+                  campaign->per_job.begin() +
+                      static_cast<std::ptrdiff_t>(def.base));
+        ++campaign->stats.shards_executed;
+        ++campaign->stats.shards_resumed;
+      }
+      if (campaign->stats.shards_resumed > 0) {
+        const std::lock_guard<std::mutex> lock(counters_mutex);
+        counters.shards_resumed += campaign->stats.shards_resumed;
+      }
+    }
+
     CampaignSetupPayload setup;
     setup.campaign_id = campaign->id;
     setup.campaign = campaign->payload;
@@ -232,8 +283,8 @@ struct CampaignDaemon::Impl {
 
     ActiveCampaign& active =
         *campaigns.emplace(campaign->id, std::move(campaign)).first->second;
-    if (active.jobs.empty()) {
-      finalize(active);
+    if (active.jobs.empty() || active.queue->all_complete()) {
+      finalize(active);  // empty universe, or every shard resumed
       return;
     }
     assign_shards();
@@ -246,9 +297,10 @@ struct CampaignDaemon::Impl {
       pending_dead.insert(conn.fd);  // desynchronized worker
       return;
     }
-    std::erase(conn.inflight,
-               std::make_pair(res->campaign_id,
-                              static_cast<std::size_t>(res->shard_id)));
+    std::erase_if(conn.inflight, [&](const InflightShard& s) {
+      return s.campaign == res->campaign_id &&
+             s.shard == static_cast<std::size_t>(res->shard_id);
+    });
 
     const auto it = campaigns.find(res->campaign_id);
     if (it == campaigns.end()) return;  // stale result of a done campaign
@@ -271,6 +323,14 @@ struct CampaignDaemon::Impl {
               campaign.per_job.begin() +
                   static_cast<std::ptrdiff_t>(def.base));
     ++campaign.stats.shards_executed;
+    // Write-ahead: commit the merged shard durably BEFORE it can matter —
+    // a daemon crash past this line resumes instead of recomputing it.
+    if (campaign.journal && campaign.journal->usable() &&
+        campaign.journal->append(res->shard_id, def.base, res->per_job)) {
+      ++campaign.stats.shards_journaled;
+      const std::lock_guard<std::mutex> lock(counters_mutex);
+      ++counters.shards_journaled;
+    }
     WorkerShardStats& ws = campaign.per_worker[conn.worker_id];
     if (ws.worker.empty()) {
       ws.worker = conn.name;
@@ -305,7 +365,13 @@ struct CampaignDaemon::Impl {
           static_cast<double>(samples) / campaign.stats.seconds;
     }
 
-    if (store) store->save(campaign.fp, result);
+    if (store) {
+      // Save first, THEN retire the journal: a crash between the two
+      // leaves both on disk and the cache hit wins on resubmission.
+      store->save(campaign.fp, result);
+      if (campaign.journal) campaign.journal->remove();
+      store->unpin(campaign.fp);
+    }
 
     CampaignResponsePayload payload;
     payload.campaign_id = campaign.id;
@@ -348,11 +414,25 @@ struct CampaignDaemon::Impl {
       pending_dead.insert(conn.fd);
       return;
     }
+    // Probation: a name that exhausted its strikes has its capability
+    // slot retired — the hello is turned away, the shards stay with
+    // workers that keep them alive.
+    if (!hello->worker_name.empty() &&
+        quarantined.contains(hello->worker_name)) {
+      enqueue(conn,
+              encode_frame(MsgType::kError,
+                           encode_error("worker '" + hello->worker_name +
+                                        "' is quarantined after losing " +
+                                        std::to_string(opt.probation_strikes) +
+                                        " shards")));
+      pending_dead.insert(conn.fd);
+      return;
+    }
     conn.kind = Connection::Kind::kWorker;
     conn.worker_id = next_worker_id++;
-    conn.name = hello->worker_name.empty()
-                    ? "worker-" + std::to_string(conn.worker_id)
-                    : hello->worker_name;
+    conn.named = !hello->worker_name.empty();
+    conn.name = conn.named ? hello->worker_name
+                           : "worker-" + std::to_string(conn.worker_id);
     conn.lanes = hello->native_lanes;
     HelloAckPayload ack;
     ack.worker_id = conn.worker_id;
@@ -391,7 +471,7 @@ struct CampaignDaemon::Impl {
                   static_cast<std::ptrdiff_t>(def.base + def.count));
           enqueue(conn, encode_frame(MsgType::kShardRequest,
                                      encode_shard_request(req)));
-          conn.inflight.emplace_back(id, *shard);
+          conn.inflight.push_back(InflightShard{id, *shard, now_seconds()});
         }
       }
     }
@@ -406,11 +486,11 @@ struct CampaignDaemon::Impl {
     Connection& conn = it->second;
     if (conn.kind == Connection::Kind::kWorker) {
       std::set<std::uint64_t> touched;
-      for (const auto& [campaign_id, shard] : conn.inflight) {
-        const auto cit = campaigns.find(campaign_id);
+      for (const InflightShard& held : conn.inflight) {
+        const auto cit = campaigns.find(held.campaign);
         if (cit == campaigns.end()) continue;
         ActiveCampaign& campaign = *cit->second;
-        campaign.queue->requeue(shard);
+        campaign.queue->requeue(held.shard);
         ++campaign.stats.shards_requeued;
         WorkerShardStats& ws = campaign.per_worker[conn.worker_id];
         if (ws.worker.empty()) {
@@ -418,13 +498,32 @@ struct CampaignDaemon::Impl {
           ws.lanes = conn.lanes;
         }
         ws.lost = true;
-        if (touched.insert(campaign_id).second) {
+        if (touched.insert(held.campaign).second) {
           ++campaign.stats.workers_lost;
+        }
+      }
+      bool newly_quarantined = false;
+      if (!conn.inflight.empty() && conn.named && opt.probation_strikes > 0) {
+        // Each disconnect-with-work is one strike against the NAME; at
+        // the limit the name is quarantined for the daemon's lifetime.
+        const int s = ++strikes[conn.name];
+        if (s >= opt.probation_strikes &&
+            quarantined.insert(conn.name).second) {
+          newly_quarantined = true;
+          std::fprintf(stderr,
+                       "[daemon] quarantining worker '%s' after losing %d "
+                       "shard(s) across %d connection(s)\n",
+                       conn.name.c_str(),
+                       static_cast<int>(conn.inflight.size()), s);
+          for (const std::uint64_t campaign_id : touched) {
+            ++campaigns.at(campaign_id)->stats.workers_quarantined;
+          }
         }
       }
       const std::lock_guard<std::mutex> lock(counters_mutex);
       counters.shards_requeued += conn.inflight.size();
       if (!conn.inflight.empty()) ++counters.workers_lost;
+      if (newly_quarantined) ++counters.workers_quarantined;
     } else {
       for (auto& [id, campaign] : campaigns) {
         std::erase(campaign->waiting_clients, fd);
@@ -438,10 +537,30 @@ struct CampaignDaemon::Impl {
   void check_heartbeats() {
     const double now = now_seconds();
     for (auto& [fd, conn] : conns) {
+      if (conn.kind == Connection::Kind::kUnknown) {
+        // A connection that never identified itself (its hello lost or
+        // half-delivered in transit) must not leak forever.
+        if (now - conn.last_rx > opt.heartbeat_timeout) {
+          pending_dead.insert(fd);
+        }
+        continue;
+      }
       if (conn.kind != Connection::Kind::kWorker) continue;
       if (conn.inflight.empty()) continue;  // idle workers may sleep
       if (now - conn.last_rx > opt.heartbeat_timeout) {
         pending_dead.insert(fd);
+        continue;
+      }
+      // Heartbeats prove the worker is alive, not that a shard is coming:
+      // a request half-lost in transit stalls its shard forever while
+      // idle-loop heartbeats keep last_rx fresh. Age out the assignment —
+      // dropping the connection re-queues the work AND hands any live
+      // worker process a clean stream to reconnect on.
+      for (const InflightShard& held : conn.inflight) {
+        if (now - held.since > opt.heartbeat_timeout) {
+          pending_dead.insert(fd);
+          break;
+        }
       }
     }
   }
@@ -495,7 +614,8 @@ struct CampaignDaemon::Impl {
   void on_readable(Connection& conn) {
     unsigned char chunk[kReadChunk];
     for (;;) {
-      const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+      const ssize_t n = chaos_recv(conn.fd, chunk, sizeof(chunk),
+                                   MSG_DONTWAIT);
       if (n > 0) {
         conn.last_rx = now_seconds();
         conn.in.feed(chunk, static_cast<std::size_t>(n));
@@ -506,7 +626,7 @@ struct CampaignDaemon::Impl {
         pending_dead.insert(conn.fd);
         break;
       }
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       pending_dead.insert(conn.fd);
       break;
     }
@@ -572,13 +692,15 @@ struct CampaignDaemon::Impl {
     }
 
     // Graceful shutdown: tell every worker to drain and exit; best-effort
-    // (a full socket buffer just means the worker sees EOF instead).
+    // (a full socket buffer just means the worker sees EOF instead). A
+    // HARD stop skips the farewell — peers observe the bare EOF a
+    // SIGKILLed daemon leaves, and journals stay on disk for resume.
+    const bool hard = hard_stopping.load(std::memory_order_relaxed);
     const std::vector<unsigned char> bye =
         encode_frame(MsgType::kShutdown, {});
     for (auto& [fd, conn] : conns) {
-      if (conn.kind == Connection::Kind::kWorker) {
-        (void)::send(fd, bye.data(), bye.size(),
-                     MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (!hard && conn.kind == Connection::Kind::kWorker) {
+        (void)chaos_send(fd, bye.data(), bye.size(), MSG_DONTWAIT);
       }
       close_fd(fd);
     }
@@ -634,6 +756,11 @@ void CampaignDaemon::stop() {
   if (impl_->wake_wr >= 0) {
     (void)!::write(impl_->wake_wr, &byte, 1);
   }
+}
+
+void CampaignDaemon::stop_hard() {
+  impl_->hard_stopping.store(true, std::memory_order_relaxed);
+  stop();
 }
 
 DaemonCounters CampaignDaemon::counters() const {

@@ -24,6 +24,18 @@
 // configured the daemon fronts campaigns with the content-addressed
 // CampaignStore: repeat requests are served from cache without running a
 // single shard.
+//
+// Crash durability: with a store configured, every merged shard result is
+// committed to a per-campaign write-ahead journal (store::ShardJournal,
+// keyed by the campaign fingerprint, pinned against store trims) the
+// moment it lands. A daemon that dies mid-campaign — crash, SIGKILL,
+// power loss — resumes on the next submission of the same fingerprint:
+// journaled shards are spliced straight back into their grid-index slots
+// and only the missing ones are rescheduled, so the final result stays
+// byte-identical to an uninterrupted run. Workers that repeatedly take
+// shards down with them are put on probation: after probation_strikes
+// losses a worker NAME is quarantined — its capability slot is retired
+// and future hellos under that name are turned away.
 #pragma once
 
 #include <cstdint>
@@ -50,7 +62,15 @@ struct ServiceOptions {
   /// previous one executes.
   int max_inflight_per_worker = 2;
   /// CampaignStore directory for result caching ("" = no store backend).
+  /// Also enables the shard write-ahead journal: campaigns interrupted by
+  /// a daemon crash resume from their completed shards on re-submission.
   std::string store_dir;
+  /// Worker probation: a worker NAME that loses this many shards-in-
+  /// flight (disconnect, timeout, protocol violation while holding work)
+  /// is quarantined — dropped and refused on future hellos. 0 disables.
+  /// Unnamed workers get a fresh auto-name per connection, so probation
+  /// cannot track them across reconnects (name your workers in anger).
+  int probation_strikes = 3;
 };
 
 /// Daemon-lifetime counters (telemetry for tests and the serve log).
@@ -59,7 +79,10 @@ struct DaemonCounters {
   std::uint64_t campaigns_cached = 0;  ///< served from the store
   std::uint64_t workers_joined = 0;
   std::uint64_t workers_lost = 0;
+  std::uint64_t workers_quarantined = 0;  ///< probation strikes exhausted
   std::uint64_t shards_requeued = 0;
+  std::uint64_t shards_journaled = 0;  ///< results committed to the WAL
+  std::uint64_t shards_resumed = 0;    ///< recovered from pre-crash journals
 };
 
 class CampaignDaemon {
@@ -86,6 +109,11 @@ class CampaignDaemon {
   /// Thread-safe: wakes the loop, drains, sends workers a graceful
   /// kShutdown and returns run() to its caller.
   void stop();
+
+  /// Crash simulation for the in-process resume tests: stop WITHOUT the
+  /// kShutdown farewell — peers observe a bare EOF, exactly what a
+  /// SIGKILLed daemon leaves behind, and journals stay on disk.
+  void stop_hard();
 
   [[nodiscard]] DaemonCounters counters() const;
 

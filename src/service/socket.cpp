@@ -1,5 +1,7 @@
 #include "service/socket.h"
 
+#include "service/chaos.h"
+
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -129,7 +131,14 @@ int connect_to(const Address& addr, std::string* error) {
     return -1;
   }
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&storage), len) != 0) {
-    if (error) *error = errno_text(("connect " + addr.text()).c_str());
+    // EINTR leaves a blocking connect in flight with no portable way to
+    // resume it: close the socket and report retryable — the
+    // connect_with_retry loop (every caller) simply re-dials.
+    if (error) {
+      *error = errno == EINTR
+                   ? "connect interrupted"
+                   : errno_text(("connect " + addr.text()).c_str());
+    }
     ::close(fd);
     return -1;
   }
@@ -158,12 +167,11 @@ int connect_with_retry(const Address& addr, double timeout_seconds,
 bool send_all(int fd, std::span<const unsigned char> bytes) {
   std::size_t at = 0;
   while (at < bytes.size()) {
-    const ssize_t n = ::send(fd, bytes.data() + at, bytes.size() - at,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
+    // chaos_send retries EINTR and forces MSG_NOSIGNAL; with the chaos
+    // shim installed this is also where transit faults are injected.
+    const ssize_t n = chaos_send(fd, bytes.data() + at, bytes.size() - at,
+                                 0);
+    if (n < 0) return false;
     if (n == 0) return false;
     at += static_cast<std::size_t>(n);
   }

@@ -548,8 +548,11 @@ void put_shard_stats(std::vector<unsigned char>& out, const ShardStats& s) {
   put_u64(out, s.shards_total);
   put_u64(out, s.shards_executed);
   put_u64(out, s.shards_requeued);
+  put_u64(out, s.shards_journaled);
+  put_u64(out, s.shards_resumed);
   put_u64(out, s.workers);
   put_u64(out, s.workers_lost);
+  put_u64(out, s.workers_quarantined);
   put_bool(out, s.served_from_cache);
   put_f64(out, s.seconds);
   put_f64(out, s.samples_per_sec);
@@ -566,9 +569,11 @@ void put_shard_stats(std::vector<unsigned char>& out, const ShardStats& s) {
 
 [[nodiscard]] bool get_shard_stats(Reader& r, ShardStats& s) {
   if (!r.u64(s.shards_total) || !r.u64(s.shards_executed) ||
-      !r.u64(s.shards_requeued) || !r.u64(s.workers) ||
-      !r.u64(s.workers_lost) || !r.boolean(s.served_from_cache) ||
-      !r.f64(s.seconds) || !r.f64(s.samples_per_sec)) {
+      !r.u64(s.shards_requeued) || !r.u64(s.shards_journaled) ||
+      !r.u64(s.shards_resumed) || !r.u64(s.workers) ||
+      !r.u64(s.workers_lost) || !r.u64(s.workers_quarantined) ||
+      !r.boolean(s.served_from_cache) || !r.f64(s.seconds) ||
+      !r.f64(s.samples_per_sec)) {
     return false;
   }
   std::uint64_t count = 0;

@@ -45,7 +45,9 @@ inline constexpr std::uint64_t kWireMagic = 0x0045524957'4B4353ULL;
 /// Wire protocol generation. Bump on ANY frame or payload layout change:
 /// peers of another version are rejected at the frame level (and a worker
 /// announcing a different version in its Hello is turned away).
-inline constexpr std::uint32_t kWireProtocolVersion = 1;
+/// v2: ShardStats grew shards_journaled / shards_resumed /
+/// workers_quarantined (crash-durable resume + worker probation).
+inline constexpr std::uint32_t kWireProtocolVersion = 2;
 
 /// Hard ceiling on one frame's payload. A length prefix beyond this is
 /// rejected from the header alone — a corrupted (or hostile) length can
@@ -201,8 +203,11 @@ struct ShardStats {
   std::uint64_t shards_total = 0;
   std::uint64_t shards_executed = 0;  ///< shard results merged (= total)
   std::uint64_t shards_requeued = 0;  ///< re-runs caused by lost workers
+  std::uint64_t shards_journaled = 0;  ///< results committed to the WAL
+  std::uint64_t shards_resumed = 0;  ///< recovered from a pre-crash journal
   std::uint64_t workers = 0;          ///< workers that merged >= 1 shard
   std::uint64_t workers_lost = 0;
+  std::uint64_t workers_quarantined = 0;  ///< probation strikes exhausted
   bool served_from_cache = false;  ///< CampaignStore hit: no shards ran
   double seconds = 0;              ///< daemon wall time, request -> reduce
   double samples_per_sec = 0;      ///< job-samples / seconds

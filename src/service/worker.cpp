@@ -4,21 +4,29 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "hls/netlist_campaign.h"
 #include "hw/plane.h"
+#include "service/chaos.h"
 #include "service/socket.h"
 #include "service/wire.h"
 
 namespace sck::service {
 
 namespace {
+
+/// A hello the daemon never acknowledged (lost in transit, half-delivered)
+/// must not hang the worker forever: past this, redial with a clean stream.
+constexpr double kHelloAckTimeout = 5.0;
 
 [[nodiscard]] const char* native_isa() {
 #if defined(__AVX512F__)
@@ -30,16 +38,19 @@ namespace {
 #endif
 }
 
-enum class Loop { kContinue, kDone, kFail };
+enum class Loop { kContinue, kDone, kFail, kLost };
 
 struct WorkerState {
   int fd = -1;
   const WorkerOptions* opt = nullptr;
   std::uint64_t worker_id = 0;
+  bool acked = false;  ///< HelloAck received on THIS connection
   /// One compiled runner per campaign: plan/cones/golden-trace amortized
-  /// over every shard of that campaign this worker executes.
+  /// over every shard of that campaign this worker executes. Scoped to
+  /// the CONNECTION — campaign ids restart across daemon incarnations, so
+  /// a runner surviving a reconnect could collide with a fresh id.
   std::map<std::uint64_t, std::unique_ptr<hls::CampaignSliceRunner>> runners;
-  int shards_done = 0;
+  int shards_done = 0;  ///< carried ACROSS reconnects (max_shards budget)
 };
 
 [[nodiscard]] bool send_frame(int fd, MsgType type,
@@ -115,7 +126,7 @@ Loop handle_shard(WorkerState& state, const Frame& frame) {
   res.seconds = now_seconds() - t0;
   if (!send_frame(state.fd, MsgType::kShardResult,
                   encode_shard_result(res))) {
-    return Loop::kDone;  // daemon gone; nothing left to report to
+    return Loop::kLost;  // daemon gone; it will re-queue the shard
   }
   ++state.shards_done;
   return Loop::kContinue;
@@ -128,6 +139,7 @@ Loop handle_frame(WorkerState& state, const Frame& frame) {
           decode_hello_ack(frame.payload);
       if (!ack.has_value()) return fail(state, "malformed hello ack");
       state.worker_id = ack->worker_id;
+      state.acked = true;
       return Loop::kContinue;
     }
     case MsgType::kCampaignSetup:
@@ -137,6 +149,8 @@ Loop handle_frame(WorkerState& state, const Frame& frame) {
     case MsgType::kShutdown:
       return Loop::kDone;
     case MsgType::kError: {
+      // Deterministic rejection (protocol mismatch, quarantine):
+      // reconnecting would only be refused again.
       const std::optional<std::string> msg = decode_error(frame.payload);
       std::fprintf(stderr, "[worker] daemon error: %s\n",
                    msg.has_value() ? msg->c_str() : "<malformed>");
@@ -154,6 +168,76 @@ Loop handle_frame(WorkerState& state, const Frame& frame) {
   return Loop::kFail;
 }
 
+/// One connection's lifetime: hello, then serve frames until shutdown,
+/// failure or transport loss. shards_done persists across sessions so the
+/// max_shards budget survives reconnects.
+[[nodiscard]] Loop run_session(int fd, const WorkerOptions& options,
+                               int& shards_done) {
+  WorkerState state;
+  state.fd = fd;
+  state.opt = &options;
+  state.shards_done = shards_done;
+
+  HelloPayload hello;
+  hello.protocol = kWireProtocolVersion;
+  hello.worker_name = options.name;
+  hello.native_lanes = hw::resolve_lanes(options.lanes);
+  hello.isa = native_isa();
+  const double hello_at = now_seconds();
+  if (!send_frame(fd, MsgType::kHello, encode_hello(hello))) {
+    return Loop::kLost;
+  }
+
+  FrameBuffer in;
+  const int heartbeat_ms =
+      static_cast<int>(options.heartbeat_interval * 1000.0);
+  Loop outcome = Loop::kLost;
+  for (bool running = true; running;) {
+    if (!state.acked && now_seconds() - hello_at > kHelloAckTimeout) {
+      outcome = Loop::kLost;  // hello or its ack lost in transit
+      break;
+    }
+    pollfd p{state.fd, POLLIN, 0};
+    const int ready = ::poll(&p, 1, heartbeat_ms > 0 ? heartbeat_ms : 1000);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;  // outcome stays kLost
+    }
+    if (ready == 0) {  // idle: prove liveness to the heartbeat sweep
+      if (!send_frame(state.fd, MsgType::kHeartbeat, {})) break;
+      continue;
+    }
+
+    unsigned char chunk[64 * 1024];
+    const ssize_t n = chaos_recv(state.fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+      break;  // daemon gone (EOF or error) — outcome stays kLost
+    }
+    in.feed(chunk, static_cast<std::size_t>(n));
+    while (running) {
+      const std::optional<Frame> frame = in.next();
+      if (!frame.has_value()) break;
+      const Loop step = handle_frame(state, *frame);
+      if (step != Loop::kContinue) {
+        outcome = step;
+        running = false;
+      }
+    }
+    if (running && in.error()) {
+      // Poisoned stream (e.g. bytes corrupted in transit): this transport
+      // is unrecoverable, but a fresh connection is as good as new.
+      std::fprintf(stderr, "[worker] wire error: %s\n",
+                   in.error_detail().c_str());
+      outcome = Loop::kLost;
+      running = false;
+    }
+  }
+  shards_done = state.shards_done;
+  if (state.fd >= 0) close_fd(state.fd);
+  return outcome;
+}
+
 }  // namespace
 
 int run_worker(const WorkerOptions& options) {
@@ -163,75 +247,40 @@ int run_worker(const WorkerOptions& options) {
                  options.connect.c_str());
     return 1;
   }
-  std::string error;
-  const int fd = connect_with_retry(*addr, options.connect_timeout, &error);
-  if (fd < 0) {
-    std::fprintf(stderr, "[worker] %s\n", error.c_str());
-    return 1;
-  }
 
-  WorkerState state;
-  state.fd = fd;
-  state.opt = &options;
+  int shards_done = 0;
+  double backoff = 0.05;
+  bool ever_connected = false;
+  for (;;) {
+    std::string error;
+    const int fd =
+        connect_with_retry(*addr, options.connect_timeout, &error);
+    if (fd < 0) {
+      // connect_with_retry already re-dialed for connect_timeout seconds:
+      // a daemon unreachable for that long is gone, not glitching — a
+      // reconnecting worker that once served retires cleanly instead of
+      // dialing a dead address forever.
+      if (options.reconnect && ever_connected) return 0;
+      std::fprintf(stderr, "[worker] %s\n", error.c_str());
+      return 1;
+    }
+    ever_connected = true;
+    backoff = 0.05;  // the daemon is reachable again
 
-  HelloPayload hello;
-  hello.protocol = kWireProtocolVersion;
-  hello.worker_name = options.name;
-  hello.native_lanes = hw::resolve_lanes(options.lanes);
-  hello.isa = native_isa();
-  if (!send_frame(fd, MsgType::kHello, encode_hello(hello))) {
-    std::fprintf(stderr, "[worker] hello failed\n");
-    close_fd(fd);
-    return 1;
-  }
-
-  FrameBuffer in;
-  const int heartbeat_ms =
-      static_cast<int>(options.heartbeat_interval * 1000.0);
-  int rc = 0;
-  for (bool running = true; running;) {
-    pollfd p{state.fd, POLLIN, 0};
-    const int ready = ::poll(&p, 1, heartbeat_ms > 0 ? heartbeat_ms : 1000);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (ready == 0) {  // idle: prove liveness to the heartbeat sweep
-      if (!send_frame(state.fd, MsgType::kHeartbeat, {})) break;
-      continue;
-    }
-
-    unsigned char chunk[64 * 1024];
-    const ssize_t n = ::recv(state.fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      break;  // daemon gone (EOF or error): exit quietly
-    }
-    in.feed(chunk, static_cast<std::size_t>(n));
-    while (running) {
-      const std::optional<Frame> frame = in.next();
-      if (!frame.has_value()) break;
-      switch (handle_frame(state, *frame)) {
-        case Loop::kContinue:
-          break;
-        case Loop::kDone:
-          running = false;
-          break;
-        case Loop::kFail:
-          running = false;
-          rc = 1;
-          break;
-      }
-    }
-    if (running && in.error()) {
-      std::fprintf(stderr, "[worker] wire error: %s\n",
-                   in.error_detail().c_str());
-      running = false;
-      rc = 1;
+    switch (run_session(fd, options, shards_done)) {
+      case Loop::kDone:
+        return 0;  // daemon shutdown or graceful retirement
+      case Loop::kFail:
+        return 1;
+      case Loop::kLost:
+        if (!options.reconnect) return 0;  // daemon re-queues our shards
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        backoff = std::min(backoff * 2.0, 2.0);
+        break;
+      case Loop::kContinue:
+        break;  // unreachable: run_session never returns kContinue
     }
   }
-  close_fd(state.fd);
-  return rc;
 }
 
 }  // namespace sck::service

@@ -38,11 +38,21 @@ struct WorkerOptions {
   /// Seconds to keep retrying the initial connect (daemon may still be
   /// binding).
   double connect_timeout = 10.0;
+  /// Survive transport loss: on EOF, a poisoned stream or a hello-ack
+  /// timeout, reconnect with exponential backoff (50 ms doubling to 2 s)
+  /// instead of exiting. Each reconnection is a clean slate — fresh
+  /// stream, fresh hello, campaign setups re-sent by the daemon — so a
+  /// half-delivered frame can never wedge the worker for good. A daemon
+  /// kShutdown or kError (e.g. quarantine) still terminates, and so does
+  /// a daemon unreachable for a whole connect_timeout window (gone, not
+  /// glitching — retire with exit 0 rather than dial a corpse forever).
+  bool reconnect = false;
 };
 
 /// Run the worker loop until the daemon shuts us down (returns 0), the
-/// connection drops (returns 0 — the daemon re-queues anything in flight),
-/// or a protocol/setup error occurs (returns 1, message on stderr).
+/// connection drops (returns 0 — the daemon re-queues anything in flight —
+/// or reconnects when options.reconnect is set), or a protocol/setup
+/// error occurs (returns 1, message on stderr).
 int run_worker(const WorkerOptions& options);
 
 }  // namespace sck::service

@@ -1,0 +1,269 @@
+#include "store/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <utility>
+
+namespace sck::store {
+
+namespace {
+
+/// "SCKJRNL\0" as a little-endian u64.
+constexpr std::uint64_t kJournalMagic = 0x004C4E524A'4B4353ULL;
+
+/// magic + version/reserved + key echo + job count + checksum.
+constexpr std::size_t kJournalHeaderBytes = 8 + 4 + 4 + 8 + 8 + 8 + 8;
+
+/// Record body prefix: shard_id + base + count.
+constexpr std::size_t kRecordFixedBytes = 8 + 8 + 8;
+constexpr std::size_t kStatsBytes = 4 * 8;
+
+void put_u64(std::vector<unsigned char>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<unsigned char>(v >> (8 * i)));
+  }
+}
+
+void put_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<unsigned char>(v >> (8 * i)));
+  }
+}
+
+[[nodiscard]] std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+[[nodiscard]] std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+[[nodiscard]] std::uint64_t fnv1a(const unsigned char* data,
+                                  std::size_t size) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h = (h ^ data[i]) * 0x100000001B3ULL;
+  }
+  return h;
+}
+
+[[nodiscard]] bool write_all(int fd, const unsigned char* data,
+                             std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<unsigned char> serialize_journal_header(const Fingerprint& key,
+                                                    std::uint64_t job_count) {
+  std::vector<unsigned char> out;
+  out.reserve(kJournalHeaderBytes);
+  put_u64(out, kJournalMagic);
+  put_u32(out, kJournalFormatVersion);
+  put_u32(out, 0);  // reserved
+  put_u64(out, key.hi);
+  put_u64(out, key.lo);
+  put_u64(out, job_count);
+  put_u64(out, fnv1a(out.data(), out.size()));
+  return out;
+}
+
+std::vector<unsigned char> serialize_journal_record(
+    std::uint64_t shard_id, std::uint64_t base,
+    std::span<const fault::CampaignStats> per_job) {
+  std::vector<unsigned char> out;
+  const std::size_t body = kRecordFixedBytes + per_job.size() * kStatsBytes;
+  out.reserve(8 + body + 8);
+  put_u64(out, body);
+  put_u64(out, shard_id);
+  put_u64(out, base);
+  put_u64(out, per_job.size());
+  for (const fault::CampaignStats& s : per_job) {
+    put_u64(out, s.silent_correct);
+    put_u64(out, s.detected_correct);
+    put_u64(out, s.detected_erroneous);
+    put_u64(out, s.masked);
+  }
+  // Checksum over the length prefix AND the body: a torn length cannot
+  // steer recovery into misparsing the tail as a fresh record.
+  put_u64(out, fnv1a(out.data(), out.size()));
+  return out;
+}
+
+ShardJournal::ShardJournal(std::string path, const Fingerprint& key,
+                           std::uint64_t job_count)
+    : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) {
+    std::fprintf(stderr,
+                 "[journal] WARNING: cannot open '%s' (%s); campaign will "
+                 "not be resumable\n",
+                 path_.c_str(), std::strerror(errno));
+    return;
+  }
+
+  // Read the whole file for recovery.
+  std::vector<unsigned char> bytes;
+  {
+    unsigned char buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd_, buf, sizeof buf);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        bytes.clear();  // unreadable: treat as empty, rewrite below
+        break;
+      }
+      if (n == 0) break;
+      bytes.insert(bytes.end(), buf, buf + n);
+    }
+  }
+
+  const std::vector<unsigned char> want_header =
+      serialize_journal_header(key, job_count);
+
+  // Validate the header byte for byte (it is a pure function of
+  // key/job_count, so equality == magic+version+key+geometry+checksum all
+  // match). Anything else — including a pre-existing empty file — is a
+  // reset: never resume from a journal that was not provably ours.
+  std::size_t valid = 0;
+  if (bytes.size() >= kJournalHeaderBytes &&
+      std::equal(want_header.begin(), want_header.end(), bytes.begin())) {
+    valid = kJournalHeaderBytes;
+    std::set<std::uint64_t> seen;
+    while (valid < bytes.size()) {
+      const std::size_t remaining = bytes.size() - valid;
+      if (remaining < 8) break;  // torn length prefix
+      const std::uint64_t body = get_u64(bytes.data() + valid);
+      // Bound the body before trusting it: a record can describe at most
+      // the whole job universe.
+      if (body < kRecordFixedBytes ||
+          body > kRecordFixedBytes + job_count * kStatsBytes) {
+        break;
+      }
+      if (remaining < 8 + body + 8) break;  // torn record or checksum
+      const std::uint64_t want_sum =
+          get_u64(bytes.data() + valid + 8 + body);
+      if (fnv1a(bytes.data() + valid, 8 + static_cast<std::size_t>(body)) !=
+          want_sum) {
+        break;  // bit rot / torn rewrite: nothing after it is trusted
+      }
+      const unsigned char* p = bytes.data() + valid + 8;
+      JournalShard shard;
+      shard.shard_id = get_u64(p);
+      shard.base = get_u64(p + 8);
+      const std::uint64_t count = get_u64(p + 16);
+      if (kRecordFixedBytes + count * kStatsBytes != body) break;
+      if (shard.base > job_count || count > job_count - shard.base) break;
+      valid += 8 + static_cast<std::size_t>(body) + 8;
+      if (!seen.insert(shard.shard_id).second) {
+        ++recovery_.duplicates;  // pre-crash re-queue duplicate: first wins
+        continue;
+      }
+      shard.per_job.resize(static_cast<std::size_t>(count));
+      const unsigned char* q = p + kRecordFixedBytes;
+      for (fault::CampaignStats& s : shard.per_job) {
+        s.silent_correct = get_u64(q);
+        s.detected_correct = get_u64(q + 8);
+        s.detected_erroneous = get_u64(q + 16);
+        s.masked = get_u64(q + 24);
+        q += kStatsBytes;
+      }
+      recovery_.shards.push_back(std::move(shard));
+    }
+    recovery_.truncated_bytes = bytes.size() - valid;
+  } else if (!bytes.empty()) {
+    recovery_.reset = true;
+    recovery_.truncated_bytes = bytes.size();
+  }
+
+  if (valid == 0) {
+    // Fresh file, or a reset: start over with our own header.
+    if (::ftruncate(fd_, 0) != 0 ||
+        ::lseek(fd_, 0, SEEK_SET) != 0 ||
+        !write_all(fd_, want_header.data(), want_header.size()) ||
+        ::fsync(fd_) != 0) {
+      std::fprintf(stderr,
+                   "[journal] WARNING: cannot initialize '%s' (%s); "
+                   "campaign will not be resumable\n",
+                   path_.c_str(), std::strerror(errno));
+      ::close(fd_);
+      fd_ = -1;
+    }
+    return;
+  }
+
+  // Keep the valid prefix, drop the torn/corrupt tail, append after it.
+  if (recovery_.truncated_bytes > 0) {
+    if (::ftruncate(fd_, static_cast<off_t>(valid)) != 0) {
+      // Cannot cut the bad tail: appends would interleave with garbage and
+      // the NEXT recovery would stop at the garbage anyway — run
+      // journal-less instead of risking it.
+      std::fprintf(stderr,
+                   "[journal] WARNING: cannot truncate torn tail of '%s'; "
+                   "campaign will not be resumable\n",
+                   path_.c_str());
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+  }
+  if (::lseek(fd_, static_cast<off_t>(valid), SEEK_SET) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ShardJournal::~ShardJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool ShardJournal::append(std::uint64_t shard_id, std::uint64_t base,
+                          std::span<const fault::CampaignStats> per_job) {
+  if (fd_ < 0) return false;
+  const std::vector<unsigned char> record =
+      serialize_journal_record(shard_id, base, per_job);
+  if (!write_all(fd_, record.data(), record.size()) || ::fsync(fd_) != 0) {
+    if (!warned_) {
+      warned_ = true;
+      std::fprintf(stderr,
+                   "[journal] WARNING: append to '%s' failed (%s); this "
+                   "shard will not be resumable\n",
+                   path_.c_str(), std::strerror(errno));
+    }
+    return false;
+  }
+  return true;
+}
+
+void ShardJournal::remove() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  (void)::unlink(path_.c_str());
+}
+
+}  // namespace sck::store

@@ -250,6 +250,27 @@ std::string CampaignStore::entry_path(const Fingerprint& key) const {
   return dir_ + "/" + to_string(key) + ".entry";
 }
 
+std::string CampaignStore::journal_path(const Fingerprint& key) const {
+  return dir_ + "/" + to_string(key) + ".journal";
+}
+
+void CampaignStore::pin(const Fingerprint& key) {
+  const std::lock_guard<std::mutex> lock(pins_mutex_);
+  ++pins_[{key.hi, key.lo}];
+}
+
+void CampaignStore::unpin(const Fingerprint& key) {
+  const std::lock_guard<std::mutex> lock(pins_mutex_);
+  const auto it = pins_.find({key.hi, key.lo});
+  if (it == pins_.end()) return;
+  if (--it->second <= 0) pins_.erase(it);
+}
+
+bool CampaignStore::pinned(const Fingerprint& key) const {
+  const std::lock_guard<std::mutex> lock(pins_mutex_);
+  return pins_.contains({key.hi, key.lo});
+}
+
 void CampaignStore::quarantine(const std::string& path, const char* reason) {
   corrupt_.fetch_add(1, std::memory_order_relaxed);
   std::error_code ec;
@@ -350,6 +371,36 @@ bool CampaignStore::save(const Fingerprint& key,
   return true;
 }
 
+namespace {
+
+/// Inverse of to_string(Fingerprint) for a file stem: 32 lowercase hex
+/// digits, hi first. nullopt for anything else (temp files, foreign
+/// names) — those are simply not pinnable.
+[[nodiscard]] std::optional<Fingerprint> fingerprint_of_stem(
+    const std::string& stem) {
+  if (stem.size() != 32) return std::nullopt;
+  Fingerprint fp;
+  for (int half = 0; half < 2; ++half) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 16; ++i) {
+      const char c = stem[static_cast<std::size_t>(half * 16 + i)];
+      std::uint64_t digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint64_t>(c - 'a' + 10);
+      } else {
+        return std::nullopt;
+      }
+      v = (v << 4) | digit;
+    }
+    (half == 0 ? fp.hi : fp.lo) = v;
+  }
+  return fp;
+}
+
+}  // namespace
+
 std::size_t CampaignStore::trim(std::uint64_t max_bytes) {
   if (degraded_) return 0;
   struct EntryFile {
@@ -364,7 +415,15 @@ std::size_t CampaignStore::trim(std::uint64_t max_bytes) {
        it.increment(ec)) {
     if (!it->is_regular_file(ec)) continue;
     const fs::path& p = it->path();
-    if (p.extension() != ".entry") continue;
+    if (p.extension() != ".entry" && p.extension() != ".journal") continue;
+    // A pinned fingerprint's files belong to a campaign that is running
+    // RIGHT NOW: its write-ahead journal (and entry) must survive any
+    // budget. Left out of `total` too — a pin is a lease, not a tenant.
+    if (const std::optional<Fingerprint> fp =
+            fingerprint_of_stem(p.stem().string());
+        fp.has_value() && pinned(*fp)) {
+      continue;
+    }
     EntryFile e;
     e.path = p.string();
     e.size = static_cast<std::uint64_t>(fs::file_size(p, ec));

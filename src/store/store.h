@@ -40,8 +40,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hls/netlist_campaign.h"
@@ -105,11 +108,28 @@ class CampaignStore {
   /// the store stays usable for reads either way.
   bool save(const Fingerprint& key, const hls::NetlistCampaignResult& value);
 
-  /// Evicts committed entries, oldest modification time first, until the
-  /// store holds at most `max_bytes` of entry payload. Returns the number
-  /// of entries evicted. Quarantined evidence under corrupt/ is not
-  /// counted against the budget and never evicted here.
+  /// Evicts committed entries AND stale shard journals, oldest
+  /// modification time first, until the store holds at most `max_bytes`
+  /// of entry+journal payload. Files of pinned fingerprints (see pin())
+  /// are excluded from both the budget and the eviction — a live
+  /// campaign's write-ahead journal must never be evicted under it.
+  /// Returns the number of files evicted. Quarantined evidence under
+  /// corrupt/ is not counted against the budget and never evicted here.
   std::size_t trim(std::uint64_t max_bytes);
+
+  /// Pin a fingerprint for the duration of an in-flight campaign: trim()
+  /// will not evict its entry or journal until unpin(). Pins nest (a
+  /// fingerprint pinned twice needs two unpins — concurrent clients may
+  /// attach to one campaign).
+  void pin(const Fingerprint& key);
+  void unpin(const Fingerprint& key);
+  /// True while `key` holds at least one pin (exposed for tests).
+  [[nodiscard]] bool pinned(const Fingerprint& key) const;
+
+  /// Sibling path of one campaign's shard journal
+  /// ("<dir>/<fingerprint>.journal") — the daemon parks journals next to
+  /// the entries so one directory budget governs both.
+  [[nodiscard]] std::string journal_path(const Fingerprint& key) const;
 
   /// Snapshot of the counters (consistent enough for reporting; the
   /// counters are monotone atomics).
@@ -130,6 +150,8 @@ class CampaignStore {
 
   std::string dir_;
   bool degraded_ = false;
+  mutable std::mutex pins_mutex_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, int> pins_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> corrupt_{0};

@@ -262,6 +262,85 @@ TEST(Service, WorkerKilledMidCampaignResultStillByteIdentical) {
   EXPECT_GE(counters.shards_requeued, 1u);
 }
 
+// ---- robustness: probation -------------------------------------------------
+
+// With probation_strikes=1, a named worker that takes ONE in-flight shard
+// down with it is quarantined: the campaign still completes byte-identical
+// on the survivors, the quarantine shows up in ShardStats and counters,
+// and a later hello under the same name is turned away (run_worker exits
+// 1 on the daemon's kError).
+TEST(Service, QuarantinedWorkerNameIsRefusedReattachment) {
+  const ServiceDesign design;
+  const hls::NetlistCampaignOptions opt = incremental_options();
+  const hls::NetlistCampaignResult want =
+      run_netlist_campaign(design.graph, design.netlist, opt);
+
+  ServiceOptions so;
+  so.probation_strikes = 1;
+  ServiceHarness harness(so);
+  WorkerOptions flaky;
+  flaky.name = "flaky";
+  flaky.max_shards = 1;
+  flaky.abrupt = true;
+  harness.add_worker(flaky);  // joins FIRST: gets the first shards
+  harness.add_workers(2);
+
+  const auto got = harness.submit(design, opt);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(hls::same_campaign_result(got->result, want));
+  EXPECT_EQ(got->stats.workers_quarantined, 1u);
+  EXPECT_EQ(got->stats.shards_executed, got->stats.shards_total);
+
+  const DaemonCounters counters = harness.daemon().counters();
+  EXPECT_EQ(counters.workers_quarantined, 1u);
+
+  // Re-attachment under the quarantined name: hello rejected with kError,
+  // run_worker reports failure, the join counter never moves.
+  WorkerOptions again;
+  again.connect = harness.daemon().address();
+  again.name = "flaky";
+  again.threads = 1;
+  int rc = -1;
+  std::thread refused([&rc, again] { rc = run_worker(again); });
+  refused.join();
+  EXPECT_EQ(rc, 1);
+  EXPECT_EQ(harness.daemon().counters().workers_joined,
+            counters.workers_joined);
+
+  // A DIFFERENT name is welcome — probation is per-identity, not global.
+  harness.add_workers(1);
+}
+
+// Strikes accumulate across connections: at probation_strikes=2 the first
+// loss leaves the name in good standing (it may reconnect and serve), the
+// second loss quarantines it.
+TEST(Service, ProbationTakesTheConfiguredNumberOfStrikes) {
+  const ServiceDesign design;
+  const hls::NetlistCampaignOptions opt = incremental_options();
+
+  ServiceOptions so;
+  so.probation_strikes = 2;
+  ServiceHarness harness(so);
+  WorkerOptions flaky;
+  flaky.name = "flaky";
+  flaky.max_shards = 1;
+  flaky.abrupt = true;
+  harness.add_worker(flaky);
+  harness.add_workers(2);
+
+  const auto first = harness.submit(design, opt);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->stats.workers_quarantined, 0u);  // strike one only
+  EXPECT_EQ(harness.daemon().counters().workers_quarantined, 0u);
+
+  // Strike two: the same name loses another shard on a fresh connection.
+  harness.add_worker(flaky);
+  const auto second = harness.submit(design, opt);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->stats.workers_quarantined, 1u);
+  EXPECT_EQ(harness.daemon().counters().workers_quarantined, 1u);
+}
+
 // ---- store front -----------------------------------------------------------
 
 TEST(Service, RepeatRequestServedFromStoreCache) {

@@ -71,8 +71,11 @@ struct WireDesign {
   p.stats.shards_total = 4;
   p.stats.shards_executed = 5;
   p.stats.shards_requeued = 1;
+  p.stats.shards_journaled = 5;
+  p.stats.shards_resumed = 2;
   p.stats.workers = 2;
   p.stats.workers_lost = 1;
+  p.stats.workers_quarantined = 1;
   p.stats.seconds = 1.5;
   p.stats.samples_per_sec = 2048.0;
   p.stats.per_worker = {{"w0", 512, 3, 3000, 0.7, false},

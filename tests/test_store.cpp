@@ -21,6 +21,7 @@
 #include "hls/netlist_exec.h"
 #include "hls/schedule.h"
 #include "store/fingerprint.h"
+#include "store/journal.h"
 #include "store/store.h"
 
 namespace sck {
@@ -420,6 +421,51 @@ TEST(CampaignStore, TrimEvictsOldestEntriesFirst) {
   EXPECT_TRUE(fs::exists(cache.entry_path(newest)));
   // Under budget: no-op.
   EXPECT_EQ(cache.trim(2 * entry_size), 0u);
+}
+
+// The regression the shard journal depends on: trim() must NEVER evict
+// the journal (or entry) of a pinned fingerprint — an in-flight campaign
+// whose WAL vanished under it would lose resumability mid-run. Pinned
+// files are a lease, not a tenant: excluded from the budget AND from
+// eviction until the last unpin.
+TEST(CampaignStore, TrimSparesPinnedJournalsAndEntries) {
+  const std::string dir = fresh_dir("trim_pin");
+  store::CampaignStore cache(dir);
+  const hls::NetlistCampaignResult value = sample_result();
+  const store::Fingerprint inflight{72, 1};
+  const store::Fingerprint victim{72, 2};
+  ASSERT_TRUE(cache.save(inflight, value));
+  ASSERT_TRUE(cache.save(victim, value));
+
+  // An in-flight campaign: fingerprint pinned, journal being written.
+  cache.pin(inflight);
+  EXPECT_TRUE(cache.pinned(inflight));
+  store::ShardJournal journal(cache.journal_path(inflight), inflight, 512);
+  ASSERT_TRUE(journal.usable());
+  const std::vector<fault::CampaignStats> per_job(512);
+  ASSERT_TRUE(journal.append(0, 0, per_job));
+
+  // Budget zero: every unpinned byte goes, every pinned byte stays.
+  EXPECT_GE(cache.trim(0), 1u);
+  EXPECT_TRUE(fs::exists(cache.entry_path(inflight)));
+  EXPECT_TRUE(fs::exists(cache.journal_path(inflight)));
+  EXPECT_FALSE(fs::exists(cache.entry_path(victim)));
+
+  // Pins nest: two pins need two unpins (concurrent clients of one
+  // campaign), and one unpin must not open the trapdoor.
+  cache.pin(inflight);
+  cache.unpin(inflight);
+  EXPECT_TRUE(cache.pinned(inflight));
+  EXPECT_EQ(cache.trim(0), 0u);
+  EXPECT_TRUE(fs::exists(cache.journal_path(inflight)));
+
+  // Last unpin: the lease ends, a stale journal is trimmable like any
+  // other file.
+  cache.unpin(inflight);
+  EXPECT_FALSE(cache.pinned(inflight));
+  EXPECT_GE(cache.trim(0), 1u);
+  EXPECT_FALSE(fs::exists(cache.entry_path(inflight)));
+  EXPECT_FALSE(fs::exists(cache.journal_path(inflight)));
 }
 
 TEST(CampaignStore, ConcurrentWritersOfOneKeyCommitAValidEntry) {
