@@ -33,7 +33,7 @@ int main() {
   const int n = 6;
   RippleCarryAdder adder(n);
   std::vector<sck::hw::FaultableUnit*> units{&adder};
-  sck::Xoshiro256 rng(0xD07A);
+  sck::fault::DutyStream duty_stream{/*seed=*/0xD07A};
 
   TextTable table("coverage per fault-duration model");
   table.set_header({"duration", "duty", "Tech1", "Tech2", "Tech1&2"});
@@ -43,7 +43,8 @@ int main() {
     std::vector<std::string> cells{std::string(to_string(d)), label};
     for (const Technique t :
          {Technique::kTech1, Technique::kTech2, Technique::kBoth}) {
-      const DurationAddTrial<RippleCarryAdder> trial{adder, t, d, &rng, duty};
+      const DurationAddTrial<RippleCarryAdder> trial{adder, t, d,
+                                                     &duty_stream, duty};
       const auto r = run_exhaustive(
           std::span<sck::hw::FaultableUnit* const>(units), n, trial);
       cells.push_back(sck::format_percent(r.aggregate.coverage()));

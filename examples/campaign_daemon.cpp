@@ -222,11 +222,34 @@ int run_campaign(int argc, char** argv, bool remote) {
   std::string json_path = remote ? "campaign_daemon_submit.json"
                                  : "campaign_daemon_local.json";
   int samples = 8;
+  sck::fault::FaultDuration duration = sck::fault::FaultDuration::kPermanent;
+  int transient_samples = 1;
+  std::uint32_t duty_permille = 500;
+  bool seu = false;
   int positional = 0;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--samples=", 0) == 0) {
       samples = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--duration=", 0) == 0) {
+      const std::string value = arg.substr(11);
+      if (value == "permanent") {
+        duration = sck::fault::FaultDuration::kPermanent;
+      } else if (value == "transient") {
+        duration = sck::fault::FaultDuration::kTransient;
+      } else if (value == "intermittent") {
+        duration = sck::fault::FaultDuration::kIntermittent;
+      } else {
+        std::cerr << "unknown --duration: " << value
+                  << " (permanent|transient|intermittent)\n";
+        return 2;
+      }
+    } else if (arg.rfind("--transient-samples=", 0) == 0) {
+      transient_samples = std::atoi(arg.c_str() + 20);
+    } else if (arg.rfind("--duty=", 0) == 0) {
+      duty_permille = static_cast<std::uint32_t>(std::atoi(arg.c_str() + 7));
+    } else if (arg == "--seu") {
+      seu = true;
     } else if (positional == 0 && remote) {
       address = arg;
       ++positional;
@@ -236,12 +259,18 @@ int run_campaign(int argc, char** argv, bool remote) {
     }
   }
   if (remote && address.empty()) {
-    std::cerr << "usage: campaign_daemon submit ADDR [json] [--samples=N]\n";
+    std::cerr << "usage: campaign_daemon submit ADDR [json] [--samples=N]"
+                 " [--duration=MODEL] [--transient-samples=N] [--duty=PERMILLE]"
+                 " [--seu]\n";
     return 2;
   }
 
   const DemoDesign design = demo_design();
-  const sck::hls::NetlistCampaignOptions opt = demo_options(samples);
+  sck::hls::NetlistCampaignOptions opt = demo_options(samples);
+  opt.duration = duration;
+  opt.transient_samples = transient_samples;
+  opt.duty_permille = duty_permille;
+  opt.seu_faults = seu;
 
   // The single-host reference runs either way: `local` reports it, and
   // `submit` diffs the distributed result against it before writing

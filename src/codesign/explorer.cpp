@@ -157,6 +157,13 @@ ExplorationReport Explorer::run(const std::vector<DesignPoint>& grid) {
         fault::resolve_threads(options_.point_threads),
         static_cast<int>(std::max<std::size_t>(grid.size(), 1)));
     hls::NetlistCampaignOptions campaign_opt = options_.campaign;
+    // report_version 1 promises byte-exactness with every pre-bump report;
+    // the duration/SEU fault models did not exist then, so a legacy run
+    // must not quietly change its numbers via the new knobs.
+    if (options_.legacy_streams) {
+      SCK_EXPECTS(campaign_opt.duration == fault::FaultDuration::kPermanent);
+      SCK_EXPECTS(!campaign_opt.seu_faults);
+    }
     if (!options_.legacy_streams) {
       // report_version 2: one shared stream per campaign, replayed by the
       // golden-trace incremental backend (campaigns stay bit-identical at

@@ -20,10 +20,19 @@
 //
 // The wrappers restore the campaign's injected fault before returning, so
 // they compose with run_exhaustive / run_sampled unchanged.
+//
+// Determinism discipline: every duty decision is a STATELESS hash of
+// (duty seed, decision index) — duration models never draw from the
+// campaign RNG, so switching a trial between permanent, transient and
+// intermittent cannot perturb the seeded operand streams of an existing
+// campaign (tests/test_duration.cpp pins this), and the same derivation
+// is thread/lane/backend-invariant when the netlist campaign engine
+// reuses it per (fault index, sample index).
 #pragma once
 
+#include <cstdint>
+
 #include "common/assert.h"
-#include "common/rng.h"
 #include "common/word.h"
 #include "fault/outcome.h"
 #include "fault/technique.h"
@@ -37,6 +46,35 @@ enum class FaultDuration : unsigned char {
   kPermanent,
   kTransient,
   kIntermittent,
+};
+
+/// Stateless SplitMix64-style avalanche over (seed, a, b): the single
+/// derivation behind every duty/window decision. A pure function of its
+/// inputs — no hidden stream position — so any two executions that agree
+/// on (seed, a, b) agree on the decision, regardless of evaluation order,
+/// thread count, lane packing or backend.
+[[nodiscard]] constexpr std::uint64_t duration_hash(std::uint64_t seed,
+                                                    std::uint64_t a,
+                                                    std::uint64_t b = 0) {
+  std::uint64_t x = seed ^ (a + 1) * 0x9E3779B97F4A7C15ULL ^
+                    (b + 1) * 0xD1B54A32D192ED03ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic per-mille duty stream for intermittent faults: decision
+/// `at` is duration_hash(seed, at) % 1000, a pure function of the pair.
+/// Trials advance `at` per phase, so consecutive operations see fresh
+/// draws — but the stream is completely decoupled from every operand RNG
+/// (duration-model-invariant campaign streams by construction).
+struct DutyStream {
+  std::uint64_t seed = 0;
+  std::uint64_t at = 0;
+
+  [[nodiscard]] std::uint32_t next_permille() {
+    return static_cast<std::uint32_t>(duration_hash(seed, at++) % 1000);
+  }
 };
 
 [[nodiscard]] constexpr std::string_view to_string(FaultDuration d) {
@@ -58,12 +96,12 @@ enum class FaultDuration : unsigned char {
 template <typename Unit>
 class FaultWindow {
  public:
-  FaultWindow(Unit& unit, FaultDuration duration, Xoshiro256* rng,
+  FaultWindow(Unit& unit, FaultDuration duration, DutyStream* duty,
               std::uint32_t duty_permille)
       : unit_(unit),
         injected_(unit.fault()),
         duration_(duration),
-        rng_(rng),
+        duty_(duty),
         duty_permille_(duty_permille) {}
 
   ~FaultWindow() { unit_.set_fault(injected_); }
@@ -72,6 +110,9 @@ class FaultWindow {
   FaultWindow& operator=(const FaultWindow&) = delete;
 
   /// Arm/disarm before an operation. `nominal` marks the nominal phase.
+  /// Only kIntermittent consults the duty stream — and that stream is its
+  /// own, hash-derived — so no duration model ever consumes a draw from
+  /// the campaign's operand RNG.
   void phase(bool nominal) {
     bool active = false;
     switch (duration_) {
@@ -82,7 +123,7 @@ class FaultWindow {
         active = nominal;
         break;
       case FaultDuration::kIntermittent:
-        active = rng_ != nullptr && rng_->bounded(1000) < duty_permille_;
+        active = duty_ != nullptr && duty_->next_permille() < duty_permille_;
         break;
     }
     if (active) {
@@ -96,7 +137,7 @@ class FaultWindow {
   Unit& unit_;
   hw::FaultSite injected_;
   FaultDuration duration_;
-  Xoshiro256* rng_;
+  DutyStream* duty_;
   std::uint32_t duty_permille_;
 };
 
@@ -108,14 +149,14 @@ struct DurationAddTrial {
   Adder& adder;  // toggled per phase; campaign injects the fault
   Technique tech = Technique::kTech1;
   FaultDuration duration = FaultDuration::kTransient;
-  Xoshiro256* rng = nullptr;        // required for kIntermittent
+  DutyStream* duty = nullptr;       // required for kIntermittent
   std::uint32_t duty_permille = 500;
 
   [[nodiscard]] Outcome operator()(Word a, Word b) const {
     SCK_EXPECTS(tech != Technique::kResidue3);
     const int n = adder.width();
     const Word golden = sck::add(a, b, n);
-    FaultWindow<Adder> window(adder, duration, rng, duty_permille);
+    FaultWindow<Adder> window(adder, duration, duty, duty_permille);
 
     window.phase(/*nominal=*/true);
     const Word ris = adder.add(a, b);
@@ -138,14 +179,14 @@ struct DurationSubTrial {
   Adder& adder;
   Technique tech = Technique::kTech1;
   FaultDuration duration = FaultDuration::kTransient;
-  Xoshiro256* rng = nullptr;
+  DutyStream* duty = nullptr;
   std::uint32_t duty_permille = 500;
 
   [[nodiscard]] Outcome operator()(Word a, Word b) const {
     SCK_EXPECTS(tech != Technique::kResidue3);
     const int n = adder.width();
     const Word golden = sck::sub(a, b, n);
-    FaultWindow<Adder> window(adder, duration, rng, duty_permille);
+    FaultWindow<Adder> window(adder, duration, duty, duty_permille);
 
     window.phase(true);
     const Word ris = adder.sub(a, b);

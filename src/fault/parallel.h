@@ -121,6 +121,32 @@ void parallel_shard(std::size_t jobs, int threads, MakeState&& make_state,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+/// Deterministic early-stopping driver over a job list split into fixed
+/// blocks: `run(base, count)` evaluates jobs [base, base + count) — in
+/// parallel if it likes, typically via parallel_shard — then `stop(end)`
+/// decides, from the `end` jobs evaluated so far, whether to halt.
+/// Returns the number of jobs evaluated.
+///
+/// The block boundary IS the determinism contract: the stop predicate only
+/// ever observes complete blocks in a fixed sequence, so the set of jobs
+/// evaluated — and therefore everything reduced from them — is a pure
+/// function of (jobs, block) no matter how many threads `run` fans each
+/// block out over. This is the seed-stable boundary the sampled netlist
+/// campaigns early-stop at (hls/netlist_campaign.h).
+template <typename RunBlock, typename Stop>
+std::size_t run_blocks_until(std::size_t jobs, std::size_t block,
+                             const RunBlock& run, const Stop& stop) {
+  SCK_EXPECTS(block > 0);
+  std::size_t at = 0;
+  while (at < jobs) {
+    const std::size_t count = std::min(block, jobs - at);
+    run(at, count);
+    at += count;
+    if (stop(at)) break;
+  }
+  return at;
+}
+
 /// Re-queueable shard ledger for schedulers whose workers can DIE — the
 /// distributed cousin of parallel_shard's atomic cursor. parallel_shard
 /// assumes a worker that pulled a job always finishes it (threads in one

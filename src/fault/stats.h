@@ -2,6 +2,7 @@
 // paper's tables report on top of them.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 #include "common/assert.h"
@@ -71,5 +72,52 @@ struct CampaignStats {
     return detected_correct + detected_erroneous;
   }
 };
+
+/// A Wilson score interval over a binomial proportion. The sampled
+/// campaign engine records one per report: `point` is the plain sample
+/// proportion successes/trials, [lo, hi] the score interval at the
+/// requested z. All three are pure IEEE double expressions of
+/// (successes, trials, z), evaluated in one fixed order — so two runs that
+/// sampled the same faults record byte-identical bounds.
+struct WilsonInterval {
+  double point = 0.0;
+  double lo = 0.0;
+  double hi = 1.0;
+
+  friend constexpr bool operator==(const WilsonInterval&,
+                                   const WilsonInterval&) = default;
+
+  [[nodiscard]] constexpr double half_width() const {
+    return (hi - lo) / 2.0;
+  }
+};
+
+/// Wilson score interval for `successes` out of `trials` at critical value
+/// `z` (1.96 ≈ 95%). Unlike the normal approximation it stays inside
+/// [0, 1] and behaves at p near 0/1 — exactly the regime high-coverage
+/// campaigns live in. trials == 0 yields the vacuous [0, 1].
+[[nodiscard]] inline WilsonInterval wilson_interval(std::uint64_t successes,
+                                                    std::uint64_t trials,
+                                                    double z) {
+  SCK_EXPECTS(successes <= trials);
+  SCK_EXPECTS(z > 0.0);
+  WilsonInterval w;
+  if (trials == 0) return w;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = p + z2 / (2.0 * n);
+  // std::sqrt is correctly rounded (IEEE 754), so the whole expression is
+  // a deterministic function of (successes, trials, z).
+  const double spread = z * std::sqrt(p * (1.0 - p) / n +
+                                      z2 / (4.0 * n * n));
+  w.point = p;
+  w.lo = (centre - spread) / denom;
+  w.hi = (centre + spread) / denom;
+  if (w.lo < 0.0) w.lo = 0.0;
+  if (w.hi > 1.0) w.hi = 1.0;
+  return w;
+}
 
 }  // namespace sck::fault

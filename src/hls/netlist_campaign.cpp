@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <numeric>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -15,6 +16,14 @@
 namespace sck::hls {
 
 namespace {
+
+// Decoupling salts for the hash-derived duration decisions: each decision
+// family draws from its own (seed ^ salt) stream so transient windows, the
+// intermittent duty and SEU flip samples never correlate with each other
+// or with the operand-stream keying above.
+constexpr std::uint64_t kTransientSalt = 0xB5297A4D3C2E9F17ULL;
+constexpr std::uint64_t kIntermittentSalt = 0x2545F4914F6CDD1DULL;
+constexpr std::uint64_t kSeuSalt = 0x9E6C63D0876A9A4FULL;
 
 /// Per-fault seed derivation (StreamMode::kPerFault): fault streams must
 /// depend only on (seed, global fault index) so the campaign is invariant
@@ -59,9 +68,14 @@ namespace {
 /// One injected-fault run on the scalar backend: an input stream through
 /// the faulty netlist against the fault-free reference model. The stream
 /// is per-fault (seeded by the GLOBAL `fault_index`) or, when
-/// `shared_stream` is non-empty, the campaign-wide shared one.
+/// `shared_stream` is non-empty, the campaign-wide shared one. Handles the
+/// duration model internally — the stuck-at site is armed exactly on the
+/// samples fault_active_at says so, and SEU jobs flip their register bit
+/// once at the hash-derived sample. The sim must arrive fault-free and is
+/// returned fault-free.
 fault::CampaignStats run_one_fault(const Dfg& graph, NetlistSim& sim,
                                    const NetlistCampaignOptions& options,
+                                   const FaultJob& job,
                                    std::uint64_t fault_index,
                                    std::span<const Word> shared_stream) {
   const Netlist& netlist = sim.netlist();
@@ -70,11 +84,26 @@ fault::CampaignStats run_one_fault(const Dfg& graph, NetlistSim& sim,
   Xoshiro256 rng(fault_stream_seed(options.seed, fault_index));
   fault::CampaignStats stats;
   sim.reset();
+  const bool seu = job.kind == FaultKind::kSeu;
+  const int flip_at = seu ? seu_flip_sample(options, fault_index) : -1;
+  bool armed = false;
   std::vector<std::uint64_t> ref_state(graph.state_regs().size(), 0);
   std::vector<Word> in(netlist.input_names.size(), 0);
   std::vector<Word> out(netlist.outputs.size(), 0);
   std::unordered_map<std::string, std::uint64_t> ref_in;
   for (int k = 0; k < options.samples_per_fault; ++k) {
+    if (seu) {
+      if (k == flip_at) {
+        sim.flip_register_bit(static_cast<int>(job.fu), job.seu_bit);
+      }
+    } else {
+      const bool want_armed = fault_active_at(options, fault_index, k);
+      if (want_armed != armed) {
+        sim.set_fu_fault(static_cast<int>(job.fu),
+                         want_armed ? job.site : hw::FaultSite{});
+        armed = want_armed;
+      }
+    }
     // Input i of the netlist is input i of the graph (the netlist builder
     // preserves the graph's input order).
     for (std::size_t i = 0; i < num_inputs; ++i) {
@@ -99,22 +128,25 @@ fault::CampaignStats run_one_fault(const Dfg& graph, NetlistSim& sim,
         error_output >= 0 && out[static_cast<std::size_t>(error_output)] != 0;
     stats.record(fault::classify(erroneous, /*check_passed=*/!detected));
   }
+  if (armed) sim.set_fu_fault(static_cast<int>(job.fu), hw::FaultSite{});
   return stats;
 }
 
-/// One W-fault batch on the bit-plane backend over a job SLICE: lane L
-/// runs job slice[at + L]'s fault with global job (global_base + at + L)'s
-/// input stream — or, under shared streams, the one campaign-wide stream
-/// broadcast to every lane — checked against the plane-wise reference
-/// model. Writes each lane's stats into out[at + L] — per-lane
-/// classification is exactly the scalar classify(), so the slot contents
-/// match run_one_fault bit for bit at every lane width and every slice
-/// partition.
+/// One W-fault batch on the bit-plane backend over an arbitrary job-id
+/// list: lane L runs job ids[at + L] with that GLOBAL id's input stream —
+/// or, under shared streams, the one campaign-wide stream broadcast to
+/// every lane — checked against the plane-wise reference model. Stuck-at
+/// lanes are re-armed per sample from the duration model (pure hash of
+/// the global id, so the armed pattern is grouping-invariant) and SEU
+/// lanes flip their register bit at their hash-derived sample. Writes each
+/// lane's stats into out[at + L] — per-lane classification is exactly the
+/// scalar classify(), so the slot contents match run_one_fault bit for bit
+/// at every lane width and every id grouping.
 template <typename P>
 void run_fault_batch(const Dfg& graph, NetlistBatchSimT<P>& sim,
                      DfgBatchEvaluatorT<P>& ref,
-                     std::span<const FaultJob> slice, std::size_t at,
-                     std::uint64_t global_base,
+                     std::span<const FaultJob> jobs,
+                     std::span<const std::uint64_t> ids, std::size_t at,
                      const NetlistCampaignOptions& options,
                      std::span<const Word> shared_stream,
                      std::span<fault::CampaignStats> out) {
@@ -122,17 +154,25 @@ void run_fault_batch(const Dfg& graph, NetlistBatchSimT<P>& sim,
   const std::int32_t error_output = sim.plan().error_output;
   const std::size_t num_inputs = graph.inputs().size();
   const int lanes = static_cast<int>(std::min<std::size_t>(
-      hw::PlaneTraits<P>::kLanes, slice.size() - at));
+      hw::PlaneTraits<P>::kLanes, ids.size() - at));
 
   sim.clear_lane_faults();
   std::vector<Xoshiro256> rng;
   if (shared_stream.empty()) rng.reserve(static_cast<std::size_t>(lanes));
+  P stuck_lanes{};
+  bool any_seu = false;
   for (int lane = 0; lane < lanes; ++lane) {
-    const std::size_t j = at + static_cast<std::size_t>(lane);
-    sim.add_lane_fault(static_cast<int>(slice[j].fu), slice[j].site,
-                       hw::plane_bit<P>(lane));
+    const std::uint64_t gi = ids[at + static_cast<std::size_t>(lane)];
+    const FaultJob& job = jobs[gi];
+    if (job.kind == FaultKind::kSeu) {
+      any_seu = true;  // flips are applied per sample below
+    } else {
+      sim.add_lane_fault(static_cast<int>(job.fu), job.site,
+                         hw::plane_bit<P>(lane));
+      stuck_lanes |= hw::plane_bit<P>(lane);
+    }
     if (shared_stream.empty()) {
-      rng.emplace_back(fault_stream_seed(options.seed, global_base + j));
+      rng.emplace_back(fault_stream_seed(options.seed, gi));
     }
   }
   sim.reset();
@@ -150,7 +190,35 @@ void run_fault_batch(const Dfg& graph, NetlistBatchSimT<P>& sim,
                 netlist.outputs[i].name);
   }
 
+  // add_lane_fault armed every installed lane, so the permanent path never
+  // re-arms (zero extra work, byte-identical to the pre-duration engine).
+  P prev_armed = stuck_lanes;
   for (int k = 0; k < options.samples_per_fault; ++k) {
+    if (options.duration != fault::FaultDuration::kPermanent) {
+      P armed{};
+      for (int lane = 0; lane < lanes; ++lane) {
+        const std::uint64_t gi = ids[at + static_cast<std::size_t>(lane)];
+        if (jobs[gi].kind != FaultKind::kSeu &&
+            fault_active_at(options, gi, k)) {
+          armed |= hw::plane_bit<P>(lane);
+        }
+      }
+      armed &= stuck_lanes;
+      if (!(armed == prev_armed)) {
+        sim.arm_lane_faults(armed);
+        prev_armed = armed;
+      }
+    }
+    if (any_seu) {
+      for (int lane = 0; lane < lanes; ++lane) {
+        const std::uint64_t gi = ids[at + static_cast<std::size_t>(lane)];
+        const FaultJob& job = jobs[gi];
+        if (job.kind == FaultKind::kSeu && seu_flip_sample(options, gi) == k) {
+          sim.flip_register_bit(static_cast<int>(job.fu), job.seu_bit,
+                                hw::plane_bit<P>(lane));
+        }
+      }
+    }
     for (std::size_t i = 0; i < num_inputs; ++i) {
       const Node& n = graph.node(graph.inputs()[i]);
       if (shared_stream.empty()) {
@@ -185,9 +253,19 @@ void run_fault_batch(const Dfg& graph, NetlistBatchSimT<P>& sim,
   }
 }
 
-/// One W-fault batch on the incremental backend over a job slice: replay
-/// the union fan-out cone of the batch's faults over the precomputed
-/// golden trace, classifying against the pre-broadcast reference outputs.
+/// One W-fault batch on the incremental backend over an arbitrary job-id
+/// list: replay the union fan-out cone of the batch's faults over the
+/// precomputed golden trace, classifying against the pre-broadcast
+/// reference outputs. Duration-model extensions:
+///   - samples before the batch's earliest possible divergence (the
+///     minimum first_active_sample over its lanes) are not simulated at
+///     all — every lane is provably golden there, so the precomputed
+///     `golden_outcome` of each skipped sample is recorded verbatim and
+///     the register file is preloaded from the trace at the window start;
+///   - stuck-at lanes are re-armed per sample (LUT tables only — the
+///     union cone is never shrunk, because a disarmed lane's residual
+///     state divergence still needs its cone replayed);
+///   - SEU lanes flip their register bit at their hash-derived sample.
 /// With fault dropping, a lane retires after its first detected sample
 /// (recorded, then excluded); once every lane retired the batch ends
 /// early.
@@ -195,26 +273,75 @@ template <typename P>
 void run_incremental_batch(NetlistIncrementalSimT<P>& sim,
                            const GoldenTrace& trace,
                            std::span<const hw::BatchWordT<P>> want_planes,
-                           std::span<const FaultJob> slice, std::size_t at,
+                           std::span<const fault::Outcome> golden_outcome,
+                           std::span<const FaultJob> jobs,
+                           std::span<const std::uint64_t> ids, std::size_t at,
                            const NetlistCampaignOptions& options,
                            std::span<fault::CampaignStats> out) {
   const ExecPlan& plan = sim.plan();
   const std::int32_t error_output = plan.error_output;
   const std::size_t num_outputs = plan.outputs.size();
   const int lanes = static_cast<int>(std::min<std::size_t>(
-      hw::PlaneTraits<P>::kLanes, slice.size() - at));
+      hw::PlaneTraits<P>::kLanes, ids.size() - at));
 
   sim.clear_lane_faults();
+  P stuck_lanes{};
+  bool any_seu = false;
+  int start_k = options.samples_per_fault;
   for (int lane = 0; lane < lanes; ++lane) {
-    const std::size_t j = at + static_cast<std::size_t>(lane);
-    sim.add_lane_fault(static_cast<int>(slice[j].fu), slice[j].site,
+    const std::uint64_t gi = ids[at + static_cast<std::size_t>(lane)];
+    const FaultJob& job = jobs[gi];
+    if (job.kind == FaultKind::kSeu) {
+      sim.add_lane_seu(static_cast<int>(job.fu), job.seu_bit,
                        hw::plane_bit<P>(lane));
+      any_seu = true;
+    } else {
+      sim.add_lane_fault(static_cast<int>(job.fu), job.site,
+                         hw::plane_bit<P>(lane));
+      stuck_lanes |= hw::plane_bit<P>(lane);
+    }
+    start_k = std::min(start_k, first_active_sample(options, job, gi));
   }
   sim.reset();
 
+  // Prefix skip: before start_k no lane can diverge — record the
+  // precomputed fault-free outcome of each sample without simulating.
+  for (int k = 0; k < start_k; ++k) {
+    for (int lane = 0; lane < lanes; ++lane) {
+      out[at + static_cast<std::size_t>(lane)].record(golden_outcome[k]);
+    }
+  }
+  if (start_k >= options.samples_per_fault) return;
+  if (start_k > 0) sim.preload_golden_registers(trace, start_k);
+
   std::vector<hw::BatchWordT<P>> batch_out(num_outputs);
   P active = hw::plane_prefix<P>(lanes);
-  for (int k = 0; k < options.samples_per_fault; ++k) {
+  P prev_armed = stuck_lanes;  // add_lane_fault armed every stuck lane
+  for (int k = start_k; k < options.samples_per_fault; ++k) {
+    if (options.duration != fault::FaultDuration::kPermanent) {
+      P armed{};
+      for (int lane = 0; lane < lanes; ++lane) {
+        const std::uint64_t gi = ids[at + static_cast<std::size_t>(lane)];
+        if (jobs[gi].kind != FaultKind::kSeu &&
+            fault_active_at(options, gi, k)) {
+          armed |= hw::plane_bit<P>(lane);
+        }
+      }
+      if (!(armed == prev_armed)) {
+        sim.arm_lane_faults(armed);
+        prev_armed = armed;
+      }
+    }
+    if (any_seu) {
+      for (int lane = 0; lane < lanes; ++lane) {
+        const std::uint64_t gi = ids[at + static_cast<std::size_t>(lane)];
+        const FaultJob& job = jobs[gi];
+        if (job.kind == FaultKind::kSeu && seu_flip_sample(options, gi) == k) {
+          sim.flip_register_bit(static_cast<int>(job.fu), job.seu_bit,
+                                hw::plane_bit<P>(lane));
+        }
+      }
+    }
     sim.replay_sample(trace, k, batch_out);
 
     P erroneous{};
@@ -249,6 +376,43 @@ void run_incremental_batch(NetlistIncrementalSimT<P>& sim,
 
 }  // namespace
 
+bool fault_active_at(const NetlistCampaignOptions& options,
+                     std::uint64_t fault_index, int sample) {
+  switch (options.duration) {
+    case fault::FaultDuration::kPermanent:
+      return true;
+    case fault::FaultDuration::kTransient: {
+      const int start = static_cast<int>(
+          fault::duration_hash(options.seed ^ kTransientSalt, fault_index) %
+          static_cast<std::uint64_t>(options.samples_per_fault));
+      return sample >= start && sample < start + options.transient_samples;
+    }
+    case fault::FaultDuration::kIntermittent:
+      return fault::duration_hash(options.seed ^ kIntermittentSalt,
+                                  fault_index,
+                                  static_cast<std::uint64_t>(sample)) %
+                 1000 <
+             options.duty_permille;
+  }
+  SCK_UNREACHABLE();
+}
+
+int seu_flip_sample(const NetlistCampaignOptions& options,
+                    std::uint64_t fault_index) {
+  return static_cast<int>(
+      fault::duration_hash(options.seed ^ kSeuSalt, fault_index) %
+      static_cast<std::uint64_t>(options.samples_per_fault));
+}
+
+int first_active_sample(const NetlistCampaignOptions& options,
+                        const FaultJob& job, std::uint64_t fault_index) {
+  if (job.kind == FaultKind::kSeu) return seu_flip_sample(options, fault_index);
+  for (int k = 0; k < options.samples_per_fault; ++k) {
+    if (fault_active_at(options, fault_index, k)) return k;
+  }
+  return options.samples_per_fault;
+}
+
 std::vector<FaultJob> enumerate_fault_jobs(
     const Netlist& netlist, const NetlistCampaignOptions& options) {
   SCK_EXPECTS(options.fault_stride > 0);
@@ -262,6 +426,21 @@ std::vector<FaultJob> enumerate_fault_jobs(
       jobs.push_back(FaultJob{static_cast<std::int32_t>(f), universe[i]});
     }
   }
+  // SEU rows after every stuck-at row: one job per (register, bit), in
+  // register-index-major order, stride applied per register exactly like
+  // per-FU stuck-at striding.
+  if (options.seu_faults) {
+    for (std::size_t r = 0; r < netlist.regs.size(); ++r) {
+      for (int b = 0; b < netlist.regs[r].width;
+           b += options.fault_stride) {
+        FaultJob job;
+        job.fu = static_cast<std::int32_t>(r);
+        job.kind = FaultKind::kSeu;
+        job.seu_bit = b;
+        jobs.push_back(job);
+      }
+    }
+  }
   return jobs;
 }
 
@@ -271,22 +450,40 @@ NetlistCampaignResult reduce_campaign_slices(
   SCK_EXPECTS(jobs.size() == per_job.size());
   NetlistCampaignResult result;
   std::vector<std::int64_t> unit_of_fu(netlist.fus.size(), -1);
-  // Jobs are unit-major (enumerate_fault_jobs walks FUs in index order),
-  // so first-appearance order of an FU in the job list IS the sequential
-  // sweep's per-unit order — and every FU with a non-empty (strided)
-  // universe appears, because stride always keeps site 0.
+  std::vector<std::int64_t> unit_of_reg(netlist.regs.size(), -1);
+  // Jobs are unit-major (enumerate_fault_jobs walks FUs in index order,
+  // then registers for SEU rows), so first-appearance order of an FU in
+  // the job list IS the sequential sweep's per-unit order — and every FU
+  // with a non-empty (strided) universe appears, because stride always
+  // keeps site 0. SEU rows reduce into "seu:<register>" pseudo-units
+  // indexed AFTER the real FUs (fu_index = fus.size() + reg — kept
+  // non-negative so the wire codec's index validation holds for them too).
   for (std::size_t j = 0; j < jobs.size(); ++j) {
-    const auto f = static_cast<std::size_t>(jobs[j].fu);
-    SCK_EXPECTS(f < netlist.fus.size());
-    if (unit_of_fu[f] < 0) {
-      unit_of_fu[f] = static_cast<std::int64_t>(result.per_unit.size());
-      UnitCoverage unit;
-      unit.fu_index = jobs[j].fu;
-      unit.fu_name = netlist.fus[f].name;
-      result.per_unit.push_back(std::move(unit));
+    std::size_t slot = 0;
+    if (jobs[j].kind == FaultKind::kSeu) {
+      const auto r = static_cast<std::size_t>(jobs[j].fu);
+      SCK_EXPECTS(r < netlist.regs.size());
+      if (unit_of_reg[r] < 0) {
+        unit_of_reg[r] = static_cast<std::int64_t>(result.per_unit.size());
+        UnitCoverage unit;
+        unit.fu_index = static_cast<int>(netlist.fus.size() + r);
+        unit.fu_name = "seu:" + netlist.regs[r].name;
+        result.per_unit.push_back(std::move(unit));
+      }
+      slot = static_cast<std::size_t>(unit_of_reg[r]);
+    } else {
+      const auto f = static_cast<std::size_t>(jobs[j].fu);
+      SCK_EXPECTS(f < netlist.fus.size());
+      if (unit_of_fu[f] < 0) {
+        unit_of_fu[f] = static_cast<std::int64_t>(result.per_unit.size());
+        UnitCoverage unit;
+        unit.fu_index = jobs[j].fu;
+        unit.fu_name = netlist.fus[f].name;
+        result.per_unit.push_back(std::move(unit));
+      }
+      slot = static_cast<std::size_t>(unit_of_fu[f]);
     }
-    UnitCoverage& unit =
-        result.per_unit[static_cast<std::size_t>(unit_of_fu[f])];
+    UnitCoverage& unit = result.per_unit[slot];
     unit.stats += per_job[j];
     ++unit.faults;
     result.aggregate += per_job[j];
@@ -309,6 +506,10 @@ struct CampaignSliceRunner::Impl {
   std::unique_ptr<FaultCones> cones;
   GoldenTrace trace;
   std::vector<Word> want_values;  ///< samples x outputs, width-truncated
+  /// Per-sample outcome of a fault-free lane, classified once through the
+  /// incremental path itself: what the prefix skip records for samples
+  /// before a batch's earliest possible divergence.
+  std::vector<fault::Outcome> golden_outcome;
 };
 
 CampaignSliceRunner::CampaignSliceRunner(const Dfg& graph,
@@ -317,6 +518,8 @@ CampaignSliceRunner::CampaignSliceRunner(const Dfg& graph,
     : impl_([&] {
         SCK_EXPECTS(options.samples_per_fault > 0);
         SCK_EXPECTS(options.fault_stride > 0);
+        SCK_EXPECTS(options.transient_samples > 0);
+        SCK_EXPECTS(options.duty_permille <= 1000);
         SCK_EXPECTS(netlist.input_names.size() == graph.inputs().size());
         SCK_EXPECTS((options.backend != NetlistBackend::kIncremental ||
                      options.stream == StreamMode::kShared) &&
@@ -349,7 +552,8 @@ CampaignSliceRunner::CampaignSliceRunner(const Dfg& graph,
           // The fault-free work happens ONCE per campaign: the golden
           // trace (scalar replay recording every wire) and the scalar Dfg
           // reference outputs.
-          impl->cones = std::make_unique<FaultCones>(impl->plan);
+          impl->cones = std::make_unique<FaultCones>(
+              impl->plan, /*include_seu=*/options.seu_faults);
           impl->trace = record_golden_trace(impl->plan, impl->shared_stream,
                                             options.samples_per_fault);
           const std::size_t num_outputs = impl->netlist.outputs.size();
@@ -378,6 +582,38 @@ CampaignSliceRunner::CampaignSliceRunner(const Dfg& graph,
                                 i] = trunc(want.outputs.at(n.name), n.width);
             }
           }
+
+          // Classify one fault-free lane per sample, once, through the
+          // incremental replay path itself (empty cone: pure splicing).
+          // The prefix skip of run_incremental_batch records these
+          // outcomes verbatim — by construction exactly what simulating a
+          // never-diverged lane would have recorded.
+          NetlistIncrementalSim gsim(impl->plan, *impl->cones);
+          const std::int32_t error_output = impl->plan.error_output;
+          std::vector<hw::BatchWordT<hw::Plane64>> go(num_outputs);
+          impl->golden_outcome.reserve(
+              static_cast<std::size_t>(options.samples_per_fault));
+          for (int k = 0; k < options.samples_per_fault; ++k) {
+            gsim.replay_sample(impl->trace, k, go);
+            hw::Plane64 erroneous{};
+            for (std::size_t i = 0; i < num_outputs; ++i) {
+              if (static_cast<std::int32_t>(i) == error_output) continue;
+              const Node& n = impl->graph.node(impl->graph.outputs()[i]);
+              erroneous |= hw::differing_lanes(
+                  go[i],
+                  hw::broadcast_word<hw::Plane64>(
+                      impl->want_values[static_cast<std::size_t>(k) *
+                                            num_outputs +
+                                        i],
+                      n.width));
+            }
+            const hw::Plane64 detected =
+                error_output >= 0
+                    ? go[static_cast<std::size_t>(error_output)][0]
+                    : hw::Plane64{};
+            impl->golden_outcome.push_back(fault::lane_outcome(
+                fault::LaneVerdictT<hw::Plane64>{erroneous, detected}, 0));
+          }
         }
         return impl;
       }()) {}
@@ -397,23 +633,30 @@ int CampaignSliceRunner::lanes() const { return impl_->lane_width; }
 
 void CampaignSliceRunner::run_slice(std::uint64_t base, std::size_t count,
                                     std::span<fault::CampaignStats> out) const {
+  SCK_EXPECTS(base <= impl_->jobs.size() &&
+              count <= impl_->jobs.size() - base);
+  std::vector<std::uint64_t> ids(count);
+  std::iota(ids.begin(), ids.end(), base);
+  run_jobs(ids, out);
+}
+
+void CampaignSliceRunner::run_jobs(std::span<const std::uint64_t> ids,
+                                   std::span<fault::CampaignStats> out) const {
   const Impl& im = *impl_;
-  SCK_EXPECTS(base <= im.jobs.size() && count <= im.jobs.size() - base);
-  SCK_EXPECTS(out.size() == count);
-  if (count == 0) return;
-  const std::span<const FaultJob> slice(im.jobs.data() + base, count);
+  SCK_EXPECTS(out.size() == ids.size());
+  for (const std::uint64_t id : ids) SCK_EXPECTS(id < im.jobs.size());
+  if (ids.empty()) return;
+  const std::span<const FaultJob> jobs(im.jobs);
   const NetlistCampaignOptions& options = im.options;
 
   if (options.backend == NetlistBackend::kScalar) {
     // Shard one fault per job; each worker owns a simulator over the
     // shared plan (units are stateful via set_fault).
     fault::parallel_shard(
-        count, options.threads, [&im] { return NetlistSim(im.plan); },
+        ids.size(), options.threads, [&im] { return NetlistSim(im.plan); },
         [&](NetlistSim& sim, std::size_t j) {
-          sim.set_fu_fault(static_cast<int>(slice[j].fu), slice[j].site);
-          out[j] = run_one_fault(im.graph, sim, options, base + j,
-                                 im.shared_stream);
-          sim.set_fu_fault(static_cast<int>(slice[j].fu), hw::FaultSite{});
+          out[j] = run_one_fault(im.graph, sim, options, jobs[ids[j]],
+                                 ids[j], im.shared_stream);
         });
   } else if (options.backend == NetlistBackend::kBatched) {
     // Shard W-fault batches; each worker owns a batched simulator over
@@ -426,7 +669,7 @@ void CampaignSliceRunner::run_slice(std::uint64_t base, std::size_t count,
     // prototype is compiled (topo + DCE) once and copied per worker.
     hw::dispatch_plane(im.lane_width, [&]<typename P>(std::type_identity<P>) {
       constexpr std::size_t kW = hw::PlaneTraits<P>::kLanes;
-      const std::size_t batches = (count + kW - 1) / kW;
+      const std::size_t batches = (ids.size() + kW - 1) / kW;
       const DfgBatchEvaluatorT<P> ref_proto(im.graph, "error");
       struct BatchContext {
         NetlistBatchSimT<P> sim;
@@ -440,14 +683,14 @@ void CampaignSliceRunner::run_slice(std::uint64_t base, std::size_t count,
           batches, options.threads,
           [&im, &ref_proto] { return BatchContext(im.plan, ref_proto); },
           [&](BatchContext& ctx, std::size_t b) {
-            run_fault_batch(im.graph, ctx.sim, ctx.ref, slice, b * kW, base,
+            run_fault_batch(im.graph, ctx.sim, ctx.ref, jobs, ids, b * kW,
                             options, im.shared_stream, out);
           });
     });
   } else {
     hw::dispatch_plane(im.lane_width, [&]<typename P>(std::type_identity<P>) {
       constexpr std::size_t kW = hw::PlaneTraits<P>::kLanes;
-      const std::size_t batches = (count + kW - 1) / kW;
+      const std::size_t batches = (ids.size() + kW - 1) / kW;
       // Broadcast the precomputed scalar reference outputs to this width's
       // planes (per call — one call per campaign single-host, one per
       // shard on a service worker).
@@ -470,8 +713,9 @@ void CampaignSliceRunner::run_slice(std::uint64_t base, std::size_t count,
           batches, options.threads,
           [&im] { return IncrementalContext(im.plan, *im.cones); },
           [&](IncrementalContext& ctx, std::size_t b) {
-            run_incremental_batch<P>(ctx.sim, im.trace, want_planes, slice,
-                                     b * kW, options, out);
+            run_incremental_batch<P>(ctx.sim, im.trace, want_planes,
+                                     im.golden_outcome, jobs, ids, b * kW,
+                                     options, out);
           });
     });
   }
@@ -484,6 +728,82 @@ NetlistCampaignResult run_netlist_campaign(
   std::vector<fault::CampaignStats> per_job(runner.jobs().size());
   runner.run_slice(0, per_job.size(), per_job);
   return reduce_campaign_slices(runner.netlist(), runner.jobs(), per_job);
+}
+
+SampledNetlistCampaignResult run_sampled_netlist_campaign(
+    const Dfg& graph, const Netlist& netlist,
+    const NetlistCampaignOptions& options,
+    const SampledCampaignOptions& sampling) {
+  SCK_EXPECTS(sampling.block > 0);
+  SCK_EXPECTS(sampling.target_half_width > 0.0);
+  SCK_EXPECTS(sampling.z > 0.0);
+  const CampaignSliceRunner runner(graph, netlist, options);
+  const std::size_t universe = runner.jobs().size();
+
+  // Seeded Fisher–Yates permutation of the job list: the evaluation order
+  // is a pure function of (universe size, sample_seed) — the stimulus seed
+  // stays out of it, so the same campaign can be resampled independently.
+  std::vector<std::uint64_t> perm(universe);
+  std::iota(perm.begin(), perm.end(), std::uint64_t{0});
+  Xoshiro256 rng(sampling.sample_seed);
+  for (std::size_t i = universe; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.bounded(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+
+  const std::size_t cap = sampling.max_jobs == 0
+                              ? universe
+                              : std::min(universe, sampling.max_jobs);
+  std::vector<fault::CampaignStats> per_sampled(cap);
+  SampledNetlistCampaignResult report;
+  report.universe_jobs = universe;
+
+  // Blocks run sequentially (each block internally sharded over
+  // options.threads); the stop decision fires ONLY at block boundaries on
+  // the prefix evaluated so far, so every thread/lane/backend
+  // configuration stops after the same number of jobs.
+  std::uint64_t detected_faults = 0;
+  const std::size_t evaluated = fault::run_blocks_until(
+      cap, sampling.block,
+      [&](std::size_t at, std::size_t count) {
+        runner.run_jobs(
+            std::span<const std::uint64_t>(perm.data() + at, count),
+            std::span<fault::CampaignStats>(per_sampled.data() + at, count));
+        for (std::size_t j = at; j < at + count; ++j) {
+          if (per_sampled[j].detections() > 0) ++detected_faults;
+        }
+      },
+      [&](std::size_t done) {
+        report.detection_coverage = fault::wilson_interval(
+            detected_faults, static_cast<std::uint64_t>(done), sampling.z);
+        return report.detection_coverage.half_width() <=
+               sampling.target_half_width;
+      });
+
+  report.sampled_jobs = evaluated;
+  report.converged =
+      evaluated > 0 && report.detection_coverage.half_width() <=
+                           sampling.target_half_width;
+
+  // Reduce the evaluated prefix in GLOBAL job-index order, not permutation
+  // order: the report is then byte-identical for any configuration that
+  // evaluated the same prefix — and equals run_netlist_campaign's result
+  // exactly when the whole universe was evaluated.
+  std::vector<std::size_t> order(evaluated);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return perm[a] < perm[b]; });
+  std::vector<FaultJob> sampled_jobs;
+  sampled_jobs.reserve(evaluated);
+  std::vector<fault::CampaignStats> sampled_stats;
+  sampled_stats.reserve(evaluated);
+  for (const std::size_t idx : order) {
+    sampled_jobs.push_back(runner.jobs()[perm[idx]]);
+    sampled_stats.push_back(per_sampled[idx]);
+  }
+  report.result =
+      reduce_campaign_slices(runner.netlist(), sampled_jobs, sampled_stats);
+  return report;
 }
 
 }  // namespace sck::hls

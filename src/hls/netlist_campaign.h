@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "fault/duration.h"
 #include "fault/stats.h"
 #include "hls/dfg.h"
 #include "hls/netlist_sim.h"
@@ -116,17 +117,71 @@ struct NetlistCampaignOptions {
   /// cheap mode for "is every fault ever detected?" coverage queries, but
   /// NOT for the sample-exact four-way taxonomy.
   bool fault_dropping = false;
+  /// How long each stuck-at fault stays active (fault/duration.h):
+  ///   kPermanent     active on every sample — the historical behaviour,
+  ///                  and the default (result bytes are pinned against the
+  ///                  pre-duration engine by tests/test_netlist_duration.cpp);
+  ///   kTransient     active for `transient_samples` consecutive samples
+  ///                  starting at a per-fault hash-derived sample; golden
+  ///                  before the window, residual state corruption decays
+  ///                  (or is detected) after it;
+  ///   kIntermittent  active at sample k iff
+  ///                  duration_hash(seed, fault, k) % 1000 < duty_permille.
+  /// Every activity decision is a STATELESS hash of (seed, global fault
+  /// index, sample) — never a campaign-RNG draw — so the duration model is
+  /// invariant under backend, lane width, thread count and slice
+  /// partition, and turning the knob cannot perturb the operand streams.
+  fault::FaultDuration duration = fault::FaultDuration::kPermanent;
+  int transient_samples = 1;          ///< window length for kTransient
+  std::uint32_t duty_permille = 500;  ///< duty for kIntermittent
+  /// Append register-bit SEU flip jobs to the fault universe: one job per
+  /// (register, bit < register width), flipping that bit ONCE at a
+  /// per-fault hash-derived sample. SEU jobs are one-shot events and
+  /// ignore the duration model; stuck-at jobs are unaffected.
+  bool seu_faults = false;
 };
 
-/// One entry of the (strided) fault job list: FU index plus stuck-at site.
-/// The job list order IS the campaign's deterministic reduction order
-/// (unit-major, site order within a unit, stride applied per unit), and a
-/// job's position in the list keys its per-fault input stream under
-/// StreamMode::kPerFault. Everything that executes campaign slices —
-/// single-host or a remote worker — must agree on this list bit for bit.
+/// Stuck-at activity of global fault `fault_index` at sample `sample`
+/// under the campaign's duration model: the single pure derivation every
+/// backend (and the differential oracle) evaluates. SEU jobs do not
+/// consult this — see seu_flip_sample.
+[[nodiscard]] bool fault_active_at(const NetlistCampaignOptions& options,
+                                   std::uint64_t fault_index, int sample);
+
+/// First sample at which fault `fault_index` can diverge from golden
+/// (== samples_per_fault when it never activates). For SEU jobs this is
+/// the flip sample. The incremental backend skips straight to the batch
+/// minimum and records golden outcomes for the prefix.
+[[nodiscard]] int first_active_sample(const NetlistCampaignOptions& options,
+                                      const struct FaultJob& job,
+                                      std::uint64_t fault_index);
+
+/// The one sample at which an SEU job flips its register bit:
+/// hash-derived from (seed, global fault index), uniform over the stream.
+[[nodiscard]] int seu_flip_sample(const NetlistCampaignOptions& options,
+                                  std::uint64_t fault_index);
+
+/// What a FaultJob injects.
+enum class FaultKind : unsigned char {
+  kStuckAt,  ///< FU-internal stuck-at site, lives under the duration model
+  kSeu,      ///< one-shot register-bit flip at a hash-derived sample
+};
+
+/// One entry of the (strided) fault job list. For kStuckAt: FU index plus
+/// stuck-at site. For kSeu: `fu` is the REGISTER index (netlist.registers)
+/// and `seu_bit` the bit to flip; `site` is ignored. The job list order IS
+/// the campaign's deterministic reduction order (unit-major, site order
+/// within a unit, stride applied per unit; then — when options.seu_faults —
+/// register-major, bit order within a register, stride applied per
+/// register), and a job's position in the list keys its per-fault input
+/// stream under StreamMode::kPerFault. Everything that executes campaign
+/// slices — single-host or a remote worker — must agree on this list bit
+/// for bit.
 struct FaultJob {
   std::int32_t fu = 0;
   hw::FaultSite site;
+  FaultKind kind = FaultKind::kStuckAt;
+  std::int32_t seu_bit = -1;
 
   friend bool operator==(const FaultJob&, const FaultJob&) = default;
 };
@@ -182,6 +237,12 @@ class CampaignSliceRunner {
   void run_slice(std::uint64_t base, std::size_t count,
                  std::span<fault::CampaignStats> out) const;
 
+  /// Evaluate an arbitrary job-index list: out[i] receives the stats of
+  /// global job ids[i]. run_slice is the contiguous special case; the
+  /// sampled-campaign engine feeds permuted prefixes through this.
+  void run_jobs(std::span<const std::uint64_t> ids,
+                std::span<fault::CampaignStats> out) const;
+
  private:
   struct Impl;
   std::unique_ptr<const Impl> impl_;
@@ -207,5 +268,58 @@ class CampaignSliceRunner {
 [[nodiscard]] NetlistCampaignResult run_netlist_campaign(
     const Dfg& graph, const Netlist& netlist,
     const NetlistCampaignOptions& options);
+
+/// Confidence-interval sampled campaigns: instead of sweeping the whole
+/// fault universe, evaluate a seeded random permutation of it in fixed
+/// blocks until the Wilson interval on detection coverage is tight enough.
+struct SampledCampaignOptions {
+  /// Seed of the sampling permutation (Fisher–Yates over the job list,
+  /// drawn from its own Xoshiro stream — independent of the stimulus
+  /// seed so the same campaign can be resampled).
+  std::uint64_t sample_seed = 0xCED5;
+  /// Jobs evaluated between early-stop checks. The stop decision is taken
+  /// ONLY at block boundaries over the prefix evaluated so far, which is a
+  /// pure function of (options, sample_seed, block) — never of thread
+  /// count, lane width or backend — so every configuration stops after the
+  /// same number of jobs (tests/test_sampled_campaign.cpp holds this at
+  /// threads 1/2/8).
+  std::size_t block = 256;
+  /// Stop once the Wilson half-width on detection coverage is ≤ this.
+  double target_half_width = 0.02;
+  /// Critical value for the interval (1.96 ≈ 95%).
+  double z = 1.96;
+  /// Evaluate at most this many jobs, 0 = no cap (the universe bounds it).
+  std::size_t max_jobs = 0;
+};
+
+struct SampledNetlistCampaignResult {
+  /// Aggregate + per-unit stats over the evaluated sample only, reduced in
+  /// global job-index order (NOT permutation order) — byte-identical at any
+  /// thread/lane/backend configuration that evaluates the same prefix.
+  NetlistCampaignResult result;
+  /// Jobs actually evaluated (a multiple of block unless the universe ran
+  /// out) and the universe they were drawn from.
+  std::uint64_t sampled_jobs = 0;
+  std::uint64_t universe_jobs = 0;
+  /// Wilson interval on per-fault detection coverage: the fraction of
+  /// sampled faults with detections() > 0, with [lo, hi] at z.
+  fault::WilsonInterval detection_coverage;
+  /// True iff the interval reached target_half_width before the universe
+  /// (or max_jobs) ran out.
+  bool converged = false;
+
+  friend bool operator==(const SampledNetlistCampaignResult&,
+                         const SampledNetlistCampaignResult&) = default;
+};
+
+/// Run a sampled campaign. Evaluating the full universe (because the stop
+/// criterion never fired or max_jobs/universe was reached first) yields
+/// `result` EXACTLY equal to run_netlist_campaign's — sampling only ever
+/// changes which prefix of the permutation is evaluated, never any
+/// per-job outcome.
+[[nodiscard]] SampledNetlistCampaignResult run_sampled_netlist_campaign(
+    const Dfg& graph, const Netlist& netlist,
+    const NetlistCampaignOptions& options,
+    const SampledCampaignOptions& sampling);
 
 }  // namespace sck::hls

@@ -181,7 +181,7 @@ std::vector<hw::FaultSite> FuBank::fault_universe(int fu_index) const {
   return u == nullptr ? std::vector<hw::FaultSite>{} : u->fault_universe();
 }
 
-FaultCones::FaultCones(const ExecPlan& plan)
+FaultCones::FaultCones(const ExecPlan& plan, bool include_seu)
     : num_fus_(static_cast<int>(plan.netlist->fus.size())),
       num_steps_(plan.num_steps),
       words_((plan.ops.size() + 63) / 64),
@@ -200,14 +200,31 @@ FaultCones::FaultCones(const ExecPlan& plan)
   masks_.assign(static_cast<std::size_t>(num_fus_) * words_, 0);
   reg_masks_.assign(static_cast<std::size_t>(num_fus_) * fences * reg_words_,
                     0);
+  if (include_seu) {
+    num_seu_regs_ = plan.num_regs;
+    seu_masks_.assign(num_regs * words_, 0);
+    seu_reg_masks_.assign(num_regs * fences * reg_words_, 0);
+  }
   std::vector<char> op_taint(plan.ops.size());
   // reg_taint[s * num_regs + r]: register r diverges at fence s (fence s =
   // the register file step s's ops read; fence num_steps_ = what outputs
   // and state-load sources read).
   std::vector<char> reg_taint(fences * num_regs);
-  for (int fu = 0; fu < num_fus_; ++fu) {
+
+  // One fixpoint per seed. `seed_op(op)` marks the ops that originate
+  // divergence (the faulted FU's ops, or — for an SEU cone — every writer
+  // of the struck register, so its batch slot is refreshed by an executing
+  // op at each write point); `forced_reg` (or -1) is held tainted at every
+  // fence (the struck register itself: the flip corrupts it outside any
+  // op, so no golden write may ever splice it back).
+  const auto run_fixpoint = [&](const auto& seed_op, int forced_reg) {
     std::fill(op_taint.begin(), op_taint.end(), 0);
     std::fill(reg_taint.begin(), reg_taint.end(), 0);
+    if (forced_reg >= 0) {
+      for (std::size_t s = 0; s < fences; ++s) {
+        reg_taint[s * num_regs + static_cast<std::size_t>(forced_reg)] = 1;
+      }
+    }
     const auto tainted_at = [&](const ExecOperand& s, std::size_t fence) {
       switch (s.kind) {
         case Operand::Kind::kWire:
@@ -240,7 +257,7 @@ FaultCones::FaultCones(const ExecPlan& plan)
         for (std::uint32_t i = plan.step_begin[static_cast<std::size_t>(step)];
              i < end; ++i) {
           const ExecOp& op = plan.ops[i];
-          const bool t = op.fu == fu || tainted_at(op.src0, fence) ||
+          const bool t = seed_op(op) || tainted_at(op.src0, fence) ||
                          tainted_at(op.src1, fence);
           if (t && !op_taint[i]) {
             op_taint[i] = 1;
@@ -252,13 +269,14 @@ FaultCones::FaultCones(const ExecPlan& plan)
             // current-pass taint `t` for the golden case).
             reg_taint[(fence + 1) * num_regs +
                       static_cast<std::size_t>(op.dst_reg)] =
-                op_taint[i] != 0 || t;
+                op_taint[i] != 0 || t || op.dst_reg == forced_reg;
           }
         }
       }
       // End-of-iteration state loads feed fence 0 of the next sample;
       // un-loaded registers carry their final-fence state over. Fence 0
-      // grows monotonically (|=), which drives the fixpoint.
+      // grows monotonically (|=), which drives the fixpoint (the forced
+      // register was seeded there and is never cleared).
       const std::size_t last = static_cast<std::size_t>(num_steps_) * num_regs;
       for (std::size_t r = 0; r < num_regs; ++r) {
         char next = reg_taint[last + r];
@@ -270,19 +288,19 @@ FaultCones::FaultCones(const ExecPlan& plan)
                        : 0;
           }
         }
+        if (static_cast<int>(r) == forced_reg) next = 1;
         if (next && !reg_taint[r]) {
           reg_taint[r] = 1;
           changed = true;
         }
       }
     }
-    std::uint64_t* mask = masks_.data() + static_cast<std::size_t>(fu) * words_;
+  };
+
+  const auto pack_masks = [&](std::uint64_t* mask, std::uint64_t* reg_mask) {
     for (std::size_t i = 0; i < plan.ops.size(); ++i) {
       if (op_taint[i]) mask[i >> 6] |= std::uint64_t{1} << (i & 63);
     }
-    std::uint64_t* reg_mask =
-        reg_masks_.data() +
-        static_cast<std::size_t>(fu) * fences * reg_words_;
     for (std::size_t s = 0; s < fences; ++s) {
       for (std::size_t r = 0; r < num_regs; ++r) {
         if (reg_taint[s * num_regs + r]) {
@@ -290,6 +308,20 @@ FaultCones::FaultCones(const ExecPlan& plan)
         }
       }
     }
+  };
+
+  for (int fu = 0; fu < num_fus_; ++fu) {
+    run_fixpoint([fu](const ExecOp& op) { return op.fu == fu; },
+                 /*forced_reg=*/-1);
+    pack_masks(masks_.data() + static_cast<std::size_t>(fu) * words_,
+               reg_masks_.data() +
+                   static_cast<std::size_t>(fu) * fences * reg_words_);
+  }
+  for (int reg = 0; reg < num_seu_regs_; ++reg) {
+    run_fixpoint([reg](const ExecOp& op) { return op.dst_reg == reg; }, reg);
+    pack_masks(seu_masks_.data() + static_cast<std::size_t>(reg) * words_,
+               seu_reg_masks_.data() +
+                   static_cast<std::size_t>(reg) * fences * reg_words_);
   }
 }
 
@@ -405,12 +437,12 @@ void NetlistBatchSimT<P>::clear_lane_faults() {
     lane_faults_[f].clear();
     bank_.unit(static_cast<int>(f))->set_lane_faults(nullptr);
   }
+  installed_.clear();
 }
 
 template <typename P>
-void NetlistBatchSimT<P>::add_lane_fault(int fu_index,
-                                         const hw::FaultSite& fault,
-                                         const P& lanes) {
+void NetlistBatchSimT<P>::install(int fu_index, const hw::FaultSite& fault,
+                                  const P& lanes) {
   hw::FaultableUnit* u = bank_.unit(fu_index);
   SCK_EXPECTS(u != nullptr && "checker-side units accept no faults");
   SCK_EXPECTS(fault.active());
@@ -422,6 +454,31 @@ void NetlistBatchSimT<P>::add_lane_fault(int fu_index,
   set.add(fault.cell, hw::faulty_cell_lut(kind, fault.line, fault.stuck_value),
           lanes);
   u->set_lane_faults(&set);
+}
+
+template <typename P>
+void NetlistBatchSimT<P>::add_lane_fault(int fu_index,
+                                         const hw::FaultSite& fault,
+                                         const P& lanes) {
+  install(fu_index, fault, lanes);
+  installed_.push_back(InstalledFault{fu_index, fault, lanes});
+}
+
+template <typename P>
+void NetlistBatchSimT<P>::arm_lane_faults(const P& armed) {
+  // Rebuild the per-FU lane tables from the installed set, masked by
+  // `armed`; architectural state (and thus residual divergence of disarmed
+  // lanes) is untouched.
+  for (std::size_t f = 0; f < lane_faults_.size(); ++f) {
+    if (lane_faults_[f].empty()) continue;
+    lane_faults_[f].clear();
+    bank_.unit(static_cast<int>(f))->set_lane_faults(nullptr);
+  }
+  for (const InstalledFault& fault : installed_) {
+    const P lanes = fault.lanes & armed;
+    if (!hw::plane_any(lanes)) continue;
+    install(fault.fu, fault.site, lanes);
+  }
 }
 
 template <typename P>
@@ -446,7 +503,8 @@ NetlistIncrementalSimT<P>::NetlistIncrementalSimT(const ExecPlan& plan,
       cone_(cones.mask_words(), 0),
       reg_cone_((static_cast<std::size_t>(plan.num_steps) + 1) *
                     cones.reg_mask_words(),
-                0) {
+                0),
+      seu_regs_(cones.reg_mask_words(), 0) {
   SCK_EXPECTS(cones.num_fus() ==
               static_cast<int>(plan.netlist->fus.size()));
   lane_faults_.reserve(bank_.size());
@@ -468,6 +526,8 @@ void NetlistIncrementalSimT<P>::clear_lane_faults() {
     bank_.unit(static_cast<int>(f))->set_lane_faults(nullptr);
   }
   faults_.clear();
+  seu_faults_.clear();
+  std::fill(seu_regs_.begin(), seu_regs_.end(), 0);
   std::fill(cone_.begin(), cone_.end(), 0);
   std::fill(reg_cone_.begin(), reg_cone_.end(), 0);
   program_dirty_ = true;
@@ -489,7 +549,7 @@ void NetlistIncrementalSimT<P>::add_lane_fault(int fu_index,
           lanes);
   u->set_lane_faults(&set);
 
-  faults_.emplace_back(fu_index, lanes);
+  faults_.push_back(InstalledFault{fu_index, fault, lanes});
   const std::span<const std::uint64_t> cone = cones_.op_cone(fu_index);
   for (std::size_t w = 0; w < cone_.size(); ++w) cone_[w] |= cone[w];
   const std::size_t rw = cones_.reg_mask_words();
@@ -499,6 +559,62 @@ void NetlistIncrementalSimT<P>::add_lane_fault(int fu_index,
     for (std::size_t w = 0; w < rw; ++w) fence[w] |= regs[w];
   }
   program_dirty_ = true;
+}
+
+template <typename P>
+void NetlistIncrementalSimT<P>::add_lane_seu(int reg, int bit,
+                                             const P& lanes) {
+  SCK_EXPECTS(cones_.has_seu_cones() &&
+              "construct FaultCones with include_seu for SEU campaigns");
+  SCK_EXPECTS(reg >= 0 && reg < plan_.num_regs);
+  SCK_EXPECTS(bit >= 0 && bit < kMaxWidth);
+  seu_faults_.push_back(InstalledSeu{reg, bit, lanes});
+  const auto r = static_cast<std::size_t>(reg);
+  seu_regs_[r >> 6] |= std::uint64_t{1} << (r & 63);
+  const std::span<const std::uint64_t> cone = cones_.seu_op_cone(reg);
+  for (std::size_t w = 0; w < cone_.size(); ++w) cone_[w] |= cone[w];
+  const std::size_t rw = cones_.reg_mask_words();
+  for (int s = 0; s <= plan_.num_steps; ++s) {
+    const std::span<const std::uint64_t> regs = cones_.seu_reg_cone(reg, s);
+    std::uint64_t* fence = reg_cone_.data() + static_cast<std::size_t>(s) * rw;
+    for (std::size_t w = 0; w < rw; ++w) fence[w] |= regs[w];
+  }
+  program_dirty_ = true;
+}
+
+template <typename P>
+void NetlistIncrementalSimT<P>::arm_lane_faults(const P& armed) {
+  // Lane-table rebuild only: the union cone must keep covering disarmed
+  // lanes (their residual state divergence still replays through it).
+  for (std::size_t f = 0; f < lane_faults_.size(); ++f) {
+    if (lane_faults_[f].empty()) continue;
+    lane_faults_[f].clear();
+    bank_.unit(static_cast<int>(f))->set_lane_faults(nullptr);
+  }
+  for (const InstalledFault& fault : faults_) {
+    const P lanes = fault.lanes & armed;
+    if (!hw::plane_any(lanes)) continue;
+    hw::FaultableUnit* u = bank_.unit(fault.fu);
+    const hw::CellKind kind = u->cell_kind(fault.site.cell);
+    hw::LaneFaultSetT<P>& set =
+        lane_faults_[static_cast<std::size_t>(fault.fu)];
+    set.add(fault.site.cell,
+            hw::faulty_cell_lut(kind, fault.site.line, fault.site.stuck_value),
+            lanes);
+    u->set_lane_faults(&set);
+  }
+}
+
+template <typename P>
+void NetlistIncrementalSimT<P>::preload_golden_registers(
+    const GoldenTrace& trace, int k) {
+  SCK_EXPECTS(trace.num_regs == plan_.num_regs);
+  SCK_EXPECTS(k >= 0 && k < trace.samples);
+  const std::span<const Word> regs = trace.sample_regs(k, 0);
+  auto& st = sem_.state;
+  for (std::size_t r = 0; r < st.regs.size(); ++r) {
+    st.regs[r] = hw::broadcast_word<P>(regs[r], plan_.data_width);
+  }
 }
 
 template <typename P>
@@ -512,12 +628,25 @@ void NetlistIncrementalSimT<P>::rebuild_masks(const P& active) {
   std::fill(cone_.begin(), cone_.end(), 0);
   std::fill(reg_cone_.begin(), reg_cone_.end(), 0);
   const std::size_t rw = cones_.reg_mask_words();
-  for (const auto& [fu, lanes] : faults_) {
-    if (!hw::plane_any(lanes & active)) continue;
-    const std::span<const std::uint64_t> cone = cones_.op_cone(fu);
+  for (const InstalledFault& fault : faults_) {
+    if (!hw::plane_any(fault.lanes & active)) continue;
+    const std::span<const std::uint64_t> cone = cones_.op_cone(fault.fu);
     for (std::size_t w = 0; w < cone_.size(); ++w) cone_[w] |= cone[w];
     for (int s = 0; s <= plan_.num_steps; ++s) {
-      const std::span<const std::uint64_t> regs = cones_.reg_cone(fu, s);
+      const std::span<const std::uint64_t> regs =
+          cones_.reg_cone(fault.fu, s);
+      std::uint64_t* fence =
+          reg_cone_.data() + static_cast<std::size_t>(s) * rw;
+      for (std::size_t w = 0; w < rw; ++w) fence[w] |= regs[w];
+    }
+  }
+  for (const InstalledSeu& seu : seu_faults_) {
+    if (!hw::plane_any(seu.lanes & active)) continue;
+    const std::span<const std::uint64_t> cone = cones_.seu_op_cone(seu.reg);
+    for (std::size_t w = 0; w < cone_.size(); ++w) cone_[w] |= cone[w];
+    for (int s = 0; s <= plan_.num_steps; ++s) {
+      const std::span<const std::uint64_t> regs =
+          cones_.seu_reg_cone(seu.reg, s);
       std::uint64_t* fence =
           reg_cone_.data() + static_cast<std::size_t>(s) * rw;
       for (std::size_t w = 0; w < rw; ++w) fence[w] |= regs[w];
@@ -575,7 +704,14 @@ void NetlistIncrementalSimT<P>::compile_cone_program() {
       default:
         break;  // constants/inputs are golden broadcasts by definition
     }
-    if (tainted_source) loads_.push_back(load);
+    // A load into an SEU-struck register always executes, even with a
+    // golden source: the register is forced tainted at every fence, so its
+    // batch slot must be refreshed by each write (a golden load splices
+    // its source as a broadcast — correct and fresh).
+    const auto dst = static_cast<std::size_t>(load.dst_reg);
+    const bool seu_target =
+        ((seu_regs_[dst >> 6] >> (dst & 63)) & 1) != 0;
+    if (tainted_source || seu_target) loads_.push_back(load);
   }
   program_dirty_ = false;
 }

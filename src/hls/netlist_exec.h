@@ -123,7 +123,15 @@ struct ExecPlan {
 /// shared const across campaign workers.
 class FaultCones {
  public:
-  explicit FaultCones(const ExecPlan& plan);
+  /// `include_seu` additionally computes one cone per plan REGISTER — the
+  /// divergence closure of an SEU bit-flip in that register. The SEU
+  /// fixpoint seeds the register tainted at EVERY fence and forces every
+  /// op that latches into it (and every state load targeting it) tainted,
+  /// so the register's batch slot is refreshed by an executing writer at
+  /// each write point: the slot can never go stale between the flip sample
+  /// and a later tainted read (the invariant the incremental backend's
+  /// splicing rests on, extended to register-seeded faults).
+  explicit FaultCones(const ExecPlan& plan, bool include_seu = false);
 
   /// Bitmask over plan.ops (bit i = plan.ops[i] is in the cone of `fu`).
   [[nodiscard]] std::span<const std::uint64_t> op_cone(int fu) const {
@@ -150,6 +158,30 @@ class FaultCones {
   [[nodiscard]] int num_fus() const { return num_fus_; }
   [[nodiscard]] int num_steps() const { return num_steps_; }
 
+  /// True when the per-register SEU cones were computed (include_seu).
+  [[nodiscard]] bool has_seu_cones() const { return num_seu_regs_ > 0; }
+
+  /// Bitmask over plan.ops for an SEU flip in register `reg`.
+  [[nodiscard]] std::span<const std::uint64_t> seu_op_cone(int reg) const {
+    SCK_EXPECTS(reg >= 0 && reg < num_seu_regs_);
+    return {seu_masks_.data() + static_cast<std::size_t>(reg) * words_,
+            words_};
+  }
+
+  /// Tainted-register bitmask at fence `step_point` for an SEU flip in
+  /// register `reg`.
+  [[nodiscard]] std::span<const std::uint64_t> seu_reg_cone(
+      int reg, int step_point) const {
+    SCK_EXPECTS(reg >= 0 && reg < num_seu_regs_);
+    SCK_EXPECTS(step_point >= 0 && step_point <= num_steps_);
+    return {seu_reg_masks_.data() +
+                (static_cast<std::size_t>(reg) *
+                     (static_cast<std::size_t>(num_steps_) + 1) +
+                 static_cast<std::size_t>(step_point)) *
+                    reg_words_,
+            reg_words_};
+  }
+
   /// Number of plan ops in the cone of `fu` (diagnostics / bench).
   [[nodiscard]] std::size_t cone_op_count(int fu) const;
 
@@ -161,6 +193,9 @@ class FaultCones {
   std::vector<std::uint64_t> masks_;  ///< num_fus_ x words_, fu-major
   /// num_fus_ x (num_steps_ + 1) x reg_words_, fu-major then fence-major.
   std::vector<std::uint64_t> reg_masks_;
+  int num_seu_regs_ = 0;  ///< num_regs when SEU cones were computed, else 0
+  std::vector<std::uint64_t> seu_masks_;      ///< num_regs x words_
+  std::vector<std::uint64_t> seu_reg_masks_;  ///< like reg_masks_, reg-major
 };
 
 /// Fault-free replay trace of a shared input stream: every wire value and
@@ -490,6 +525,23 @@ class NetlistBatchSimT {
   void add_lane_fault(int fu_index, const hw::FaultSite& fault,
                       const P& lanes);
 
+  /// Re-arm the installed faults on the lanes of `armed` only: lanes
+  /// outside the mask run fault-free this sample while KEEPING any state
+  /// divergence they already accumulated (the transient/intermittent
+  /// semantics — a disarmed fault's residual corruption lives on). The
+  /// installed set is untouched; call again with a different mask to
+  /// toggle per sample.
+  void arm_lane_faults(const P& armed);
+
+  /// XOR bit-plane `bit` of register `reg` on the lanes of `lanes` — an
+  /// SEU strike between samples, per-lane.
+  void flip_register_bit(int reg, int bit, const P& lanes) {
+    SCK_EXPECTS(reg >= 0 && reg < plan_.num_regs);
+    SCK_EXPECTS(bit >= 0 && bit < kMaxWidth);
+    sem_.state.regs[static_cast<std::size_t>(reg)]
+                   [static_cast<std::size_t>(bit)] ^= lanes;
+  }
+
   /// Enumerate the fault universe of one FU instance (empty for
   /// checker-side units).
   [[nodiscard]] std::vector<hw::FaultSite> fu_fault_universe(
@@ -511,11 +563,21 @@ class NetlistBatchSimT {
   [[nodiscard]] const ExecPlan& plan() const { return plan_; }
 
  private:
+  /// One installed per-lane fault (kept across arm_lane_faults calls).
+  struct InstalledFault {
+    int fu = -1;
+    hw::FaultSite site;
+    P lanes{};
+  };
+
+  void install(int fu_index, const hw::FaultSite& fault, const P& lanes);
+
   ExecPlan owned_plan_;     ///< empty when constructed over a shared plan
   const ExecPlan& plan_;
   FuBank bank_;
   std::vector<hw::LaneFaultSetT<P>> lane_faults_;  ///< per FU instance
   BatchExecSemanticsT<P> sem_;
+  std::vector<InstalledFault> installed_;
 };
 
 /// The 64-lane reference batch backend.
@@ -551,6 +613,35 @@ class NetlistIncrementalSimT {
   /// fault across the whole design.
   void add_lane_fault(int fu_index, const hw::FaultSite& fault,
                       const P& lanes);
+
+  /// Register an SEU flip of bit `bit` of register `reg` on the lanes of
+  /// `lanes` and grow the union cone by that register's SEU cone (requires
+  /// FaultCones(plan, /*include_seu=*/true)). The flip itself is applied
+  /// by the campaign driver via flip_register_bit at the upset sample;
+  /// this call only commits the cone so every affected op replays.
+  void add_lane_seu(int reg, int bit, const P& lanes);
+
+  /// Re-arm the installed STUCK-AT faults on the lanes of `armed` only
+  /// (transient/intermittent duty). Rebuilds the per-FU lane fault tables;
+  /// the union cone is deliberately NOT shrunk — a disarmed lane's
+  /// residual state divergence still needs its cone replayed.
+  void arm_lane_faults(const P& armed);
+
+  /// XOR bit-plane `bit` of register `reg` on the lanes of `lanes`. Only
+  /// meaningful for registers covered by add_lane_seu (their batch slots
+  /// are kept fresh by the SEU cone's forced writers).
+  void flip_register_bit(int reg, int bit, const P& lanes) {
+    SCK_EXPECTS(reg >= 0 && reg < plan_.num_regs);
+    SCK_EXPECTS(bit >= 0 && bit < kMaxWidth);
+    sem_.state.regs[static_cast<std::size_t>(reg)]
+                   [static_cast<std::size_t>(bit)] ^= lanes;
+  }
+
+  /// Load the golden register file of (sample k, fence 0) into every lane:
+  /// the induction base for windowed replay. The incremental campaign
+  /// driver skips samples before a batch's first possible divergence, then
+  /// preloads here so tainted-fence register reads start from golden state.
+  void preload_golden_registers(const GoldenTrace& trace, int k);
 
   /// Shrink the union cone to the faults of still-active lanes (fault
   /// dropping): retired lanes keep their fault installed but no longer
@@ -597,7 +688,23 @@ class NetlistIncrementalSimT {
   FuBank bank_;
   std::vector<hw::LaneFaultSetT<P>> lane_faults_;  ///< per FU instance
   BatchExecSemanticsT<P> sem_;
-  std::vector<std::pair<int, P>> faults_;  ///< installed (fu, lanes)
+  /// Installed stuck-at faults (full site kept for re-arming).
+  struct InstalledFault {
+    int fu = -1;
+    hw::FaultSite site;
+    P lanes{};
+  };
+  std::vector<InstalledFault> faults_;
+  /// Installed SEU flips (reg, bit, lanes).
+  struct InstalledSeu {
+    int reg = -1;
+    int bit = -1;
+    P lanes{};
+  };
+  std::vector<InstalledSeu> seu_faults_;
+  /// Bitmask over plan registers with at least one installed SEU: their
+  /// state loads always execute (freshness of the forced-tainted slots).
+  std::vector<std::uint64_t> seu_regs_;
   std::vector<std::uint32_t> producer_;  ///< wire slot -> plan op index
   std::vector<std::uint64_t> cone_;      ///< union op mask over plan_.ops
   /// Union tainted-register masks, fence-major: (num_steps + 1) fences of

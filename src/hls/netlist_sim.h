@@ -65,6 +65,16 @@ class NetlistSim {
   /// Reset architectural state to zero.
   void reset() { sem_.state.reset(); }
 
+  /// XOR bit `bit` of architectural register `reg` — an SEU strike landing
+  /// between samples. The campaign drivers flip immediately before the
+  /// sample at which the upset is modelled to occur; the corrupted state
+  /// then propagates (or decays) through the fault-free logic.
+  void flip_register_bit(int reg, int bit) {
+    SCK_EXPECTS(reg >= 0 && reg < plan_.num_regs);
+    SCK_EXPECTS(bit >= 0 && bit < kMaxWidth);
+    sem_.state.regs[static_cast<std::size_t>(reg)] ^= Word{1} << bit;
+  }
+
   /// Run one sample iteration on the hot path: `inputs` by position in
   /// netlist().input_names, `outputs` filled by position in
   /// netlist().outputs. No hashing, no allocation.

@@ -33,8 +33,11 @@
 
 #include <array>
 #include <bit>
+#include <charconv>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "common/assert.h"
 
@@ -411,12 +414,25 @@ template <typename P>
 /// `requested` wins, then the SCK_LANES environment variable, then the CPU
 /// default. Explicit values (option or environment) must name a supported
 /// width exactly — silently snapping 100 lanes to 128 would misreport what
-/// was measured.
+/// was measured, and a typo'd SCK_LANES silently parsing to 0 (the old
+/// std::atoi behaviour) would misreport it as "CPU default, on purpose".
+/// Malformed values therefore abort with the offending text.
 [[nodiscard]] inline int resolve_lanes(int requested) {
   int lanes = requested;
   if (lanes <= 0) {
-    if (const char* env = std::getenv("SCK_LANES")) {
-      lanes = std::atoi(env);
+    const char* env = std::getenv("SCK_LANES");
+    if (env != nullptr && env[0] != '\0') {
+      int parsed = 0;
+      const char* end = env + std::char_traits<char>::length(env);
+      const auto [ptr, ec] = std::from_chars(env, end, parsed);
+      if (ec != std::errc{} || ptr != end || !lanes_supported(parsed)) {
+        std::fprintf(stderr,
+                     "SCK_LANES=\"%s\" is not a supported lane count "
+                     "(expected 64, 128, 256 or 512)\n",
+                     env);
+        std::abort();
+      }
+      lanes = parsed;
     }
   }
   if (lanes <= 0) return default_lanes();

@@ -4,7 +4,9 @@
 
 #include <atomic>
 #include <cerrno>
+#include <charconv>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
@@ -116,33 +118,74 @@ std::uint64_t chaos_seed() {
   return snapshot().seed;
 }
 
+namespace {
+
+/// Warn-and-abort on malformed chaos env knobs: a typo'd rate silently
+/// parsing to 0 (the old std::atoi behaviour) would run the chaos suite
+/// with the injection OFF and report a clean pass — the one failure mode a
+/// fault-injection harness must not have.
+[[noreturn]] void chaos_env_abort(const char* var, const std::string& text,
+                                  const char* why) {
+  std::fprintf(stderr, "%s=\"%s\": %s\n", var, text.c_str(), why);
+  std::abort();
+}
+
+[[nodiscard]] int parse_chaos_rate(const std::string& item,
+                                   const std::string& value) {
+  int parsed = 0;
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+  if (ec != std::errc{} || ptr != end || value.empty() || parsed < 0) {
+    chaos_env_abort("SCK_CHAOS", item,
+                    "value must be a non-negative integer");
+  }
+  return parsed;
+}
+
+}  // namespace
+
 bool install_chaos_from_env() {
   const char* spec = std::getenv("SCK_CHAOS");
   if (spec == nullptr || spec[0] == '\0') return false;
   std::uint64_t seed = 1;
-  if (const char* s = std::getenv("SCK_CHAOS_SEED")) {
-    seed = std::strtoull(s, nullptr, 10);
+  const char* s = std::getenv("SCK_CHAOS_SEED");
+  if (s != nullptr && s[0] != '\0') {
+    const std::string text(s);
+    const char* end = s + text.size();
+    const auto [ptr, ec] = std::from_chars(s, end, seed);
+    if (ec != std::errc{} || ptr != end || text.empty()) {
+      chaos_env_abort("SCK_CHAOS_SEED", text,
+                      "seed must be an unsigned decimal integer");
+    }
     if (seed == 0) seed = 1;
   }
   ChaosOptions opt = default_chaos(seed);
   const std::string text(spec);
   if (text != "1" && text != "on") {
-    // "key=per10k" comma list overrides individual rates.
+    // "key=per10k" comma list overrides individual rates. Unknown keys and
+    // malformed items abort: they are operator typos, and the alternative
+    // is a chaos run that silently exercises nothing.
     std::size_t at = 0;
     while (at < text.size()) {
       std::size_t comma = text.find(',', at);
       if (comma == std::string::npos) comma = text.size();
       const std::string item = text.substr(at, comma - at);
       const std::size_t eq = item.find('=');
-      if (eq != std::string::npos) {
-        const std::string key = item.substr(0, eq);
-        const int value = std::atoi(item.c_str() + eq + 1);
-        if (key == "corrupt") opt.corrupt_per_10k = value;
-        else if (key == "partial") opt.partial_per_10k = value;
-        else if (key == "delay") opt.delay_per_10k = value;
-        else if (key == "drop") opt.drop_per_10k = value;
-        else if (key == "reset") opt.reset_per_10k = value;
-        else if (key == "max_delay_ms") opt.max_delay_ms = value;
+      if (eq == std::string::npos) {
+        chaos_env_abort("SCK_CHAOS", item,
+                        "expected key=value (or the literal \"1\"/\"on\")");
+      }
+      const std::string key = item.substr(0, eq);
+      const int value = parse_chaos_rate(item, item.substr(eq + 1));
+      if (key == "corrupt") opt.corrupt_per_10k = value;
+      else if (key == "partial") opt.partial_per_10k = value;
+      else if (key == "delay") opt.delay_per_10k = value;
+      else if (key == "drop") opt.drop_per_10k = value;
+      else if (key == "reset") opt.reset_per_10k = value;
+      else if (key == "max_delay_ms") opt.max_delay_ms = value;
+      else {
+        chaos_env_abort("SCK_CHAOS", item, "unknown chaos knob");
       }
       at = comma + 1;
     }

@@ -476,6 +476,10 @@ void put_options(std::vector<unsigned char>& out,
   put_u32(out, static_cast<std::uint32_t>(o.backend));
   put_u32(out, static_cast<std::uint32_t>(o.stream));
   put_bool(out, o.fault_dropping);
+  put_u32(out, static_cast<std::uint32_t>(o.duration));
+  put_i32(out, o.transient_samples);
+  put_u32(out, o.duty_permille);
+  put_bool(out, o.seu_faults);
 }
 
 [[nodiscard]] bool get_options(Reader& r, hls::NetlistCampaignOptions& o) {
@@ -515,6 +519,17 @@ void put_options(std::vector<unsigned char>& out,
   if (o.fault_dropping && o.backend != hls::NetlistBackend::kIncremental) {
     return r.fail();
   }
+  std::uint32_t duration = 0;
+  if (!r.u32(duration) || !r.i32(o.transient_samples) ||
+      !r.u32(o.duty_permille) || !r.boolean(o.seu_faults)) {
+    return false;
+  }
+  if (duration >
+      static_cast<std::uint32_t>(fault::FaultDuration::kIntermittent)) {
+    return r.fail();
+  }
+  o.duration = static_cast<fault::FaultDuration>(duration);
+  if (o.transient_samples < 1 || o.duty_permille > 1000) return r.fail();
   return true;
 }
 
@@ -791,6 +806,8 @@ std::vector<unsigned char> encode_shard_request(const ShardRequestPayload& p) {
     put_i32(out, job.site.cell);
     put_u32(out, job.site.line);
     put_bool(out, job.site.stuck_value);
+    put_u32(out, static_cast<std::uint32_t>(job.kind));
+    put_i32(out, job.seu_bit);
   }
   return out;
 }
@@ -801,17 +818,30 @@ std::optional<ShardRequestPayload> decode_shard_request(
   ShardRequestPayload p;
   std::uint64_t count = 0;
   if (!r.u64(p.campaign_id) || !r.u64(p.shard_id) || !r.u64(p.base) ||
-      !r.count(count, 4 + 4 + 4 + 1)) {
+      !r.count(count, 4 + 4 + 4 + 1 + 4 + 4)) {
     return std::nullopt;
   }
   p.jobs.resize(static_cast<std::size_t>(count));
   for (hls::FaultJob& job : p.jobs) {
     std::uint32_t line = 0;
+    std::uint32_t kind = 0;
     if (!r.i32(job.fu) || !r.i32(job.site.cell) || !r.u32(line) ||
-        !r.boolean(job.site.stuck_value)) {
+        !r.boolean(job.site.stuck_value) || !r.u32(kind) ||
+        !r.i32(job.seu_bit)) {
       return std::nullopt;
     }
     if (job.fu < 0 || job.site.cell < hw::kNoFault || line > 255) {
+      return std::nullopt;
+    }
+    if (kind > static_cast<std::uint32_t>(hls::FaultKind::kSeu)) {
+      return std::nullopt;
+    }
+    job.kind = static_cast<hls::FaultKind>(kind);
+    // kSeu: fu names a register index and seu_bit a bit within kMaxWidth;
+    // kStuckAt must keep the sentinel so job equality round-trips.
+    if (job.kind == hls::FaultKind::kSeu) {
+      if (job.seu_bit < 0 || job.seu_bit >= kMaxWidth) return std::nullopt;
+    } else if (job.seu_bit != -1) {
       return std::nullopt;
     }
     job.site.line = static_cast<std::uint8_t>(line);

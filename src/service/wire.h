@@ -47,7 +47,7 @@ inline constexpr std::uint64_t kWireMagic = 0x0045524957'4B4353ULL;
 /// announcing a different version in its Hello is turned away).
 /// v2: ShardStats grew shards_journaled / shards_resumed /
 /// workers_quarantined (crash-durable resume + worker probation).
-inline constexpr std::uint32_t kWireProtocolVersion = 2;
+inline constexpr std::uint32_t kWireProtocolVersion = 3;
 
 /// Hard ceiling on one frame's payload. A length prefix beyond this is
 /// rejected from the header alone — a corrupted (or hostile) length can

@@ -143,6 +143,13 @@ Fingerprint campaign_fingerprint(const hls::Dfg& graph,
   h.i64(options.fault_stride);
   h.u64(static_cast<std::uint64_t>(options.stream));
   h.boolean(options.fault_dropping);
+  // Duration model + SEU dimension (version 2): these change per-sample
+  // fault activity and the job universe, so leaving any of them out would
+  // alias e.g. a transient campaign onto its permanent twin.
+  h.u64(static_cast<std::uint64_t>(options.duration));
+  h.i64(options.transient_samples);
+  h.u64(options.duty_permille);
+  h.boolean(options.seu_faults);
   return h.finish();
 }
 

@@ -34,7 +34,7 @@ namespace sck::store {
 /// Hashed-input enumeration generation. Bump when campaign_fingerprint
 /// starts hashing different inputs (or the same inputs differently):
 /// every entry written under the old enumeration then misses cleanly.
-inline constexpr std::uint64_t kFingerprintVersion = 1;
+inline constexpr std::uint64_t kFingerprintVersion = 2;
 
 /// 128-bit content address of one campaign.
 struct Fingerprint {

@@ -249,13 +249,8 @@ void expect_outputs_identical_all_widths(const Dfg& g, const Netlist& nl,
 
 // ---- oracle 2: campaign-level identity across backends and threads ---------
 
-void expect_campaigns_identical(const Dfg& g, const Netlist& nl, int samples,
-                                std::uint64_t seed) {
-  NetlistCampaignOptions opt;
-  opt.samples_per_fault = samples;
-  opt.seed = seed;
-  opt.stream = StreamMode::kShared;
-
+void expect_campaigns_identical_for(NetlistCampaignOptions opt, const Dfg& g,
+                                    const Netlist& nl) {
   opt.backend = NetlistBackend::kScalar;
   opt.threads = 1;
   const NetlistCampaignResult anchor = run_netlist_campaign(g, nl, opt);
@@ -286,7 +281,50 @@ void expect_campaigns_identical(const Dfg& g, const Netlist& nl, int samples,
       }
     }
   }
-  opt.lanes = 0;
+}
+
+void expect_campaigns_identical(const Dfg& g, const Netlist& nl, int samples,
+                                std::uint64_t seed) {
+  NetlistCampaignOptions opt;
+  opt.samples_per_fault = samples;
+  opt.seed = seed;
+  opt.stream = StreamMode::kShared;
+  expect_campaigns_identical_for(opt, g, nl);
+}
+
+/// Oracle 2 with a randomly drawn fault-duration model, duty cycle and the
+/// SEU job dimension: the three backends must stay bit-identical at every
+/// lane width x thread count under transient windows, intermittent duty
+/// streams and register-bit upsets, exactly as they do for permanent
+/// stuck-ats.
+void expect_duration_campaigns_identical(Xoshiro256& rng, const Dfg& g,
+                                         const Netlist& nl, int samples,
+                                         std::uint64_t seed) {
+  NetlistCampaignOptions opt;
+  opt.samples_per_fault = samples;
+  opt.seed = seed;
+  opt.stream = StreamMode::kShared;
+  switch (rng.bounded(3)) {
+    case 0:
+      opt.duration = fault::FaultDuration::kPermanent;
+      break;
+    case 1:
+      opt.duration = fault::FaultDuration::kTransient;
+      opt.transient_samples = 1 + static_cast<int>(rng.bounded(
+                                      static_cast<std::uint64_t>(samples)));
+      break;
+    default:
+      opt.duration = fault::FaultDuration::kIntermittent;
+      opt.duty_permille = static_cast<std::uint32_t>(rng.bounded(1001));
+      break;
+  }
+  opt.seu_faults = rng.bounded(2) == 0;
+  SCOPED_TRACE(std::string("duration=") +
+               std::string(to_string(opt.duration)) + " transient_samples=" +
+               std::to_string(opt.transient_samples) + " duty=" +
+               std::to_string(opt.duty_permille) +
+               " seu=" + std::to_string(opt.seu_faults));
+  expect_campaigns_identical_for(opt, g, nl);
 }
 
 // ---- the harness -----------------------------------------------------------
@@ -317,6 +355,8 @@ void run_differential_fuzz(std::uint64_t seed) {
                                             seed ^ (0xF00DULL + case_index));
         expect_campaigns_identical(g, nl, /*samples=*/5,
                                    seed ^ (0xBEEFULL + case_index));
+        expect_duration_campaigns_identical(rng, g, nl, /*samples=*/5,
+                                            seed ^ (0xD00DULL + case_index));
       }
       ++case_index;
     }

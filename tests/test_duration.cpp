@@ -71,11 +71,12 @@ TEST(DurationTrials, IntermittentCoverageInterpolates) {
   const int n = 4;
   RippleCarryAdder adder(n);
   std::vector<FaultableUnit*> units{&adder};
-  Xoshiro256 rng(0x1234);
+  DutyStream duty_stream{/*seed=*/0x1234};
 
   const auto run_duty = [&](std::uint32_t duty) {
     const DurationAddTrial<RippleCarryAdder> trial{
-        adder, Technique::kTech1, FaultDuration::kIntermittent, &rng, duty};
+        adder, Technique::kTech1, FaultDuration::kIntermittent, &duty_stream,
+        duty};
     return run_exhaustive(std::span<FaultableUnit* const>(units), n, trial)
         .aggregate;
   };

@@ -150,6 +150,40 @@ TEST(Service, ByteIdenticalAtWorkerCounts124Incremental) {
   }
 }
 
+TEST(Service, TransientSeuCampaignByteIdenticalDaemonVsLocal) {
+  // The duration/SEU options ride the wire (protocol v3): a transient +
+  // intermittent-free + SEU campaign distributed over 1/2/4 workers must
+  // reproduce the single-host bytes exactly — the per-job activity windows
+  // are keyed by GLOBAL job index, so shard boundaries cannot shift them.
+  const ServiceDesign design;
+  hls::NetlistCampaignOptions opt = incremental_options();
+  opt.duration = sck::fault::FaultDuration::kTransient;
+  opt.transient_samples = 2;
+  opt.seu_faults = true;
+  const hls::NetlistCampaignResult want =
+      run_netlist_campaign(design.graph, design.netlist, opt);
+
+  for (const int workers : {1, 2, 4}) {
+    ServiceHarness harness;
+    harness.add_workers(workers);
+    const auto got = harness.submit(design, opt);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_TRUE(hls::same_campaign_result(got->result, want))
+        << "diverged at " << workers << " worker(s)";
+  }
+
+  // Intermittent duty through the same path.
+  opt.duration = sck::fault::FaultDuration::kIntermittent;
+  opt.duty_permille = 600;
+  const hls::NetlistCampaignResult want_duty =
+      run_netlist_campaign(design.graph, design.netlist, opt);
+  ServiceHarness harness;
+  harness.add_workers(2);
+  const auto got = harness.submit(design, opt);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(hls::same_campaign_result(got->result, want_duty));
+}
+
 TEST(Service, ByteIdenticalAtWorkerCounts124BatchedPerFault) {
   const ServiceDesign design;
   const hls::NetlistCampaignOptions opt = batched_options();

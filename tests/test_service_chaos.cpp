@@ -43,6 +43,44 @@ namespace fs = std::filesystem;
   return 1;
 }
 
+// ---- env-knob parsing ------------------------------------------------------
+
+TEST(ChaosEnv, WellFormedSpecsInstall) {
+  ASSERT_EQ(setenv("SCK_CHAOS", "corrupt=5,drop=2,max_delay_ms=0", 1), 0);
+  ASSERT_EQ(setenv("SCK_CHAOS_SEED", "42", 1), 0);
+  EXPECT_TRUE(install_chaos_from_env());
+  EXPECT_TRUE(chaos_enabled());
+  EXPECT_EQ(chaos_seed(), 42u);
+  clear_chaos();
+  ASSERT_EQ(setenv("SCK_CHAOS", "on", 1), 0);
+  EXPECT_TRUE(install_chaos_from_env());
+  clear_chaos();
+  ASSERT_EQ(unsetenv("SCK_CHAOS"), 0);
+  ASSERT_EQ(unsetenv("SCK_CHAOS_SEED"), 0);
+  EXPECT_FALSE(install_chaos_from_env());
+}
+
+TEST(ChaosEnv, MalformedSpecsAbortInsteadOfRunningChaosOff) {
+  // The one failure mode a fault-injection harness must not have: a typo'd
+  // rate silently parsing to 0 (the old std::atoi behaviour) and the chaos
+  // suite passing with the injection OFF.
+  for (const char* bad :
+       {"corrupt=lots", "corrupt", "corupt=5", "drop=", "drop=-1",
+        "corrupt=5,drop=oops", "delay=3ms"}) {
+    ASSERT_EQ(setenv("SCK_CHAOS", bad, 1), 0);
+    EXPECT_DEATH((void)install_chaos_from_env(), "SCK_CHAOS")
+        << "SCK_CHAOS=\"" << bad << "\"";
+  }
+  ASSERT_EQ(setenv("SCK_CHAOS", "1", 1), 0);
+  for (const char* bad : {"nope", "12x", "-3"}) {
+    ASSERT_EQ(setenv("SCK_CHAOS_SEED", bad, 1), 0);
+    EXPECT_DEATH((void)install_chaos_from_env(), "SCK_CHAOS_SEED")
+        << "SCK_CHAOS_SEED=\"" << bad << "\"";
+  }
+  ASSERT_EQ(unsetenv("SCK_CHAOS"), 0);
+  ASSERT_EQ(unsetenv("SCK_CHAOS_SEED"), 0);
+}
+
 /// Same 1776-job / 4-shard fixture as test_service.cpp.
 struct ChaosDesign {
   hls::Dfg graph;

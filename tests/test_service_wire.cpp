@@ -200,16 +200,47 @@ TEST(WireCodec, CampaignSetupSemanticRoundtrip) {
   EXPECT_TRUE(hls::same_campaign_result(want, have));
 }
 
+TEST(WireCodec, DurationAndSeuOptionsRoundtrip) {
+  // Protocol v3: the duration/SEU knobs ride the options codec verbatim.
+  const WireDesign design;
+  CampaignSetupPayload setup;
+  setup.campaign_id = 18;
+  setup.campaign.graph = design.graph;
+  setup.campaign.netlist = design.netlist;
+  setup.campaign.options.samples_per_fault = 5;
+  setup.campaign.options.stream = hls::StreamMode::kShared;
+  setup.campaign.options.backend = hls::NetlistBackend::kIncremental;
+  setup.campaign.options.duration = sck::fault::FaultDuration::kIntermittent;
+  setup.campaign.options.transient_samples = 3;
+  setup.campaign.options.duty_permille = 700;
+  setup.campaign.options.seu_faults = true;
+
+  const std::vector<unsigned char> bytes = encode_campaign_setup(setup);
+  const std::optional<CampaignSetupPayload> got = decode_campaign_setup(bytes);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->campaign.options.duration,
+            sck::fault::FaultDuration::kIntermittent);
+  EXPECT_EQ(got->campaign.options.transient_samples, 3);
+  EXPECT_EQ(got->campaign.options.duty_permille, 700u);
+  EXPECT_TRUE(got->campaign.options.seu_faults);
+  EXPECT_EQ(encode_campaign_setup(*got), bytes);
+}
+
 TEST(WireCodec, ShardRequestRoundtrip) {
   const WireDesign design;
+  hls::NetlistCampaignOptions opt;
+  opt.seu_faults = true;  // cover the kSeu job rows in the codec
   const std::vector<hls::FaultJob> jobs =
-      enumerate_fault_jobs(design.netlist, {});
+      enumerate_fault_jobs(design.netlist, opt);
   ASSERT_GE(jobs.size(), 8u);
   ShardRequestPayload req;
   req.campaign_id = 17;
   req.shard_id = 1;
   req.base = 4;
   req.jobs.assign(jobs.begin() + 4, jobs.begin() + 8);
+  // Append the SEU tail so both job kinds roundtrip in one payload.
+  ASSERT_EQ(jobs.back().kind, hls::FaultKind::kSeu);
+  req.jobs.push_back(jobs.back());
   const std::optional<ShardRequestPayload> got =
       decode_shard_request(encode_shard_request(req));
   ASSERT_TRUE(got.has_value());

@@ -133,13 +133,13 @@ TEST(Fingerprint, PinnedGoldenValues) {
 
   EXPECT_EQ(to_string(store::campaign_fingerprint(ced.graph, ced.plan,
                                                   small_options())),
-            "59bf033f17bd8c8538a57031c20f9a07");
+            "08940dc6130cb7488aec08fd43c89c91");
   EXPECT_EQ(to_string(store::campaign_fingerprint(plain.graph, plain.plan,
                                                   small_options())),
-            "103b4fd0a6f86b48eff5140bb275912a");
+            "c9f569037cd0d5f4ced56a2f692c201a");
   EXPECT_EQ(to_string(store::campaign_fingerprint(
                 other_coeffs.graph, other_coeffs.plan, small_options())),
-            "1b94edc138d36999b9f03643f076ec29");
+            "af033616d70e87726a3c52625794c035");
 }
 
 TEST(Fingerprint, SensitiveToResultShapingInputsOnly) {
@@ -163,6 +163,30 @@ TEST(Fingerprint, SensitiveToResultShapingInputsOnly) {
   EXPECT_FALSE(store::campaign_fingerprint(d.graph, d.plan, o) == fp0);
   o = base;
   o.fault_dropping = true;
+  EXPECT_FALSE(store::campaign_fingerprint(d.graph, d.plan, o) == fp0);
+  // The version-2 duration/SEU dimension shapes per-sample fault activity
+  // and the job universe — every field must split the key.
+  o = base;
+  o.duration = fault::FaultDuration::kTransient;
+  EXPECT_FALSE(store::campaign_fingerprint(d.graph, d.plan, o) == fp0);
+  o = base;
+  o.duration = fault::FaultDuration::kTransient;
+  o.transient_samples = 3;
+  EXPECT_FALSE(
+      store::campaign_fingerprint(d.graph, d.plan, o) ==
+      store::campaign_fingerprint(
+          d.graph, d.plan,
+          [&] {
+            hls::NetlistCampaignOptions t = o;
+            t.transient_samples = 2;
+            return t;
+          }()));
+  o = base;
+  o.duration = fault::FaultDuration::kIntermittent;
+  o.duty_permille = 250;
+  EXPECT_FALSE(store::campaign_fingerprint(d.graph, d.plan, o) == fp0);
+  o = base;
+  o.seu_faults = true;
   EXPECT_FALSE(store::campaign_fingerprint(d.graph, d.plan, o) == fp0);
 
   // ...and the proven-irrelevant knobs must NOT (the differential suites
